@@ -1,0 +1,61 @@
+//! Criterion bench for the Lemma 3 gap embeddings (E1 ablation): construction cost of
+//! each embedding as a function of its parameters, i.e. the `n^{o(1)}` blow-up the
+//! Lemma 2 reduction pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_linalg::random::random_binary_vector;
+use ips_ovp::{ChebyshevEmbedding, GapEmbedding, SignedEmbedding, ZeroOneEmbedding};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_signed_embedding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB61);
+    let mut group = c.benchmark_group("embedding1_signed");
+    for &d in &[16usize, 64, 256] {
+        let e = SignedEmbedding::new(d).unwrap();
+        let x = random_binary_vector(&mut rng, d, 0.5).unwrap();
+        group.bench_with_input(BenchmarkId::new("embed_data", d), &d, |b, _| {
+            b.iter(|| e.embed_data(&x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chebyshev_embedding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB62);
+    let mut group = c.benchmark_group("embedding2_chebyshev");
+    group.sample_size(10);
+    for &(d, q) in &[(8usize, 1u32), (8, 2), (8, 3)] {
+        let e = ChebyshevEmbedding::new(d, q).unwrap();
+        let x = random_binary_vector(&mut rng, d, 0.5).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("embed_data", format!("d{d}_q{q}_dim{}", e.output_dim())),
+            &q,
+            |b, _| b.iter(|| e.embed_data(&x).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_zero_one_embedding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB63);
+    let mut group = c.benchmark_group("embedding3_zero_one");
+    for &(d, k) in &[(16usize, 8usize), (32, 8), (32, 4)] {
+        let e = ZeroOneEmbedding::new(d, k).unwrap();
+        let x = random_binary_vector(&mut rng, d, 0.4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("embed_data", format!("d{d}_k{k}_dim{}", e.output_dim())),
+            &k,
+            |b, _| b.iter(|| e.embed_data(&x).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signed_embedding,
+    bench_chebyshev_embedding,
+    bench_zero_one_embedding
+);
+criterion_main!(benches);

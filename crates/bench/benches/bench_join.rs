@@ -1,0 +1,96 @@
+//! Criterion bench for the `(cs, s)` joins (E5): brute force vs the Section 4.1 ALSH
+//! join vs the Section 4.3 sketch join, plus an ablation over the ALSH amplification
+//! parameters (k, L).
+//!
+//! Sizes are kept modest so `cargo bench` completes quickly; the `experiment_join_scaling`
+//! binary covers the larger sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_core::asymmetric::AlshParams;
+use ips_core::brute::brute_force_join;
+use ips_core::join::{alsh_join, sketch_join};
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_sketch::linf_mips::MaxIpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(n: usize, rng: &mut StdRng) -> PlantedInstance {
+    PlantedInstance::generate(
+        rng,
+        PlantedConfig {
+            data: n,
+            queries: 16,
+            dim: 32,
+            background_scale: 0.05,
+            planted_ip: 0.85,
+            planted: 4,
+        },
+    )
+    .expect("valid config")
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB31);
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
+    let mut group = c.benchmark_group("join_algorithms");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let inst = instance(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| brute_force_join(inst.data(), inst.queries(), &spec).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("alsh", n), &n, |b, _| {
+            b.iter(|| {
+                alsh_join(
+                    &mut rng,
+                    inst.data(),
+                    inst.queries(),
+                    spec,
+                    AlshParams::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sketch", n), &n, |b, _| {
+            b.iter(|| {
+                sketch_join(
+                    &mut rng,
+                    inst.data(),
+                    inst.queries(),
+                    spec,
+                    MaxIpConfig {
+                        kappa: 2.0,
+                        copies: 7,
+                        rows: None,
+                    },
+                    16,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alsh_amplification_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB32);
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+    let inst = instance(1000, &mut rng);
+    let mut group = c.benchmark_group("alsh_amplification");
+    group.sample_size(10);
+    for &(k, l) in &[(6usize, 8usize), (12, 32), (18, 64)] {
+        let params = AlshParams {
+            bits_per_table: k,
+            tables: l,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("k_l", format!("{k}x{l}")), &params, |b, p| {
+            b.iter(|| alsh_join(&mut rng, inst.data(), inst.queries(), spec, *p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_alsh_amplification_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for the vector substrate: dense vs bit-packed inner products
+//! (the ablation called out in DESIGN.md).
+//!
+//! The exact OVP solvers and brute-force joins spend essentially all their time in
+//! inner products; the bit-packed `{0,1}` / `{−1,1}` representations are what make the
+//! quadratic baselines honest.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_linalg::random::{gaussian_vector, random_binary_vector, random_sign_vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dot_products(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB11);
+    let mut group = c.benchmark_group("inner_products");
+    for &dim in &[64usize, 256, 1024] {
+        let a = gaussian_vector(&mut rng, dim);
+        let b = gaussian_vector(&mut rng, dim);
+        group.bench_with_input(BenchmarkId::new("dense_f64", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(a.dot(&b).unwrap()))
+        });
+        let ba = random_binary_vector(&mut rng, dim, 0.4).unwrap();
+        let bb = random_binary_vector(&mut rng, dim, 0.4).unwrap();
+        group.bench_with_input(BenchmarkId::new("binary_bitpacked", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(ba.dot(&bb).unwrap()))
+        });
+        let da = ba.to_dense();
+        let db = bb.to_dense();
+        group.bench_with_input(BenchmarkId::new("binary_as_dense", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(da.dot(&db).unwrap()))
+        });
+        let sa = random_sign_vector(&mut rng, dim);
+        let sb = random_sign_vector(&mut rng, dim);
+        group.bench_with_input(BenchmarkId::new("sign_bitpacked", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(sa.dot(&sb).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_orthogonality_check(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB12);
+    let dim = 512;
+    let a = random_binary_vector(&mut rng, dim, 0.5).unwrap();
+    let b = random_binary_vector(&mut rng, dim, 0.5).unwrap();
+    c.bench_function("binary_orthogonality_check", |bencher| {
+        bencher.iter(|| black_box(a.is_orthogonal_to(&b).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_dot_products, bench_orthogonality_check);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for the algebraic substrate (E9): the matrix-multiplication kernels
+//! against each other, and the blockwise Gram join against the scalar brute-force loop.
+//!
+//! The shapes to verify: the blocked kernel beats the naive loop as matrices grow (pure
+//! memory locality), the parallel kernel scales with worker count, Strassen only pays
+//! off for large sizes (the paper's remark that fast matrix multiplication "is currently
+//! not competitive on realistic input sizes"), and the Gram join tracks the brute-force
+//! join closely at these scales — its advantage is locality, not asymptotics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_core::algebraic::algebraic_exact_join;
+use ips_core::brute::brute_force_join;
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_linalg::Matrix;
+use ips_matmul::{multiply_blocked, multiply_naive, multiply_parallel, strassen_multiply};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_row_major(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xE9_1);
+    let mut group = c.benchmark_group("matmul_kernels");
+    group.sample_size(10);
+    for &n in &[96usize, 192] {
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| multiply_naive(&a, &b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| multiply_blocked(&a, &b, 64).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_4", n), &n, |bch, _| {
+            bch.iter(|| multiply_parallel(&a, &b, 64, 4).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("strassen", n), &n, |bch, _| {
+            bch.iter(|| strassen_multiply(&a, &b, 64).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_join(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xE9_2);
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
+    let mut group = c.benchmark_group("algebraic_join");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let inst = PlantedInstance::generate(
+            &mut rng,
+            PlantedConfig {
+                data: n,
+                queries: 32,
+                dim: 48,
+                background_scale: 0.05,
+                planted_ip: 0.85,
+                planted: 8,
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| brute_force_join(inst.data(), inst.queries(), &spec).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gram_blockwise", n), &n, |b, _| {
+            b.iter(|| algebraic_exact_join(inst.data(), inst.queries(), &spec, 32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_gram_join);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the OVP side (E8): the exact quadratic solvers and the full
+//! Lemma 2 reduction pipeline through each gap embedding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_ovp::reduction::{solve_via_join, BruteForceJoinOracle};
+use ips_ovp::{
+    brute_force_pair, random_instance, split_chunk_pair, SignedEmbedding, ZeroOneEmbedding,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB71);
+    let mut group = c.benchmark_group("ovp_exact");
+    group.sample_size(20);
+    for &n in &[128usize, 512] {
+        let dim = 64;
+        let inst = random_instance(&mut rng, n, n, dim, 0.5).unwrap();
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            b.iter(|| brute_force_pair(&inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("split_chunk", n), &n, |b, _| {
+            b.iter(|| split_chunk_pair(&inst, 64).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_pipeline(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB72);
+    let mut group = c.benchmark_group("ovp_reduction");
+    group.sample_size(10);
+    let dim = 16;
+    let inst = random_instance(&mut rng, 32, 32, dim, 0.5).unwrap();
+    let signed = SignedEmbedding::new(dim).unwrap();
+    group.bench_function("embedding1_signed", |b| {
+        b.iter(|| solve_via_join(&inst, &signed, &mut BruteForceJoinOracle).unwrap())
+    });
+    let zero_one = ZeroOneEmbedding::new(dim, 4).unwrap();
+    group.bench_function("embedding3_zero_one", |b| {
+        b.iter(|| solve_via_join(&inst, &zero_one, &mut BruteForceJoinOracle).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_solvers, bench_reduction_pipeline);
+criterion_main!(benches);

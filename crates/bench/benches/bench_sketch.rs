@@ -1,0 +1,78 @@
+//! Criterion bench for the Section 4.3 sketch structures (E6): sketch application,
+//! `‖Aq‖_∞` estimation, and prefix-tree recovery, across the `κ` (rows vs approximation)
+//! trade-off called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ips_linalg::random::{gaussian_vector, random_unit_vector};
+use ips_linalg::DenseVector;
+use ips_sketch::linf_mips::{MaxIpConfig, MaxIpEstimator};
+use ips_sketch::maxstable::MaxStableSketch;
+use ips_sketch::recovery::SketchMipsIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sketch_apply(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB51);
+    let n = 4096;
+    let x = gaussian_vector(&mut rng, n);
+    let mut group = c.benchmark_group("maxstable_apply");
+    for &kappa in &[2.0f64, 4.0] {
+        let rows = MaxStableSketch::recommended_rows(n, kappa);
+        let sketch = MaxStableSketch::sample(&mut rng, n, rows, kappa).unwrap();
+        group.bench_with_input(BenchmarkId::new("kappa", kappa as u32), &kappa, |b, _| {
+            b.iter(|| sketch.apply(&x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator_query(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB52);
+    let dim = 32;
+    let data: Vec<DenseVector> = (0..1500).map(|_| gaussian_vector(&mut rng, dim)).collect();
+    let query = random_unit_vector(&mut rng, dim).unwrap();
+    let mut group = c.benchmark_group("max_ip_estimate");
+    group.sample_size(20);
+    for &kappa in &[2.0f64, 3.0, 4.0] {
+        let estimator = MaxIpEstimator::build(
+            &mut rng,
+            &data,
+            MaxIpConfig {
+                kappa,
+                copies: 9,
+                rows: None,
+            },
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("kappa", kappa as u32), &kappa, |b, _| {
+            b.iter(|| estimator.estimate(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery_query(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB53);
+    let dim = 32;
+    let data: Vec<DenseVector> = (0..1500).map(|_| gaussian_vector(&mut rng, dim)).collect();
+    let query = random_unit_vector(&mut rng, dim).unwrap();
+    let index = SketchMipsIndex::build(
+        &mut rng,
+        data,
+        MaxIpConfig {
+            kappa: 2.0,
+            copies: 7,
+            rows: None,
+        },
+        16,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("sketch_recovery");
+    group.sample_size(20);
+    group.bench_function("prefix_tree_query", |b| b.iter(|| index.query(&query).unwrap()));
+    group.bench_function("exact_argmax", |b| b.iter(|| index.exact_max(&query).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_apply, bench_estimator_query, bench_recovery_query);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Experiment E9: the algebraic (matrix-multiplication) side of Table 1.
+//!
+//! Two questions from the paper are exercised on laptop-scale `{−1,1}` workloads:
+//!
+//! 1. **Exact joins as Gram products.** How does the blockwise `P·Qᵀ` join compare with
+//!    the scalar brute-force loop as `|P|` grows? (Same asymptotics, better locality —
+//!    this is the substrate both Valiant [51] and Karppa et al. [29] rely on.)
+//! 2. **Amplify-and-multiply.** For the unsigned `(cs, s)` join over `{−1,1}`, how do
+//!    recall and candidate counts of the amplified join behave as the approximation
+//!    factor `c` and the amplification degree `t` vary? The paper's Table 1 says this
+//!    family wins precisely when `c` is small (strong approximation allowed); the run
+//!    shows candidates exploding as `c → 1` and staying tiny for small `c`.
+
+use ips_bench::{fmt, render_table, Timer};
+use ips_core::algebraic::algebraic_exact_join;
+use ips_core::brute::brute_force_join;
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_linalg::random::random_sign_vector;
+use ips_linalg::SignVector;
+use ips_matmul::{amplified_unsigned_join, AmplifiedJoinConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    println!("== E9: algebraic joins (the matrix-multiplication side of Table 1) ==\n");
+
+    // Part 1: exact join, scalar loop vs blockwise Gram product.
+    println!("-- exact join: scalar brute force vs blockwise Gram product --");
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
+    let mut rows = Vec::new();
+    for &n in &[1000usize, 2000, 4000, 8000] {
+        let inst = PlantedInstance::generate(
+            &mut rng,
+            PlantedConfig {
+                data: n,
+                queries: 64,
+                dim: 48,
+                background_scale: 0.05,
+                planted_ip: 0.85,
+                planted: 16,
+            },
+        )
+        .expect("valid config");
+        let t = Timer::start();
+        let brute = brute_force_join(inst.data(), inst.queries(), &spec).unwrap();
+        let t_brute = t.elapsed_ms();
+        let t = Timer::start();
+        let gram = algebraic_exact_join(inst.data(), inst.queries(), &spec, 64).unwrap();
+        let t_gram = t.elapsed_ms();
+        assert_eq!(brute, gram, "the two exact joins must agree");
+        rows.push(vec![
+            n.to_string(),
+            brute.len().to_string(),
+            fmt(t_brute, 1),
+            fmt(t_gram, 1),
+            fmt(t_brute / t_gram.max(1e-9), 2),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["|P|", "pairs", "brute ms", "gram ms", "speedup"],
+            &rows
+        )
+    );
+
+    // Part 2: the amplified unsigned join over {−1,1}, as the planted correlation
+    // weakens (s/d shrinks towards the background noise level ≈ 1/√d) and the
+    // amplification degree grows.
+    println!("\n-- amplified (Valiant/Karppa-style) unsigned join over {{−1,1}} --");
+    let dim = 128;
+    let n = 2000;
+    let queries = 64;
+    let planted = 16;
+    let c = 0.5;
+    let m = 2048;
+    let mut rows = Vec::new();
+    for &agree in &[112usize, 96, 84, 76] {
+        let s = (2 * agree) as f64 - dim as f64; // planted inner product
+        let query_vectors: Vec<SignVector> =
+            (0..queries).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let mut data: Vec<SignVector> =
+            (0..n).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let mut planted_pairs = Vec::new();
+        for qi in 0..planted {
+            let mut partner = query_vectors[qi].clone();
+            for i in agree..dim {
+                partner.set(i, -partner.get(i));
+            }
+            let di = qi * (n / planted);
+            data[di] = partner;
+            planted_pairs.push((di, qi));
+        }
+        for degree in [1u32, 2, 3] {
+            let t = Timer::start();
+            let report = amplified_unsigned_join(
+                &mut rng,
+                &data,
+                &query_vectors,
+                s,
+                c,
+                AmplifiedJoinConfig {
+                    degree,
+                    projection_dim: m,
+                    detection_fraction: 0.5,
+                },
+            )
+            .unwrap();
+            let elapsed = t.elapsed_ms();
+            let answered: std::collections::HashSet<usize> =
+                report.pairs.iter().map(|p| p.query_index).collect();
+            let recall = planted_pairs
+                .iter()
+                .filter(|(_, qi)| answered.contains(qi))
+                .count() as f64
+                / planted as f64;
+            rows.push(vec![
+                fmt(s / dim as f64, 3),
+                degree.to_string(),
+                report.candidates.to_string(),
+                report.pairs.len().to_string(),
+                fmt(recall, 2),
+                fmt(elapsed, 1),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["s/d", "degree t", "candidates", "pairs", "planted recall", "ms"],
+            &rows
+        )
+    );
+    println!(
+        "\n(|P| = {n}, |Q| = {queries}, d = {dim}, c = {c}, projection dimension m = {m};\n\
+         background |inner product|/d concentrates around 1/√d ≈ {:.3}.\n\
+         Shape to check against the paper: for strong planted correlations every degree works with few\n\
+         spurious candidates; as s/d shrinks, degree 1 drowns in background candidates while a moderate\n\
+         degree keeps the count low — until the amplified promise (s/d)^t itself sinks below the\n\
+         estimator's noise floor 1/√m, at which point a larger degree needs a larger projection\n\
+         dimension (m of order (d/s)^2t). That blow-up is the laptop-scale face of the paper's point that the\n\
+         algebraic family only wins for approximation factors bounded away from 1 (Table 1).)",
+        1.0 / (dim as f64).sqrt()
+    );
+}

@@ -1,0 +1,76 @@
+//! Experiment E7: measuring the collision-probability gap `P1 − P2` on the hard
+//! sequences of Theorem 3 and comparing it with the Lemma 4 bound `1/(8·log n)`.
+//!
+//! For each hard-sequence construction the binary instantiates concrete asymmetric
+//! families (SIMPLE-ALSH and L2-ALSH) and Monte-Carlo-estimates the worst-case `P1`
+//! (minimum collision probability over staircase pairs `j ≥ i`) and best-case `P2`
+//! (maximum over `j < i`). The paper's claim is structural: however the family is
+//! chosen, the measured gap must stay below the bound implied by the sequence length —
+//! and it shrinks further as the ratio `U/s` grows, which is why no asymmetric LSH can
+//! exist for unbounded query domains.
+
+use ips_bench::{fmt, render_table};
+use ips_core::lower_bounds::grid::estimate_gap_on_sequence;
+use ips_core::lower_bounds::sequences::{
+    hard_sequence_case1, hard_sequence_case2, hard_sequence_case3, HardSequence,
+};
+use ips_lsh::alsh_l2::L2AlshFamily;
+use ips_lsh::simple_alsh::SimpleAlshFamily;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure(label: &str, seq: &HardSequence, trials: usize, rng: &mut StdRng) -> Vec<String> {
+    let dim = seq.data[0].dim();
+    // SIMPLE-ALSH needs the query radius; use the sequence's U.
+    let simple = SimpleAlshFamily::new(dim, seq.u, 1).expect("valid family");
+    let (p1, p2) = estimate_gap_on_sequence(&simple, seq, trials, rng).expect("measurable");
+    let l2 = L2AlshFamily::with_defaults(dim, 1.0).expect("valid family");
+    let (p1_l2, p2_l2) = estimate_gap_on_sequence(&l2, seq, trials, rng).expect("measurable");
+    vec![
+        label.to_string(),
+        seq.len().to_string(),
+        fmt(seq.implied_gap_bound(), 4),
+        fmt(p1 - p2, 4),
+        fmt(p1_l2 - p2_l2, 4),
+    ]
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let trials = 1500;
+    println!("== E7: measured P1 - P2 on the Theorem 3 hard sequences ==\n");
+    let mut rows = Vec::new();
+    for &(s, c, u) in &[(0.05, 0.5, 1.0), (0.005, 0.5, 1.0), (0.0005, 0.5, 1.0)] {
+        let seq = hard_sequence_case1(s, c, u).expect("valid case-1 parameters");
+        rows.push(measure(&format!("case 1 (s={s}, c={c}, U={u})"), &seq, trials, &mut rng));
+    }
+    for &(s, c, u) in &[(0.05, 0.8, 1.0), (0.01, 0.9, 1.0)] {
+        let seq = hard_sequence_case2(s, c, u).expect("valid case-2 parameters");
+        rows.push(measure(&format!("case 2 (s={s}, c={c}, U={u})"), &seq, trials, &mut rng));
+    }
+    for &(s, c, levels) in &[(0.05f64, 0.6, 3u32), (0.02, 0.6, 4)] {
+        let seq = hard_sequence_case3(s, c, 1.0, levels).expect("valid case-3 parameters");
+        rows.push(measure(
+            &format!("case 3 (s={s}, c={c}, n=2^{levels})"),
+            &seq,
+            trials.min(400),
+            &mut rng,
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "hard sequence",
+                "length n",
+                "Lemma 4 bound 1/(8 log n)",
+                "measured gap (SIMPLE-ALSH)",
+                "measured gap (L2-ALSH)",
+            ],
+            &rows
+        )
+    );
+    println!("\nShape to verify: measured gaps sit below (or within sampling noise of) the bound,");
+    println!("and both the bound and the measured gaps shrink as the sequences lengthen, i.e. as");
+    println!("U/s grows — the mechanism behind the impossibility of ALSH for unbounded queries.");
+}

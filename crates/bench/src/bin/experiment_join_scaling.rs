@@ -1,0 +1,110 @@
+//! Experiment E5: join runtime scaling — the subquadratic upper bounds against the
+//! quadratic baseline.
+//!
+//! On planted-pair workloads of growing size the three joins are timed end to end:
+//! exact brute force (`O(n·|Q|·d)`), the Section 4.1 ALSH join, and the Section 4.3
+//! sketch join. Recall of the planted pairs and validity (no reported pair below `cs`)
+//! are checked alongside the wall-clock numbers. The shape to verify against the paper:
+//! the brute-force column grows linearly in `n` (quadratically in total work), while the
+//! LSH/sketch columns grow sublinearly and keep recall high; absolute numbers are
+//! machine-dependent.
+
+use ips_bench::{fmt, render_table, Timer};
+use ips_core::asymmetric::AlshParams;
+use ips_core::brute::brute_force_join;
+use ips_core::join::{alsh_join, sketch_join};
+use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_sketch::linf_mips::MaxIpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    println!("== E5: (cs, s) join scaling on planted-pair workloads ==\n");
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
+    let mut rows = Vec::new();
+    for &n in &[500usize, 1000, 2000, 4000, 8000] {
+        let inst = PlantedInstance::generate(
+            &mut rng,
+            PlantedConfig {
+                data: n,
+                queries: 64,
+                dim: 48,
+                background_scale: 0.05,
+                planted_ip: 0.85,
+                planted: 16,
+            },
+        )
+        .expect("valid config");
+
+        let t = Timer::start();
+        let exact = brute_force_join(inst.data(), inst.queries(), &spec).unwrap();
+        let t_brute = t.elapsed_ms();
+
+        let t = Timer::start();
+        let alsh = alsh_join(
+            &mut rng,
+            inst.data(),
+            inst.queries(),
+            spec,
+            AlshParams::default(),
+        )
+        .unwrap();
+        let t_alsh = t.elapsed_ms();
+
+        let t = Timer::start();
+        let sketch = sketch_join(
+            &mut rng,
+            inst.data(),
+            inst.queries(),
+            spec,
+            MaxIpConfig {
+                kappa: 2.0,
+                copies: 9,
+                rows: None,
+            },
+            16,
+        )
+        .unwrap();
+        let t_sketch = t.elapsed_ms();
+
+        let pairs_of = |pairs: &[ips_core::problem::MatchPair]| -> Vec<(usize, usize)> {
+            pairs.iter().map(|p| (p.data_index, p.query_index)).collect()
+        };
+        let recall_alsh = inst.recall(&pairs_of(&alsh), spec.relaxed_threshold());
+        let recall_sketch = inst.recall(&pairs_of(&sketch), spec.relaxed_threshold());
+        let (_, valid_alsh) = evaluate_join(inst.data(), inst.queries(), &spec, &alsh).unwrap();
+        let (_, valid_sketch) = evaluate_join(inst.data(), inst.queries(), &spec, &sketch).unwrap();
+
+        rows.push(vec![
+            n.to_string(),
+            exact.len().to_string(),
+            fmt(t_brute, 1),
+            fmt(t_alsh, 1),
+            fmt(recall_alsh, 2),
+            valid_alsh.to_string(),
+            fmt(t_sketch, 1),
+            fmt(recall_sketch, 2),
+            valid_sketch.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "|P|",
+                "exact pairs",
+                "brute ms",
+                "ALSH ms",
+                "ALSH recall",
+                "ALSH valid",
+                "sketch ms",
+                "sketch recall",
+                "sketch valid",
+            ],
+            &rows
+        )
+    );
+    println!("\n(64 queries, d = 48, s = 0.8, c = 0.6; ALSH/sketch times include index construction)");
+}

@@ -1,0 +1,82 @@
+//! Experiment E6: the Section 4.3 trade-off — approximation quality and query cost of
+//! the linear-sketch MIPS structure as a function of `κ`.
+//!
+//! The paper's guarantee is a `c ≥ n^{−1/κ}` approximation with `Õ(d·n^{1−2/κ})` query
+//! time. For each `κ` the binary reports the theoretical approximation factor, the
+//! number of sketch buckets (the query-cost proxy), the measured ratio between the
+//! estimated and the true maximum absolute inner product, and how often the prefix-tree
+//! recovery returns the exact argmax on a latent-factor workload.
+
+use ips_bench::{fmt, render_table};
+use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
+use ips_sketch::linf_mips::{MaxIpConfig, MaxIpEstimator};
+use ips_sketch::recovery::SketchMipsIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    println!("== E6: sketch-based unsigned c-MIPS quality vs kappa ==\n");
+    let model = LatentFactorModel::generate(
+        &mut rng,
+        LatentFactorConfig {
+            items: 2000,
+            users: 40,
+            dim: 32,
+            popularity_sigma: 0.6,
+        },
+    )
+    .expect("valid config");
+    let n = model.items().len();
+
+    let mut rows = Vec::new();
+    for &kappa in &[2.0f64, 3.0, 4.0, 6.0] {
+        let config = MaxIpConfig {
+            kappa,
+            copies: 11,
+            rows: None,
+        };
+        let estimator = MaxIpEstimator::build(&mut rng, model.items(), config).unwrap();
+        let index =
+            SketchMipsIndex::build(&mut rng, model.items().to_vec(), config, 16).unwrap();
+
+        let mut ratio_sum = 0.0;
+        let mut exact_hits = 0usize;
+        for (u, user) in model.users().iter().enumerate() {
+            let estimate = estimator.estimate(user).unwrap();
+            let (best_idx, best_ip) = model.best_item(u).expect("non-empty model");
+            ratio_sum += estimate / best_ip.abs().max(1e-12);
+            let recovered = index.query(user).unwrap();
+            if recovered.index == best_idx {
+                exact_hits += 1;
+            }
+        }
+        let users = model.users().len() as f64;
+        rows.push(vec![
+            fmt(kappa, 0),
+            fmt((n as f64).powf(-1.0 / kappa), 4),
+            estimator.rows_per_copy().to_string(),
+            fmt(estimator.approximation_factor(), 2),
+            fmt(ratio_sum / users, 3),
+            fmt(exact_hits as f64 / users, 2),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kappa",
+                "guaranteed c = n^(-1/k)",
+                "sketch rows m",
+                "norm slack n^(1/k)",
+                "mean estimate / true max",
+                "argmax recovery rate",
+            ],
+            &rows
+        )
+    );
+    println!("\n(n = {n} items, d = 32, 40 user queries, 11 sketch copies, leaf size 16)");
+    println!("Shape to verify: larger kappa -> more rows (closer to linear scan) but a tighter");
+    println!("approximation guarantee; the measured estimate/true ratio stays within a small");
+    println!("constant of 1 across kappa, as the paper's analysis predicts.");
+}

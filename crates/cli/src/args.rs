@@ -1,0 +1,166 @@
+//! Minimal `key=value` argument parsing.
+//!
+//! The CLI deliberately avoids a third-party argument parser (the workspace's dependency
+//! policy allows only the crates listed in `DESIGN.md`); every subcommand takes
+//! positional-free `key=value` pairs, which keeps parsing trivial and the commands
+//! scriptable.
+
+use crate::error::{CliError, Result};
+use std::collections::HashMap;
+
+/// Parsed `key=value` arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    values: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments of the form `key=value`.
+    ///
+    /// Returns a usage error for any argument that does not contain `=`, for an empty
+    /// key, or for a key given twice.
+    pub fn parse<S: AsRef<str>>(raw: &[S]) -> Result<Self> {
+        let mut values = HashMap::new();
+        for arg in raw {
+            let arg = arg.as_ref();
+            let (key, value) = arg.split_once('=').ok_or_else(|| CliError::Usage {
+                reason: format!("expected key=value, got `{arg}`"),
+            })?;
+            if key.is_empty() {
+                return Err(CliError::Usage {
+                    reason: format!("empty key in `{arg}`"),
+                });
+            }
+            if values.insert(key.to_string(), value.to_string()).is_some() {
+                return Err(CliError::Usage {
+                    reason: format!("key `{key}` given more than once"),
+                });
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// The raw string value of a key, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required string value.
+    pub fn require(&self, key: &str) -> Result<&str> {
+        self.get(key).ok_or_else(|| CliError::Usage {
+            reason: format!("missing required argument `{key}=`"),
+        })
+    }
+
+    /// An optional string value with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A required floating-point value.
+    pub fn require_f64(&self, key: &str) -> Result<f64> {
+        parse_f64(key, self.require(key)?)
+    }
+
+    /// An optional floating-point value with a default.
+    pub fn get_f64_or(&self, key: &str, default: f64) -> Result<f64> {
+        match self.get(key) {
+            Some(v) => parse_f64(key, v),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional integer value with a default.
+    pub fn get_usize_or(&self, key: &str, default: usize) -> Result<usize> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| CliError::Usage {
+                reason: format!("argument `{key}` must be a non-negative integer, got `{v}`"),
+            }),
+            None => Ok(default),
+        }
+    }
+
+    /// A required integer value.
+    pub fn require_usize(&self, key: &str) -> Result<usize> {
+        let v = self.require(key)?;
+        v.parse().map_err(|_| CliError::Usage {
+            reason: format!("argument `{key}` must be a non-negative integer, got `{v}`"),
+        })
+    }
+
+    /// An optional 64-bit seed with a default.
+    pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| CliError::Usage {
+                reason: format!("argument `{key}` must be a non-negative integer, got `{v}`"),
+            }),
+            None => Ok(default),
+        }
+    }
+
+    /// Rejects any keys not in the allowed list — catches typos like `quereis=`.
+    pub fn ensure_only(&self, allowed: &[&str]) -> Result<()> {
+        for key in self.values.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::Usage {
+                    reason: format!(
+                        "unknown argument `{key}`; allowed arguments are: {}",
+                        allowed.join(", ")
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64> {
+    value.parse().map_err(|_| CliError::Usage {
+        reason: format!("argument `{key}` must be a number, got `{value}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let args = ParsedArgs::parse(&["data=points.csv", "s=0.5", "k=3"]).unwrap();
+        assert_eq!(args.get("data"), Some("points.csv"));
+        assert_eq!(args.require("data").unwrap(), "points.csv");
+        assert_eq!(args.require_f64("s").unwrap(), 0.5);
+        assert_eq!(args.get_usize_or("k", 1).unwrap(), 3);
+        assert_eq!(args.get_usize_or("missing", 7).unwrap(), 7);
+        assert_eq!(args.get_or("algorithm", "brute"), "brute");
+        assert_eq!(args.get_f64_or("c", 1.0).unwrap(), 1.0);
+        assert_eq!(args.get_u64_or("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        assert!(ParsedArgs::parse(&["noequals"]).is_err());
+        assert!(ParsedArgs::parse(&["=value"]).is_err());
+        assert!(ParsedArgs::parse(&["a=1", "a=2"]).is_err());
+        let args = ParsedArgs::parse(&["s=abc", "k=-1", "seed=x"]).unwrap();
+        assert!(args.require_f64("s").is_err());
+        assert!(args.get_usize_or("k", 1).is_err());
+        assert!(args.get_u64_or("seed", 0).is_err());
+        assert!(args.require("missing").is_err());
+        assert!(args.require_usize("missing").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_caught() {
+        let args = ParsedArgs::parse(&["data=x.csv", "quereis=y.csv"]).unwrap();
+        assert!(args.ensure_only(&["data", "queries"]).is_err());
+        assert!(args.ensure_only(&["data", "quereis"]).is_ok());
+    }
+
+    #[test]
+    fn empty_argument_list_is_fine() {
+        let args = ParsedArgs::parse::<&str>(&[]).unwrap();
+        assert!(args.get("anything").is_none());
+        assert!(args.ensure_only(&[]).is_ok());
+    }
+}

@@ -1,0 +1,451 @@
+//! The subcommand implementations.
+//!
+//! Each command is an ordinary function from parsed arguments to a report value; the
+//! binary in `main.rs` only decides how to print the report. This keeps the whole CLI
+//! unit-testable without spawning processes or capturing stdout.
+
+use crate::args::ParsedArgs;
+use crate::dataset::{read_vectors, write_vectors, DatasetSummary};
+use crate::error::{CliError, Result};
+use ips_core::brute::brute_force_join;
+use ips_core::join::{alsh_join, sketch_join};
+use ips_core::algebraic::algebraic_exact_join;
+use ips_core::asymmetric::AlshParams;
+use ips_core::mips::{BruteForceMipsIndex, SearchResult};
+use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant, MatchPair};
+use ips_core::topk::TopKMipsIndex;
+use ips_core::AlshMipsIndex;
+use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_datagen::sphere::unit_vectors;
+use ips_sketch::linf_mips::MaxIpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Report returned by `ips generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateReport {
+    /// Where the data vectors were written.
+    pub data_path: PathBuf,
+    /// Where the query vectors were written, when the kind produces queries.
+    pub query_path: Option<PathBuf>,
+    /// Number of data vectors written.
+    pub data_count: usize,
+    /// Number of query vectors written.
+    pub query_count: usize,
+    /// Dimension of the vectors.
+    pub dim: usize,
+}
+
+/// Report returned by `ips join`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinReport {
+    /// The algorithm that produced the pairs.
+    pub algorithm: String,
+    /// The reported pairs (at most one per query for the single-partner algorithms).
+    pub pairs: Vec<MatchPair>,
+    /// Recall against ground truth (fraction of promised queries answered).
+    pub recall: f64,
+    /// Whether every reported pair clears the relaxed threshold `cs`.
+    pub valid: bool,
+    /// Wall-clock time of the join itself, in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Report returned by `ips search`: for each query index, its top-`k` results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// The algorithm that produced the results.
+    pub algorithm: String,
+    /// Per-query results, indexed in query-file order.
+    pub results: Vec<Vec<SearchResult>>,
+}
+
+fn parse_variant(args: &ParsedArgs) -> Result<JoinVariant> {
+    match args.get_or("variant", "signed") {
+        "signed" => Ok(JoinVariant::Signed),
+        "unsigned" => Ok(JoinVariant::Unsigned),
+        other => Err(CliError::Usage {
+            reason: format!("unknown variant `{other}`; expected signed or unsigned"),
+        }),
+    }
+}
+
+fn parse_spec(args: &ParsedArgs) -> Result<JoinSpec> {
+    let s = args.require_f64("s")?;
+    let c = args.get_f64_or("c", 1.0)?;
+    let variant = parse_variant(args)?;
+    JoinSpec::new(s, c, variant).map_err(CliError::from)
+}
+
+/// `ips generate` — synthesise a workload and write CSV files.
+pub fn cmd_generate(args: &ParsedArgs) -> Result<GenerateReport> {
+    args.ensure_only(&[
+        "kind",
+        "n",
+        "queries",
+        "dim",
+        "seed",
+        "data",
+        "query-file",
+        "planted-ip",
+        "planted",
+    ])?;
+    let kind = args.get_or("kind", "latent");
+    let n = args.require_usize("n")?;
+    let queries = args.get_usize_or("queries", n / 10 + 1)?;
+    let dim = args.get_usize_or("dim", 32)?;
+    let seed = args.get_u64_or("seed", 42)?;
+    let data_path = PathBuf::from(args.require("data")?);
+    let query_path = args.get("query-file").map(PathBuf::from);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let (data, query_vectors) = match kind {
+        "latent" => {
+            let model = LatentFactorModel::generate(
+                &mut rng,
+                LatentFactorConfig {
+                    items: n,
+                    users: queries,
+                    dim,
+                    popularity_sigma: 0.5,
+                },
+            )
+            .ok_or_else(|| CliError::Usage {
+                reason: "latent generation needs n, queries and dim to be positive".into(),
+            })?;
+            (model.items().to_vec(), Some(model.users().to_vec()))
+        }
+        "planted" => {
+            let instance = PlantedInstance::generate(
+                &mut rng,
+                PlantedConfig {
+                    data: n,
+                    queries,
+                    dim,
+                    background_scale: 0.1,
+                    planted_ip: args.get_f64_or("planted-ip", 0.8)?,
+                    planted: args.get_usize_or("planted", queries.min(n) / 2)?,
+                },
+            )?;
+            (instance.data().to_vec(), Some(instance.queries().to_vec()))
+        }
+        "sphere" => {
+            let data = unit_vectors(&mut rng, n, dim)?;
+            let q = if queries > 0 {
+                Some(unit_vectors(&mut rng, queries, dim)?)
+            } else {
+                None
+            };
+            (data, q)
+        }
+        other => {
+            return Err(CliError::Usage {
+                reason: format!("unknown kind `{other}`; expected latent, planted or sphere"),
+            })
+        }
+    };
+
+    write_vectors(&data_path, &data)?;
+    let mut query_count = 0;
+    let written_query_path = match (&query_path, &query_vectors) {
+        (Some(path), Some(qs)) => {
+            write_vectors(path, qs)?;
+            query_count = qs.len();
+            Some(path.clone())
+        }
+        (None, _) => None,
+        (Some(_), None) => None,
+    };
+    Ok(GenerateReport {
+        data_path,
+        query_path: written_query_path,
+        data_count: data.len(),
+        query_count,
+        dim,
+    })
+}
+
+/// `ips info` — summary statistics of a CSV vector file.
+pub fn cmd_info(args: &ParsedArgs) -> Result<DatasetSummary> {
+    args.ensure_only(&["data"])?;
+    let vectors = read_vectors(Path::new(args.require("data")?))?;
+    DatasetSummary::of(&vectors)
+}
+
+fn alsh_params(args: &ParsedArgs) -> Result<AlshParams> {
+    let defaults = AlshParams::default();
+    Ok(AlshParams {
+        bits_per_table: args.get_usize_or("bits", defaults.bits_per_table)?,
+        tables: args.get_usize_or("tables", defaults.tables)?,
+        ..defaults
+    })
+}
+
+fn run_join(
+    algorithm: &str,
+    rng: &mut StdRng,
+    data: &[ips_linalg::DenseVector],
+    queries: &[ips_linalg::DenseVector],
+    spec: JoinSpec,
+    params: AlshParams,
+) -> Result<Vec<MatchPair>> {
+    match algorithm {
+        "brute" => Ok(brute_force_join(data, queries, &spec)?),
+        "matmul" => Ok(algebraic_exact_join(data, queries, &spec, 64)?),
+        "alsh" => Ok(alsh_join(rng, data, queries, spec, params)?),
+        "sketch" => Ok(sketch_join(
+            rng,
+            data,
+            queries,
+            spec,
+            MaxIpConfig::default(),
+            16,
+        )?),
+        other => Err(CliError::Usage {
+            reason: format!(
+                "unknown algorithm `{other}`; expected brute, matmul, alsh or sketch"
+            ),
+        }),
+    }
+}
+
+/// `ips join` — run a `(cs, s)` join between two CSV files.
+pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
+    args.ensure_only(&[
+        "data", "queries", "s", "c", "variant", "algorithm", "seed", "limit", "bits", "tables",
+    ])?;
+    let data = read_vectors(Path::new(args.require("data")?))?;
+    let queries = read_vectors(Path::new(args.require("queries")?))?;
+    let spec = parse_spec(args)?;
+    let algorithm = args.get_or("algorithm", "brute").to_string();
+    let mut rng = StdRng::seed_from_u64(args.get_u64_or("seed", 42)?);
+    let params = alsh_params(args)?;
+    let start = Instant::now();
+    let pairs = run_join(&algorithm, &mut rng, &data, &queries, spec, params)?;
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (recall, valid) = evaluate_join(&data, &queries, &spec, &pairs)?;
+    Ok(JoinReport {
+        algorithm,
+        pairs,
+        recall,
+        valid,
+        elapsed_ms,
+    })
+}
+
+/// `ips search` — build an index over the data file and answer top-`k` queries.
+pub fn cmd_search(args: &ParsedArgs) -> Result<SearchReport> {
+    args.ensure_only(&[
+        "data", "queries", "s", "c", "variant", "algorithm", "seed", "k", "bits", "tables",
+    ])?;
+    let data = read_vectors(Path::new(args.require("data")?))?;
+    let queries = read_vectors(Path::new(args.require("queries")?))?;
+    let spec = parse_spec(args)?;
+    let k = args.get_usize_or("k", 1)?;
+    let algorithm = args.get_or("algorithm", "brute").to_string();
+    let mut rng = StdRng::seed_from_u64(args.get_u64_or("seed", 42)?);
+    let params = alsh_params(args)?;
+    let results = match algorithm.as_str() {
+        "brute" => {
+            let index = BruteForceMipsIndex::new(data, spec);
+            queries
+                .iter()
+                .map(|q| index.search_top_k(q, k))
+                .collect::<ips_core::Result<Vec<_>>>()?
+        }
+        "alsh" => {
+            let index = AlshMipsIndex::build(&mut rng, data, spec, params)?;
+            queries
+                .iter()
+                .map(|q| index.search_top_k(q, k))
+                .collect::<ips_core::Result<Vec<_>>>()?
+        }
+        other => {
+            return Err(CliError::Usage {
+                reason: format!("unknown algorithm `{other}`; expected brute or alsh"),
+            })
+        }
+    };
+    Ok(SearchReport { algorithm, results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ips-cli-{name}"));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(pairs: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(pairs).unwrap()
+    }
+
+    #[test]
+    fn generate_latent_then_info_join_and_search() {
+        let dir = temp_dir("end-to-end");
+        let data = dir.join("items.csv");
+        let queries = dir.join("users.csv");
+        let report = cmd_generate(&args(&[
+            "kind=latent",
+            "n=120",
+            "queries=15",
+            "dim=16",
+            "seed=7",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        assert_eq!(report.data_count, 120);
+        assert_eq!(report.query_count, 15);
+        assert_eq!(report.dim, 16);
+
+        let info = cmd_info(&args(&[&format!("data={}", data.display())])).unwrap();
+        assert_eq!(info.count, 120);
+        assert_eq!(info.dim, 16);
+        assert!(info.max_norm <= 1.0 + 1e-9);
+
+        // The exact join answers every promised query by definition.
+        let join = cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.2",
+            "c=0.8",
+            "algorithm=brute",
+        ]))
+        .unwrap();
+        assert_eq!(join.algorithm, "brute");
+        assert_eq!(join.recall, 1.0);
+        assert!(join.valid);
+        assert!(join.elapsed_ms >= 0.0);
+
+        // The matmul join must agree with brute force exactly.
+        let matmul = cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.2",
+            "c=0.8",
+            "algorithm=matmul",
+        ]))
+        .unwrap();
+        assert_eq!(matmul.pairs, join.pairs);
+
+        let search = cmd_search(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.2",
+            "c=0.8",
+            "k=3",
+            "algorithm=brute",
+        ]))
+        .unwrap();
+        assert_eq!(search.results.len(), 15);
+        for per_query in &search.results {
+            assert!(per_query.len() <= 3);
+            for hit in per_query {
+                assert!(hit.inner_product >= 0.8 * 0.2 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generate_planted_and_run_approximate_joins() {
+        let dir = temp_dir("approx");
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=150",
+            "queries=12",
+            "dim=24",
+            "planted-ip=0.85",
+            "planted=6",
+            "seed=11",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        for algorithm in ["alsh", "sketch"] {
+            let report = cmd_join(&args(&[
+                &format!("data={}", data.display()),
+                &format!("queries={}", queries.display()),
+                "s=0.8",
+                "c=0.6",
+                "variant=unsigned",
+                &format!("algorithm={algorithm}"),
+                "seed=3",
+            ]))
+            .unwrap();
+            assert!(report.valid, "{algorithm} reported an invalid pair");
+            assert!(
+                report.recall >= 0.5,
+                "{algorithm} recall unexpectedly low: {}",
+                report.recall
+            );
+        }
+    }
+
+    #[test]
+    fn sphere_generation_without_queries() {
+        let dir = temp_dir("sphere");
+        let data = dir.join("sphere.csv");
+        let report = cmd_generate(&args(&[
+            "kind=sphere",
+            "n=40",
+            "dim=8",
+            &format!("data={}", data.display()),
+        ]))
+        .unwrap();
+        assert_eq!(report.data_count, 40);
+        assert_eq!(report.query_count, 0);
+        assert!(report.query_path.is_none());
+        let info = cmd_info(&args(&[&format!("data={}", data.display())])).unwrap();
+        assert!((info.min_norm - 1.0).abs() < 1e-9);
+        assert!((info.max_norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        let dir = temp_dir("usage");
+        let data = dir.join("u.csv");
+        crate::dataset::write_vectors(&data, &[ips_linalg::DenseVector::from(&[0.5, 0.5][..])])
+            .unwrap();
+        assert!(cmd_generate(&args(&["kind=bogus", "n=5", "data=x.csv"])).is_err());
+        assert!(cmd_generate(&args(&["n=5"])).is_err(), "missing data path");
+        assert!(cmd_info(&args(&["data=/definitely/missing.csv"])).is_err());
+        assert!(cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "algorithm=nope",
+        ]))
+        .is_err());
+        assert!(cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "variant=sideways",
+        ]))
+        .is_err());
+        assert!(cmd_search(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "algorithm=nope",
+        ]))
+        .is_err());
+        assert!(cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "typo=1",
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # ips-cli
+//!
+//! A small command-line interface over the `ips-join` workspace, for users who want to
+//! run inner product similarity joins on their own data without writing Rust:
+//!
+//! * `ips generate` — synthesise a workload (latent-factor recommender, planted-pair, or
+//!   uniform sphere/ball data) and write it to CSV vector files;
+//! * `ips info` — print summary statistics of a CSV vector file;
+//! * `ips join` — run a signed/unsigned `(cs, s)` join between two CSV files with a
+//!   selectable algorithm (brute force, blockwise matrix product, the Section 4.1 ALSH
+//!   index, or the Section 4.3 sketch) and print the reported pairs;
+//! * `ips search` — build an index over a data file and answer top-`k` queries from a
+//!   query file.
+//!
+//! The crate is a thin, testable layer: argument parsing lives in [`args`], CSV I/O in
+//! [`dataset`], and each subcommand is an ordinary function in [`commands`] that returns
+//! its report as a value (the binary in `main.rs` only prints it).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;
+pub mod dataset;
+pub mod error;
+
+pub use args::ParsedArgs;
+pub use error::{CliError, Result};
+
+/// The usage string printed by `ips help` and on argument errors.
+pub const USAGE: &str = "\
+ips — inner product similarity join toolbox (PODS 2016 reproduction)
+
+USAGE:
+    ips <command> [key=value ...]
+
+COMMANDS:
+    generate   kind=latent|planted|sphere n=<int> [queries=<int>] dim=<int> seed=<int>
+               data=<path> [query-file=<path>] [planted-ip=<float>] [planted=<int>]
+    info       data=<path>
+    join       data=<path> queries=<path> s=<float> [c=<float>] [variant=signed|unsigned]
+               [algorithm=brute|matmul|alsh|sketch] [seed=<int>] [limit=<int>]
+    search     data=<path> queries=<path> s=<float> [c=<float>] [k=<int>]
+               [algorithm=brute|alsh] [seed=<int>]
+    help       print this message
+
+Vector files are plain CSV: one vector per line, coordinates separated by commas.
+";

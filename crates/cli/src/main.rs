@@ -1,0 +1,88 @@
+//! The `ips` binary: command dispatch and report printing for the `ips-cli` library.
+
+use ips_cli::args::ParsedArgs;
+use ips_cli::commands::{cmd_generate, cmd_info, cmd_join, cmd_search};
+use ips_cli::{CliError, USAGE};
+use std::process::ExitCode;
+
+fn run() -> Result<(), CliError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let args = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "generate" => {
+            let report = cmd_generate(&args)?;
+            println!(
+                "wrote {} data vectors (dim {}) to {}",
+                report.data_count,
+                report.dim,
+                report.data_path.display()
+            );
+            if let Some(path) = &report.query_path {
+                println!("wrote {} query vectors to {}", report.query_count, path.display());
+            }
+        }
+        "info" => {
+            let summary = cmd_info(&args)?;
+            println!("{summary}");
+        }
+        "join" => {
+            let report = cmd_join(&args)?;
+            println!(
+                "{} join: {} pairs, recall {:.3}, valid {}, {:.1} ms",
+                report.algorithm,
+                report.pairs.len(),
+                report.recall,
+                report.valid,
+                report.elapsed_ms
+            );
+            let limit = args.get_usize_or("limit", 20)?;
+            for pair in report.pairs.iter().take(limit) {
+                println!(
+                    "  query {:>6}  data {:>6}  inner product {:+.6}",
+                    pair.query_index, pair.data_index, pair.inner_product
+                );
+            }
+            if report.pairs.len() > limit {
+                println!("  … {} further pairs omitted (raise limit=)", report.pairs.len() - limit);
+            }
+        }
+        "search" => {
+            let report = cmd_search(&args)?;
+            for (j, hits) in report.results.iter().enumerate() {
+                let rendered: Vec<String> = hits
+                    .iter()
+                    .map(|h| format!("{} ({:+.4})", h.data_index, h.inner_product))
+                    .collect();
+                println!("query {:>6}: {}", j, if rendered.is_empty() {
+                    "no acceptable partner".to_string()
+                } else {
+                    rendered.join(", ")
+                });
+            }
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            return Err(CliError::Usage {
+                reason: format!("unknown command `{other}`; run `ips help` for usage"),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage { .. }) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Property-based tests for the CSV vector format: writing then reading any finite
+//! vector collection is the identity (up to f64 printing round-trip, which Rust's
+//! `{}` formatting guarantees to be exact).
+
+use ips_cli::dataset::{read_vectors_from, write_vectors_to, DatasetSummary};
+use ips_linalg::DenseVector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_roundtrip_is_lossless(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e6f64..1e6, 1..12),
+            1..20,
+        ),
+        dim_index in 0usize..12,
+    ) {
+        // Force every row to the same dimension (the format requires it).
+        let dim = 1 + dim_index % rows[0].len().max(1);
+        let vectors: Vec<DenseVector> = rows
+            .iter()
+            .map(|r| DenseVector::new(r.iter().cycle().take(dim).copied().collect()))
+            .collect();
+        let mut buffer = Vec::new();
+        write_vectors_to(&mut buffer, &vectors).unwrap();
+        let parsed = read_vectors_from(buffer.as_slice(), "roundtrip").unwrap();
+        prop_assert_eq!(parsed, vectors);
+    }
+
+    #[test]
+    fn summary_bounds_are_consistent(
+        rows in prop::collection::vec(prop::collection::vec(-100f64..100.0, 3), 1..30),
+    ) {
+        let vectors: Vec<DenseVector> = rows.iter().map(|r| DenseVector::from(&r[..])).collect();
+        let summary = DatasetSummary::of(&vectors).unwrap();
+        prop_assert_eq!(summary.count, vectors.len());
+        prop_assert_eq!(summary.dim, 3);
+        prop_assert!(summary.min_norm <= summary.mean_norm + 1e-12);
+        prop_assert!(summary.mean_norm <= summary.max_norm + 1e-12);
+        for v in &vectors {
+            prop_assert!(v.norm() >= summary.min_norm - 1e-12);
+            prop_assert!(v.norm() <= summary.max_norm + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The algebraic (matrix-multiplication) joins, wrapped behind the core API.
+//!
+//! Section 1.2 of the paper ("Algebraic techniques") credits Valiant [51] and
+//! Karppa et al. [29] with the only truly subquadratic algorithms for unsigned join in
+//! the *permissible* ranges of Table 1 — they reduce the join to (fast) matrix
+//! multiplication rather than to hashing. The implementations live in the `ips-matmul`
+//! substrate crate; this module adapts them to the workspace-wide [`JoinSpec`] /
+//! [`MatchPair`] vocabulary so the benchmark harness can compare them head-to-head with
+//! the brute-force, LSH and sketch joins.
+
+use crate::error::{CoreError, Result};
+use crate::problem::{JoinSpec, JoinVariant, MatchPair};
+use ips_linalg::{DenseVector, SignVector};
+use ips_matmul::{
+    amplified_unsigned_join, matmul_exact_join, matmul_exact_join_parallel, AlgebraicPair,
+    AmplifiedJoinConfig,
+};
+use rand::Rng;
+
+fn convert(pairs: Vec<AlgebraicPair>) -> Vec<MatchPair> {
+    pairs
+        .into_iter()
+        .map(|p| MatchPair {
+            data_index: p.data_index,
+            query_index: p.query_index,
+            inner_product: p.inner_product,
+        })
+        .collect()
+}
+
+/// Exact join evaluated as one blockwise Gram product: for every query, the best
+/// partner is reported when it clears the promise threshold `s` — the same semantics as
+/// [`crate::brute::brute_force_join`], but with matrix-multiplication memory locality.
+pub fn algebraic_exact_join(
+    data: &[DenseVector],
+    queries: &[DenseVector],
+    spec: &JoinSpec,
+    query_block: usize,
+) -> Result<Vec<MatchPair>> {
+    let unsigned = spec.variant == JoinVariant::Unsigned;
+    let pairs = matmul_exact_join(data, queries, spec.threshold, unsigned, query_block)?;
+    Ok(convert(pairs))
+}
+
+/// Multi-threaded variant of [`algebraic_exact_join`].
+pub fn algebraic_exact_join_parallel(
+    data: &[DenseVector],
+    queries: &[DenseVector],
+    spec: &JoinSpec,
+    query_block: usize,
+    threads: usize,
+) -> Result<Vec<MatchPair>> {
+    let unsigned = spec.variant == JoinVariant::Unsigned;
+    let pairs =
+        matmul_exact_join_parallel(data, queries, spec.threshold, unsigned, query_block, threads)?;
+    Ok(convert(pairs))
+}
+
+/// The amplify-and-multiply `(cs, s)` join for `{−1,1}` data (Valiant/Karppa style).
+///
+/// Only the unsigned variant is supported — the algebraic amplification squares away
+/// signs — so a [`JoinVariant::Signed`] spec is rejected. Reported pairs always satisfy
+/// `|pᵀq| ≥ cs`; recall is probabilistic, exactly as for the LSH joins.
+pub fn amplified_sign_join<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[SignVector],
+    queries: &[SignVector],
+    spec: &JoinSpec,
+    config: AmplifiedJoinConfig,
+) -> Result<Vec<MatchPair>> {
+    if spec.variant != JoinVariant::Unsigned {
+        return Err(CoreError::InvalidParameter {
+            name: "spec.variant",
+            reason: "the amplified algebraic join only answers the unsigned variant".into(),
+        });
+    }
+    if spec.approximation >= 1.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "spec.approximation",
+            reason: "the amplified join needs a strict approximation factor c < 1".into(),
+        });
+    }
+    let report =
+        amplified_unsigned_join(rng, data, queries, spec.threshold, spec.approximation, config)?;
+    Ok(convert(report.pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_join;
+    use ips_linalg::random::{random_sign_vector, random_unit_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA1_6E)
+    }
+
+    #[test]
+    fn algebraic_exact_join_matches_brute_force() {
+        let mut r = rng();
+        let dim = 12;
+        let data: Vec<DenseVector> = (0..50)
+            .map(|_| random_unit_vector(&mut r, dim).unwrap())
+            .collect();
+        let queries: Vec<DenseVector> = (0..20)
+            .map(|_| random_unit_vector(&mut r, dim).unwrap())
+            .collect();
+        for variant in [JoinVariant::Signed, JoinVariant::Unsigned] {
+            let spec = JoinSpec::exact(0.3, variant).unwrap();
+            let expected = brute_force_join(&data, &queries, &spec).unwrap();
+            let got = algebraic_exact_join(&data, &queries, &spec, 7).unwrap();
+            assert_eq!(got, expected, "variant {variant:?}");
+            let parallel = algebraic_exact_join_parallel(&data, &queries, &spec, 7, 3).unwrap();
+            assert_eq!(parallel, expected, "parallel variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn amplified_join_rejects_signed_and_exact_specs() {
+        let mut r = rng();
+        let data = vec![random_sign_vector(&mut r, 16)];
+        let queries = vec![random_sign_vector(&mut r, 16)];
+        let signed = JoinSpec::new(8.0, 0.5, JoinVariant::Signed).unwrap();
+        assert!(amplified_sign_join(
+            &mut r,
+            &data,
+            &queries,
+            &signed,
+            AmplifiedJoinConfig::default()
+        )
+        .is_err());
+        let exact = JoinSpec::exact(8.0, JoinVariant::Unsigned).unwrap();
+        assert!(amplified_sign_join(
+            &mut r,
+            &data,
+            &queries,
+            &exact,
+            AmplifiedJoinConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn amplified_join_finds_a_planted_sign_pair() {
+        let mut r = rng();
+        let dim = 64;
+        let query = random_sign_vector(&mut r, dim);
+        let mut data: Vec<SignVector> = (0..80).map(|_| random_sign_vector(&mut r, dim)).collect();
+        // Planted partner agrees with the query on 60 of 64 coordinates: ip = 56.
+        let mut partner = query.clone();
+        for i in 60..dim {
+            partner.set(i, -query.get(i));
+        }
+        data[17] = partner;
+        let spec = JoinSpec::new(56.0, 0.5, JoinVariant::Unsigned).unwrap();
+        let pairs = amplified_sign_join(
+            &mut r,
+            &data,
+            &[query],
+            &spec,
+            AmplifiedJoinConfig {
+                degree: 2,
+                projection_dim: 4096,
+                detection_fraction: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].data_index, 17);
+        assert!(spec.acceptable(pairs[0].inner_product));
+    }
+}

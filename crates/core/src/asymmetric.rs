@@ -1,0 +1,300 @@
+//! The Section 4.1 asymmetric LSH index for signed IPS.
+//!
+//! Construction (paper, Section 4.1): data vectors (unit ball) and query vectors (ball
+//! of radius `U`) are mapped to the `(d+2)`-dimensional unit sphere with the asymmetric
+//! map of [39] — `p ↦ (p, √(1−‖p‖²), 0)`, `q ↦ (q/U, 0, √(1−‖q‖²/U²))` — after which
+//! signed inner product search *is* approximate near-neighbour search on the sphere
+//! with distance threshold `r = √(2(1 − s/U))` and approximation
+//! `c' = √((1 − cs/U)/(1 − s/U))`. Plugging in the optimal data-dependent sphere LSH [9]
+//! gives the exponent of equation 3,
+//!
+//! ```text
+//! ρ = (1 − s/U) / (1 + (1 − 2c)·s/U),
+//! ```
+//!
+//! the DATA-DEP curve of Figure 2. The runnable index here uses hyperplane (SimHash)
+//! hashing as the sphere substrate — the same reduction with the SIMP exponent — because
+//! the data-dependent scheme of [9] is a theoretical construction; the ρ *formulas* for
+//! both are exposed so the benchmarks can compare predicted exponents with measured
+//! candidate-set sizes.
+
+use crate::error::{CoreError, Result};
+use crate::mips::{MipsIndex, SearchResult};
+use crate::problem::JoinSpec;
+use ips_linalg::DenseVector;
+use ips_lsh::rho::{rho_data_dependent, rho_simple_alsh};
+use ips_lsh::simple_alsh::SimpleAlshFamily;
+use ips_lsh::table::{IndexParams, LshIndex};
+use rand::Rng;
+
+/// Tuning parameters of the [`AlshMipsIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlshParams {
+    /// Radius `U` of the query domain (data vectors must lie in the unit ball).
+    pub query_radius: f64,
+    /// Number of hyperplane bits per table (the AND-construction width `k`).
+    pub bits_per_table: usize,
+    /// Number of hash tables (the OR-construction width `L`).
+    pub tables: usize,
+    /// Cap on the number of candidates that are exactly re-scored per query; `None`
+    /// re-scores every candidate.
+    pub rescore_limit: Option<usize>,
+}
+
+impl Default for AlshParams {
+    fn default() -> Self {
+        Self {
+            query_radius: 1.0,
+            bits_per_table: 12,
+            tables: 32,
+            rescore_limit: None,
+        }
+    }
+}
+
+/// The Section 4.1 MIPS index: ball-to-sphere reduction + multi-table sphere LSH +
+/// exact re-scoring of candidates.
+pub struct AlshMipsIndex {
+    data: Vec<DenseVector>,
+    index: LshIndex<SimpleAlshFamily>,
+    spec: JoinSpec,
+    params: AlshParams,
+}
+
+impl AlshMipsIndex {
+    /// Builds the index over `data` for the given `(cs, s)` spec.
+    ///
+    /// Every data vector must lie in the unit ball; queries must lie in the ball of
+    /// radius `params.query_radius`, and the spec's threshold must satisfy
+    /// `0 < s ≤ U` for the reduction to make sense.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: Vec<DenseVector>,
+        spec: JoinSpec,
+        params: AlshParams,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataSet);
+        }
+        if spec.threshold > params.query_radius {
+            return Err(CoreError::InvalidParameter {
+                name: "spec.threshold",
+                reason: format!(
+                    "threshold {} exceeds the query radius {}; no pair can satisfy the promise",
+                    spec.threshold, params.query_radius
+                ),
+            });
+        }
+        let dim = data[0].dim();
+        for v in &data {
+            if v.dim() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.dim(),
+                });
+            }
+            if v.norm() > 1.0 + 1e-9 {
+                return Err(CoreError::InvalidParameter {
+                    name: "data",
+                    reason: format!("data vector norm {} exceeds 1", v.norm()),
+                });
+            }
+        }
+        let family = SimpleAlshFamily::new(dim, params.query_radius, 1)?;
+        let index_params = IndexParams {
+            k: params.bits_per_table,
+            l: params.tables,
+        };
+        let index = LshIndex::build(&family, index_params, &data, rng)?;
+        Ok(Self {
+            data,
+            index,
+            spec,
+            params,
+        })
+    }
+
+    /// The tuning parameters.
+    pub fn params(&self) -> AlshParams {
+        self.params
+    }
+
+    /// The ρ exponent the *ideal* (data-dependent, equation 3) instantiation of this
+    /// reduction would achieve for this index's spec.
+    pub fn rho_data_dependent(&self) -> Result<f64> {
+        Ok(rho_data_dependent(
+            self.spec.threshold,
+            self.spec.approximation,
+            self.params.query_radius,
+        )?)
+    }
+
+    /// The ρ exponent of the hyperplane-based instantiation actually built (the SIMP
+    /// curve of Figure 2).
+    pub fn rho_simple(&self) -> Result<f64> {
+        Ok(rho_simple_alsh(
+            self.spec.threshold,
+            self.spec.approximation,
+            self.params.query_radius,
+        )?)
+    }
+
+    /// Number of candidates the underlying LSH tables produce for a query, before
+    /// re-scoring — the quantity whose growth with `n` the ρ exponent predicts.
+    pub fn candidate_count(&self, query: &DenseVector) -> Result<usize> {
+        Ok(self.index.query_candidates(query)?.len())
+    }
+
+    /// The candidate data indices the underlying LSH tables produce for a query
+    /// (deduplicated, ascending) — what the top-`k` search re-scores.
+    pub fn candidate_indices(&self, query: &DenseVector) -> Result<Vec<usize>> {
+        Ok(self.index.query_candidates(query)?)
+    }
+
+    /// The data vectors held by the index.
+    pub fn data(&self) -> &[DenseVector] {
+        &self.data
+    }
+}
+
+impl MipsIndex for AlshMipsIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.spec
+    }
+
+    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
+        let candidates = self.index.query_candidates(query)?;
+        let limit = self.params.rescore_limit.unwrap_or(usize::MAX);
+        let mut best: Option<SearchResult> = None;
+        for &i in candidates.iter().take(limit) {
+            let ip = self.data[i].dot(query)?;
+            let value = self.spec.variant.value(ip);
+            let better = best
+                .as_ref()
+                .map(|b| value > self.spec.variant.value(b.inner_product))
+                .unwrap_or(true);
+            if better {
+                best = Some(SearchResult {
+                    data_index: i,
+                    inner_product: ip,
+                });
+            }
+        }
+        // Only answers clearing the relaxed threshold cs are reported (Definition 1).
+        Ok(best.filter(|b| self.spec.acceptable(b.inner_product)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::JoinVariant;
+    use ips_linalg::random::{random_ball_vector, random_unit_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xA15B)
+    }
+
+    fn spec(s: f64, c: f64) -> JoinSpec {
+        JoinSpec::new(s, c, JoinVariant::Signed).unwrap()
+    }
+
+    #[test]
+    fn build_validation() {
+        let mut r = rng();
+        assert!(AlshMipsIndex::build(&mut r, vec![], spec(0.5, 0.5), AlshParams::default()).is_err());
+        let too_long = vec![DenseVector::from(&[2.0, 0.0][..])];
+        assert!(
+            AlshMipsIndex::build(&mut r, too_long, spec(0.5, 0.5), AlshParams::default()).is_err()
+        );
+        let mixed = vec![
+            DenseVector::from(&[0.5, 0.0][..]),
+            DenseVector::from(&[0.5][..]),
+        ];
+        assert!(AlshMipsIndex::build(&mut r, mixed, spec(0.5, 0.5), AlshParams::default()).is_err());
+        let data = vec![DenseVector::from(&[0.5, 0.0][..])];
+        assert!(
+            AlshMipsIndex::build(&mut r, data, spec(2.0, 0.5), AlshParams::default()).is_err(),
+            "threshold above the query radius must be rejected"
+        );
+    }
+
+    #[test]
+    fn finds_planted_high_inner_product() {
+        let mut r = rng();
+        let dim = 24;
+        let n = 300;
+        let query = random_unit_vector(&mut r, dim).unwrap();
+        let mut data: Vec<DenseVector> = (0..n)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.3))
+            .collect();
+        data[42] = query.scaled(0.9);
+        let spec = spec(0.8, 0.6);
+        let index = AlshMipsIndex::build(&mut r, data, spec, AlshParams::default()).unwrap();
+        assert_eq!(index.len(), n);
+        assert!(!index.is_empty());
+        assert_eq!(index.spec(), spec);
+        assert_eq!(index.data().len(), n);
+        let hit = index.search(&query).unwrap().expect("planted point must be found");
+        assert_eq!(hit.data_index, 42);
+        assert!(hit.inner_product >= 0.8 - 1e-9);
+        // Candidate sets should be (much) smaller than the data set.
+        let candidates = index.candidate_count(&query).unwrap();
+        assert!(candidates < n, "candidate set not pruned: {candidates}");
+    }
+
+    #[test]
+    fn rho_accessors_match_figure2_formulas() {
+        let mut r = rng();
+        let data = vec![DenseVector::from(&[0.3, 0.1][..])];
+        let s = spec(0.5, 0.7);
+        let index = AlshMipsIndex::build(&mut r, data, s, AlshParams::default()).unwrap();
+        let dd = index.rho_data_dependent().unwrap();
+        let simp = index.rho_simple().unwrap();
+        assert!((dd - rho_data_dependent(0.5, 0.7, 1.0).unwrap()).abs() < 1e-12);
+        assert!((simp - rho_simple_alsh(0.5, 0.7, 1.0).unwrap()).abs() < 1e-12);
+        assert!(dd <= simp);
+        assert_eq!(index.params(), AlshParams::default());
+    }
+
+    #[test]
+    fn low_similarity_queries_return_none() {
+        let mut r = rng();
+        let dim = 16;
+        let data: Vec<DenseVector> = (0..100)
+            .map(|_| random_unit_vector(&mut r, dim).unwrap().scaled(0.05))
+            .collect();
+        let spec = spec(0.5, 0.8);
+        let index = AlshMipsIndex::build(&mut r, data, spec, AlshParams::default()).unwrap();
+        let query = random_unit_vector(&mut r, dim).unwrap();
+        // All inner products are at most 0.05 < cs = 0.4: nothing may be reported.
+        assert!(index.search(&query).unwrap().is_none());
+    }
+
+    #[test]
+    fn rescore_limit_is_respected() {
+        let mut r = rng();
+        let dim = 8;
+        let data: Vec<DenseVector> = (0..50)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let params = AlshParams {
+            rescore_limit: Some(1),
+            ..Default::default()
+        };
+        let spec = spec(0.9, 0.1);
+        let index = AlshMipsIndex::build(&mut r, data, spec, params).unwrap();
+        let query = random_unit_vector(&mut r, dim).unwrap();
+        // With a rescore limit of one, the search still runs and returns either nothing
+        // or a pair clearing cs.
+        if let Some(hit) = index.search(&query).unwrap() {
+            assert!(spec.acceptable(hit.inner_product));
+        }
+    }
+}

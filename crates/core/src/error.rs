@@ -1,0 +1,142 @@
+//! Error types for `ips-core`.
+
+use ips_linalg::LinalgError;
+use ips_lsh::LshError;
+use ips_matmul::MatmulError;
+use ips_ovp::OvpError;
+use ips_sketch::SketchError;
+use std::fmt;
+
+/// Result alias used throughout `ips-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by the join and search implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A vector had the wrong dimensionality for the structure it was used with.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Offending dimension.
+        actual: usize,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// A data set was empty where at least one vector was required.
+    EmptyDataSet,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// An underlying LSH operation failed.
+    Lsh(LshError),
+    /// An underlying sketch operation failed.
+    Sketch(SketchError),
+    /// An underlying OVP operation failed.
+    Ovp(OvpError),
+    /// An underlying matrix-multiplication operation failed.
+    Matmul(MatmulError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::EmptyDataSet => write!(f, "data set must contain at least one vector"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Lsh(e) => write!(f, "LSH error: {e}"),
+            CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
+            CoreError::Ovp(e) => write!(f, "OVP error: {e}"),
+            CoreError::Matmul(e) => write!(f, "matrix multiplication error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Lsh(e) => Some(e),
+            CoreError::Sketch(e) => Some(e),
+            CoreError::Ovp(e) => Some(e),
+            CoreError::Matmul(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<LshError> for CoreError {
+    fn from(e: LshError) -> Self {
+        CoreError::Lsh(e)
+    }
+}
+
+impl From<SketchError> for CoreError {
+    fn from(e: SketchError) -> Self {
+        CoreError::Sketch(e)
+    }
+}
+
+impl From<OvpError> for CoreError {
+    fn from(e: OvpError) -> Self {
+        CoreError::Ovp(e)
+    }
+}
+
+impl From<MatmulError> for CoreError {
+    fn from(e: MatmulError) -> Self {
+        CoreError::Matmul(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = LinalgError::Empty { op: "dot" }.into();
+        assert!(e.to_string().contains("linear algebra"));
+        let e: CoreError = LshError::DomainViolation {
+            reason: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("LSH"));
+        let e: CoreError = SketchError::EmptyDataSet.into();
+        assert!(e.to_string().contains("sketch"));
+        let e: CoreError = OvpError::EmptyInstance.into();
+        assert!(e.to_string().contains("OVP"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = MatmulError::Empty { op: "gram" }.into();
+        assert!(e.to_string().contains("matrix multiplication"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::EmptyDataSet.to_string().contains("at least one"));
+        assert!(CoreError::DimensionMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("expected 1"));
+        assert!(CoreError::InvalidParameter {
+            name: "c",
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains('c'));
+        assert!(std::error::Error::source(&CoreError::EmptyDataSet).is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Approximate `(cs, s)` joins assembled from the search structures.
+//!
+//! A join is "build an index over `P`, query it with every `q ∈ Q`" (the reduction the
+//! paper uses throughout: a subquadratic-query index immediately gives a subquadratic
+//! join). Three joins are provided, one per Section 4 data structure:
+//!
+//! * [`alsh_join`] — the Section 4.1 asymmetric-LSH index ([`AlshMipsIndex`]);
+//! * [`symmetric_join`] — the Section 4.2 symmetric LSH ([`SymmetricLshMips`]);
+//! * [`sketch_join`] — the Section 4.3 linear-sketch structure (delegating to
+//!   `ips-sketch`);
+//!
+//! plus [`index_join`], the generic driver that works with any [`MipsIndex`]. Every
+//! reported pair carries its exact inner product, and the generic driver never reports a
+//! pair below `cs`, so the outputs satisfy the validity half of Definition 1 by
+//! construction; recall is what the experiments measure.
+
+use crate::asymmetric::{AlshMipsIndex, AlshParams};
+use crate::error::Result;
+use crate::mips::MipsIndex;
+use crate::problem::{JoinSpec, MatchPair};
+use crate::symmetric::{SymmetricLshMips, SymmetricParams};
+use ips_linalg::DenseVector;
+use ips_sketch::join::sketch_unsigned_join;
+use ips_sketch::linf_mips::MaxIpConfig;
+use rand::Rng;
+
+/// Runs a `(cs, s)` join through an already-built [`MipsIndex`].
+pub fn index_join<I: MipsIndex>(index: &I, queries: &[DenseVector]) -> Result<Vec<MatchPair>> {
+    let mut out = Vec::new();
+    for (j, q) in queries.iter().enumerate() {
+        if let Some(hit) = index.search(q)? {
+            out.push(MatchPair {
+                data_index: hit.data_index,
+                query_index: j,
+                inner_product: hit.inner_product,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The Section 4.1 join: builds an [`AlshMipsIndex`] over `data` and queries it with
+/// every element of `queries`.
+pub fn alsh_join<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    queries: &[DenseVector],
+    spec: JoinSpec,
+    params: AlshParams,
+) -> Result<Vec<MatchPair>> {
+    let index = AlshMipsIndex::build(rng, data.to_vec(), spec, params)?;
+    index_join(&index, queries)
+}
+
+/// The Section 4.2 join: symmetric LSH over a shared unit-ball domain.
+pub fn symmetric_join<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    queries: &[DenseVector],
+    spec: JoinSpec,
+    params: SymmetricParams,
+) -> Result<Vec<MatchPair>> {
+    let index = SymmetricLshMips::build(rng, data.to_vec(), spec, params)?;
+    index_join(&index, queries)
+}
+
+/// The Section 4.3 join: the unsigned `(cs, s)` join computed through the linear-sketch
+/// MIPS structure of `ips-sketch`. The spec's variant is ignored — the sketch structure
+/// is inherently unsigned (it estimates `‖Aq‖_∞`).
+pub fn sketch_join<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    queries: &[DenseVector],
+    spec: JoinSpec,
+    config: MaxIpConfig,
+    leaf_size: usize,
+) -> Result<Vec<MatchPair>> {
+    let pairs = sketch_unsigned_join(rng, data, queries, spec.relaxed_threshold(), config, leaf_size)?;
+    Ok(pairs
+        .into_iter()
+        .map(|p| MatchPair {
+            data_index: p.data_index,
+            query_index: p.query_index,
+            inner_product: p.inner_product,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_join;
+    use crate::problem::{evaluate_join, JoinVariant};
+    use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x10B5)
+    }
+
+    fn planted(rng: &mut StdRng) -> PlantedInstance {
+        PlantedInstance::generate(
+            rng,
+            PlantedConfig {
+                data: 250,
+                queries: 30,
+                dim: 24,
+                background_scale: 0.05,
+                planted_ip: 0.85,
+                planted: 6,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alsh_join_recovers_planted_pairs() {
+        let mut r = rng();
+        let inst = planted(&mut r);
+        let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+        let pairs = alsh_join(
+            &mut r,
+            inst.data(),
+            inst.queries(),
+            spec,
+            AlshParams::default(),
+        )
+        .unwrap();
+        let reported: Vec<(usize, usize)> =
+            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let recall = inst.recall(&reported, spec.relaxed_threshold());
+        assert!(recall >= 0.8, "ALSH join recall too low: {recall}");
+        let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &pairs).unwrap();
+        assert!(valid, "ALSH join reported an invalid pair");
+    }
+
+    #[test]
+    fn sketch_join_recovers_planted_pairs() {
+        let mut r = rng();
+        let inst = planted(&mut r);
+        let spec = JoinSpec::new(0.8, 0.5, JoinVariant::Unsigned).unwrap();
+        let config = MaxIpConfig {
+            kappa: 2.0,
+            copies: 11,
+            rows: None,
+        };
+        let pairs = sketch_join(&mut r, inst.data(), inst.queries(), spec, config, 8).unwrap();
+        let reported: Vec<(usize, usize)> =
+            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let recall = inst.recall(&reported, spec.relaxed_threshold());
+        assert!(recall >= 0.8, "sketch join recall too low: {recall}");
+        let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &pairs).unwrap();
+        assert!(valid, "sketch join reported an invalid pair");
+    }
+
+    #[test]
+    fn joins_agree_with_brute_force_on_which_queries_have_partners() {
+        let mut r = rng();
+        let inst = planted(&mut r);
+        let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+        let exact = brute_force_join(inst.data(), inst.queries(), &spec).unwrap();
+        let exact_queries: std::collections::HashSet<usize> =
+            exact.iter().map(|p| p.query_index).collect();
+        // Every planted query is found by brute force.
+        for &(_, qi) in inst.planted_pairs() {
+            assert!(exact_queries.contains(&qi));
+        }
+        // The approximate joins may only report queries among those (no false answers
+        // above cs exist for other queries in this instance because the background is
+        // far below cs).
+        let pairs = alsh_join(
+            &mut r,
+            inst.data(),
+            inst.queries(),
+            spec,
+            AlshParams::default(),
+        )
+        .unwrap();
+        for p in &pairs {
+            assert!(exact_queries.contains(&p.query_index));
+        }
+    }
+
+    #[test]
+    fn symmetric_join_runs_on_shared_domain() {
+        let mut r = rng();
+        // Small instance: symmetric construction is heavier due to the tag dimension.
+        let inst = PlantedInstance::generate(
+            &mut r,
+            PlantedConfig {
+                data: 60,
+                queries: 8,
+                dim: 12,
+                background_scale: 0.05,
+                planted_ip: 0.9,
+                planted: 3,
+            },
+        )
+        .unwrap();
+        let spec = JoinSpec::new(0.8, 0.5, JoinVariant::Signed).unwrap();
+        let pairs = symmetric_join(
+            &mut r,
+            inst.data(),
+            inst.queries(),
+            spec,
+            SymmetricParams::default(),
+        )
+        .unwrap();
+        let reported: Vec<(usize, usize)> =
+            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let recall = inst.recall(&reported, spec.relaxed_threshold());
+        assert!(recall >= 2.0 / 3.0, "symmetric join recall too low: {recall}");
+        let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &pairs).unwrap();
+        assert!(valid);
+    }
+}

@@ -1,0 +1,50 @@
+//! # ips-core
+//!
+//! Inner product similarity join and search — a faithful, runnable reproduction of
+//! *"On the Complexity of Inner Product Similarity Join"* (Ahle, Pagh, Razenshteyn,
+//! Silvestri; PODS 2016).
+//!
+//! The crate is organised around the paper's three parts:
+//!
+//! * **Problem definitions and baselines** — [`problem`] defines signed/unsigned exact
+//!   and `(cs, s)`-approximate joins and search (Definition 1); [`brute`] provides the
+//!   quadratic baselines every upper bound is measured against; [`algebraic`] wraps the
+//!   matrix-multiplication joins of `ips-matmul` — the Valiant/Karppa-style baselines
+//!   behind the *permissible* entries of Table 1.
+//! * **Upper bounds (Section 4)** — [`asymmetric`] implements the Section 4.1 MIPS
+//!   index (ball-to-sphere reduction + sphere LSH, with the ρ of equation 3);
+//!   [`symmetric`] implements the Section 4.2 symmetric LSH for "almost all vectors"
+//!   built on an explicit incoherent vector collection; [`join`] assembles joins out of
+//!   these indexes and out of the Section 4.3 sketch structure (re-exported from
+//!   `ips-sketch`); [`mips`] gives a common trait over all MIPS indexes.
+//! * **Lower bounds (Sections 2–3)** — [`lower_bounds`] contains the hard sequence
+//!   constructions of Theorem 3, the grid partition and mass-accounting argument of
+//!   Lemma 4 (Figure 1), and the closed-form gap bounds; [`theory`] classifies parameter
+//!   regimes into the hard / permissible regions of Table 1 and re-exports the ρ curves
+//!   of Figure 2.
+//!
+//! The OVP reductions behind the hardness results live in the companion crate
+//! [`ips_ovp`]; workload generators live in `ips-datagen`; the benchmark harness that
+//! regenerates every table and figure lives in `ips-bench`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algebraic;
+pub mod asymmetric;
+pub mod brute;
+pub mod error;
+pub mod join;
+pub mod lower_bounds;
+pub mod mips;
+pub mod problem;
+pub mod symmetric;
+pub mod theory;
+pub mod topk;
+
+pub use asymmetric::AlshMipsIndex;
+pub use error::{CoreError, Result};
+pub use mips::{MipsIndex, SearchResult};
+pub use problem::{JoinSpec, JoinVariant, MatchPair};
+pub use symmetric::SymmetricLshMips;
+pub use topk::{top_k_join, top_k_recall, TopKMipsIndex};

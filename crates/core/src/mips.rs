@@ -1,0 +1,121 @@
+//! A common interface over all maximum-inner-product-search indexes.
+//!
+//! The paper discusses several data structures for `(cs, s)` search / `c`-MIPS
+//! (Sections 4.1–4.3); the [`MipsIndex`] trait lets the join layer, the examples and the
+//! benchmarks treat them interchangeably, with the quadratic scan as the reference
+//! implementation.
+
+use crate::brute::brute_force_mips;
+use crate::error::Result;
+use crate::problem::{JoinSpec, MatchPair};
+use ips_linalg::DenseVector;
+
+/// The outcome of one search query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// Index of the returned data vector.
+    pub data_index: usize,
+    /// Its exact inner product with the query.
+    pub inner_product: f64,
+}
+
+impl From<MatchPair> for SearchResult {
+    fn from(pair: MatchPair) -> Self {
+        Self {
+            data_index: pair.data_index,
+            inner_product: pair.inner_product,
+        }
+    }
+}
+
+/// An index answering `(cs, s)` inner product search queries over a fixed data set.
+pub trait MipsIndex {
+    /// Number of indexed data vectors.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the index holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spec (`s`, `c`, signed/unsigned) the index answers queries for.
+    fn spec(&self) -> JoinSpec;
+
+    /// Answers one query: a data vector whose inner product clears `cs`, when the index
+    /// finds one. Definition 1 only promises an answer when some vector clears `s`;
+    /// approximate indexes may miss even then (that is what recall experiments measure),
+    /// but they never return a pair below `cs`.
+    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>>;
+}
+
+/// The exact quadratic-scan index: the reference [`MipsIndex`] implementation.
+pub struct BruteForceMipsIndex {
+    data: Vec<DenseVector>,
+    spec: JoinSpec,
+}
+
+impl BruteForceMipsIndex {
+    /// Builds the index (which just stores the data).
+    pub fn new(data: Vec<DenseVector>, spec: JoinSpec) -> Self {
+        Self { data, spec }
+    }
+
+    /// Access to the underlying data vectors.
+    pub fn data(&self) -> &[DenseVector] {
+        &self.data
+    }
+}
+
+impl MipsIndex for BruteForceMipsIndex {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.spec
+    }
+
+    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
+        // The exact index applies the *promise* threshold: it answers whenever some
+        // vector clears s, which trivially also clears cs.
+        Ok(brute_force_mips(&self.data, query, &self.spec)?.map(SearchResult::from))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::JoinVariant;
+
+    fn dv(xs: &[f64]) -> DenseVector {
+        DenseVector::from(xs)
+    }
+
+    #[test]
+    fn brute_force_index_roundtrip() {
+        let data = vec![dv(&[1.0, 0.0]), dv(&[0.0, 0.4])];
+        let spec = JoinSpec::new(0.3, 0.5, JoinVariant::Signed).unwrap();
+        let index = BruteForceMipsIndex::new(data.clone(), spec);
+        assert_eq!(index.len(), 2);
+        assert!(!index.is_empty());
+        assert_eq!(index.spec(), spec);
+        assert_eq!(index.data().len(), 2);
+        let hit = index.search(&dv(&[1.0, 0.0])).unwrap().unwrap();
+        assert_eq!(hit.data_index, 0);
+        assert_eq!(hit.inner_product, 1.0);
+        // No vector clears s = 0.3 for this query.
+        assert!(index.search(&dv(&[0.0, 0.1])).unwrap().is_none());
+    }
+
+    #[test]
+    fn search_result_from_match_pair() {
+        let pair = MatchPair {
+            data_index: 3,
+            query_index: 7,
+            inner_product: 0.5,
+        };
+        let sr = SearchResult::from(pair);
+        assert_eq!(sr.data_index, 3);
+        assert_eq!(sr.inner_product, 0.5);
+    }
+}

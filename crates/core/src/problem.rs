@@ -1,0 +1,266 @@
+//! Problem definitions: signed and unsigned, exact and `(cs, s)`-approximate joins.
+//!
+//! Definition 1 of the paper: given `P, Q ⊆ R^d`, `0 < c < 1` and `s > 0`, the signed
+//! `(cs, s)` join returns, for each `q ∈ Q`, at least one pair `(p, q)` with `pᵀq ≥ cs`
+//! *provided* some `p' ∈ P` has `p'ᵀq ≥ s`; no guarantee is given for queries without
+//! such a partner. The unsigned variant replaces inner products by absolute values.
+//! The indexing (search) versions are the same statements for a single query at a time.
+//!
+//! The unsigned join reduces to two signed joins — against `Q` and against `−Q` —
+//! followed by filtering on the absolute value; [`negate_queries`] and
+//! [`JoinVariant::admits`] provide the pieces of that reduction.
+
+use crate::error::{CoreError, Result};
+use ips_linalg::DenseVector;
+use serde::{Deserialize, Serialize};
+
+/// Whether a join/search thresholds the inner product itself or its absolute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinVariant {
+    /// Threshold `pᵀq ≥ s` — "similar or preferred items with a positive correlation".
+    Signed,
+    /// Threshold `|pᵀq| ≥ s` — "even a large negative correlation is of interest".
+    Unsigned,
+}
+
+impl JoinVariant {
+    /// The effective similarity value of an inner product under this variant.
+    pub fn value(self, inner_product: f64) -> f64 {
+        match self {
+            JoinVariant::Signed => inner_product,
+            JoinVariant::Unsigned => inner_product.abs(),
+        }
+    }
+
+    /// Returns `true` when an inner product passes the given threshold under this
+    /// variant.
+    pub fn admits(self, inner_product: f64, threshold: f64) -> bool {
+        self.value(inner_product) >= threshold
+    }
+}
+
+/// The parameters of a `(cs, s)` approximate join or search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// The promise threshold `s > 0`.
+    pub threshold: f64,
+    /// The approximation factor `c ∈ (0, 1]`; `c = 1` makes the join exact.
+    pub approximation: f64,
+    /// Signed or unsigned semantics.
+    pub variant: JoinVariant,
+}
+
+impl JoinSpec {
+    /// Creates a spec, validating `s > 0` and `0 < c ≤ 1`.
+    pub fn new(threshold: f64, approximation: f64, variant: JoinVariant) -> Result<Self> {
+        if !(threshold > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "threshold",
+                reason: format!("threshold s must be positive, got {threshold}"),
+            });
+        }
+        if !(approximation > 0.0 && approximation <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "approximation",
+                reason: format!("approximation c must lie in (0,1], got {approximation}"),
+            });
+        }
+        Ok(Self {
+            threshold,
+            approximation,
+            variant,
+        })
+    }
+
+    /// Convenience constructor for an exact (`c = 1`) join.
+    pub fn exact(threshold: f64, variant: JoinVariant) -> Result<Self> {
+        Self::new(threshold, 1.0, variant)
+    }
+
+    /// The relaxed threshold `cs` that reported pairs must clear.
+    pub fn relaxed_threshold(&self) -> f64 {
+        self.approximation * self.threshold
+    }
+
+    /// Returns `true` when an inner product satisfies the *promise* threshold `s`.
+    pub fn satisfies_promise(&self, inner_product: f64) -> bool {
+        self.variant.admits(inner_product, self.threshold)
+    }
+
+    /// Returns `true` when an inner product is acceptable to report (clears `cs`).
+    pub fn acceptable(&self, inner_product: f64) -> bool {
+        self.variant.admits(inner_product, self.relaxed_threshold())
+    }
+}
+
+/// One pair reported by a join: indices into the data and query sets plus the exact
+/// inner product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchPair {
+    /// Index into the data set `P`.
+    pub data_index: usize,
+    /// Index into the query set `Q`.
+    pub query_index: usize,
+    /// The exact inner product `pᵀq`.
+    pub inner_product: f64,
+}
+
+/// Negates every query vector — the first half of the unsigned-to-signed reduction
+/// described in the paper's problem-definition section.
+pub fn negate_queries(queries: &[DenseVector]) -> Vec<DenseVector> {
+    queries.iter().map(DenseVector::negated).collect()
+}
+
+/// Evaluates how well a reported pair set satisfies Definition 1 against ground truth:
+/// returns `(recall, valid)` where `recall` is the fraction of queries *with* a partner
+/// above `s` for which some pair clearing `cs` was reported, and `valid` is `true` when
+/// every reported pair indeed clears `cs`.
+pub fn evaluate_join(
+    data: &[DenseVector],
+    queries: &[DenseVector],
+    spec: &JoinSpec,
+    reported: &[MatchPair],
+) -> Result<(f64, bool)> {
+    let mut valid = true;
+    for pair in reported {
+        let p = data.get(pair.data_index).ok_or(CoreError::InvalidParameter {
+            name: "reported",
+            reason: format!("data index {} out of range", pair.data_index),
+        })?;
+        let q = queries
+            .get(pair.query_index)
+            .ok_or(CoreError::InvalidParameter {
+                name: "reported",
+                reason: format!("query index {} out of range", pair.query_index),
+            })?;
+        let ip = p.dot(q)?;
+        if !spec.acceptable(ip) {
+            valid = false;
+        }
+    }
+    let mut promised = 0usize;
+    let mut answered = 0usize;
+    for (j, q) in queries.iter().enumerate() {
+        let has_partner = data
+            .iter()
+            .map(|p| p.dot(q))
+            .collect::<std::result::Result<Vec<_>, _>>()?
+            .into_iter()
+            .any(|ip| spec.satisfies_promise(ip));
+        if has_partner {
+            promised += 1;
+            let got = reported.iter().any(|pair| {
+                pair.query_index == j
+                    && data
+                        .get(pair.data_index)
+                        .and_then(|p| p.dot(q).ok())
+                        .map(|ip| spec.acceptable(ip))
+                        .unwrap_or(false)
+            });
+            if got {
+                answered += 1;
+            }
+        }
+    }
+    let recall = if promised == 0 {
+        1.0
+    } else {
+        answered as f64 / promised as f64
+    };
+    Ok((recall, valid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(xs: &[f64]) -> DenseVector {
+        DenseVector::from(xs)
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(JoinSpec::new(0.0, 0.5, JoinVariant::Signed).is_err());
+        assert!(JoinSpec::new(1.0, 0.0, JoinVariant::Signed).is_err());
+        assert!(JoinSpec::new(1.0, 1.5, JoinVariant::Signed).is_err());
+        let spec = JoinSpec::new(2.0, 0.5, JoinVariant::Unsigned).unwrap();
+        assert_eq!(spec.relaxed_threshold(), 1.0);
+        let exact = JoinSpec::exact(1.0, JoinVariant::Signed).unwrap();
+        assert_eq!(exact.approximation, 1.0);
+    }
+
+    #[test]
+    fn variant_semantics() {
+        assert!(JoinVariant::Signed.admits(1.5, 1.0));
+        assert!(!JoinVariant::Signed.admits(-1.5, 1.0));
+        assert!(JoinVariant::Unsigned.admits(-1.5, 1.0));
+        assert_eq!(JoinVariant::Signed.value(-2.0), -2.0);
+        assert_eq!(JoinVariant::Unsigned.value(-2.0), 2.0);
+    }
+
+    #[test]
+    fn promise_and_acceptance() {
+        let spec = JoinSpec::new(1.0, 0.5, JoinVariant::Signed).unwrap();
+        assert!(spec.satisfies_promise(1.2));
+        assert!(!spec.satisfies_promise(0.7));
+        assert!(spec.acceptable(0.7));
+        assert!(!spec.acceptable(0.4));
+        let unsigned = JoinSpec::new(1.0, 0.5, JoinVariant::Unsigned).unwrap();
+        assert!(unsigned.satisfies_promise(-1.2));
+        assert!(unsigned.acceptable(-0.6));
+    }
+
+    #[test]
+    fn negate_queries_flips_signs() {
+        let qs = vec![dv(&[1.0, -2.0]), dv(&[0.5, 0.0])];
+        let negated = negate_queries(&qs);
+        assert_eq!(negated[0].as_slice(), &[-1.0, 2.0]);
+        assert_eq!(negated[1].as_slice(), &[-0.5, 0.0]);
+    }
+
+    #[test]
+    fn unsigned_join_via_two_signed_joins() {
+        // The reduction: a pair with large |ip| shows up in the signed join against Q or
+        // against −Q.
+        let p = dv(&[1.0, 0.0]);
+        let q_pos = dv(&[0.9, 0.1]);
+        let q_neg = dv(&[-0.9, 0.1]);
+        let spec = JoinSpec::new(0.5, 1.0, JoinVariant::Signed).unwrap();
+        assert!(spec.satisfies_promise(p.dot(&q_pos).unwrap()));
+        assert!(!spec.satisfies_promise(p.dot(&q_neg).unwrap()));
+        assert!(spec.satisfies_promise(p.dot(&q_neg.negated()).unwrap()));
+    }
+
+    #[test]
+    fn evaluate_join_scores_recall_and_validity() {
+        let data = vec![dv(&[1.0, 0.0]), dv(&[0.0, 1.0])];
+        let queries = vec![dv(&[1.0, 0.0]), dv(&[0.0, 0.2])];
+        let spec = JoinSpec::new(0.9, 0.5, JoinVariant::Signed).unwrap();
+        // Query 0 has a partner above s=0.9 (data 0); query 1 does not.
+        let perfect = vec![MatchPair {
+            data_index: 0,
+            query_index: 0,
+            inner_product: 1.0,
+        }];
+        let (recall, valid) = evaluate_join(&data, &queries, &spec, &perfect).unwrap();
+        assert_eq!(recall, 1.0);
+        assert!(valid);
+        let (recall, _) = evaluate_join(&data, &queries, &spec, &[]).unwrap();
+        assert_eq!(recall, 0.0);
+        // A reported pair that does not clear cs invalidates the answer.
+        let bogus = vec![MatchPair {
+            data_index: 1,
+            query_index: 0,
+            inner_product: 0.0,
+        }];
+        let (_, valid) = evaluate_join(&data, &queries, &spec, &bogus).unwrap();
+        assert!(!valid);
+        // Out-of-range indices are rejected.
+        let broken = vec![MatchPair {
+            data_index: 9,
+            query_index: 0,
+            inner_product: 0.0,
+        }];
+        assert!(evaluate_join(&data, &queries, &spec, &broken).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! The Section 4.2 *symmetric* LSH for "almost all vectors".
+//!
+//! Neyshabur and Srebro [39] proved that no symmetric LSH for signed IPS exists when the
+//! data and query domains are the same ball — the culprit being the pair `q = p`, whose
+//! collision probability is forced to 1. Section 4.2 of the paper circumvents the
+//! impossibility by relaxing the LSH definition to ignore identical pairs: assuming all
+//! coordinates are `k`-bit numbers, each vector `p` in the unit ball is mapped to the
+//! unit sphere by
+//!
+//! ```text
+//! f(p) = ( p , √(1 − ‖p‖²) · v_p )
+//! ```
+//!
+//! where `{v_u}` is a *strongly explicit* collection of pairwise ε-incoherent unit
+//! vectors indexed by the vector's bit pattern (Reed–Solomon codes, [38]). For `p ≠ q`
+//! the cross terms contribute at most ε, so `|f(p)ᵀf(q) − pᵀq| ≤ ε`, the map is the same
+//! on both sides (symmetric!), and any sphere LSH applies; only the diagonal `p = q`
+//! loses its guarantee, which is handled by an explicit exact-match lookup before the
+//! hash tables are consulted.
+
+use crate::error::{CoreError, Result};
+use crate::mips::{MipsIndex, SearchResult};
+use crate::problem::JoinSpec;
+use ips_linalg::incoherent::ReedSolomonCollection;
+use ips_linalg::DenseVector;
+use ips_lsh::hyperplane::HyperplaneFamily;
+use ips_lsh::table::{IndexParams, LshIndex};
+use ips_lsh::SymmetricAsAsymmetric;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The symmetric ball-to-sphere map of Section 4.2.
+#[derive(Debug, Clone)]
+pub struct SymmetricSphereMap {
+    dim: usize,
+    precision_bits: u32,
+    collection: ReedSolomonCollection,
+}
+
+impl SymmetricSphereMap {
+    /// Creates the map for `dim`-dimensional vectors whose coordinates are treated as
+    /// `precision_bits`-bit fixed-point numbers in `[−1, 1]`, with pairwise tag
+    /// incoherence at most `epsilon`.
+    ///
+    /// The tag collection is indexed by a 64-bit fingerprint of the quantised
+    /// coordinates, realising the paper's "almost all vectors" guarantee: two distinct
+    /// vectors receive distinct tags unless their fingerprints collide (probability
+    /// `≈ 2^{−64}` per pair).
+    pub fn new(dim: usize, epsilon: f64, precision_bits: u32) -> Result<Self> {
+        if dim == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "dim",
+                reason: "dimension must be positive".into(),
+            });
+        }
+        if precision_bits == 0 || precision_bits > 32 {
+            return Err(CoreError::InvalidParameter {
+                name: "precision_bits",
+                reason: format!("precision must be in 1..=32 bits, got {precision_bits}"),
+            });
+        }
+        let collection = ReedSolomonCollection::with_capacity(1u128 << 64, epsilon)?;
+        Ok(Self {
+            dim,
+            precision_bits,
+            collection,
+        })
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Output dimension (`dim` + the tag dimension).
+    pub fn output_dim(&self) -> usize {
+        self.dim + self.collection.dim()
+    }
+
+    /// The incoherence bound ε of the tag collection: for distinct vectors,
+    /// `|f(p)ᵀf(q) − pᵀq| ≤ ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.collection.coherence()
+    }
+
+    /// The canonical byte encoding of a vector at the configured precision; two vectors
+    /// are "identical" for the purposes of the construction iff their encodings agree.
+    pub fn encode(&self, v: &DenseVector) -> Result<Vec<u8>> {
+        if v.dim() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                actual: v.dim(),
+            });
+        }
+        let scale = f64::from((1u32 << (self.precision_bits - 1)) - 1);
+        let mut bytes = Vec::with_capacity(self.dim * 4);
+        for &x in v.iter() {
+            let q = (x.clamp(-1.0, 1.0) * scale).round() as i32;
+            bytes.extend_from_slice(&q.to_le_bytes());
+        }
+        Ok(bytes)
+    }
+
+    /// Applies the symmetric map `f`.
+    ///
+    /// Returns an error when the vector is outside the unit ball.
+    pub fn map(&self, v: &DenseVector) -> Result<DenseVector> {
+        let norm_sq = v.norm_sq();
+        if norm_sq > 1.0 + 1e-9 {
+            return Err(CoreError::InvalidParameter {
+                name: "v",
+                reason: format!("vector norm {} exceeds 1", norm_sq.sqrt()),
+            });
+        }
+        let bytes = self.encode(v)?;
+        let tag = self.collection.vector_for_bytes(&bytes)?;
+        let tail_mass = (1.0 - norm_sq).max(0.0).sqrt();
+        Ok(v.concat(&tag.scaled(tail_mass)))
+    }
+}
+
+/// Tuning parameters of the [`SymmetricLshMips`] index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricParams {
+    /// Incoherence ε of the tag collection (the additive inner-product error).
+    pub epsilon: f64,
+    /// Coordinate precision in bits.
+    pub precision_bits: u32,
+    /// Number of hyperplane bits per table.
+    pub bits_per_table: usize,
+    /// Number of hash tables.
+    pub tables: usize,
+}
+
+impl Default for SymmetricParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.25,
+            precision_bits: 16,
+            bits_per_table: 10,
+            tables: 32,
+        }
+    }
+}
+
+/// The Section 4.2 symmetric-LSH MIPS index over a shared unit-ball domain.
+pub struct SymmetricLshMips {
+    data: Vec<DenseVector>,
+    map: SymmetricSphereMap,
+    index: LshIndex<SymmetricAsAsymmetric<HyperplaneFamily>>,
+    exact_lookup: HashMap<Vec<u8>, usize>,
+    spec: JoinSpec,
+}
+
+impl SymmetricLshMips {
+    /// Builds the index over `data` (all inside the unit ball) for the given spec.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: Vec<DenseVector>,
+        spec: JoinSpec,
+        params: SymmetricParams,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataSet);
+        }
+        let dim = data[0].dim();
+        for v in &data {
+            if v.dim() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.dim(),
+                });
+            }
+        }
+        let map = SymmetricSphereMap::new(dim, params.epsilon, params.precision_bits)?;
+        let mut mapped = Vec::with_capacity(data.len());
+        let mut exact_lookup = HashMap::with_capacity(data.len());
+        for (i, v) in data.iter().enumerate() {
+            mapped.push(map.map(v)?);
+            exact_lookup.insert(map.encode(v)?, i);
+        }
+        let family = SymmetricAsAsymmetric(HyperplaneFamily::single_bit(map.output_dim())?);
+        let index = LshIndex::build(
+            &family,
+            IndexParams {
+                k: params.bits_per_table,
+                l: params.tables,
+            },
+            &mapped,
+            rng,
+        )?;
+        Ok(Self {
+            data,
+            map,
+            index,
+            exact_lookup,
+            spec,
+        })
+    }
+
+    /// The symmetric sphere map in use (exposed so the additive-error guarantee can be
+    /// verified externally).
+    pub fn sphere_map(&self) -> &SymmetricSphereMap {
+        &self.map
+    }
+
+    /// Number of LSH candidates produced for a query (before exact re-scoring).
+    pub fn candidate_count(&self, query: &DenseVector) -> Result<usize> {
+        Ok(self.index.query_candidates(&self.map.map(query)?)?.len())
+    }
+
+    /// The candidate data indices produced for a query (deduplicated, ascending),
+    /// including the exact-lookup hit for an identical query when present — what the
+    /// top-`k` search re-scores.
+    pub fn candidate_indices(&self, query: &DenseVector) -> Result<Vec<usize>> {
+        let mut out = self.index.query_candidates(&self.map.map(query)?)?;
+        if let Some(&i) = self.exact_lookup.get(&self.map.encode(query)?) {
+            if !out.contains(&i) {
+                out.push(i);
+                out.sort_unstable();
+            }
+        }
+        Ok(out)
+    }
+
+    /// The data vectors held by the index.
+    pub fn data(&self) -> &[DenseVector] {
+        &self.data
+    }
+}
+
+impl MipsIndex for SymmetricLshMips {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.spec
+    }
+
+    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
+        // Step 1 (paper): check whether the query itself is an input vector; the hash
+        // guarantees do not cover the diagonal, so it is handled exactly.
+        let encoding = self.map.encode(query)?;
+        if let Some(&i) = self.exact_lookup.get(&encoding) {
+            let ip = self.data[i].dot(query)?;
+            if self.spec.satisfies_promise(ip) {
+                return Ok(Some(SearchResult {
+                    data_index: i,
+                    inner_product: ip,
+                }));
+            }
+        }
+        // Step 2: symmetric LSH lookup plus exact re-scoring.
+        let mapped = self.map.map(query)?;
+        let candidates = self.index.query_candidates(&mapped)?;
+        let mut best: Option<SearchResult> = None;
+        for i in candidates {
+            let ip = self.data[i].dot(query)?;
+            let value = self.spec.variant.value(ip);
+            let better = best
+                .as_ref()
+                .map(|b| value > self.spec.variant.value(b.inner_product))
+                .unwrap_or(true);
+            if better {
+                best = Some(SearchResult {
+                    data_index: i,
+                    inner_product: ip,
+                });
+            }
+        }
+        Ok(best.filter(|b| self.spec.acceptable(b.inner_product)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::JoinVariant;
+    use ips_linalg::random::{random_ball_vector, random_unit_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5CA1E)
+    }
+
+    fn spec(s: f64, c: f64) -> JoinSpec {
+        JoinSpec::new(s, c, JoinVariant::Signed).unwrap()
+    }
+
+    #[test]
+    fn map_validation_and_shape() {
+        assert!(SymmetricSphereMap::new(0, 0.2, 16).is_err());
+        assert!(SymmetricSphereMap::new(4, 0.2, 0).is_err());
+        assert!(SymmetricSphereMap::new(4, 0.2, 64).is_err());
+        assert!(SymmetricSphereMap::new(4, 1.5, 16).is_err());
+        let map = SymmetricSphereMap::new(4, 0.25, 16).unwrap();
+        assert_eq!(map.dim(), 4);
+        assert!(map.output_dim() > 4);
+        assert!(map.epsilon() <= 0.25 + 1e-12);
+        let too_long = DenseVector::from(&[2.0, 0.0, 0.0, 0.0][..]);
+        assert!(map.map(&too_long).is_err());
+        assert!(map.encode(&DenseVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn mapped_vectors_are_unit_and_symmetric() {
+        let mut r = rng();
+        let map = SymmetricSphereMap::new(8, 0.25, 16).unwrap();
+        for _ in 0..10 {
+            let v = random_ball_vector(&mut r, 8, 1.0).unwrap();
+            let mapped = map.map(&v).unwrap();
+            assert!((mapped.norm() - 1.0).abs() < 1e-6);
+            // The map is deterministic and identical for "data" and "query" roles.
+            assert_eq!(map.map(&v).unwrap(), mapped);
+        }
+    }
+
+    #[test]
+    fn inner_products_preserved_up_to_epsilon_for_distinct_vectors() {
+        let mut r = rng();
+        let map = SymmetricSphereMap::new(12, 0.2, 16).unwrap();
+        for _ in 0..20 {
+            let a = random_ball_vector(&mut r, 12, 1.0).unwrap();
+            let b = random_ball_vector(&mut r, 12, 1.0).unwrap();
+            let original = a.dot(&b).unwrap();
+            let mapped = map.map(&a).unwrap().dot(&map.map(&b).unwrap()).unwrap();
+            assert!(
+                (mapped - original).abs() <= map.epsilon() + 1e-6,
+                "additive error too large: {} vs {}",
+                mapped,
+                original
+            );
+        }
+    }
+
+    #[test]
+    fn identical_vectors_map_to_identical_points() {
+        // For p = q the map gives f(p)ᵀf(p) = 1 regardless of pᵀp — exactly the pair the
+        // relaxed definition excludes.
+        let mut r = rng();
+        let map = SymmetricSphereMap::new(6, 0.25, 16).unwrap();
+        let v = random_ball_vector(&mut r, 6, 0.5).unwrap();
+        let mapped = map.map(&v).unwrap();
+        assert!((mapped.dot(&mapped).unwrap() - 1.0).abs() < 1e-9);
+        assert!(v.dot(&v).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn index_finds_planted_partner() {
+        let mut r = rng();
+        let dim = 16;
+        let n = 200;
+        let query = random_unit_vector(&mut r, dim).unwrap().scaled(0.95);
+        let mut data: Vec<DenseVector> = (0..n)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.2))
+            .collect();
+        // Plant a distinct vector with a high inner product with the query.
+        data[77] = query.scaled(0.9);
+        let spec = spec(0.6, 0.5);
+        let index = SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
+        assert_eq!(index.len(), n);
+        assert!(!index.is_empty());
+        assert_eq!(index.spec(), spec);
+        let hit = index.search(&query).unwrap().expect("planted partner not found");
+        assert_eq!(hit.data_index, 77);
+        assert!(hit.inner_product >= 0.3);
+        assert!(index.candidate_count(&query).unwrap() < n);
+        assert!(index.sphere_map().epsilon() <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn identical_query_is_answered_by_the_exact_lookup() {
+        let mut r = rng();
+        let dim = 10;
+        let data: Vec<DenseVector> = (0..50)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let target = data[13].clone();
+        let self_ip = target.dot(&target).unwrap();
+        let spec = JoinSpec::new(self_ip * 0.9, 0.9, JoinVariant::Signed).unwrap();
+        let index = SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
+        let hit = index.search(&target).unwrap().expect("self-match must be found");
+        assert_eq!(hit.data_index, 13);
+        assert!((hit.inner_product - self_ip).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        let mut r = rng();
+        assert!(SymmetricLshMips::build(&mut r, vec![], spec(0.5, 0.5), SymmetricParams::default())
+            .is_err());
+        let mixed = vec![DenseVector::zeros(3), DenseVector::zeros(4)];
+        assert!(
+            SymmetricLshMips::build(&mut r, mixed, spec(0.5, 0.5), SymmetricParams::default())
+                .is_err()
+        );
+    }
+}

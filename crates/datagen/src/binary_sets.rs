@@ -1,0 +1,152 @@
+//! Binary-set workloads for the `{0,1}` domain.
+//!
+//! The `{0,1}` domain "occurs often in practice, for example when the vectors represent
+//! sets" (Section 1.1 of the paper). Two generators are provided:
+//!
+//! * [`zipfian_sets`] — sets whose elements are drawn from a Zipf distribution over the
+//!   universe, mimicking word/item frequencies; and
+//! * [`containment_pairs`] — query sets that are partially contained in a chosen data
+//!   set, with a controlled intersection size, used to validate MH-ALSH and the
+//!   set-containment example application.
+
+use crate::zipf::ZipfSampler;
+use ips_linalg::BinaryVector;
+use rand::Rng;
+
+/// Generates `count` sets over a universe of `dim` elements; each set has `set_size`
+/// *distinct* elements drawn from a Zipf(`exponent`) distribution (rejection-sampled
+/// until distinct).
+///
+/// Returns `None` for degenerate parameters (`set_size > dim`, zero sizes, invalid
+/// exponent).
+pub fn zipfian_sets<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    dim: usize,
+    set_size: usize,
+    exponent: f64,
+) -> Option<Vec<BinaryVector>> {
+    if count == 0 || dim == 0 || set_size == 0 || set_size > dim {
+        return None;
+    }
+    let sampler = ZipfSampler::new(dim, exponent)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut set = BinaryVector::zeros(dim);
+        let mut placed = 0usize;
+        // Rejection sampling with a fallback sweep to guarantee termination even for
+        // extremely skewed distributions.
+        let mut attempts = 0usize;
+        while placed < set_size {
+            let candidate = if attempts < set_size * 50 {
+                sampler.sample(rng)
+            } else {
+                rng.gen_range(0..dim)
+            };
+            attempts += 1;
+            if !set.get(candidate) {
+                set.set(candidate, true);
+                placed += 1;
+            }
+        }
+        out.push(set);
+    }
+    Some(out)
+}
+
+/// Generates a query set that intersects `data` in exactly `overlap` elements and has
+/// `query_size` elements in total (the remaining elements are drawn outside the data
+/// set's support).
+///
+/// Returns `None` when the requested sizes are infeasible for the universe.
+pub fn containment_pairs<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &BinaryVector,
+    query_size: usize,
+    overlap: usize,
+) -> Option<BinaryVector> {
+    let dim = data.dim();
+    let support = data.support();
+    if overlap > support.len() || overlap > query_size {
+        return None;
+    }
+    let outside_needed = query_size - overlap;
+    if outside_needed > dim - support.len() {
+        return None;
+    }
+    let mut query = BinaryVector::zeros(dim);
+    // Choose `overlap` elements of the data support uniformly (partial Fisher–Yates).
+    let mut pool = support.clone();
+    for k in 0..overlap {
+        let pick = rng.gen_range(k..pool.len());
+        pool.swap(k, pick);
+        query.set(pool[k], true);
+    }
+    // Fill the rest from outside the data support.
+    let mut placed = 0usize;
+    while placed < outside_needed {
+        let candidate = rng.gen_range(0..dim);
+        if !data.get(candidate) && !query.get(candidate) {
+            query.set(candidate, true);
+            placed += 1;
+        }
+    }
+    Some(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5E75)
+    }
+
+    #[test]
+    fn zipfian_sets_have_requested_size() {
+        let mut r = rng();
+        let sets = zipfian_sets(&mut r, 20, 500, 30, 1.0).unwrap();
+        assert_eq!(sets.len(), 20);
+        for s in &sets {
+            assert_eq!(s.count_ones(), 30);
+            assert_eq!(s.dim(), 500);
+        }
+        assert!(zipfian_sets(&mut r, 0, 500, 30, 1.0).is_none());
+        assert!(zipfian_sets(&mut r, 5, 10, 30, 1.0).is_none());
+        assert!(zipfian_sets(&mut r, 5, 10, 5, -1.0).is_none());
+    }
+
+    #[test]
+    fn zipfian_sets_are_skewed_towards_popular_elements() {
+        let mut r = rng();
+        let sets = zipfian_sets(&mut r, 200, 1000, 20, 1.2).unwrap();
+        let popular_hits: usize = sets.iter().filter(|s| s.get(0)).count();
+        let unpopular_hits: usize = sets.iter().filter(|s| s.get(900)).count();
+        assert!(
+            popular_hits > unpopular_hits,
+            "element 0 ({popular_hits}) should appear more often than element 900 ({unpopular_hits})"
+        );
+    }
+
+    #[test]
+    fn containment_pairs_have_exact_overlap() {
+        let mut r = rng();
+        let data = zipfian_sets(&mut r, 1, 200, 40, 0.8).unwrap().pop().unwrap();
+        for overlap in [0usize, 5, 20, 40] {
+            let query = containment_pairs(&mut r, &data, 50, overlap).unwrap();
+            assert_eq!(query.count_ones(), 50);
+            assert_eq!(data.dot(&query).unwrap(), overlap);
+        }
+    }
+
+    #[test]
+    fn containment_pairs_reject_infeasible_requests() {
+        let mut r = rng();
+        let data = BinaryVector::from_support(10, &[0, 1, 2]).unwrap();
+        assert!(containment_pairs(&mut r, &data, 5, 4).is_none()); // overlap > |data|
+        assert!(containment_pairs(&mut r, &data, 2, 3).is_none()); // overlap > size
+        assert!(containment_pairs(&mut r, &data, 10, 2).is_none()); // not enough room outside
+    }
+}

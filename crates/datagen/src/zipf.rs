@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling.
+//!
+//! Real set data (documents, user histories, market baskets) has heavily skewed element
+//! frequencies; a Zipf distribution over the universe is the standard synthetic stand-in
+//! and is what makes the binary-set workloads of [`crate::binary_sets`] non-trivial for
+//! minwise-hashing based methods.
+
+use rand::Rng;
+
+/// A sampler over `{0, …, n−1}` with `P(i) ∝ 1/(i+1)^exponent`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over a universe of `n ≥ 1` elements with the given exponent
+    /// (`0.0` degenerates to the uniform distribution).
+    ///
+    /// Returns `None` when `n == 0` or the exponent is negative/non-finite.
+    pub fn new(n: usize, exponent: f64) -> Option<Self> {
+        if n == 0 || !exponent.is_finite() || exponent < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Some(Self { cdf })
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` when the universe is empty (never true for a constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one element.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF has no NaNs"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of element `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_guards() {
+        assert!(ZipfSampler::new(0, 1.0).is_none());
+        assert!(ZipfSampler::new(10, -1.0).is_none());
+        assert!(ZipfSampler::new(10, f64::NAN).is_none());
+        let z = ZipfSampler::new(10, 1.0).unwrap();
+        assert_eq!(z.len(), 10);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = ZipfSampler::new(50, 1.2).unwrap();
+        let total: f64 = (0..50).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..50 {
+            assert!(z.probability(i) <= z.probability(i - 1) + 1e-12);
+        }
+        assert_eq!(z.probability(50), 0.0);
+    }
+
+    #[test]
+    fn uniform_exponent_is_flat() {
+        let z = ZipfSampler::new(4, 0.0).unwrap();
+        for i in 0..4 {
+            assert!((z.probability(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let z = ZipfSampler::new(20, 1.0).unwrap();
+        let trials = 60_000;
+        let mut counts = vec![0usize; 20];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let freq0 = counts[0] as f64 / trials as f64;
+        assert!((freq0 - z.probability(0)).abs() < 0.02);
+        // First element should be about 10x more frequent than the tenth.
+        assert!(counts[0] > counts[9] * 5);
+    }
+}

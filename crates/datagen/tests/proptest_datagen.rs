@@ -1,0 +1,82 @@
+//! Property-based tests for the workload generators: structural invariants that the
+//! experiments and examples rely on.
+
+use ips_datagen::binary_sets::{containment_pairs, zipfian_sets};
+use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_datagen::zipf::ZipfSampler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zipf_probabilities_form_a_distribution(n in 1usize..200, exponent in 0.0f64..3.0) {
+        let z = ZipfSampler::new(n, exponent).unwrap();
+        let total: f64 = (0..n).map(|i| z.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n {
+            prop_assert!(z.probability(i) <= z.probability(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipfian_sets_have_exact_cardinality(seed in any::<u64>(), size in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sets = zipfian_sets(&mut rng, 5, 200, size, 1.0).unwrap();
+        for s in sets {
+            prop_assert_eq!(s.count_ones(), size);
+        }
+    }
+
+    #[test]
+    fn containment_pairs_hit_requested_overlap(seed in any::<u64>(), overlap in 0usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = zipfian_sets(&mut rng, 1, 300, 20, 1.0).unwrap().pop().unwrap();
+        let query = containment_pairs(&mut rng, &data, 25, overlap).unwrap();
+        prop_assert_eq!(data.dot(&query).unwrap(), overlap);
+        prop_assert_eq!(query.count_ones(), 25);
+    }
+
+    #[test]
+    fn planted_instances_respect_domains_and_inner_products(seed in any::<u64>(), ip in -0.95f64..0.95) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = PlantedConfig {
+            data: 50,
+            queries: 10,
+            dim: 16,
+            background_scale: 0.1,
+            planted_ip: ip,
+            planted: 3,
+        };
+        let inst = PlantedInstance::generate(&mut rng, config).unwrap();
+        for p in inst.data() {
+            prop_assert!(p.norm() <= 1.0 + 1e-9);
+        }
+        for q in inst.queries() {
+            prop_assert!((q.norm() - 1.0).abs() < 1e-9);
+        }
+        for &(di, qi) in inst.planted_pairs() {
+            let actual = inst.data()[di].dot(&inst.queries()[qi]).unwrap();
+            prop_assert!((actual - ip).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn latent_model_items_stay_in_the_unit_ball(seed in any::<u64>(), sigma in 0.0f64..1.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = LatentFactorModel::generate(
+            &mut rng,
+            LatentFactorConfig { items: 60, users: 10, dim: 12, popularity_sigma: sigma },
+        )
+        .unwrap();
+        for item in model.items() {
+            prop_assert!(item.norm() <= 1.0 + 1e-9);
+        }
+        let (idx, ip) = model.best_item(0).unwrap();
+        prop_assert!(idx < 60);
+        prop_assert!(ip <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types shared by the linear algebra primitives.
+
+use std::fmt;
+
+/// Result alias used throughout `ips-linalg`.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by vector / matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+    /// An operation required a non-empty vector or matrix.
+    Empty {
+        /// Description of the operation that failed.
+        op: &'static str,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { left, right, op } => {
+                write!(f, "dimension mismatch in {op}: {left} vs {right}")
+            }
+            LinalgError::Empty { op } => write!(f, "operation {op} requires non-empty input"),
+            LinalgError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            left: 3,
+            right: 4,
+            op: "dot",
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in dot: 3 vs 4");
+    }
+
+    #[test]
+    fn display_empty() {
+        let e = LinalgError::Empty { op: "mean" };
+        assert_eq!(e.to_string(), "operation mean requires non-empty input");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = LinalgError::InvalidParameter {
+            name: "kappa",
+            reason: "must be >= 2".to_string(),
+        };
+        assert!(e.to_string().contains("kappa"));
+        assert!(e.to_string().contains("must be >= 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! Embedding calculus: concatenation, repetition, translation and tensoring.
+//!
+//! The paper composes its gap embeddings out of two primitives whose effect on inner
+//! products is dual to `+` and `×`:
+//!
+//! * **concatenation** `x ⊕ y`: `(x₁⊕x₂)ᵀ(y₁⊕y₂) = x₁ᵀy₁ + x₂ᵀy₂`;
+//! * **tensoring** `x ⊗ y` (the flattened outer product): `(x₁⊗x₂)ᵀ(y₁⊗y₂) =
+//!   (x₁ᵀy₁)·(x₂ᵀy₂)`.
+//!
+//! This module provides these operators on [`DenseVector`] together with helpers for
+//! translating inner products by constants (appending matched `+1/−1` or `1/0` blocks),
+//! which is how Lemma 3's constructions shift the orthogonal / non-orthogonal gap to a
+//! convenient location.
+
+use crate::error::{LinalgError, Result};
+use crate::vector::DenseVector;
+
+/// Concatenation of two dense vectors (`⊕`).
+pub fn concat(a: &DenseVector, b: &DenseVector) -> DenseVector {
+    a.concat(b)
+}
+
+/// Concatenates a slice of dense vectors in order.
+pub fn concat_all(vs: &[DenseVector]) -> Result<DenseVector> {
+    if vs.is_empty() {
+        return Err(LinalgError::Empty { op: "concat_all" });
+    }
+    let total: usize = vs.iter().map(DenseVector::dim).sum();
+    let mut out = Vec::with_capacity(total);
+    for v in vs {
+        out.extend_from_slice(v.as_slice());
+    }
+    Ok(DenseVector::new(out))
+}
+
+/// Repeats a vector `times` times; the repeated vectors' inner product is `times` times
+/// the original (the `xⁿ` notation of the paper).
+pub fn repeat(v: &DenseVector, times: usize) -> DenseVector {
+    let mut out = Vec::with_capacity(v.dim() * times);
+    for _ in 0..times {
+        out.extend_from_slice(v.as_slice());
+    }
+    DenseVector::new(out)
+}
+
+/// Flattened outer product `x ⊗ y` (row-major), satisfying the multiplicativity
+/// identity on inner products.
+pub fn tensor(a: &DenseVector, b: &DenseVector) -> DenseVector {
+    let mut out = Vec::with_capacity(a.dim() * b.dim());
+    for &x in a.iter() {
+        for &y in b.iter() {
+            out.push(x * y);
+        }
+    }
+    DenseVector::new(out)
+}
+
+/// Appends a constant block that *translates* the inner product of a data/query pair by
+/// `shift` while keeping both vectors inside the target alphabet.
+///
+/// For `{-1,1}` data the paper appends `1^{|shift|}` to one side and `(±1)^{|shift|}` to
+/// the other (Lemma 3, embedding 1); the same trick works for arbitrary reals. The
+/// returned pair `(pad_data, pad_query)` must be concatenated to the data and query
+/// embeddings respectively; their mutual inner product is exactly `shift`.
+pub fn translation_pad(shift: f64, block: usize) -> Result<(DenseVector, DenseVector)> {
+    if block == 0 {
+        if shift != 0.0 {
+            return Err(LinalgError::InvalidParameter {
+                name: "block",
+                reason: "a zero-length pad can only realise a zero shift".to_string(),
+            });
+        }
+        return Ok((DenseVector::zeros(0), DenseVector::zeros(0)));
+    }
+    // Split the shift evenly across `block` coordinates so entries stay small.
+    let per_coord = shift / block as f64;
+    let data = DenseVector::new(vec![1.0; block]);
+    let query = DenseVector::new(vec![per_coord; block]);
+    Ok((data, query))
+}
+
+/// Signed `{-1,1}` translation pad: appends `block` ones to the data side and `sign`
+/// (either `+1` or `−1`) repeated `block` times to the query side, shifting the inner
+/// product by `sign · block` while remaining in the `{-1,1}` alphabet.
+pub fn sign_translation_pad(sign: i8, block: usize) -> (DenseVector, DenseVector) {
+    let s = if sign >= 0 { 1.0 } else { -1.0 };
+    (
+        DenseVector::new(vec![1.0; block]),
+        DenseVector::new(vec![s; block]),
+    )
+}
+
+/// Tensor power `v^{⊗k}`; inner products are raised to the `k`-th power.
+///
+/// Returns an error for `k = 0` on an empty vector (the empty product is taken to be
+/// the 1-dimensional vector `[1.0]`).
+pub fn tensor_power(v: &DenseVector, k: usize) -> DenseVector {
+    if k == 0 {
+        return DenseVector::new(vec![1.0]);
+    }
+    let mut acc = v.clone();
+    for _ in 1..k {
+        acc = tensor(&acc, v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dv(xs: &[f64]) -> DenseVector {
+        DenseVector::from(xs)
+    }
+
+    #[test]
+    fn concat_adds_inner_products() {
+        let x1 = dv(&[1.0, 2.0]);
+        let x2 = dv(&[-1.0]);
+        let y1 = dv(&[0.5, 0.5]);
+        let y2 = dv(&[3.0]);
+        let lhs = concat(&x1, &x2).dot(&concat(&y1, &y2)).unwrap();
+        assert!((lhs - (x1.dot(&y1).unwrap() + x2.dot(&y2).unwrap())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_all_matches_pairwise() {
+        let parts = vec![dv(&[1.0]), dv(&[2.0, 3.0]), dv(&[4.0])];
+        let all = concat_all(&parts).unwrap();
+        assert_eq!(all.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(concat_all(&[]).is_err());
+    }
+
+    #[test]
+    fn repeat_scales_inner_product() {
+        let x = dv(&[1.0, -2.0]);
+        let y = dv(&[3.0, 1.0]);
+        let k = 5;
+        let lhs = repeat(&x, k).dot(&repeat(&y, k)).unwrap();
+        assert!((lhs - k as f64 * x.dot(&y).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_multiplies_inner_products() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let x1 = crate::random::gaussian_vector(&mut rng, 4);
+            let x2 = crate::random::gaussian_vector(&mut rng, 3);
+            let y1 = crate::random::gaussian_vector(&mut rng, 4);
+            let y2 = crate::random::gaussian_vector(&mut rng, 3);
+            let lhs = tensor(&x1, &x2).dot(&tensor(&y1, &y2)).unwrap();
+            let rhs = x1.dot(&y1).unwrap() * x2.dot(&y2).unwrap();
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tensor_power_raises_inner_product() {
+        let x = dv(&[0.5, 0.5]);
+        let y = dv(&[1.0, -1.0]);
+        let k = 3;
+        let lhs = tensor_power(&x, k).dot(&tensor_power(&y, k)).unwrap();
+        let rhs = x.dot(&y).unwrap().powi(k as i32);
+        assert!((lhs - rhs).abs() < 1e-12);
+        assert_eq!(tensor_power(&x, 0).as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn translation_pad_realises_shift() {
+        let (pd, pq) = translation_pad(-7.5, 5).unwrap();
+        assert!((pd.dot(&pq).unwrap() + 7.5).abs() < 1e-12);
+        let (zd, zq) = translation_pad(0.0, 0).unwrap();
+        assert_eq!(zd.dim(), 0);
+        assert_eq!(zq.dim(), 0);
+        assert!(translation_pad(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn sign_translation_pad_is_pm_one() {
+        let (pd, pq) = sign_translation_pad(-1, 4);
+        assert!(pd.iter().all(|&x| x == 1.0));
+        assert!(pq.iter().all(|&x| x == -1.0));
+        assert_eq!(pd.dot(&pq).unwrap(), -4.0);
+        let (pd2, pq2) = sign_translation_pad(1, 3);
+        assert_eq!(pd2.dot(&pq2).unwrap(), 3.0);
+    }
+}

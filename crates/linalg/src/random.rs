@@ -1,0 +1,294 @@
+//! Random samplers and random vector generators.
+//!
+//! Only the `rand` crate is available offline, so the non-uniform distributions the
+//! workspace needs are implemented here directly:
+//!
+//! * standard Gaussian via Box–Muller (2-stable, used by E2LSH, SimHash and
+//!   Johnson–Lindenstrauss projections);
+//! * standard Cauchy (1-stable, used by `ℓ₁` sketches);
+//! * exponential (used to build *max-stable* sketches for `ℓ_κ`, Section 4.3);
+//! * general symmetric α-stable via the Chambers–Mallows–Stuck transform.
+//!
+//! The module also offers convenience constructors for random dense / binary / sign
+//! vectors used pervasively by tests, benchmarks and the data generators.
+
+use crate::binary::BinaryVector;
+use crate::error::{LinalgError, Result};
+use crate::sign::SignVector;
+use crate::vector::DenseVector;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Draws one standard Gaussian (mean 0, variance 1) sample using Box–Muller.
+pub fn standard_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Draws one standard Cauchy sample (location 0, scale 1).
+pub fn standard_cauchy<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Inverse CDF: tan(π (u − 1/2)). Keep u away from the endpoints.
+    let u: f64 = rng.gen_range(1e-12..1.0 - 1e-12);
+    (PI * (u - 0.5)).tan()
+}
+
+/// Draws one standard exponential sample (rate 1).
+pub fn standard_exponential<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln()
+}
+
+/// Draws one symmetric α-stable sample with scale 1 using the Chambers–Mallows–Stuck
+/// method.
+///
+/// Returns an error when `alpha` is outside `(0, 2]`. For `alpha = 2` the result is a
+/// Gaussian with variance 2 (the standard stable parameterisation); for `alpha = 1` it
+/// is a standard Cauchy.
+pub fn symmetric_stable<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> Result<f64> {
+    if !(alpha > 0.0 && alpha <= 2.0) {
+        return Err(LinalgError::InvalidParameter {
+            name: "alpha",
+            reason: format!("stability parameter must be in (0, 2], got {alpha}"),
+        });
+    }
+    if (alpha - 1.0).abs() < 1e-12 {
+        return Ok(standard_cauchy(rng));
+    }
+    let u: f64 = rng.gen_range(-PI / 2.0 + 1e-12..PI / 2.0 - 1e-12);
+    let w: f64 = standard_exponential(rng).max(1e-300);
+    let val = (alpha * u).sin() / u.cos().powf(1.0 / alpha)
+        * ((u - alpha * u).cos() / w).powf((1.0 - alpha) / alpha);
+    Ok(val)
+}
+
+/// Random dense vector with i.i.d. standard Gaussian entries.
+pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> DenseVector {
+    DenseVector::new((0..dim).map(|_| standard_gaussian(rng)).collect())
+}
+
+/// Random vector drawn uniformly from the unit sphere `S^{d-1}`.
+pub fn random_unit_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Result<DenseVector> {
+    if dim == 0 {
+        return Err(LinalgError::InvalidParameter {
+            name: "dim",
+            reason: "cannot draw a unit vector in dimension 0".to_string(),
+        });
+    }
+    loop {
+        let v = gaussian_vector(rng, dim);
+        if let Ok(u) = v.normalized() {
+            return Ok(u);
+        }
+    }
+}
+
+/// Random vector drawn uniformly from the ball of the given radius.
+pub fn random_ball_vector<R: Rng + ?Sized>(
+    rng: &mut R,
+    dim: usize,
+    radius: f64,
+) -> Result<DenseVector> {
+    if radius < 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            name: "radius",
+            reason: format!("radius must be nonnegative, got {radius}"),
+        });
+    }
+    let direction = random_unit_vector(rng, dim)?;
+    // For the uniform distribution in a d-ball the radius has CDF (r/R)^d.
+    let r = radius * rng.gen::<f64>().powf(1.0 / dim as f64);
+    Ok(direction.scaled(r))
+}
+
+/// Random `{0,1}^d` vector where each bit is 1 independently with probability `p`.
+pub fn random_binary_vector<R: Rng + ?Sized>(
+    rng: &mut R,
+    dim: usize,
+    p: f64,
+) -> Result<BinaryVector> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(LinalgError::InvalidParameter {
+            name: "p",
+            reason: format!("bit probability must be in [0,1], got {p}"),
+        });
+    }
+    let mut v = BinaryVector::zeros(dim);
+    for i in 0..dim {
+        if rng.gen::<f64>() < p {
+            v.set(i, true);
+        }
+    }
+    Ok(v)
+}
+
+/// Random `{-1,+1}^d` vector with i.i.d. uniform signs.
+pub fn random_sign_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> SignVector {
+    let mut v = SignVector::all_minus(dim);
+    for i in 0..dim {
+        if rng.gen::<bool>() {
+            v.set(i, 1);
+        }
+    }
+    v
+}
+
+/// Generates a pair of unit vectors whose inner product is (exactly) `target_cos`.
+///
+/// Used to measure empirical collision probabilities at a prescribed similarity level.
+/// Returns an error when `target_cos` is outside `[-1, 1]` or `dim < 2`.
+pub fn correlated_unit_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    dim: usize,
+    target_cos: f64,
+) -> Result<(DenseVector, DenseVector)> {
+    if !(-1.0..=1.0).contains(&target_cos) {
+        return Err(LinalgError::InvalidParameter {
+            name: "target_cos",
+            reason: format!("cosine must lie in [-1,1], got {target_cos}"),
+        });
+    }
+    if dim < 2 {
+        return Err(LinalgError::InvalidParameter {
+            name: "dim",
+            reason: "correlated pair needs dimension at least 2".to_string(),
+        });
+    }
+    let a = random_unit_vector(rng, dim)?;
+    // Sample b0 orthogonal to a by Gram–Schmidt, then mix.
+    let mut b0 = loop {
+        let candidate = random_unit_vector(rng, dim)?;
+        let proj = candidate.dot(&a)?;
+        let residual = candidate.sub(&a.scaled(proj))?;
+        if residual.norm() > 1e-9 {
+            break residual.normalized()?;
+        }
+    };
+    let sin = (1.0 - target_cos * target_cos).max(0.0).sqrt();
+    b0.scale_in_place(sin);
+    let b = a.scaled(target_cos).add(&b0)?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| standard_exponential(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn cauchy_median_is_zero() {
+        let mut r = rng();
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| standard_cauchy(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!(median.abs() < 0.05, "median = {median}");
+    }
+
+    #[test]
+    fn stable_alpha_two_is_gaussian_like() {
+        let mut r = rng();
+        let n = 30_000;
+        let var = (0..n)
+            .map(|_| symmetric_stable(&mut r, 2.0).unwrap().powi(2))
+            .sum::<f64>()
+            / n as f64;
+        // alpha=2 stable with scale 1 has variance 2.
+        assert!((var - 2.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn stable_alpha_one_matches_cauchy_tail() {
+        let mut r = rng();
+        let n = 20_000;
+        let frac_large = (0..n)
+            .map(|_| symmetric_stable(&mut r, 1.0).unwrap())
+            .filter(|x| x.abs() > 1.0)
+            .count() as f64
+            / n as f64;
+        // P(|Cauchy| > 1) = 1/2.
+        assert!((frac_large - 0.5).abs() < 0.03, "frac = {frac_large}");
+    }
+
+    #[test]
+    fn stable_rejects_bad_alpha() {
+        let mut r = rng();
+        assert!(symmetric_stable(&mut r, 0.0).is_err());
+        assert!(symmetric_stable(&mut r, 2.5).is_err());
+    }
+
+    #[test]
+    fn unit_vectors_have_unit_norm() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = random_unit_vector(&mut r, 17).unwrap();
+            assert!((v.norm() - 1.0).abs() < 1e-10);
+        }
+        assert!(random_unit_vector(&mut r, 0).is_err());
+    }
+
+    #[test]
+    fn ball_vectors_stay_inside() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = random_ball_vector(&mut r, 8, 2.5).unwrap();
+            assert!(v.norm() <= 2.5 + 1e-10);
+        }
+        assert!(random_ball_vector(&mut r, 8, -1.0).is_err());
+    }
+
+    #[test]
+    fn binary_density_is_respected() {
+        let mut r = rng();
+        let v = random_binary_vector(&mut r, 20_000, 0.3).unwrap();
+        let density = v.count_ones() as f64 / 20_000.0;
+        assert!((density - 0.3).abs() < 0.02, "density = {density}");
+        assert!(random_binary_vector(&mut r, 10, 1.5).is_err());
+    }
+
+    #[test]
+    fn sign_vector_is_balanced() {
+        let mut r = rng();
+        let v = random_sign_vector(&mut r, 20_000);
+        let frac_plus = v.count_plus() as f64 / 20_000.0;
+        assert!((frac_plus - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn correlated_pair_hits_target() {
+        let mut r = rng();
+        for &target in &[-0.8, -0.2, 0.0, 0.5, 0.95] {
+            let (a, b) = correlated_unit_pair(&mut r, 32, target).unwrap();
+            assert!((a.norm() - 1.0).abs() < 1e-9);
+            assert!((b.norm() - 1.0).abs() < 1e-9);
+            assert!((a.dot(&b).unwrap() - target).abs() < 1e-9);
+        }
+        assert!(correlated_unit_pair(&mut r, 32, 1.5).is_err());
+        assert!(correlated_unit_pair(&mut r, 1, 0.5).is_err());
+    }
+}

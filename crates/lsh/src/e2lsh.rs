@@ -1,0 +1,203 @@
+//! p-stable LSH for Euclidean distance (E2LSH, Datar–Immorlica–Indyk–Mirrokni).
+//!
+//! A hash function draws a Gaussian vector `a` and an offset `b ∈ [0, w)` and maps
+//! `v ↦ ⌊(aᵀv + b)/w⌋`. For two points at Euclidean distance `r` the collision
+//! probability has the closed form
+//!
+//! ```text
+//! p(r) = 1 − 2Φ(−w/r) − (2r/(√(2π) w)) (1 − exp(−w²/(2r²)))
+//! ```
+//!
+//! which is what L2-ALSH(SL) [45] plugs its asymmetric transformations into. The family
+//! is symmetric; the ALSH constructions wrap it with different data/query preprocessing.
+
+use crate::error::{LshError, Result};
+use crate::traits::{HashFunction, LshFamily};
+use ips_linalg::random::{gaussian_vector, standard_gaussian};
+use ips_linalg::DenseVector;
+use rand::Rng;
+
+/// Family of 1-dimensional p-stable (Gaussian) bucket hashes on `R^dim` with bucket
+/// width `w`.
+#[derive(Debug, Clone)]
+pub struct E2LshFamily {
+    dim: usize,
+    width: f64,
+}
+
+impl E2LshFamily {
+    /// Creates a family with the given bucket width.
+    pub fn new(dim: usize, width: f64) -> Result<Self> {
+        if dim == 0 {
+            return Err(LshError::InvalidParameter {
+                name: "dim",
+                reason: "dimension must be positive".into(),
+            });
+        }
+        if !(width > 0.0) {
+            return Err(LshError::InvalidParameter {
+                name: "width",
+                reason: format!("bucket width must be positive, got {width}"),
+            });
+        }
+        Ok(Self { dim, width })
+    }
+
+    /// Bucket width `w`.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Standard normal CDF (via `erf`-free Abramowitz–Stegun style approximation built
+    /// on `erfc` identities; accurate to ~1e-7 which is ample for collision curves).
+    fn phi(x: f64) -> f64 {
+        0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    }
+
+    /// Theoretical collision probability of a single hash for two points at Euclidean
+    /// distance `r > 0` with bucket width `w`.
+    pub fn collision_probability(r: f64, w: f64) -> f64 {
+        if r <= 0.0 {
+            return 1.0;
+        }
+        let ratio = w / r;
+        let term1 = 1.0 - 2.0 * Self::phi(-ratio);
+        let term2 = (2.0 / ((2.0 * std::f64::consts::PI).sqrt() * ratio))
+            * (1.0 - (-(ratio * ratio) / 2.0).exp());
+        (term1 - term2).clamp(0.0, 1.0)
+    }
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26, max error ~1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A sampled E2LSH hash function.
+#[derive(Debug, Clone)]
+pub struct E2LshFunction {
+    direction: DenseVector,
+    offset: f64,
+    width: f64,
+}
+
+impl HashFunction for E2LshFunction {
+    fn hash(&self, v: &DenseVector) -> Result<u64> {
+        if v.dim() != self.direction.dim() {
+            return Err(LshError::DimensionMismatch {
+                expected: self.direction.dim(),
+                actual: v.dim(),
+            });
+        }
+        let projected = (self.direction.dot(v)? + self.offset) / self.width;
+        // Map the (possibly negative) bucket index into u64 injectively.
+        let bucket = projected.floor() as i64;
+        Ok(bucket as u64)
+    }
+}
+
+impl LshFamily for E2LshFamily {
+    type Function = E2LshFunction;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Self::Function> {
+        // Direction entries are standard Gaussian (2-stable).
+        let mut direction = gaussian_vector(rng, self.dim);
+        // Guard against the (measure-zero) all-zero draw.
+        if direction.norm() == 0.0 {
+            direction = DenseVector::new((0..self.dim).map(|_| standard_gaussian(rng)).collect());
+        }
+        let offset = rng.gen_range(0.0..self.width);
+        Ok(E2LshFunction {
+            direction,
+            offset,
+            width: self.width,
+        })
+    }
+
+    fn dim(&self) -> Option<usize> {
+        Some(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_linalg::random::random_unit_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(E2LshFamily::new(0, 1.0).is_err());
+        assert!(E2LshFamily::new(4, 0.0).is_err());
+        assert!(E2LshFamily::new(4, -1.0).is_err());
+        let f = E2LshFamily::new(4, 2.0).unwrap();
+        assert_eq!(f.width(), 2.0);
+        assert_eq!(f.dim(), Some(4));
+    }
+
+    #[test]
+    fn erf_sanity() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((erf(3.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn collision_probability_monotone_in_distance() {
+        let w = 4.0;
+        let p_close = E2LshFamily::collision_probability(0.5, w);
+        let p_mid = E2LshFamily::collision_probability(2.0, w);
+        let p_far = E2LshFamily::collision_probability(8.0, w);
+        assert!(p_close > p_mid && p_mid > p_far);
+        assert_eq!(E2LshFamily::collision_probability(0.0, w), 1.0);
+        assert!(p_far > 0.0 && p_close < 1.0);
+    }
+
+    #[test]
+    fn deterministic_hashing() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let family = E2LshFamily::new(8, 2.0).unwrap();
+        let f = family.sample(&mut rng).unwrap();
+        let v = random_unit_vector(&mut rng, 8).unwrap();
+        assert_eq!(f.hash(&v).unwrap(), f.hash(&v).unwrap());
+        assert!(f.hash(&DenseVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn empirical_collision_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let dim = 16;
+        let w = 3.0;
+        let family = E2LshFamily::new(dim, w).unwrap();
+        for &dist in &[0.5, 2.0, 5.0] {
+            // Build two points at the prescribed distance.
+            let a = random_unit_vector(&mut rng, dim).unwrap();
+            let dir = random_unit_vector(&mut rng, dim).unwrap();
+            let b = a.add(&dir.scaled(dist)).unwrap();
+            let trials = 6000;
+            let mut collisions = 0;
+            for _ in 0..trials {
+                let f = family.sample(&mut rng).unwrap();
+                if f.hash(&a).unwrap() == f.hash(&b).unwrap() {
+                    collisions += 1;
+                }
+            }
+            let empirical = collisions as f64 / trials as f64;
+            let theory = E2LshFamily::collision_probability(dist, w);
+            assert!(
+                (empirical - theory).abs() < 0.04,
+                "dist={dist}: empirical {empirical} vs theory {theory}"
+            );
+        }
+    }
+}

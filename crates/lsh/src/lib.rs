@@ -1,0 +1,48 @@
+//! # ips-lsh
+//!
+//! Locality-sensitive hashing families — symmetric and *asymmetric* (Definition 2 of
+//! the paper) — for inner product similarity, together with the machinery needed to
+//! turn a family into an index (AND/OR amplification, multi-table indexes) and to
+//! measure or predict collision probabilities.
+//!
+//! The crate implements every hashing scheme the paper discusses or compares against:
+//!
+//! | Scheme | Module | Role in the paper |
+//! |---|---|---|
+//! | Hyperplane / SimHash (Charikar) | [`hyperplane`] | sphere substrate; SIMP curve of Figure 2 |
+//! | Cross-polytope LSH | [`crosspolytope`] | the "practical and optimal" sphere LSH of [7] |
+//! | p-stable E2LSH | [`e2lsh`] | substrate of L2-ALSH |
+//! | MinHash | [`minhash`] | substrate of MH-ALSH |
+//! | Asymmetric minwise hashing (MH-ALSH) | [`mhalsh`] | state of the art for binary data [46] |
+//! | L2-ALSH(SL) | [`alsh_l2`] | the original ALSH for MIPS [45] |
+//! | Sign-ALSH | [`sign_alsh`] | improved ALSH via sign random projections (follow-up to [45]) |
+//! | SIMPLE-ALSH | [`simple_alsh`] | Neyshabur–Srebro reduction [39]; basis of Section 4.1 |
+//! | Multi-probe SimHash | [`multiprobe`] | table-count vs probe-count ablation for the Section 4.1 index |
+//!
+//! The closed-form ρ exponents compared in **Figure 2** (DATA-DEP, SIMP, MH-ALSH) are
+//! provided by the [`rho`] module; empirical collision probabilities for validation of
+//! the theoretical curves are computed by [`collision`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alsh_l2;
+pub mod amplify;
+pub mod collision;
+pub mod crosspolytope;
+pub mod e2lsh;
+pub mod error;
+pub mod hyperplane;
+pub mod mhalsh;
+pub mod minhash;
+pub mod multiprobe;
+pub mod rho;
+pub mod sign_alsh;
+pub mod simple_alsh;
+pub mod table;
+pub mod traits;
+
+pub use error::{LshError, Result};
+pub use traits::{
+    AsymmetricHashFunction, AsymmetricLshFamily, HashFunction, LshFamily, SymmetricAsAsymmetric,
+};

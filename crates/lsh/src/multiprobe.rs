@@ -1,0 +1,276 @@
+//! Multi-probe querying for hyperplane (SimHash) tables.
+//!
+//! The classical OR-construction (see [`crate::table`]) needs `L ≈ n^ρ` independent
+//! tables to reach constant recall, and memory is usually the binding constraint in
+//! practice. Multi-probe LSH trades table count for extra bucket lookups: in each table
+//! the query also visits the buckets obtained by flipping the hash bits whose
+//! hyperplane margins `|gᵀq|` are smallest — the buckets the query was *closest* to
+//! landing in. The Section 4.1 index of the paper composes its ball-to-sphere transform
+//! with exactly this kind of sphere hash, so multi-probing is the practical ablation the
+//! benchmarks use when comparing index memory against query time.
+
+use crate::error::{LshError, Result};
+use crate::hyperplane::{HyperplaneFamily, HyperplaneFunction};
+use crate::traits::LshFamily;
+use ips_linalg::DenseVector;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Parameters of a [`MultiProbeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiProbeParams {
+    /// Number of hyperplane bits per table.
+    pub bits: usize,
+    /// Number of tables.
+    pub tables: usize,
+}
+
+/// A multi-probe hyperplane index: `tables` hash tables of `bits`-bit SimHash buckets,
+/// queried with a configurable number of extra probes per table.
+pub struct MultiProbeIndex {
+    planes: Vec<Vec<DenseVector>>,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    params: MultiProbeParams,
+    len: usize,
+}
+
+/// One probe: a bucket to visit in one table, together with the "cost" (sum of squared
+/// margins of the flipped bits) used to order probes from most to least promising.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Probe {
+    bucket: u64,
+    cost: f64,
+}
+
+fn bucket_of(planes: &[DenseVector], v: &DenseVector) -> Result<(u64, Vec<f64>)> {
+    let mut bucket = 0u64;
+    let mut margins = Vec::with_capacity(planes.len());
+    for (i, plane) in planes.iter().enumerate() {
+        if plane.dim() != v.dim() {
+            return Err(LshError::DimensionMismatch {
+                expected: plane.dim(),
+                actual: v.dim(),
+            });
+        }
+        let margin = plane.dot(v)?;
+        if margin >= 0.0 {
+            bucket |= 1u64 << i;
+        }
+        margins.push(margin);
+    }
+    Ok((bucket, margins))
+}
+
+/// Generates the probe sequence for one table: the base bucket, then buckets obtained
+/// by flipping one or two bits, ordered by the total squared margin of the flipped bits.
+fn probe_sequence(bucket: u64, margins: &[f64], probes: usize) -> Vec<u64> {
+    let mut candidates = vec![Probe { bucket, cost: 0.0 }];
+    for i in 0..margins.len() {
+        let cost_i = margins[i] * margins[i];
+        candidates.push(Probe {
+            bucket: bucket ^ (1u64 << i),
+            cost: cost_i,
+        });
+        for j in (i + 1)..margins.len() {
+            candidates.push(Probe {
+                bucket: bucket ^ (1u64 << i) ^ (1u64 << j),
+                cost: cost_i + margins[j] * margins[j],
+            });
+        }
+    }
+    candidates.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("costs are finite"));
+    candidates.truncate(probes.max(1));
+    candidates.into_iter().map(|p| p.bucket).collect()
+}
+
+impl MultiProbeIndex {
+    /// Builds the index over `data`.
+    ///
+    /// Returns an error when `data` is empty, dimensions disagree, `bits` is outside
+    /// `1..=64`, or `tables == 0`.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &[DenseVector],
+        params: MultiProbeParams,
+    ) -> Result<Self> {
+        let first = data.first().ok_or(LshError::InvalidParameter {
+            name: "data",
+            reason: "index needs at least one vector".into(),
+        })?;
+        let dim = first.dim();
+        if params.tables == 0 {
+            return Err(LshError::InvalidParameter {
+                name: "tables",
+                reason: "index needs at least one table".into(),
+            });
+        }
+        if data.len() > u32::MAX as usize {
+            return Err(LshError::InvalidParameter {
+                name: "data",
+                reason: "index supports at most 2^32 - 1 points".into(),
+            });
+        }
+        let family = HyperplaneFamily::new(dim, params.bits)?;
+        let mut planes = Vec::with_capacity(params.tables);
+        let mut tables = Vec::with_capacity(params.tables);
+        for _ in 0..params.tables {
+            let function: HyperplaneFunction = family.sample(rng)?;
+            let table_planes = function.planes().to_vec();
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (idx, p) in data.iter().enumerate() {
+                let (bucket, _) = bucket_of(&table_planes, p)?;
+                table.entry(bucket).or_default().push(idx as u32);
+            }
+            planes.push(table_planes);
+            tables.push(table);
+        }
+        Ok(Self {
+            planes,
+            tables,
+            params,
+            len: data.len(),
+        })
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> MultiProbeParams {
+        self.params
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Candidate indices colliding with the query in any of the first `probes` buckets
+    /// of any table, deduplicated and in ascending order. `probes = 1` reproduces the
+    /// classical single-bucket lookup.
+    pub fn query_candidates(&self, q: &DenseVector, probes: usize) -> Result<Vec<usize>> {
+        if probes == 0 {
+            return Err(LshError::InvalidParameter {
+                name: "probes",
+                reason: "at least one probe per table is required".into(),
+            });
+        }
+        let mut seen: HashSet<u32> = HashSet::new();
+        for (planes, table) in self.planes.iter().zip(self.tables.iter()) {
+            let (bucket, margins) = bucket_of(planes, q)?;
+            for probe in probe_sequence(bucket, &margins, probes) {
+                if let Some(ids) = table.get(&probe) {
+                    seen.extend(ids.iter().copied());
+                }
+            }
+        }
+        let mut out: Vec<usize> = seen.into_iter().map(|i| i as usize).collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The maximum number of distinct probes a table can serve
+    /// (`1 + bits + bits·(bits−1)/2`: the base bucket plus all 1- and 2-bit flips).
+    pub fn max_probes(&self) -> usize {
+        1 + self.params.bits + self.params.bits * (self.params.bits.saturating_sub(1)) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_linalg::random::random_unit_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x4CB)
+    }
+
+    fn unit_data(rng: &mut StdRng, n: usize, dim: usize) -> Vec<DenseVector> {
+        (0..n).map(|_| random_unit_vector(rng, dim).unwrap()).collect()
+    }
+
+    #[test]
+    fn build_and_query_validation() {
+        let mut r = rng();
+        let data = unit_data(&mut r, 10, 8);
+        assert!(MultiProbeIndex::build(&mut r, &[], MultiProbeParams { bits: 4, tables: 2 }).is_err());
+        assert!(
+            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 0, tables: 2 }).is_err()
+        );
+        assert!(
+            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 4, tables: 0 }).is_err()
+        );
+        let index =
+            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 4, tables: 2 }).unwrap();
+        assert_eq!(index.len(), 10);
+        assert!(!index.is_empty());
+        assert_eq!(index.params(), MultiProbeParams { bits: 4, tables: 2 });
+        assert_eq!(index.max_probes(), 1 + 4 + 6);
+        assert!(index.query_candidates(&data[0], 0).is_err());
+        assert!(index
+            .query_candidates(&DenseVector::zeros(5), 1)
+            .is_err());
+    }
+
+    #[test]
+    fn probe_sequence_starts_at_the_base_bucket_and_has_no_duplicates() {
+        let margins = vec![0.9, -0.1, 0.4];
+        let probes = probe_sequence(0b101, &margins, 7);
+        assert_eq!(probes[0], 0b101);
+        // The cheapest flip is bit 1 (margin −0.1).
+        assert_eq!(probes[1], 0b111);
+        let unique: HashSet<u64> = probes.iter().copied().collect();
+        assert_eq!(unique.len(), probes.len());
+        assert_eq!(probes.len(), 7);
+    }
+
+    #[test]
+    fn single_probe_matches_classical_lookup() {
+        let mut r = rng();
+        let data = unit_data(&mut r, 100, 16);
+        let index =
+            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 8, tables: 6 }).unwrap();
+        // Each indexed point must find itself with a single probe (it hashes to its own
+        // bucket in every table).
+        for (i, p) in data.iter().enumerate() {
+            let candidates = index.query_candidates(p, 1).unwrap();
+            assert!(candidates.contains(&i));
+        }
+    }
+
+    #[test]
+    fn more_probes_never_shrink_the_candidate_set() {
+        let mut r = rng();
+        let data = unit_data(&mut r, 200, 16);
+        let index =
+            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 10, tables: 4 }).unwrap();
+        let query = random_unit_vector(&mut r, 16).unwrap();
+        let mut previous = 0usize;
+        for probes in [1, 2, 4, 8, 16] {
+            let candidates = index.query_candidates(&query, probes).unwrap();
+            assert!(candidates.len() >= previous, "probes = {probes}");
+            previous = candidates.len();
+        }
+    }
+
+    #[test]
+    fn multiprobe_recovers_near_neighbours_with_few_tables() {
+        let mut r = rng();
+        let dim = 24;
+        let mut data = unit_data(&mut r, 300, dim);
+        let query = random_unit_vector(&mut r, dim).unwrap();
+        // Plant a near-duplicate.
+        data[123] = query.scaled(0.999);
+        let index =
+            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 12, tables: 4 }).unwrap();
+        // With enough probes the planted point is found even with only 4 tables.
+        let candidates = index.query_candidates(&query, 20).unwrap();
+        assert!(candidates.contains(&123), "planted near-duplicate missed");
+        // And the candidate set stays well below the full data set.
+        assert!(candidates.len() < data.len());
+    }
+}

@@ -1,0 +1,330 @@
+//! Sign-ALSH — asymmetric MIPS hashing via sign random projections.
+//!
+//! A follow-up to L2-ALSH by the same authors (Shrivastava and Li; the construction the
+//! paper's reference [46] builds on for the binary case) replaces the E2LSH substrate by
+//! sign random projections and the norm-augmentation by *centred* powers:
+//!
+//! ```text
+//! P(x) = (Ux;  1/2 − ‖Ux‖²;  1/2 − ‖Ux‖⁴; …;  1/2 − ‖Ux‖^{2^m})
+//! Q(q) = (q/‖q‖;  0;  0; …;  0)
+//! ```
+//!
+//! The augmented inner product is `U·qᵀx/‖q‖` exactly (the appended query coordinates
+//! are zero), while the data norm is pushed towards the constant `√(m/4 + ‖Ux‖^{2^{m+1}})`,
+//! so hyperplane (SimHash) hashing of the augmented vectors behaves like an LSH for the
+//! inner product itself. As with every ALSH in the paper's Section 1, the guarantee
+//! degrades when inner products are small relative to vector norms — which is exactly
+//! the regime the hardness results of Section 2 say cannot be fixed.
+
+use crate::error::{LshError, Result};
+use crate::hyperplane::{HyperplaneFamily, HyperplaneFunction};
+use crate::traits::{AsymmetricHashFunction, AsymmetricLshFamily, HashFunction, LshFamily};
+use ips_linalg::DenseVector;
+use rand::Rng;
+
+/// Parameters of the Sign-ALSH construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignAlshParams {
+    /// Number of norm-augmentation coordinates `m`.
+    pub m: usize,
+    /// Shrinkage factor `U ∈ (0, 1]` applied to data vectors after normalisation by the
+    /// maximum data norm.
+    pub u: f64,
+    /// Number of sign-projection bits per hash value.
+    pub bits: usize,
+}
+
+impl Default for SignAlshParams {
+    /// The setting recommended by the Sign-ALSH authors: `m = 2`, `U = 0.75`.
+    fn default() -> Self {
+        Self {
+            m: 2,
+            u: 0.75,
+            bits: 1,
+        }
+    }
+}
+
+/// The Sign-ALSH family.
+#[derive(Debug, Clone)]
+pub struct SignAlshFamily {
+    dim: usize,
+    params: SignAlshParams,
+    max_data_norm: f64,
+    inner: HyperplaneFamily,
+}
+
+impl SignAlshFamily {
+    /// Creates a family for data vectors of dimension `dim` whose norms are bounded by
+    /// `max_data_norm`.
+    pub fn new(dim: usize, max_data_norm: f64, params: SignAlshParams) -> Result<Self> {
+        if dim == 0 {
+            return Err(LshError::InvalidParameter {
+                name: "dim",
+                reason: "dimension must be positive".into(),
+            });
+        }
+        if !(max_data_norm > 0.0) {
+            return Err(LshError::InvalidParameter {
+                name: "max_data_norm",
+                reason: format!("maximum data norm must be positive, got {max_data_norm}"),
+            });
+        }
+        if params.m == 0 {
+            return Err(LshError::InvalidParameter {
+                name: "m",
+                reason: "at least one norm-augmentation coordinate is required".into(),
+            });
+        }
+        if !(params.u > 0.0 && params.u <= 1.0) {
+            return Err(LshError::InvalidParameter {
+                name: "u",
+                reason: format!("shrinkage factor must lie in (0,1], got {}", params.u),
+            });
+        }
+        let inner = HyperplaneFamily::new(dim + params.m, params.bits)?;
+        Ok(Self {
+            dim,
+            params,
+            max_data_norm,
+            inner,
+        })
+    }
+
+    /// The construction parameters.
+    pub fn params(&self) -> SignAlshParams {
+        self.params
+    }
+
+    /// Output dimension of the augmented vectors (`dim + m`).
+    pub fn augmented_dim(&self) -> usize {
+        self.dim + self.params.m
+    }
+
+    /// Data-side transform `P(x)`.
+    ///
+    /// Returns a [`LshError::DomainViolation`] when `‖x‖` exceeds the declared maximum.
+    pub fn transform_data(&self, x: &DenseVector) -> Result<DenseVector> {
+        if x.dim() != self.dim {
+            return Err(LshError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.dim(),
+            });
+        }
+        let norm = x.norm();
+        if norm > self.max_data_norm * (1.0 + 1e-9) {
+            return Err(LshError::DomainViolation {
+                reason: format!(
+                    "data vector norm {norm} exceeds the declared maximum {}",
+                    self.max_data_norm
+                ),
+            });
+        }
+        let scaled = x.scaled(self.params.u / self.max_data_norm);
+        let mut out = scaled.clone();
+        let mut power = scaled.norm_sq();
+        for _ in 0..self.params.m {
+            out.push(0.5 - power);
+            power = power * power;
+        }
+        Ok(out)
+    }
+
+    /// Query-side transform `Q(q)`: the query is normalised to unit length and padded
+    /// with zeros.
+    ///
+    /// Returns an error for the all-zero query (it has no direction to normalise).
+    pub fn transform_query(&self, q: &DenseVector) -> Result<DenseVector> {
+        if q.dim() != self.dim {
+            return Err(LshError::DimensionMismatch {
+                expected: self.dim,
+                actual: q.dim(),
+            });
+        }
+        if q.norm() == 0.0 {
+            return Err(LshError::DomainViolation {
+                reason: "cannot normalise the all-zero query vector".into(),
+            });
+        }
+        let mut out = q.normalized()?;
+        for _ in 0..self.params.m {
+            out.push(0.0);
+        }
+        Ok(out)
+    }
+
+    /// The cosine similarity between the augmented vectors for a pair with inner
+    /// product `ip` (before augmentation) and data norm `data_norm` — the quantity whose
+    /// arccos drives the collision probability.
+    pub fn augmented_cosine(&self, ip: f64, data_norm: f64, query_norm: f64) -> f64 {
+        let scaled_norm_sq =
+            (data_norm * self.params.u / self.max_data_norm).powi(2).min(1.0);
+        let mut tail = 0.0;
+        let mut power = scaled_norm_sq;
+        for _ in 0..self.params.m {
+            tail += (0.5 - power).powi(2);
+            power = power * power;
+        }
+        let augmented_data_norm = (scaled_norm_sq + tail).sqrt();
+        if augmented_data_norm == 0.0 || query_norm == 0.0 {
+            return 0.0;
+        }
+        (self.params.u / self.max_data_norm) * ip / (query_norm * augmented_data_norm)
+    }
+
+    /// Theoretical collision probability of one `bits`-bit hash for a pair with the
+    /// given augmented cosine.
+    pub fn collision_probability(&self, cosine: f64) -> f64 {
+        HyperplaneFamily::collision_probability_bits(cosine, self.params.bits)
+    }
+}
+
+/// A sampled Sign-ALSH function pair.
+#[derive(Debug, Clone)]
+pub struct SignAlshFunction {
+    family: SignAlshFamily,
+    inner: HyperplaneFunction,
+}
+
+impl AsymmetricHashFunction for SignAlshFunction {
+    fn hash_data(&self, p: &DenseVector) -> Result<u64> {
+        let augmented = self.family.transform_data(p)?;
+        self.inner.hash(&augmented)
+    }
+
+    fn hash_query(&self, q: &DenseVector) -> Result<u64> {
+        let augmented = self.family.transform_query(q)?;
+        self.inner.hash(&augmented)
+    }
+}
+
+impl AsymmetricLshFamily for SignAlshFamily {
+    type Function = SignAlshFunction;
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Self::Function> {
+        Ok(SignAlshFunction {
+            family: self.clone(),
+            inner: self.inner.sample(rng)?,
+        })
+    }
+
+    fn dim(&self) -> Option<usize> {
+        Some(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_linalg::random::{correlated_unit_pair, random_ball_vector, random_unit_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn family(dim: usize) -> SignAlshFamily {
+        SignAlshFamily::new(dim, 1.0, SignAlshParams::default()).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let ok = SignAlshParams::default();
+        assert!(SignAlshFamily::new(0, 1.0, ok).is_err());
+        assert!(SignAlshFamily::new(4, 0.0, ok).is_err());
+        assert!(SignAlshFamily::new(4, 1.0, SignAlshParams { m: 0, ..ok }).is_err());
+        assert!(SignAlshFamily::new(4, 1.0, SignAlshParams { u: 0.0, ..ok }).is_err());
+        assert!(SignAlshFamily::new(4, 1.0, SignAlshParams { u: 1.5, ..ok }).is_err());
+        assert!(SignAlshFamily::new(4, 1.0, SignAlshParams { bits: 0, ..ok }).is_err());
+        let fam = family(6);
+        assert_eq!(AsymmetricLshFamily::dim(&fam), Some(6));
+        assert_eq!(fam.augmented_dim(), 8);
+        assert_eq!(fam.params(), SignAlshParams::default());
+    }
+
+    #[test]
+    fn transforms_have_expected_shape_and_inner_product() {
+        let mut rng = StdRng::seed_from_u64(0x516);
+        let fam = family(10);
+        for _ in 0..20 {
+            let x = random_ball_vector(&mut rng, 10, 1.0).unwrap();
+            let q = random_unit_vector(&mut rng, 10).unwrap();
+            let px = fam.transform_data(&x).unwrap();
+            let qq = fam.transform_query(&q).unwrap();
+            assert_eq!(px.dim(), 12);
+            assert_eq!(qq.dim(), 12);
+            // The appended query coordinates are zero, so the augmented inner product is
+            // exactly U·qᵀx/‖q‖ (here ‖q‖ = 1).
+            let expected = 0.75 * x.dot(&q).unwrap();
+            assert!((px.dot(&qq).unwrap() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn domain_violations_are_rejected() {
+        let fam = family(4);
+        let too_long = DenseVector::from(&[2.0, 0.0, 0.0, 0.0][..]);
+        assert!(fam.transform_data(&too_long).is_err());
+        assert!(fam.transform_query(&DenseVector::zeros(4)).is_err());
+        let wrong_dim = DenseVector::zeros(3);
+        assert!(fam.transform_data(&wrong_dim).is_err());
+        assert!(fam.transform_query(&wrong_dim).is_err());
+    }
+
+    #[test]
+    fn augmented_cosine_is_monotone_in_the_inner_product() {
+        let fam = family(8);
+        let mut previous = f64::NEG_INFINITY;
+        for i in 0..20 {
+            let ip = -1.0 + 0.1 * i as f64;
+            let cosine = fam.augmented_cosine(ip, 0.8, 1.0);
+            assert!(cosine >= previous);
+            previous = cosine;
+        }
+    }
+
+    #[test]
+    fn empirical_collision_matches_the_augmented_cosine() {
+        let mut rng = StdRng::seed_from_u64(0x517);
+        let dim = 16;
+        let fam = family(dim);
+        for &ip in &[0.3, 0.8] {
+            let (a, b) = correlated_unit_pair(&mut rng, dim, ip).unwrap();
+            let a = a.scaled(0.95); // data vector inside the unit ball
+            let trials = 4000;
+            let mut collisions = 0usize;
+            for _ in 0..trials {
+                let f = fam.sample(&mut rng).unwrap();
+                if f.hash_data(&a).unwrap() == f.hash_query(&b).unwrap() {
+                    collisions += 1;
+                }
+            }
+            let empirical = collisions as f64 / trials as f64;
+            let cosine = fam.augmented_cosine(a.dot(&b).unwrap(), a.norm(), b.norm());
+            let theory = fam.collision_probability(cosine);
+            assert!(
+                (empirical - theory).abs() < 0.05,
+                "ip={ip}: empirical {empirical} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_inner_products_collide_more_often() {
+        let mut rng = StdRng::seed_from_u64(0x518);
+        let dim = 12;
+        let fam = family(dim);
+        let mut rates = Vec::new();
+        for &ip in &[0.1, 0.5, 0.9] {
+            let (a, b) = correlated_unit_pair(&mut rng, dim, ip).unwrap();
+            let a = a.scaled(0.9);
+            let trials = 3000;
+            let mut collisions = 0usize;
+            for _ in 0..trials {
+                let f = fam.sample(&mut rng).unwrap();
+                if f.collides(&a, &b).unwrap() {
+                    collisions += 1;
+                }
+            }
+            rates.push(collisions as f64 / trials as f64);
+        }
+        assert!(rates[0] < rates[1] && rates[1] < rates[2], "rates {rates:?}");
+    }
+}

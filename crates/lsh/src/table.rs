@@ -1,0 +1,208 @@
+//! Multi-table LSH indexes (the OR-construction).
+//!
+//! An [`LshIndex`] holds `L` hash tables. Table `i` stores every data point under the
+//! bucket produced by an independently sampled composite (ANDed) function; querying
+//! returns the union of the query's buckets across tables. With per-function collision
+//! probabilities `P1 > P2`, choosing `k ≈ log n / log(1/P2)` and `L ≈ n^ρ` gives the
+//! classical `O(n^ρ)` query time that all the upper-bound discussions in the paper
+//! (Sections 1.1 and 4) refer to.
+
+use crate::amplify::AndConstruction;
+use crate::error::{LshError, Result};
+use crate::traits::{AsymmetricHashFunction, AsymmetricLshFamily};
+use ips_linalg::DenseVector;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Parameters of a multi-table index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexParams {
+    /// Number of concatenated hash functions per table (AND-construction width).
+    pub k: usize,
+    /// Number of tables (OR-construction width).
+    pub l: usize,
+}
+
+impl IndexParams {
+    /// Standard parameter choice for `n` points given collision probabilities `p1 > p2`:
+    /// `k = ⌈ln n / ln(1/p2)⌉` and `L = ⌈n^ρ⌉` with `ρ = ln p1 / ln p2`.
+    pub fn theoretical(n: usize, p1: f64, p2: f64) -> Result<Self> {
+        if !(p2 > 0.0 && p2 < 1.0 && p1 > p2 && p1 < 1.0) {
+            return Err(LshError::InvalidParameter {
+                name: "p1/p2",
+                reason: format!("need 0 < p2 < p1 < 1, got p1={p1}, p2={p2}"),
+            });
+        }
+        let n = n.max(2) as f64;
+        let k = (n.ln() / (1.0 / p2).ln()).ceil().max(1.0) as usize;
+        let rho = p1.ln() / p2.ln();
+        let l = n.powf(rho).ceil().max(1.0) as usize;
+        Ok(Self { k, l })
+    }
+}
+
+/// A multi-table LSH index over data vectors, generic over any asymmetric family.
+pub struct LshIndex<F: AsymmetricLshFamily> {
+    functions: Vec<<AndConstruction<F> as AsymmetricLshFamily>::Function>,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    params: IndexParams,
+    len: usize,
+}
+
+impl<F: AsymmetricLshFamily + Clone> LshIndex<F> {
+    /// Builds an index over `data` using `params.l` tables of `params.k`-wise composite
+    /// functions sampled from `family`.
+    pub fn build<R: Rng + ?Sized>(
+        family: &F,
+        params: IndexParams,
+        data: &[DenseVector],
+        rng: &mut R,
+    ) -> Result<Self> {
+        if params.l == 0 {
+            return Err(LshError::InvalidParameter {
+                name: "l",
+                reason: "index needs at least one table".into(),
+            });
+        }
+        if data.len() > u32::MAX as usize {
+            return Err(LshError::InvalidParameter {
+                name: "data",
+                reason: "index supports at most 2^32 - 1 points".into(),
+            });
+        }
+        let composite = AndConstruction::new(family.clone(), params.k)?;
+        let mut functions = Vec::with_capacity(params.l);
+        let mut tables = Vec::with_capacity(params.l);
+        for _ in 0..params.l {
+            let f = composite.sample(rng)?;
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (idx, p) in data.iter().enumerate() {
+                let bucket = f.hash_data(p)?;
+                table.entry(bucket).or_default().push(idx as u32);
+            }
+            functions.push(f);
+            tables.push(table);
+        }
+        Ok(Self {
+            functions,
+            tables,
+            params,
+            len: data.len(),
+        })
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> IndexParams {
+        self.params
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the (deduplicated) candidate indices colliding with the query in at
+    /// least one table, in ascending order.
+    pub fn query_candidates(&self, q: &DenseVector) -> Result<Vec<usize>> {
+        let mut seen: HashSet<u32> = HashSet::new();
+        for (f, table) in self.functions.iter().zip(self.tables.iter()) {
+            let bucket = f.hash_query(q)?;
+            if let Some(ids) = table.get(&bucket) {
+                seen.extend(ids.iter().copied());
+            }
+        }
+        let mut out: Vec<usize> = seen.into_iter().map(|i| i as usize).collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Total number of stored (bucket, point) entries across all tables — a proxy for
+    /// the index's memory footprint used by the benchmarks.
+    pub fn stored_entries(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::HyperplaneFamily;
+    use crate::simple_alsh::SimpleAlshFamily;
+    use crate::traits::SymmetricAsAsymmetric;
+    use ips_linalg::random::{random_ball_vector, random_unit_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theoretical_params_sane() {
+        let p = IndexParams::theoretical(1000, 0.8, 0.4).unwrap();
+        assert!(p.k >= 1 && p.l >= 1);
+        assert!(IndexParams::theoretical(1000, 0.4, 0.8).is_err());
+        assert!(IndexParams::theoretical(1000, 1.1, 0.5).is_err());
+    }
+
+    #[test]
+    fn build_rejects_zero_tables() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let fam = SymmetricAsAsymmetric(HyperplaneFamily::single_bit(4).unwrap());
+        let data = vec![DenseVector::from(&[1.0, 0.0, 0.0, 0.0][..])];
+        assert!(LshIndex::build(&fam, IndexParams { k: 1, l: 0 }, &data, &mut rng).is_err());
+    }
+
+    #[test]
+    fn near_duplicates_are_found() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let dim = 16;
+        let fam = SymmetricAsAsymmetric(HyperplaneFamily::single_bit(dim).unwrap());
+        let mut data: Vec<DenseVector> = (0..200)
+            .map(|_| random_unit_vector(&mut rng, dim).unwrap())
+            .collect();
+        // Plant a near-duplicate of the query at index 0.
+        let query = random_unit_vector(&mut rng, dim).unwrap();
+        data[0] = query.scaled(1.0 - 1e-9);
+        let index = LshIndex::build(&fam, IndexParams { k: 4, l: 16 }, &data, &mut rng).unwrap();
+        assert_eq!(index.len(), 200);
+        assert!(!index.is_empty());
+        assert!(index.stored_entries() >= 200 * 16);
+        let candidates = index.query_candidates(&query).unwrap();
+        assert!(
+            candidates.contains(&0),
+            "planted near-duplicate not retrieved; got {candidates:?}"
+        );
+        // The candidate set should be (much) smaller than the full data set.
+        assert!(candidates.len() < 200);
+    }
+
+    #[test]
+    fn asymmetric_family_index_finds_high_inner_product() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let dim = 12;
+        let fam = SimpleAlshFamily::new(dim, 1.0, 1).unwrap();
+        let query = random_unit_vector(&mut rng, dim).unwrap();
+        let mut data: Vec<DenseVector> = (0..150)
+            .map(|_| random_ball_vector(&mut rng, dim, 1.0).unwrap())
+            .collect();
+        data[7] = query.scaled(0.98); // high inner product with the query
+        let index = LshIndex::build(&fam, IndexParams { k: 6, l: 24 }, &data, &mut rng).unwrap();
+        let candidates = index.query_candidates(&query).unwrap();
+        assert!(candidates.contains(&7), "high-IP point missed: {candidates:?}");
+    }
+
+    #[test]
+    fn params_accessor_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let fam = SymmetricAsAsymmetric(HyperplaneFamily::single_bit(4).unwrap());
+        let data = vec![DenseVector::from(&[0.5, 0.5, 0.5, 0.5][..])];
+        let params = IndexParams { k: 2, l: 3 };
+        let index = LshIndex::build(&fam, params, &data, &mut rng).unwrap();
+        assert_eq!(index.params(), params);
+    }
+}

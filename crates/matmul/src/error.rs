@@ -1,0 +1,107 @@
+//! Error types for the matrix-multiplication substrate.
+
+use ips_linalg::LinalgError;
+use std::fmt;
+
+/// Result alias used throughout `ips-matmul`.
+pub type Result<T> = std::result::Result<T, MatmulError>;
+
+/// Errors produced by the matrix-multiplication routines and the algebraic joins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatmulError {
+    /// Two matrices (or a matrix and a vector collection) had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand, `(rows, cols)`.
+        right: (usize, usize),
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// An operation required a non-empty input.
+    Empty {
+        /// Description of the operation that failed.
+        op: &'static str,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MatmulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatmulError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatmulError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MatmulError::Empty { op } => write!(f, "operation {op} requires non-empty input"),
+            MatmulError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatmulError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatmulError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MatmulError {
+    fn from(e: LinalgError) -> Self {
+        MatmulError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = MatmulError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "multiply",
+        };
+        assert_eq!(e.to_string(), "shape mismatch in multiply: 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn display_invalid_parameter_and_empty() {
+        let e = MatmulError::InvalidParameter {
+            name: "block",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("block"));
+        let e = MatmulError::Empty { op: "gram" };
+        assert!(e.to_string().contains("gram"));
+    }
+
+    #[test]
+    fn linalg_conversion_preserves_source() {
+        let e: MatmulError = LinalgError::Empty { op: "dot" }.into();
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MatmulError::Empty { op: "x" }).is_none());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MatmulError>();
+    }
+}

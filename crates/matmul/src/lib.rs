@@ -1,0 +1,41 @@
+//! # ips-matmul
+//!
+//! The *algebraic techniques* substrate of the `ips-join` workspace — a reproduction of
+//! the matrix-multiplication-based side of *"On the Complexity of Inner Product
+//! Similarity Join"* (Ahle, Pagh, Razenshteyn, Silvestri; PODS 2016).
+//!
+//! Table 1 of the paper splits approximation ranges into *hard* and *permissible*; the
+//! permissible entries for unsigned join over `{−1,1}` are achieved by reductions to
+//! fast matrix multiplication (Valiant [51] and Karppa–Kaski–Kohonen [29]) rather than
+//! by LSH. This crate builds that baseline family so the benchmark harness can compare
+//! the LSH/sketch data structures of Section 4 against it:
+//!
+//! * [`dense`] — cache-blocked and multi-threaded dense matrix multiplication, plus the
+//!   Gram-matrix product `P·Qᵀ` that turns an all-pairs inner-product computation into
+//!   one matrix product;
+//! * [`strassen`] — Strassen's sub-cubic recursion, the laptop-scale stand-in for the
+//!   `ω < 3` fast matrix multiplication the paper's permissible upper bounds assume;
+//! * [`join`] — exact signed/unsigned joins driven by blockwise Gram products (the
+//!   "one big matrix product instead of n² dot loops" baseline);
+//! * [`valiant`] — the amplify-and-multiply unsigned `(cs, s)` join for `{−1,1}` data:
+//!   a degree-`t` tensor-power amplification compressed by random coordinate sampling,
+//!   followed by a Gram product and exact verification of the surviving candidates —
+//!   the laptop-scale analogue of the outlier-correlation detection of [51, 29].
+//!
+//! The crate depends only on `ips-linalg` (vectors and matrices), `rand` and
+//! `crossbeam`; the `ips-core` crate re-exports the joins behind its common interface.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dense;
+pub mod error;
+pub mod join;
+pub mod strassen;
+pub mod valiant;
+
+pub use dense::{gram_matrix, multiply_blocked, multiply_naive, multiply_parallel};
+pub use error::{MatmulError, Result};
+pub use join::{matmul_exact_join, matmul_exact_join_parallel, AlgebraicPair};
+pub use strassen::strassen_multiply;
+pub use valiant::{amplified_unsigned_join, AmplifiedJoinConfig, AmplifiedJoinReport};

@@ -1,0 +1,223 @@
+//! Strassen's sub-cubic matrix multiplication.
+//!
+//! The permissible-approximation entries of Table 1 for unsigned `{−1,1}` join rest on
+//! *fast* matrix multiplication (`ω < 3`); the paper is explicit that such algorithms
+//! "are currently not competitive on realistic input sizes", which is exactly the
+//! trade-off this module lets the benchmarks measure. Strassen's recursion is the
+//! simplest genuinely sub-cubic algorithm (`O(n^{2.807})`), and the implementation here
+//! pads inputs to the next power of two and falls back to the blocked kernel below a
+//! configurable cutoff — the standard practical recipe.
+
+use crate::dense::{multiply_blocked, DEFAULT_BLOCK};
+use crate::error::{MatmulError, Result};
+use ips_linalg::Matrix;
+
+/// Recommended recursion cutoff: below this size the blocked kernel is faster than
+/// further Strassen splits.
+pub const DEFAULT_CUTOFF: usize = 64;
+
+/// Multiplies `A·B` with Strassen's recursion, falling back to the blocked kernel for
+/// sub-problems of side at most `cutoff`.
+///
+/// Returns an error when the shapes are incompatible or `cutoff == 0`.
+pub fn strassen_multiply(a: &Matrix, b: &Matrix, cutoff: usize) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(MatmulError::ShapeMismatch {
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+            op: "strassen_multiply",
+        });
+    }
+    if cutoff == 0 {
+        return Err(MatmulError::InvalidParameter {
+            name: "cutoff",
+            reason: "recursion cutoff must be positive".into(),
+        });
+    }
+    let n = a.rows().max(a.cols()).max(b.cols());
+    if n <= cutoff {
+        return multiply_blocked(a, b, DEFAULT_BLOCK.min(cutoff.max(1)));
+    }
+    let size = n.next_power_of_two();
+    let a_pad = pad(a, size);
+    let b_pad = pad(b, size);
+    let c_pad = strassen_square(&a_pad, &b_pad, cutoff);
+    Ok(crop(&c_pad, a.rows(), b.cols()))
+}
+
+/// Embeds `m` into the top-left corner of a `size × size` zero matrix.
+fn pad(m: &Matrix, size: usize) -> Matrix {
+    let mut out = Matrix::zeros(size, size);
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            out.set(i, j, m.get(i, j));
+        }
+    }
+    out
+}
+
+/// Extracts the top-left `rows × cols` corner.
+fn crop(m: &Matrix, rows: usize, cols: usize) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            out.set(i, j, m.get(i, j));
+        }
+    }
+    out
+}
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            out.set(i, j, a.get(i, j) + b.get(i, j));
+        }
+    }
+    out
+}
+
+fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), a.cols());
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            out.set(i, j, a.get(i, j) - b.get(i, j));
+        }
+    }
+    out
+}
+
+/// Splits a `2h × 2h` matrix into its four `h × h` quadrants `(A11, A12, A21, A22)`.
+fn quadrants(m: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+    let h = m.rows() / 2;
+    let mut q = [
+        Matrix::zeros(h, h),
+        Matrix::zeros(h, h),
+        Matrix::zeros(h, h),
+        Matrix::zeros(h, h),
+    ];
+    for i in 0..h {
+        for j in 0..h {
+            q[0].set(i, j, m.get(i, j));
+            q[1].set(i, j, m.get(i, j + h));
+            q[2].set(i, j, m.get(i + h, j));
+            q[3].set(i, j, m.get(i + h, j + h));
+        }
+    }
+    let [a, b, c, d] = q;
+    (a, b, c, d)
+}
+
+/// Reassembles four `h × h` quadrants into a `2h × 2h` matrix.
+fn assemble(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix) -> Matrix {
+    let h = c11.rows();
+    let mut out = Matrix::zeros(2 * h, 2 * h);
+    for i in 0..h {
+        for j in 0..h {
+            out.set(i, j, c11.get(i, j));
+            out.set(i, j + h, c12.get(i, j));
+            out.set(i + h, j, c21.get(i, j));
+            out.set(i + h, j + h, c22.get(i, j));
+        }
+    }
+    out
+}
+
+/// Strassen recursion on square power-of-two matrices.
+fn strassen_square(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    let n = a.rows();
+    if n <= cutoff || n % 2 != 0 {
+        return multiply_blocked(a, b, DEFAULT_BLOCK)
+            .expect("square inputs of equal size always multiply");
+    }
+    let (a11, a12, a21, a22) = quadrants(a);
+    let (b11, b12, b21, b22) = quadrants(b);
+
+    let m1 = strassen_square(&add(&a11, &a22), &add(&b11, &b22), cutoff);
+    let m2 = strassen_square(&add(&a21, &a22), &b11, cutoff);
+    let m3 = strassen_square(&a11, &sub(&b12, &b22), cutoff);
+    let m4 = strassen_square(&a22, &sub(&b21, &b11), cutoff);
+    let m5 = strassen_square(&add(&a11, &a12), &b22, cutoff);
+    let m6 = strassen_square(&sub(&a21, &a11), &add(&b11, &b12), cutoff);
+    let m7 = strassen_square(&sub(&a12, &a22), &add(&b21, &b22), cutoff);
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+    assemble(&c11, &c12, &c21, &c22)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::multiply_naive;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_row_major(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .unwrap()
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a.get(i, j) - b.get(i, j)).abs() < tol,
+                    "entry ({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    b.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(strassen_multiply(&a, &b, 8).is_err());
+        let ok_b = Matrix::zeros(3, 2);
+        assert!(strassen_multiply(&a, &ok_b, 0).is_err());
+    }
+
+    #[test]
+    fn matches_naive_on_square_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(0x51);
+        let a = random_matrix(&mut rng, 32, 32);
+        let b = random_matrix(&mut rng, 32, 32);
+        let reference = multiply_naive(&a, &b).unwrap();
+        assert_close(&strassen_multiply(&a, &b, 8).unwrap(), &reference, 1e-8);
+    }
+
+    #[test]
+    fn matches_naive_on_rectangular_inputs() {
+        let mut rng = StdRng::seed_from_u64(0x52);
+        let a = random_matrix(&mut rng, 19, 37);
+        let b = random_matrix(&mut rng, 37, 11);
+        let reference = multiply_naive(&a, &b).unwrap();
+        assert_close(&strassen_multiply(&a, &b, 4).unwrap(), &reference, 1e-8);
+    }
+
+    #[test]
+    fn small_inputs_take_the_blocked_path() {
+        let mut rng = StdRng::seed_from_u64(0x53);
+        let a = random_matrix(&mut rng, 5, 5);
+        let b = random_matrix(&mut rng, 5, 5);
+        let reference = multiply_naive(&a, &b).unwrap();
+        assert_close(&strassen_multiply(&a, &b, 64).unwrap(), &reference, 1e-9);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(0x54);
+        let a = random_matrix(&mut rng, 20, 20);
+        let id = Matrix::identity(20);
+        assert_close(&strassen_multiply(&a, &id, 4).unwrap(), &a, 1e-9);
+        assert_close(&strassen_multiply(&id, &a, 4).unwrap(), &a, 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the matrix-multiplication substrate: every kernel computes
+//! the same product, and the algebraic joins never report an invalid pair.
+
+use ips_linalg::random::random_sign_vector;
+use ips_linalg::{DenseVector, Matrix};
+use ips_matmul::{
+    amplified_unsigned_join, gram_matrix, matmul_exact_join, multiply_blocked, multiply_naive,
+    multiply_parallel, strassen_multiply, AmplifiedJoinConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_row_major(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+fn matrices_close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && (0..a.rows())
+            .all(|i| (0..a.cols()).all(|j| (a.get(i, j) - b.get(i, j)).abs() < tol))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_kernels_agree(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        k in 1usize..24,
+        m in 1usize..24,
+        block in 1usize..16,
+        threads in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, k);
+        let b = random_matrix(&mut rng, k, m);
+        let reference = multiply_naive(&a, &b).unwrap();
+        prop_assert!(matrices_close(&multiply_blocked(&a, &b, block).unwrap(), &reference, 1e-9));
+        prop_assert!(matrices_close(
+            &multiply_parallel(&a, &b, block, threads).unwrap(),
+            &reference,
+            1e-9
+        ));
+        prop_assert!(matrices_close(&strassen_multiply(&a, &b, 4).unwrap(), &reference, 1e-7));
+    }
+
+    #[test]
+    fn gram_entries_are_exact_inner_products(seed in any::<u64>(), n in 1usize..15, q in 1usize..10, d in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<DenseVector> = (0..n)
+            .map(|_| DenseVector::new((0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+            .collect();
+        let queries: Vec<DenseVector> = (0..q)
+            .map(|_| DenseVector::new((0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+            .collect();
+        let gram = gram_matrix(&data, &queries).unwrap();
+        for (i, p) in data.iter().enumerate() {
+            for (j, qu) in queries.iter().enumerate() {
+                prop_assert!((gram.get(i, j) - p.dot(qu).unwrap()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_join_reports_only_pairs_above_threshold(
+        seed in any::<u64>(),
+        threshold in 0.05f64..0.95,
+        unsigned in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 8;
+        let data: Vec<DenseVector> = (0..20)
+            .map(|_| DenseVector::new((0..d).map(|_| rng.gen_range(-0.5..0.5)).collect()))
+            .collect();
+        let queries: Vec<DenseVector> = (0..10)
+            .map(|_| DenseVector::new((0..d).map(|_| rng.gen_range(-0.5..0.5)).collect()))
+            .collect();
+        let pairs = matmul_exact_join(&data, &queries, threshold, unsigned, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for pair in &pairs {
+            let exact = data[pair.data_index].dot(&queries[pair.query_index]).unwrap();
+            prop_assert!((exact - pair.inner_product).abs() < 1e-9);
+            let value = if unsigned { exact.abs() } else { exact };
+            prop_assert!(value >= threshold - 1e-12);
+            prop_assert!(seen.insert(pair.query_index), "at most one pair per query");
+        }
+        // Completeness of the exact join: every query with a partner above the
+        // threshold is answered.
+        for (j, qu) in queries.iter().enumerate() {
+            let best = data
+                .iter()
+                .map(|p| {
+                    let ip = p.dot(qu).unwrap();
+                    if unsigned { ip.abs() } else { ip }
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best >= threshold {
+                prop_assert!(seen.contains(&j), "query {j} with partner {best} unanswered");
+            }
+        }
+    }
+
+    #[test]
+    fn amplified_join_never_reports_below_cs(seed in any::<u64>(), c in 0.3f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 32;
+        let data: Vec<_> = (0..30).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let queries: Vec<_> = (0..8).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let s = 20.0;
+        let report = amplified_unsigned_join(
+            &mut rng,
+            &data,
+            &queries,
+            s,
+            c,
+            AmplifiedJoinConfig {
+                degree: 2,
+                projection_dim: 256,
+                detection_fraction: 0.25,
+            },
+        )
+        .unwrap();
+        for pair in &report.pairs {
+            let exact = data[pair.data_index].dot(&queries[pair.query_index]).unwrap() as f64;
+            prop_assert!((exact - pair.inner_product).abs() < 1e-9);
+            prop_assert!(exact.abs() >= c * s - 1e-9);
+        }
+        prop_assert!(report.candidates <= data.len() * queries.len());
+    }
+}

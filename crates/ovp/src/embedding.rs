@@ -1,0 +1,758 @@
+//! Gap embeddings (Lemma 3) — the constructive heart of the hardness results.
+//!
+//! An *unsigned `(d₁, d₂, cs, s)`-gap embedding* into a domain `A` is a pair of maps
+//! `(f, g) : {0,1}^{d₁} → A^{d₂'}` (`d₂' ≤ d₂`) such that for all `x, y ∈ {0,1}^{d₁}`
+//!
+//! ```text
+//! |f(x)ᵀ g(y)| ≥ s    when xᵀy = 0      (orthogonal pairs land above the threshold)
+//! |f(x)ᵀ g(y)| ≤ cs   when xᵀy ≥ 1      (non-orthogonal pairs land below it)
+//! ```
+//!
+//! (signed embeddings drop the absolute values). Lemma 2 turns any family of such
+//! embeddings with `d₂ = 2^{o(d₁)}` plus a subquadratic `(cs, s)`-join algorithm into a
+//! subquadratic OVP algorithm. The three constructions of Lemma 3 are implemented here:
+//!
+//! 1. [`SignedEmbedding`] — `(d, 4d−4, 0, 4)` into `{−1,1}`, giving hardness of signed
+//!    join for *any* `c > 0` (Theorem 1, case 1);
+//! 2. [`ChebyshevEmbedding`] — `(d, (9d)^q, (2d)^q, (2d)^q·T_q(1+1/d))` into `{−1,1}`,
+//!    a deterministic version of Valiant's Chebyshev embedding, giving hardness of
+//!    unsigned join for `c ≥ e^{−o(√(log n / log log n))}` (Theorem 1, case 2);
+//! 3. [`ZeroOneEmbedding`] — the chopped product `(d, k·2^{⌈d/k⌉}, k−1, k)` into
+//!    `{0,1}`, giving hardness for `c = 1 − o(1)` (Theorem 1, case 3).
+
+use crate::error::{OvpError, Result};
+use ips_linalg::chebyshev::{chebyshev_t_outside, scaled_chebyshev};
+use ips_linalg::ops::{concat_all, repeat, tensor};
+use ips_linalg::{BinaryVector, DenseVector};
+
+/// The output alphabet of a gap embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Vectors over `{−1, +1}`.
+    PlusMinusOne,
+    /// Vectors over `{0, 1}`.
+    ZeroOne,
+}
+
+/// A gap embedding in the sense of Definition 4 of the paper.
+pub trait GapEmbedding {
+    /// The output alphabet.
+    fn domain(&self) -> Domain;
+
+    /// Input dimension `d₁` (the OVP dimension).
+    fn input_dim(&self) -> usize;
+
+    /// Output dimension `d₂'` of the embedded vectors.
+    fn output_dim(&self) -> usize;
+
+    /// The threshold `s`: orthogonal pairs have (absolute) embedded inner product at
+    /// least `s`.
+    fn threshold(&self) -> f64;
+
+    /// The approximate threshold `cs`: non-orthogonal pairs have (absolute) embedded
+    /// inner product at most `cs`.
+    fn approx_threshold(&self) -> f64;
+
+    /// Whether the guarantee is signed (no absolute values) or unsigned.
+    fn is_signed(&self) -> bool;
+
+    /// The map `f` applied to vectors of the data set `P`.
+    fn embed_data(&self, x: &BinaryVector) -> Result<DenseVector>;
+
+    /// The map `g` applied to vectors of the query set `Q`.
+    fn embed_query(&self, y: &BinaryVector) -> Result<DenseVector>;
+
+    /// The implied approximation factor `c = cs / s`.
+    fn approximation_factor(&self) -> f64 {
+        self.approx_threshold() / self.threshold()
+    }
+
+    /// Embeds a whole slice of data vectors.
+    fn embed_data_all(&self, xs: &[BinaryVector]) -> Result<Vec<DenseVector>> {
+        xs.iter().map(|x| self.embed_data(x)).collect()
+    }
+
+    /// Embeds a whole slice of query vectors.
+    fn embed_query_all(&self, ys: &[BinaryVector]) -> Result<Vec<DenseVector>> {
+        ys.iter().map(|y| self.embed_query(y)).collect()
+    }
+}
+
+fn check_dim(expected: usize, v: &BinaryVector) -> Result<()> {
+    if v.dim() != expected {
+        return Err(OvpError::InconsistentDimensions {
+            expected,
+            actual: v.dim(),
+        });
+    }
+    Ok(())
+}
+
+/// Per-coordinate transform `f̂` of the `{−1,1}` constructions:
+/// `f̂(0) = (1,−1,−1)`, `f̂(1) = (1,1,1)`.
+fn f_hat(bit: bool) -> [f64; 3] {
+    if bit {
+        [1.0, 1.0, 1.0]
+    } else {
+        [1.0, -1.0, -1.0]
+    }
+}
+
+/// Per-coordinate transform `ĝ`: `ĝ(0) = (1,1,−1)`, `ĝ(1) = (−1,−1,−1)`.
+fn g_hat(bit: bool) -> [f64; 3] {
+    if bit {
+        [-1.0, -1.0, -1.0]
+    } else {
+        [1.0, 1.0, -1.0]
+    }
+}
+
+/// Applies the coordinate-wise `f̂` transform, producing a `3d`-dimensional `{−1,1}`
+/// vector whose inner product with the `ĝ` transform of `y` equals `d − 4·xᵀy`.
+fn coordinatewise_f(x: &BinaryVector) -> DenseVector {
+    let mut out = Vec::with_capacity(3 * x.dim());
+    for bit in x.iter_bits() {
+        out.extend_from_slice(&f_hat(bit));
+    }
+    DenseVector::new(out)
+}
+
+/// Applies the coordinate-wise `ĝ` transform.
+fn coordinatewise_g(y: &BinaryVector) -> DenseVector {
+    let mut out = Vec::with_capacity(3 * y.dim());
+    for bit in y.iter_bits() {
+        out.extend_from_slice(&g_hat(bit));
+    }
+    DenseVector::new(out)
+}
+
+// ---------------------------------------------------------------------------
+// Embedding 1: the signed (d, 4d−4, 0, 4) embedding into {−1,1}.
+// ---------------------------------------------------------------------------
+
+/// Lemma 3, embedding 1: `f(x)ᵀg(y) = 4 − 4·xᵀy`, so orthogonal pairs map to inner
+/// product exactly 4 and non-orthogonal pairs to at most 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedEmbedding {
+    input_dim: usize,
+}
+
+impl SignedEmbedding {
+    /// Creates the embedding for OVP dimension `d ≥ 4` (the translation pad has length
+    /// `d − 4`).
+    pub fn new(input_dim: usize) -> Result<Self> {
+        if input_dim < 4 {
+            return Err(OvpError::InvalidParameter {
+                name: "input_dim",
+                reason: format!("signed embedding requires d >= 4, got {input_dim}"),
+            });
+        }
+        Ok(Self { input_dim })
+    }
+}
+
+impl GapEmbedding for SignedEmbedding {
+    fn domain(&self) -> Domain {
+        Domain::PlusMinusOne
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        4 * self.input_dim - 4
+    }
+
+    fn threshold(&self) -> f64 {
+        4.0
+    }
+
+    fn approx_threshold(&self) -> f64 {
+        0.0
+    }
+
+    fn is_signed(&self) -> bool {
+        true
+    }
+
+    fn embed_data(&self, x: &BinaryVector) -> Result<DenseVector> {
+        check_dim(self.input_dim, x)?;
+        let core = coordinatewise_f(x);
+        let pad = DenseVector::new(vec![1.0; self.input_dim - 4]);
+        Ok(core.concat(&pad))
+    }
+
+    fn embed_query(&self, y: &BinaryVector) -> Result<DenseVector> {
+        check_dim(self.input_dim, y)?;
+        let core = coordinatewise_g(y);
+        let pad = DenseVector::new(vec![-1.0; self.input_dim - 4]);
+        Ok(core.concat(&pad))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding 2: the deterministic Chebyshev embedding into {−1,1}.
+// ---------------------------------------------------------------------------
+
+/// Lemma 3, embedding 2: realises the scaled Chebyshev polynomial
+/// `(2d)^q · T_q(u / 2d)` of the translated inner product
+/// `u = 2d + 2 − 4·xᵀy` as an exact `{−1,1}` inner product.
+///
+/// Orthogonal pairs (`u = 2d + 2`) are mapped above `s = (2d)^q·T_q(1 + 1/d)`, which
+/// grows like `e^{q/√d}` relative to the non-orthogonal bound `cs = (2d)^q` — the gap
+/// amplification at the core of Theorem 1, case 2 and Theorem 2, case 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChebyshevEmbedding {
+    input_dim: usize,
+    degree: u32,
+}
+
+impl ChebyshevEmbedding {
+    /// Creates the degree-`q` Chebyshev embedding for OVP dimension `d ≥ 2`.
+    ///
+    /// The output dimension grows roughly like `(9d)^q`; construction is rejected when
+    /// it would exceed `2^26` coordinates to keep memory bounded.
+    pub fn new(input_dim: usize, degree: u32) -> Result<Self> {
+        if input_dim < 2 {
+            return Err(OvpError::InvalidParameter {
+                name: "input_dim",
+                reason: format!("chebyshev embedding requires d >= 2, got {input_dim}"),
+            });
+        }
+        if degree == 0 {
+            return Err(OvpError::InvalidParameter {
+                name: "degree",
+                reason: "degree q must be at least 1".into(),
+            });
+        }
+        let emb = Self { input_dim, degree };
+        let dim = emb.output_dim_checked()?;
+        if dim > (1 << 26) {
+            return Err(OvpError::InvalidParameter {
+                name: "degree",
+                reason: format!(
+                    "output dimension {dim} exceeds the 2^26 safety limit; lower d or q"
+                ),
+            });
+        }
+        Ok(emb)
+    }
+
+    /// Chebyshev degree `q`.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Dimension of the translated base vectors `x̄, ȳ` (`4d + 2`).
+    fn base_dim(&self) -> usize {
+        4 * self.input_dim + 2
+    }
+
+    fn output_dim_checked(&self) -> Result<usize> {
+        // d_0 = 1, d_1 = 4d+2, d_q = 2(4d+2) d_{q−1} + (2d)² d_{q−2}.
+        let base = self.base_dim();
+        let b_sq = 4 * self.input_dim * self.input_dim;
+        let (mut prev2, mut prev1) = (1usize, base);
+        if self.degree == 0 {
+            return Ok(1);
+        }
+        for _ in 2..=self.degree {
+            let next = 2usize
+                .checked_mul(base)
+                .and_then(|x| x.checked_mul(prev1))
+                .and_then(|x| x.checked_add(b_sq.checked_mul(prev2)?))
+                .ok_or_else(|| OvpError::InvalidParameter {
+                    name: "degree",
+                    reason: "output dimension overflows usize".into(),
+                })?;
+            prev2 = prev1;
+            prev1 = next;
+        }
+        Ok(prev1)
+    }
+
+    /// The translated base vector `x̄` (data side).
+    fn base_data(&self, x: &BinaryVector) -> DenseVector {
+        let core = coordinatewise_f(x);
+        core.concat(&DenseVector::new(vec![1.0; self.input_dim + 2]))
+    }
+
+    /// The translated base vector `ȳ` (query side).
+    fn base_query(&self, y: &BinaryVector) -> DenseVector {
+        let core = coordinatewise_g(y);
+        core.concat(&DenseVector::new(vec![1.0; self.input_dim + 2]))
+    }
+
+    /// Builds the recursive tower `f_q` / `g_q`. `negate_prev2` distinguishes the data
+    /// side (no negation) from the query side (negated `g_{q−2}` blocks).
+    fn build_tower(&self, base: &DenseVector, query_side: bool) -> Result<DenseVector> {
+        let b_sq = 4 * self.input_dim * self.input_dim;
+        let mut prev2 = DenseVector::new(vec![1.0]); // level 0
+        let mut prev1 = base.clone(); // level 1
+        if self.degree == 1 {
+            return Ok(prev1);
+        }
+        for _ in 2..=self.degree {
+            let doubled = repeat(&tensor(base, &prev1), 2);
+            let tail_source = if query_side { prev2.negated() } else { prev2.clone() };
+            let tail = repeat(&tail_source, b_sq);
+            let next = concat_all(&[doubled, tail])?;
+            prev2 = prev1;
+            prev1 = next;
+        }
+        Ok(prev1)
+    }
+
+    /// The exact embedded inner product for a pair with original inner product `ip`.
+    pub fn embedded_inner_product(&self, ip: usize) -> f64 {
+        let u = 2.0 * self.input_dim as f64 + 2.0 - 4.0 * ip as f64;
+        scaled_chebyshev(self.degree, u, 2.0 * self.input_dim as f64)
+    }
+}
+
+impl GapEmbedding for ChebyshevEmbedding {
+    fn domain(&self) -> Domain {
+        Domain::PlusMinusOne
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim_checked()
+            .expect("dimension was validated at construction")
+    }
+
+    fn threshold(&self) -> f64 {
+        let b = 2.0 * self.input_dim as f64;
+        b.powi(self.degree as i32) * chebyshev_t_outside(self.degree, 1.0 / self.input_dim as f64)
+    }
+
+    fn approx_threshold(&self) -> f64 {
+        (2.0 * self.input_dim as f64).powi(self.degree as i32)
+    }
+
+    fn is_signed(&self) -> bool {
+        false
+    }
+
+    fn embed_data(&self, x: &BinaryVector) -> Result<DenseVector> {
+        check_dim(self.input_dim, x)?;
+        self.build_tower(&self.base_data(x), false)
+    }
+
+    fn embed_query(&self, y: &BinaryVector) -> Result<DenseVector> {
+        check_dim(self.input_dim, y)?;
+        self.build_tower(&self.base_query(y), true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding 3: the chopped-product embedding into {0,1}.
+// ---------------------------------------------------------------------------
+
+/// Lemma 3, embedding 3: the polynomial `Σ_{chunks} Π_{j∈chunk} (1 − x_j y_j)` realised
+/// over `{0,1}` by chunk-wise tensoring. Orthogonal pairs evaluate to the number of
+/// chunks `k`; non-orthogonal pairs to at most `k − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroOneEmbedding {
+    input_dim: usize,
+    chunks: usize,
+}
+
+impl ZeroOneEmbedding {
+    /// Maximum chunk length accepted (each chunk contributes `2^len` coordinates).
+    const MAX_CHUNK_LEN: usize = 24;
+
+    /// Creates the embedding splitting the `d` coordinates into `k` chunks
+    /// (`1 ≤ k ≤ d`).
+    pub fn new(input_dim: usize, chunks: usize) -> Result<Self> {
+        if input_dim == 0 {
+            return Err(OvpError::InvalidParameter {
+                name: "input_dim",
+                reason: "dimension must be positive".into(),
+            });
+        }
+        if chunks == 0 || chunks > input_dim {
+            return Err(OvpError::InvalidParameter {
+                name: "chunks",
+                reason: format!("need 1 <= k <= d, got k={chunks}, d={input_dim}"),
+            });
+        }
+        let longest = input_dim.div_ceil(chunks);
+        if longest > Self::MAX_CHUNK_LEN {
+            return Err(OvpError::InvalidParameter {
+                name: "chunks",
+                reason: format!(
+                    "chunk length {longest} exceeds the limit of {} (output would need 2^{longest} coordinates per chunk)",
+                    Self::MAX_CHUNK_LEN
+                ),
+            });
+        }
+        Ok(Self { input_dim, chunks })
+    }
+
+    /// Number of chunks `k`.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// The chunk boundaries: `k` half-open ranges covering `0..d`.
+    fn chunk_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let base = self.input_dim / self.chunks;
+        let remainder = self.input_dim % self.chunks;
+        let mut ranges = Vec::with_capacity(self.chunks);
+        let mut start = 0usize;
+        for c in 0..self.chunks {
+            let len = base + usize::from(c < remainder);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+
+    fn embed_side(&self, v: &BinaryVector, data_side: bool) -> Result<DenseVector> {
+        check_dim(self.input_dim, v)?;
+        let mut parts = Vec::with_capacity(self.chunks);
+        for range in self.chunk_ranges() {
+            let mut acc = DenseVector::new(vec![1.0]);
+            for j in range {
+                let bit = v.get(j);
+                let pair = if data_side {
+                    // data side: (1 − x_j, 1)
+                    DenseVector::new(vec![if bit { 0.0 } else { 1.0 }, 1.0])
+                } else {
+                    // query side: (y_j, 1 − y_j)
+                    DenseVector::new(vec![if bit { 1.0 } else { 0.0 }, if bit { 0.0 } else { 1.0 }])
+                };
+                acc = tensor(&acc, &pair);
+            }
+            parts.push(acc);
+        }
+        Ok(concat_all(&parts)?)
+    }
+}
+
+impl GapEmbedding for ZeroOneEmbedding {
+    fn domain(&self) -> Domain {
+        Domain::ZeroOne
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.chunk_ranges().iter().map(|r| 1usize << r.len()).sum()
+    }
+
+    fn threshold(&self) -> f64 {
+        self.chunks as f64
+    }
+
+    fn approx_threshold(&self) -> f64 {
+        self.chunks as f64 - 1.0
+    }
+
+    fn is_signed(&self) -> bool {
+        false
+    }
+
+    fn embed_data(&self, x: &BinaryVector) -> Result<DenseVector> {
+        self.embed_side(x, true)
+    }
+
+    fn embed_query(&self, y: &BinaryVector) -> Result<DenseVector> {
+        self.embed_side(y, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_linalg::random::random_binary_vector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xE1BED)
+    }
+
+    fn random_pair_with_ip(rng: &mut StdRng, dim: usize, want_orthogonal: bool) -> (BinaryVector, BinaryVector) {
+        loop {
+            let x = random_binary_vector(rng, dim, 0.4).unwrap();
+            let y = random_binary_vector(rng, dim, 0.4).unwrap();
+            let orth = x.is_orthogonal_to(&y).unwrap();
+            if orth == want_orthogonal && x.count_ones() > 0 && y.count_ones() > 0 {
+                return (x, y);
+            }
+        }
+    }
+
+    // --- Embedding 1 -------------------------------------------------------
+
+    #[test]
+    fn signed_embedding_parameters() {
+        assert!(SignedEmbedding::new(3).is_err());
+        let e = SignedEmbedding::new(10).unwrap();
+        assert_eq!(e.input_dim(), 10);
+        assert_eq!(e.output_dim(), 36);
+        assert_eq!(e.threshold(), 4.0);
+        assert_eq!(e.approx_threshold(), 0.0);
+        assert!(e.is_signed());
+        assert_eq!(e.domain(), Domain::PlusMinusOne);
+        assert_eq!(e.approximation_factor(), 0.0);
+    }
+
+    #[test]
+    fn signed_embedding_inner_product_identity() {
+        let mut r = rng();
+        let dim = 12;
+        let e = SignedEmbedding::new(dim).unwrap();
+        for _ in 0..30 {
+            let x = random_binary_vector(&mut r, dim, 0.5).unwrap();
+            let y = random_binary_vector(&mut r, dim, 0.5).unwrap();
+            let fx = e.embed_data(&x).unwrap();
+            let gy = e.embed_query(&y).unwrap();
+            assert_eq!(fx.dim(), e.output_dim());
+            assert_eq!(gy.dim(), e.output_dim());
+            // Entries stay in {−1, 1}.
+            assert!(fx.iter().all(|&v| v == 1.0 || v == -1.0));
+            assert!(gy.iter().all(|&v| v == 1.0 || v == -1.0));
+            let ip = x.dot(&y).unwrap() as f64;
+            let embedded = fx.dot(&gy).unwrap();
+            assert_eq!(embedded, 4.0 - 4.0 * ip, "identity f(x)ᵀg(y) = 4 − 4 xᵀy");
+        }
+    }
+
+    #[test]
+    fn signed_embedding_gap_guarantee() {
+        let mut r = rng();
+        let dim = 16;
+        let e = SignedEmbedding::new(dim).unwrap();
+        for _ in 0..10 {
+            let (x, y) = random_pair_with_ip(&mut r, dim, true);
+            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            assert!(v >= e.threshold());
+            let (x, y) = random_pair_with_ip(&mut r, dim, false);
+            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            assert!(v <= e.approx_threshold());
+        }
+        assert!(e.embed_data(&BinaryVector::zeros(3)).is_err());
+        assert!(e.embed_query(&BinaryVector::zeros(3)).is_err());
+    }
+
+    // --- Embedding 2 -------------------------------------------------------
+
+    #[test]
+    fn chebyshev_embedding_parameters() {
+        assert!(ChebyshevEmbedding::new(1, 2).is_err());
+        assert!(ChebyshevEmbedding::new(8, 0).is_err());
+        assert!(ChebyshevEmbedding::new(64, 12).is_err()); // dimension guard
+        let e = ChebyshevEmbedding::new(8, 2).unwrap();
+        assert_eq!(e.degree(), 2);
+        assert_eq!(e.input_dim(), 8);
+        assert!(!e.is_signed());
+        assert_eq!(e.domain(), Domain::PlusMinusOne);
+        // d_1 = 4·8 + 2 = 34; d_2 = 2·34·34 + (16)²·1 = 2568.
+        assert_eq!(e.output_dim(), 2568);
+        // Threshold exceeds the approx threshold (that is the whole point).
+        assert!(e.threshold() > e.approx_threshold());
+        assert!(e.approximation_factor() < 1.0);
+    }
+
+    #[test]
+    fn chebyshev_degree_one_matches_base_translation() {
+        let mut r = rng();
+        let dim = 6;
+        let e = ChebyshevEmbedding::new(dim, 1).unwrap();
+        assert_eq!(e.output_dim(), 4 * dim + 2);
+        for _ in 0..20 {
+            let x = random_binary_vector(&mut r, dim, 0.5).unwrap();
+            let y = random_binary_vector(&mut r, dim, 0.5).unwrap();
+            let fx = e.embed_data(&x).unwrap();
+            let gy = e.embed_query(&y).unwrap();
+            let ip = x.dot(&y).unwrap();
+            let expected = 2.0 * dim as f64 + 2.0 - 4.0 * ip as f64;
+            assert_eq!(fx.dot(&gy).unwrap(), expected);
+            assert_eq!(expected, e.embedded_inner_product(ip));
+        }
+    }
+
+    #[test]
+    fn chebyshev_embedding_realises_scaled_polynomial() {
+        let mut r = rng();
+        let dim = 5;
+        for degree in [2u32, 3] {
+            let e = ChebyshevEmbedding::new(dim, degree).unwrap();
+            for _ in 0..8 {
+                let x = random_binary_vector(&mut r, dim, 0.5).unwrap();
+                let y = random_binary_vector(&mut r, dim, 0.5).unwrap();
+                let fx = e.embed_data(&x).unwrap();
+                let gy = e.embed_query(&y).unwrap();
+                assert_eq!(fx.dim(), e.output_dim());
+                assert!(fx.iter().all(|&v| v == 1.0 || v == -1.0));
+                assert!(gy.iter().all(|&v| v == 1.0 || v == -1.0));
+                let ip = x.dot(&y).unwrap();
+                let expected = e.embedded_inner_product(ip);
+                let actual = fx.dot(&gy).unwrap();
+                assert!(
+                    (actual - expected).abs() < 1e-6 * expected.abs().max(1.0),
+                    "q={degree}, ip={ip}: embedded {actual} vs polynomial {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_embedding_gap_guarantee() {
+        let mut r = rng();
+        let dim = 8;
+        let e = ChebyshevEmbedding::new(dim, 2).unwrap();
+        for _ in 0..10 {
+            let (x, y) = random_pair_with_ip(&mut r, dim, true);
+            let v = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap()
+                .abs();
+            assert!(v >= e.threshold() - 1e-6, "orthogonal pair below threshold: {v}");
+            let (x, y) = random_pair_with_ip(&mut r, dim, false);
+            let v = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap()
+                .abs();
+            assert!(v <= e.approx_threshold() + 1e-6, "non-orthogonal pair above cs: {v}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_gap_grows_with_degree() {
+        // s/cs = T_q(1 + 1/d) is increasing in q.
+        let dim = 8;
+        let gap_q1 = {
+            let e = ChebyshevEmbedding::new(dim, 1).unwrap();
+            e.threshold() / e.approx_threshold()
+        };
+        let gap_q3 = {
+            let e = ChebyshevEmbedding::new(dim, 3).unwrap();
+            e.threshold() / e.approx_threshold()
+        };
+        assert!(gap_q3 > gap_q1);
+    }
+
+    // --- Embedding 3 -------------------------------------------------------
+
+    #[test]
+    fn zero_one_embedding_parameters() {
+        assert!(ZeroOneEmbedding::new(0, 1).is_err());
+        assert!(ZeroOneEmbedding::new(8, 0).is_err());
+        assert!(ZeroOneEmbedding::new(8, 9).is_err());
+        assert!(ZeroOneEmbedding::new(64, 2).is_err()); // chunk of 32 exceeds the limit
+        let e = ZeroOneEmbedding::new(12, 3).unwrap();
+        assert_eq!(e.chunks(), 3);
+        assert_eq!(e.input_dim(), 12);
+        assert_eq!(e.output_dim(), 3 * (1 << 4));
+        assert_eq!(e.threshold(), 3.0);
+        assert_eq!(e.approx_threshold(), 2.0);
+        assert!(!e.is_signed());
+        assert_eq!(e.domain(), Domain::ZeroOne);
+        assert!((e.approximation_factor() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_one_embedding_counts_clean_chunks() {
+        let mut r = rng();
+        let dim = 12;
+        let k = 4;
+        let e = ZeroOneEmbedding::new(dim, k).unwrap();
+        for _ in 0..30 {
+            let x = random_binary_vector(&mut r, dim, 0.4).unwrap();
+            let y = random_binary_vector(&mut r, dim, 0.4).unwrap();
+            let fx = e.embed_data(&x).unwrap();
+            let gy = e.embed_query(&y).unwrap();
+            assert_eq!(fx.dim(), e.output_dim());
+            assert!(fx.iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(gy.iter().all(|&v| v == 0.0 || v == 1.0));
+            // Manually count chunks without a shared 1.
+            let mut expected = 0.0;
+            for range in e.chunk_ranges() {
+                let clean = range.clone().all(|j| !(x.get(j) && y.get(j)));
+                if clean {
+                    expected += 1.0;
+                }
+            }
+            assert_eq!(fx.dot(&gy).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn zero_one_embedding_gap_guarantee() {
+        let mut r = rng();
+        let dim = 15;
+        let e = ZeroOneEmbedding::new(dim, 5).unwrap();
+        for _ in 0..10 {
+            let (x, y) = random_pair_with_ip(&mut r, dim, true);
+            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            assert_eq!(v, e.threshold());
+            let (x, y) = random_pair_with_ip(&mut r, dim, false);
+            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            assert!(v <= e.approx_threshold());
+        }
+        assert!(e.embed_data(&BinaryVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn zero_one_uneven_chunks_cover_all_coordinates() {
+        let e = ZeroOneEmbedding::new(10, 3).unwrap();
+        let ranges = e.chunk_ranges();
+        assert_eq!(ranges.len(), 3);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn batch_embedding_helpers() {
+        let mut r = rng();
+        let dim = 8;
+        let e = SignedEmbedding::new(dim).unwrap();
+        let xs: Vec<BinaryVector> = (0..5)
+            .map(|_| random_binary_vector(&mut r, dim, 0.5).unwrap())
+            .collect();
+        let embedded = e.embed_data_all(&xs).unwrap();
+        assert_eq!(embedded.len(), 5);
+        let ys: Vec<BinaryVector> = (0..3)
+            .map(|_| random_binary_vector(&mut r, dim, 0.5).unwrap())
+            .collect();
+        assert_eq!(e.embed_query_all(&ys).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn embeddings_work_inside_lemma2_sanity_check() {
+        // A miniature version of the Lemma 2 argument: embed an instance and check that
+        // thresholding the embedded inner products recovers orthogonality exactly.
+        let mut r = rng();
+        let dim = 10;
+        let e = ZeroOneEmbedding::new(dim, 5).unwrap();
+        for _ in 0..5 {
+            let x = random_binary_vector(&mut r, dim, 0.3).unwrap();
+            let y = random_binary_vector(&mut r, dim, 0.3).unwrap();
+            let embedded = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap();
+            let is_orth = x.is_orthogonal_to(&y).unwrap();
+            assert_eq!(embedded >= e.threshold(), is_orth);
+        }
+        // Also exercise gen_range to silence the unused Rng import in some cfgs.
+        let _ = r.gen_range(0..10);
+    }
+}

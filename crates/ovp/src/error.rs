@@ -1,0 +1,89 @@
+//! Error types for the OVP crate.
+
+use ips_linalg::LinalgError;
+use std::fmt;
+
+/// Result alias used throughout `ips-ovp`.
+pub type Result<T> = std::result::Result<T, OvpError>;
+
+/// Errors produced by OVP instances, embeddings and reductions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OvpError {
+    /// Vectors inside one instance disagreed on dimensionality.
+    InconsistentDimensions {
+        /// Dimension of the first vector encountered.
+        expected: usize,
+        /// Dimension of the offending vector.
+        actual: usize,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// An instance was empty where a non-empty one was required.
+    EmptyInstance,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for OvpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OvpError::InconsistentDimensions { expected, actual } => {
+                write!(f, "inconsistent dimensions: expected {expected}, got {actual}")
+            }
+            OvpError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            OvpError::EmptyInstance => write!(f, "OVP instance must contain at least one vector per side"),
+            OvpError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OvpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OvpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for OvpError {
+    fn from(e: LinalgError) -> Self {
+        OvpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OvpError::EmptyInstance.to_string().contains("at least one"));
+        assert!(OvpError::InconsistentDimensions {
+            expected: 3,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(OvpError::InvalidParameter {
+            name: "k",
+            reason: "zero".into()
+        }
+        .to_string()
+        .contains('k'));
+    }
+
+    #[test]
+    fn linalg_conversion() {
+        let e: OvpError = LinalgError::Empty { op: "x" }.into();
+        assert!(matches!(e, OvpError::Linalg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! OVP instance generators.
+//!
+//! The hardness reductions never care *where* the OVP instance comes from, but the
+//! experiments need controllable ones:
+//!
+//! * [`random_instance`] — i.i.d. Bernoulli(`density`) bits, the distribution under
+//!   which OVP is believed hard when `d = Θ(log n)` and the density is around `1/2`;
+//! * [`planted_instance`] — a random instance with one orthogonal pair planted at a
+//!   known location (supports on disjoint coordinate halves);
+//! * [`no_pair_instance`] — a random instance where every vector has a common shared
+//!   coordinate set to 1, so *no* orthogonal pair can exist.
+
+use crate::error::{OvpError, Result};
+use crate::problem::OvpInstance;
+use ips_linalg::random::random_binary_vector;
+use ips_linalg::BinaryVector;
+use rand::Rng;
+
+fn validate(n_p: usize, n_q: usize, dim: usize, density: f64) -> Result<()> {
+    if n_p == 0 || n_q == 0 {
+        return Err(OvpError::EmptyInstance);
+    }
+    if dim == 0 {
+        return Err(OvpError::InvalidParameter {
+            name: "dim",
+            reason: "dimension must be positive".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&density) {
+        return Err(OvpError::InvalidParameter {
+            name: "density",
+            reason: format!("density must be in [0,1], got {density}"),
+        });
+    }
+    Ok(())
+}
+
+/// Generates a fully random instance with `n_p` data vectors, `n_q` query vectors,
+/// dimension `dim` and bit density `density`.
+pub fn random_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_p: usize,
+    n_q: usize,
+    dim: usize,
+    density: f64,
+) -> Result<OvpInstance> {
+    validate(n_p, n_q, dim, density)?;
+    let p = (0..n_p)
+        .map(|_| random_binary_vector(rng, dim, density))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let q = (0..n_q)
+        .map(|_| random_binary_vector(rng, dim, density))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    OvpInstance::new(p, q)
+}
+
+/// Generates an instance guaranteed to contain at least one orthogonal pair and
+/// returns the instance together with the planted pair's indices.
+///
+/// The planted data vector lives entirely in the first half of the coordinates and the
+/// planted query vector entirely in the second half, so they are orthogonal regardless
+/// of the random background. Requires `dim ≥ 2`.
+pub fn planted_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_p: usize,
+    n_q: usize,
+    dim: usize,
+    density: f64,
+) -> Result<(OvpInstance, (usize, usize))> {
+    validate(n_p, n_q, dim, density)?;
+    if dim < 2 {
+        return Err(OvpError::InvalidParameter {
+            name: "dim",
+            reason: "planted instances need dimension at least 2".into(),
+        });
+    }
+    let mut p: Vec<BinaryVector> = (0..n_p)
+        .map(|_| random_binary_vector(rng, dim, density))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let mut q: Vec<BinaryVector> = (0..n_q)
+        .map(|_| random_binary_vector(rng, dim, density))
+        .collect::<std::result::Result<Vec<_>, _>>()?;
+
+    let half = dim / 2;
+    let mut planted_p = BinaryVector::zeros(dim);
+    let mut planted_q = BinaryVector::zeros(dim);
+    for i in 0..half {
+        if rng.gen::<f64>() < density.max(0.5) {
+            planted_p.set(i, true);
+        }
+    }
+    for i in half..dim {
+        if rng.gen::<f64>() < density.max(0.5) {
+            planted_q.set(i, true);
+        }
+    }
+    // Ensure the planted vectors are not all-zero (all-zero vectors make the instance
+    // trivially solvable and distort experiments).
+    planted_p.set(0, true);
+    planted_q.set(dim - 1, true);
+
+    let pi = rng.gen_range(0..n_p);
+    let qi = rng.gen_range(0..n_q);
+    p[pi] = planted_p;
+    q[qi] = planted_q;
+    Ok((OvpInstance::new(p, q)?, (pi, qi)))
+}
+
+/// Generates an instance guaranteed to contain **no** orthogonal pair: every vector on
+/// both sides has coordinate 0 set to 1.
+pub fn no_pair_instance<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_p: usize,
+    n_q: usize,
+    dim: usize,
+    density: f64,
+) -> Result<OvpInstance> {
+    validate(n_p, n_q, dim, density)?;
+    let make = |rng: &mut R| -> Result<BinaryVector> {
+        let mut v = random_binary_vector(rng, dim, density)?;
+        v.set(0, true);
+        Ok(v)
+    };
+    let p = (0..n_p).map(|_| make(rng)).collect::<Result<Vec<_>>>()?;
+    let q = (0..n_q).map(|_| make(rng)).collect::<Result<Vec<_>>>()?;
+    OvpInstance::new(p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{brute_force_pair, count_orthogonal_pairs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn random_instance_shape() {
+        let mut r = rng();
+        let inst = random_instance(&mut r, 10, 20, 32, 0.5).unwrap();
+        assert_eq!(inst.p_len(), 10);
+        assert_eq!(inst.q_len(), 20);
+        assert_eq!(inst.dim(), 32);
+        assert!(random_instance(&mut r, 0, 5, 8, 0.5).is_err());
+        assert!(random_instance(&mut r, 5, 5, 0, 0.5).is_err());
+        assert!(random_instance(&mut r, 5, 5, 8, 1.5).is_err());
+    }
+
+    #[test]
+    fn planted_pair_is_orthogonal() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let (inst, (i, j)) = planted_instance(&mut r, 15, 15, 24, 0.6).unwrap();
+            assert!(inst.is_orthogonal_pair(i, j).unwrap());
+            assert!(brute_force_pair(&inst).unwrap().is_some());
+        }
+        assert!(planted_instance(&mut r, 3, 3, 1, 0.5).is_err());
+    }
+
+    #[test]
+    fn no_pair_instance_has_none() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let inst = no_pair_instance(&mut r, 12, 12, 16, 0.4).unwrap();
+            assert_eq!(count_orthogonal_pairs(&inst).unwrap(), 0);
+            assert_eq!(brute_force_pair(&inst).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn density_zero_and_one_edge_cases() {
+        let mut r = rng();
+        // Density 1: every vector is all ones, no orthogonal pairs in dim > 0.
+        let dense = random_instance(&mut r, 4, 4, 8, 1.0).unwrap();
+        assert_eq!(count_orthogonal_pairs(&dense).unwrap(), 0);
+        // Density 0: every vector is all zeros, every pair is orthogonal.
+        let sparse = random_instance(&mut r, 4, 4, 8, 0.0).unwrap();
+        assert_eq!(count_orthogonal_pairs(&sparse).unwrap(), 16);
+    }
+}

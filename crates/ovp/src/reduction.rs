@@ -1,0 +1,215 @@
+//! The OVP → IPS-join reduction (Lemma 2).
+//!
+//! Given a gap embedding `(f, g)` and *any* algorithm for the `(cs, s)` approximate
+//! join, OVP is solved as follows: embed `P` through `f` and `Q` through `g`, run the
+//! join with thresholds `(cs, s)`, and verify each reported pair against the original
+//! binary vectors. Because the embedding guarantees a gap — orthogonal pairs above `s`,
+//! non-orthogonal pairs at or below `cs` — the approximate join *must* report a pair
+//! whenever an orthogonal one exists, and any pair it reports with embedded inner
+//! product above `cs` is necessarily orthogonal.
+//!
+//! The reduction is exactly why a truly subquadratic `(cs, s)`-join (for the parameter
+//! ranges of Theorems 1 and 2) would refute the OVP conjecture: the embedding blow-up is
+//! `n^{o(1)}` and everything else is linear.
+
+use crate::embedding::GapEmbedding;
+use crate::error::Result;
+use crate::problem::OvpInstance;
+use ips_linalg::DenseVector;
+
+/// The answer produced by [`solve_via_join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OvpAnswer {
+    /// An orthogonal pair was found (indices into `P` and `Q`).
+    OrthogonalPair(usize, usize),
+    /// No orthogonal pair exists.
+    NoPair,
+}
+
+/// A `(cs, s)` join oracle: given embedded data vectors, embedded query vectors and the
+/// two thresholds, it returns candidate pairs `(data_index, query_index)`.
+///
+/// The oracle is allowed to be approximate in exactly the sense of Definition 1: for
+/// every query with a partner above `s` it must return at least one pair above `cs`,
+/// and it may return extra pairs (they are filtered by re-checking orthogonality on the
+/// original vectors).
+pub trait JoinOracle {
+    /// Runs the join and returns candidate `(data_index, query_index)` pairs.
+    fn join(
+        &mut self,
+        data: &[DenseVector],
+        queries: &[DenseVector],
+        cs: f64,
+        s: f64,
+        signed: bool,
+    ) -> Result<Vec<(usize, usize)>>;
+}
+
+impl<F> JoinOracle for F
+where
+    F: FnMut(&[DenseVector], &[DenseVector], f64, f64, bool) -> Result<Vec<(usize, usize)>>,
+{
+    fn join(
+        &mut self,
+        data: &[DenseVector],
+        queries: &[DenseVector],
+        cs: f64,
+        s: f64,
+        signed: bool,
+    ) -> Result<Vec<(usize, usize)>> {
+        self(data, queries, cs, s, signed)
+    }
+}
+
+/// A trivially correct (quadratic) join oracle used as the reference implementation and
+/// in tests of the reduction: it scans all pairs and reports those whose (signed or
+/// absolute) inner product is strictly above `cs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceJoinOracle;
+
+impl JoinOracle for BruteForceJoinOracle {
+    fn join(
+        &mut self,
+        data: &[DenseVector],
+        queries: &[DenseVector],
+        cs: f64,
+        _s: f64,
+        signed: bool,
+    ) -> Result<Vec<(usize, usize)>> {
+        let mut out = Vec::new();
+        for (j, q) in queries.iter().enumerate() {
+            for (i, p) in data.iter().enumerate() {
+                let ip = p.dot(q).map_err(crate::error::OvpError::from)?;
+                let value = if signed { ip } else { ip.abs() };
+                if value > cs {
+                    out.push((i, j));
+                    break; // one witness per query suffices, as in Definition 1
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Solves an OVP instance through a `(cs, s)`-join oracle and a gap embedding,
+/// following the Lemma 2 pipeline. Every pair reported by the oracle is re-verified on
+/// the original binary vectors, so the answer is always exact regardless of how sloppy
+/// the oracle is.
+pub fn solve_via_join<E, O>(
+    instance: &OvpInstance,
+    embedding: &E,
+    oracle: &mut O,
+) -> Result<OvpAnswer>
+where
+    E: GapEmbedding,
+    O: JoinOracle,
+{
+    let embedded_p = embedding.embed_data_all(instance.p())?;
+    let embedded_q = embedding.embed_query_all(instance.q())?;
+    let candidates = oracle.join(
+        &embedded_p,
+        &embedded_q,
+        embedding.approx_threshold(),
+        embedding.threshold(),
+        embedding.is_signed(),
+    )?;
+    for (i, j) in candidates {
+        if i < instance.p_len() && j < instance.q_len() && instance.is_orthogonal_pair(i, j)? {
+            return Ok(OvpAnswer::OrthogonalPair(i, j));
+        }
+    }
+    Ok(OvpAnswer::NoPair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{ChebyshevEmbedding, SignedEmbedding, ZeroOneEmbedding};
+    use crate::generator::{no_pair_instance, planted_instance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x0F0F)
+    }
+
+    fn check_reduction<E: GapEmbedding>(embedding: &E, dim: usize) {
+        let mut r = rng();
+        let mut oracle = BruteForceJoinOracle;
+        // Planted instance: the reduction must find an orthogonal pair.
+        let (inst, _) = planted_instance(&mut r, 12, 12, dim, 0.5).unwrap();
+        match solve_via_join(&inst, embedding, &mut oracle).unwrap() {
+            OvpAnswer::OrthogonalPair(i, j) => {
+                assert!(inst.is_orthogonal_pair(i, j).unwrap());
+            }
+            OvpAnswer::NoPair => panic!("reduction missed the planted pair"),
+        }
+        // No-pair instance: the reduction must answer NoPair.
+        let inst = no_pair_instance(&mut r, 12, 12, dim, 0.5).unwrap();
+        assert_eq!(
+            solve_via_join(&inst, embedding, &mut oracle).unwrap(),
+            OvpAnswer::NoPair
+        );
+    }
+
+    #[test]
+    fn reduction_with_signed_embedding() {
+        let dim = 12;
+        check_reduction(&SignedEmbedding::new(dim).unwrap(), dim);
+    }
+
+    #[test]
+    fn reduction_with_chebyshev_embedding() {
+        let dim = 8;
+        check_reduction(&ChebyshevEmbedding::new(dim, 2).unwrap(), dim);
+    }
+
+    #[test]
+    fn reduction_with_zero_one_embedding() {
+        let dim = 12;
+        check_reduction(&ZeroOneEmbedding::new(dim, 4).unwrap(), dim);
+    }
+
+    #[test]
+    fn closure_oracles_are_accepted() {
+        let mut r = rng();
+        let dim = 10;
+        let embedding = SignedEmbedding::new(dim).unwrap();
+        let (inst, _) = planted_instance(&mut r, 6, 6, dim, 0.5).unwrap();
+        // An oracle that cheats by returning every pair: the verification step still
+        // produces a correct answer.
+        let mut all_pairs = |data: &[DenseVector],
+                             queries: &[DenseVector],
+                             _cs: f64,
+                             _s: f64,
+                             _signed: bool|
+         -> Result<Vec<(usize, usize)>> {
+            Ok((0..data.len())
+                .flat_map(|i| (0..queries.len()).map(move |j| (i, j)))
+                .collect())
+        };
+        match solve_via_join(&inst, &embedding, &mut all_pairs).unwrap() {
+            OvpAnswer::OrthogonalPair(i, j) => assert!(inst.is_orthogonal_pair(i, j).unwrap()),
+            OvpAnswer::NoPair => panic!("expected a pair"),
+        }
+    }
+
+    #[test]
+    fn sloppy_oracle_cannot_create_false_positives() {
+        let mut r = rng();
+        let dim = 10;
+        let embedding = SignedEmbedding::new(dim).unwrap();
+        let inst = no_pair_instance(&mut r, 8, 8, dim, 0.5).unwrap();
+        // Oracle that reports nonsense pairs, including out-of-range ones.
+        let mut nonsense = |_: &[DenseVector],
+                            _: &[DenseVector],
+                            _cs: f64,
+                            _s: f64,
+                            _signed: bool|
+         -> Result<Vec<(usize, usize)>> { Ok(vec![(0, 0), (100, 3), (2, 100)]) };
+        assert_eq!(
+            solve_via_join(&inst, &embedding, &mut nonsense).unwrap(),
+            OvpAnswer::NoPair
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Exact OVP solvers — the quadratic baselines.
+//!
+//! The OVP conjecture asserts that nothing much better than these solvers exists once
+//! `d = ω(log n)`. Two are provided:
+//!
+//! * [`brute_force_pair`] — the plain double loop with bit-packed orthogonality checks;
+//! * [`split_chunk_pair`] — the "generalised OVP" strategy of Lemma 1: split `P` into
+//!   chunks of size `|Q|^α` and solve each sub-instance independently. Functionally
+//!   identical, but it mirrors the reduction used in the paper's proof and exposes the
+//!   chunking machinery reused by the benchmarks.
+
+use crate::error::{OvpError, Result};
+use crate::problem::OvpInstance;
+
+/// Returns some orthogonal pair `(i, j)` (indices into `P` and `Q`) if one exists.
+pub fn brute_force_pair(instance: &OvpInstance) -> Result<Option<(usize, usize)>> {
+    for (i, p) in instance.p().iter().enumerate() {
+        for (j, q) in instance.q().iter().enumerate() {
+            if p.is_orthogonal_to(q)? {
+                return Ok(Some((i, j)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Counts all orthogonal pairs (used to validate generators and reductions).
+pub fn count_orthogonal_pairs(instance: &OvpInstance) -> Result<usize> {
+    let mut count = 0usize;
+    for p in instance.p() {
+        for q in instance.q() {
+            if p.is_orthogonal_to(q)? {
+                count += 1;
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Lemma 1 style solver: split `P` into chunks of `chunk_size` and scan each chunk
+/// against all of `Q`, returning the first orthogonal pair found (with indices into the
+/// original `P`).
+///
+/// Returns an error when `chunk_size == 0`.
+pub fn split_chunk_pair(
+    instance: &OvpInstance,
+    chunk_size: usize,
+) -> Result<Option<(usize, usize)>> {
+    if chunk_size == 0 {
+        return Err(OvpError::InvalidParameter {
+            name: "chunk_size",
+            reason: "chunk size must be positive".into(),
+        });
+    }
+    let p = instance.p();
+    let mut start = 0usize;
+    while start < p.len() {
+        let end = (start + chunk_size).min(p.len());
+        for (offset, pi) in p[start..end].iter().enumerate() {
+            for (j, q) in instance.q().iter().enumerate() {
+                if pi.is_orthogonal_to(q)? {
+                    return Ok(Some((start + offset, j)));
+                }
+            }
+        }
+        start = end;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_linalg::BinaryVector;
+
+    fn bv(bits: &[u8]) -> BinaryVector {
+        BinaryVector::from_ints(bits)
+    }
+
+    fn instance_with_pair() -> OvpInstance {
+        OvpInstance::new(
+            vec![bv(&[1, 1, 0, 0]), bv(&[1, 0, 1, 0]), bv(&[0, 0, 1, 1])],
+            vec![bv(&[1, 1, 1, 0]), bv(&[1, 1, 0, 0])],
+        )
+        .unwrap()
+    }
+
+    fn instance_without_pair() -> OvpInstance {
+        // Every vector has bit 0 set, so no pair can be orthogonal.
+        OvpInstance::new(
+            vec![bv(&[1, 1, 0]), bv(&[1, 0, 1])],
+            vec![bv(&[1, 0, 0]), bv(&[1, 1, 1])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn brute_force_finds_pair() {
+        let inst = instance_with_pair();
+        let pair = brute_force_pair(&inst).unwrap();
+        let (i, j) = pair.expect("pair must exist");
+        assert!(inst.is_orthogonal_pair(i, j).unwrap());
+    }
+
+    #[test]
+    fn brute_force_reports_absence() {
+        assert_eq!(brute_force_pair(&instance_without_pair()).unwrap(), None);
+    }
+
+    #[test]
+    fn counting_matches_manual_enumeration() {
+        let inst = instance_with_pair();
+        let mut manual = 0;
+        for i in 0..inst.p_len() {
+            for j in 0..inst.q_len() {
+                if inst.is_orthogonal_pair(i, j).unwrap() {
+                    manual += 1;
+                }
+            }
+        }
+        assert_eq!(count_orthogonal_pairs(&inst).unwrap(), manual);
+        assert_eq!(count_orthogonal_pairs(&instance_without_pair()).unwrap(), 0);
+    }
+
+    #[test]
+    fn chunked_solver_agrees_with_brute_force() {
+        let with = instance_with_pair();
+        let without = instance_without_pair();
+        for chunk in 1..=4 {
+            let found = split_chunk_pair(&with, chunk).unwrap();
+            let (i, j) = found.expect("pair must exist");
+            assert!(with.is_orthogonal_pair(i, j).unwrap());
+            assert_eq!(split_chunk_pair(&without, chunk).unwrap(), None);
+        }
+        assert!(split_chunk_pair(&with, 0).is_err());
+    }
+}

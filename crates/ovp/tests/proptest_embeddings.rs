@@ -1,0 +1,91 @@
+//! Property-based tests for the Lemma 3 gap embeddings: the gap guarantee of
+//! Definition 4 must hold for *every* pair of binary vectors, not just the sampled ones
+//! used in the unit tests.
+
+use ips_linalg::BinaryVector;
+use ips_ovp::{ChebyshevEmbedding, Domain, GapEmbedding, SignedEmbedding, ZeroOneEmbedding};
+use proptest::prelude::*;
+
+fn bit_vec(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), len)
+}
+
+fn check_gap<E: GapEmbedding>(embedding: &E, x: &BinaryVector, y: &BinaryVector) -> Result<(), TestCaseError> {
+    let fx = embedding.embed_data(x).unwrap();
+    let gy = embedding.embed_query(y).unwrap();
+    prop_assert_eq!(fx.dim(), embedding.output_dim());
+    prop_assert_eq!(gy.dim(), embedding.output_dim());
+    // Alphabet check.
+    match embedding.domain() {
+        Domain::PlusMinusOne => {
+            prop_assert!(fx.iter().all(|&v| v == 1.0 || v == -1.0));
+            prop_assert!(gy.iter().all(|&v| v == 1.0 || v == -1.0));
+        }
+        Domain::ZeroOne => {
+            prop_assert!(fx.iter().all(|&v| v == 0.0 || v == 1.0));
+            prop_assert!(gy.iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+    let mut ip = fx.dot(&gy).unwrap();
+    if !embedding.is_signed() {
+        ip = ip.abs();
+    }
+    if x.is_orthogonal_to(y).unwrap() {
+        prop_assert!(
+            ip >= embedding.threshold() - 1e-6,
+            "orthogonal pair fell below s: {} < {}",
+            ip,
+            embedding.threshold()
+        );
+    } else {
+        prop_assert!(
+            ip <= embedding.approx_threshold() + 1e-6,
+            "non-orthogonal pair exceeded cs: {} > {}",
+            ip,
+            embedding.approx_threshold()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn signed_embedding_gap_holds(xa in bit_vec(12), xb in bit_vec(12)) {
+        let embedding = SignedEmbedding::new(12).unwrap();
+        let x = BinaryVector::from_bools(&xa);
+        let y = BinaryVector::from_bools(&xb);
+        check_gap(&embedding, &x, &y)?;
+        // The exact identity f(x)ᵀg(y) = 4 − 4·xᵀy.
+        let ip = embedding.embed_data(&x).unwrap().dot(&embedding.embed_query(&y).unwrap()).unwrap();
+        prop_assert_eq!(ip, 4.0 - 4.0 * x.dot(&y).unwrap() as f64);
+    }
+
+    #[test]
+    fn chebyshev_embedding_gap_holds(xa in bit_vec(6), xb in bit_vec(6), q in 1u32..=3) {
+        let embedding = ChebyshevEmbedding::new(6, q).unwrap();
+        let x = BinaryVector::from_bools(&xa);
+        let y = BinaryVector::from_bools(&xb);
+        check_gap(&embedding, &x, &y)?;
+        // The embedded inner product matches the scaled Chebyshev polynomial exactly.
+        let ip = embedding.embed_data(&x).unwrap().dot(&embedding.embed_query(&y).unwrap()).unwrap();
+        let predicted = embedding.embedded_inner_product(x.dot(&y).unwrap());
+        prop_assert!((ip - predicted).abs() < 1e-6 * predicted.abs().max(1.0));
+    }
+
+    #[test]
+    fn zero_one_embedding_gap_holds(xa in bit_vec(12), xb in bit_vec(12), k in 2usize..=6) {
+        let embedding = ZeroOneEmbedding::new(12, k).unwrap();
+        let x = BinaryVector::from_bools(&xa);
+        let y = BinaryVector::from_bools(&xb);
+        check_gap(&embedding, &x, &y)?;
+    }
+
+    #[test]
+    fn approximation_factor_is_consistent(k in 2usize..=8) {
+        let embedding = ZeroOneEmbedding::new(16, k).unwrap();
+        prop_assert!((embedding.approximation_factor() - (k as f64 - 1.0) / k as f64).abs() < 1e-12);
+        prop_assert!(embedding.approximation_factor() < 1.0);
+    }
+}

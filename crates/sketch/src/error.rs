@@ -1,0 +1,89 @@
+//! Error types for the sketch crate.
+
+use ips_linalg::LinalgError;
+use std::fmt;
+
+/// Result alias used throughout `ips-sketch`.
+pub type Result<T> = std::result::Result<T, SketchError>;
+
+/// Errors produced by sketch construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// A vector had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Offending dimension.
+        actual: usize,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// A data set was empty where at least one vector was required.
+    EmptyDataSet,
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SketchError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SketchError::EmptyDataSet => write!(f, "data set must contain at least one vector"),
+            SketchError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SketchError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SketchError {
+    fn from(e: LinalgError) -> Self {
+        SketchError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SketchError::EmptyDataSet.to_string().contains("at least one"));
+        assert!(SketchError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(SketchError::InvalidParameter {
+            name: "kappa",
+            reason: "too small".into()
+        }
+        .to_string()
+        .contains("kappa"));
+    }
+
+    #[test]
+    fn linalg_conversion_preserves_source() {
+        let e: SketchError = LinalgError::Empty { op: "norm" }.into();
+        assert!(matches!(e, SketchError::Linalg(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

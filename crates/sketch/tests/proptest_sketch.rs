@@ -1,0 +1,96 @@
+//! Property-based tests for the sketch layer: linearity of every sketch, the
+//! `‖·‖_∞ ≤ ‖·‖_κ ≤ n^{1/κ}·‖·‖_∞` sandwich the Section 4.3 analysis rests on, and
+//! consistency of the recovery structure with exact search on small inputs.
+
+use ips_linalg::DenseVector;
+use ips_sketch::linf_mips::{MaxIpConfig, MaxIpEstimator};
+use ips_sketch::maxstable::MaxStableSketch;
+use ips_sketch::recovery::SketchMipsIndex;
+use ips_sketch::stable::{median, StableKind, StableSketch};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vector(len: usize) -> impl Strategy<Value = DenseVector> {
+    prop::collection::vec(-5.0f64..5.0, len).prop_map(DenseVector::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn max_stable_sketch_is_linear(x in vector(24), y in vector(24), alpha in -3.0f64..3.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sketch = MaxStableSketch::sample(&mut rng, 24, 8, 2.0).unwrap();
+        let lhs = sketch.apply(&x.scaled(alpha).add(&y).unwrap()).unwrap();
+        let rhs_a = sketch.apply(&x).unwrap().scaled(alpha);
+        let rhs_b = sketch.apply(&y).unwrap();
+        let rhs = rhs_a.add(&rhs_b).unwrap();
+        for i in 0..lhs.dim() {
+            prop_assert!((lhs[i] - rhs[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stable_sketch_is_linear(x in vector(16), y in vector(16), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sketch = StableSketch::sample(&mut rng, StableKind::Gaussian, 16, 12).unwrap();
+        let lhs = sketch.apply(&x.add(&y).unwrap()).unwrap();
+        let rhs = sketch.apply(&x).unwrap().add(&sketch.apply(&y).unwrap()).unwrap();
+        for i in 0..lhs.dim() {
+            prop_assert!((lhs[i] - rhs[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn norm_sandwich_justifies_the_approximation(x in vector(50), kappa in 2.0f64..6.0) {
+        // ||x||_inf <= ||x||_kappa <= n^{1/kappa} ||x||_inf — the inequality chain that
+        // turns a kappa-norm estimate into an n^{1/kappa}-approximate max-|IP|.
+        let linf = x.lp_norm(f64::INFINITY).unwrap();
+        let lk = x.lp_norm(kappa).unwrap();
+        let slack = (x.dim() as f64).powf(1.0 / kappa);
+        prop_assert!(linf <= lk + 1e-9);
+        prop_assert!(lk <= slack * linf + 1e-9);
+    }
+
+    #[test]
+    fn median_is_between_min_and_max(values in prop::collection::vec(-100.0f64..100.0, 1..30)) {
+        let m = median(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-12 && m <= max + 1e-12);
+    }
+
+    #[test]
+    fn estimator_scales_linearly(seed in any::<u64>(), scale in 0.1f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<DenseVector> = (0..40)
+            .map(|i| DenseVector::new((0..8).map(|j| ((i * 8 + j) % 7) as f64 - 3.0).collect()))
+            .collect();
+        let estimator = MaxIpEstimator::build(
+            &mut rng,
+            &data,
+            MaxIpConfig { kappa: 2.0, copies: 3, rows: Some(16) },
+        )
+        .unwrap();
+        let q = DenseVector::new(vec![0.3; 8]);
+        let base = estimator.estimate(&q).unwrap();
+        let scaled = estimator.estimate(&q.scaled(scale)).unwrap();
+        prop_assert!((scaled - scale * base).abs() < 1e-6 * scaled.abs().max(1.0));
+    }
+
+    #[test]
+    fn recovery_with_large_leaves_is_exact(seed in any::<u64>()) {
+        // leaf_size >= n degenerates to an exact scan, so the recovered index must agree
+        // with exact_max for every query.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<DenseVector> = (0..12)
+            .map(|i| DenseVector::new(vec![(i as f64 - 6.0) / 6.0, ((i * 3) % 5) as f64 / 5.0]))
+            .collect();
+        let index = SketchMipsIndex::build(&mut rng, data, MaxIpConfig::default(), 32).unwrap();
+        let q = DenseVector::new(vec![0.7, -0.4]);
+        let approx = index.query(&q).unwrap();
+        let exact = index.exact_max(&q).unwrap();
+        prop_assert!((approx.inner_product.abs() - exact.inner_product.abs()).abs() < 1e-12);
+    }
+}

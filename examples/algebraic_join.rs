@@ -1,0 +1,130 @@
+//! Example: the algebraic (matrix-multiplication) route to unsigned join on `{−1,1}`
+//! data, side by side with the LSH route and the exact baseline.
+//!
+//! The paper's Table 1 splits approximation regimes between *hard* (no subquadratic
+//! algorithm unless OVP fails) and *permissible* — and the permissible entries for
+//! `{−1,1}` are owned by the algebraic family of Valiant [51] and Karppa et al. [29],
+//! not by LSH. This example makes that split tangible on a planted workload:
+//!
+//! * the exact Gram-product join (always correct, quadratic),
+//! * the amplify-and-multiply join (finds the planted pairs with few candidates while
+//!   the planted correlation is strong),
+//! * the Section 4.1 ALSH join run on the same vectors rescaled to the unit ball
+//!   (the hashing route the rest of the workspace focuses on).
+//!
+//! Run with: `cargo run --release -p ips-examples --bin algebraic_join`
+
+use ips_core::algebraic::{algebraic_exact_join, amplified_sign_join};
+use ips_core::asymmetric::AlshParams;
+use ips_core::join::alsh_join;
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_linalg::random::random_sign_vector;
+use ips_linalg::{DenseVector, SignVector};
+use ips_matmul::AmplifiedJoinConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xE6A3);
+    let dim = 128;
+    let n = 4000;
+    let queries = 64;
+    let planted = 16;
+    let agree = 112; // planted inner product 2·112 − 128 = 96
+
+    // Planted ±1 workload: for the first `planted` queries, a data vector agreeing on
+    // `agree` coordinates is hidden in the haystack.
+    let query_vectors: Vec<SignVector> =
+        (0..queries).map(|_| random_sign_vector(&mut rng, dim)).collect();
+    let mut data: Vec<SignVector> = (0..n).map(|_| random_sign_vector(&mut rng, dim)).collect();
+    let mut planted_queries = HashSet::new();
+    for qi in 0..planted {
+        let mut partner = query_vectors[qi].clone();
+        for i in agree..dim {
+            partner.set(i, -partner.get(i));
+        }
+        data[qi * (n / planted)] = partner;
+        planted_queries.insert(qi);
+    }
+    let s = (2 * agree - dim) as f64;
+    let spec = JoinSpec::new(s, 0.5, JoinVariant::Unsigned).unwrap();
+    println!("unsigned (cs, s) join over {{−1,1}}^{dim}: |P| = {n}, |Q| = {queries}, s = {s}, c = 0.5");
+    println!("{planted} planted pairs with inner product {s}\n");
+
+    let recall = |pairs: &[ips_core::problem::MatchPair]| -> f64 {
+        let answered: HashSet<usize> = pairs.iter().map(|p| p.query_index).collect();
+        planted_queries.intersection(&answered).count() as f64 / planted as f64
+    };
+
+    // 1. Exact join as a blockwise Gram product.
+    let dense_data: Vec<DenseVector> = data.iter().map(SignVector::to_dense).collect();
+    let dense_queries: Vec<DenseVector> = query_vectors.iter().map(SignVector::to_dense).collect();
+    let t = Instant::now();
+    let exact = algebraic_exact_join(&dense_data, &dense_queries, &spec, 64).unwrap();
+    println!(
+        "exact Gram-product join : {:>3} pairs, planted recall {:.2}, {:>7.1} ms",
+        exact.len(),
+        recall(&exact),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // 2. Amplify-and-multiply (Valiant/Karppa style) on the sign vectors directly.
+    let t = Instant::now();
+    let amplified = amplified_sign_join(
+        &mut rng,
+        &data,
+        &query_vectors,
+        &spec,
+        AmplifiedJoinConfig {
+            degree: 2,
+            projection_dim: 2048,
+            detection_fraction: 0.5,
+        },
+    )
+    .unwrap();
+    println!(
+        "amplified algebraic join: {:>3} pairs, planted recall {:.2}, {:>7.1} ms",
+        amplified.len(),
+        recall(&amplified),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // 3. The Section 4.1 ALSH join on the same vectors rescaled into the unit ball:
+    //    ±1 vectors have norm √d, so dividing both sides by √d puts them on the unit
+    //    sphere and rescales inner products (and the spec) by 1/d.
+    let scale = 1.0 / (dim as f64).sqrt();
+    let scaled_data: Vec<DenseVector> = dense_data.iter().map(|v| v.scaled(scale)).collect();
+    let scaled_queries: Vec<DenseVector> = dense_queries.iter().map(|v| v.scaled(scale)).collect();
+    let scaled_spec = JoinSpec::new(s / dim as f64, 0.5, JoinVariant::Unsigned).unwrap();
+    let t = Instant::now();
+    let alsh = alsh_join(
+        &mut rng,
+        &scaled_data,
+        &scaled_queries,
+        scaled_spec,
+        AlshParams {
+            bits_per_table: 8,
+            tables: 48,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!(
+        "Section 4.1 ALSH join   : {:>3} pairs, planted recall {:.2}, {:>7.1} ms",
+        alsh.len(),
+        recall(&alsh),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    println!(
+        "\nEvery reported pair clears cs = {}. With a strong planted correlation (s/d = {:.2}) both\n\
+         approximate routes work; the interesting regime is s/d shrinking towards 1/√d, where the\n\
+         hashing route loses its guarantee (the paper's Section 1 motivation) and the algebraic route\n\
+         needs ever larger amplification degrees and projection dimensions — the trade-offs mapped out\n\
+         by Table 1 and measured by `experiment_algebraic` (E9).",
+        spec.relaxed_threshold(),
+        s / dim as f64
+    );
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the `ips-join` example applications.
+//!
+//! The crate exposes a handful of small utilities (output formatting and a seeded RNG
+//! constructor) so the runnable examples — `quickstart`, `recommender`, `ovp_hardness`,
+//! `lsh_limits` and `set_containment` — stay focused on demonstrating the public API of
+//! the workspace crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG so the examples print the same output on every run.
+pub fn example_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a float with three decimals (the examples' house style).
+pub fn f3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u64 = example_rng(7).gen();
+        let b: u64 = example_rng(7).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.0), "1.000");
+        section("smoke"); // must not panic
+    }
+}

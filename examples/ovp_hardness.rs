@@ -1,0 +1,72 @@
+//! Why approximate IPS join is hard: the OVP reduction of Section 2, end to end.
+//!
+//! The example builds an Orthogonal Vectors instance, pushes it through each of the
+//! three gap embeddings of Lemma 3, and solves it with a `(cs, s)` join oracle — the
+//! pipeline of Lemma 2. It prints the embedding parameters `(d₂, cs, s)` so the
+//! trade-offs behind Theorem 1 are visible: the signed embedding gets `c` all the way to
+//! 0, the Chebyshev embedding amplifies the gap exponentially, and the `{0,1}` embedding
+//! only separates `k − 1` from `k` (which is why constant-factor approximation over sets
+//! remains the paper's open problem).
+//!
+//! Run with `cargo run --release -p ips-examples --bin ovp_hardness`.
+
+use ips_examples::{example_rng, f3, section};
+use ips_ovp::reduction::{solve_via_join, BruteForceJoinOracle, OvpAnswer};
+use ips_ovp::{
+    count_orthogonal_pairs, planted_instance, ChebyshevEmbedding, GapEmbedding, SignedEmbedding,
+    ZeroOneEmbedding,
+};
+
+fn report<E: GapEmbedding>(name: &str, embedding: &E, instance: &ips_ovp::OvpInstance) {
+    let answer = solve_via_join(instance, embedding, &mut BruteForceJoinOracle)
+        .expect("reduction runs");
+    let c = embedding.approximation_factor();
+    println!(
+        "{name}: output dim {}, s = {}, cs = {}, implied c = {}",
+        embedding.output_dim(),
+        f3(embedding.threshold()),
+        f3(embedding.approx_threshold()),
+        f3(c)
+    );
+    match answer {
+        OvpAnswer::OrthogonalPair(i, j) => println!(
+            "   -> orthogonal pair recovered through the join oracle: P[{i}] ⟂ Q[{j}]"
+        ),
+        OvpAnswer::NoPair => println!("   -> no orthogonal pair reported"),
+    }
+}
+
+fn main() {
+    let mut rng = example_rng(1337);
+
+    section("an OVP instance with a planted orthogonal pair");
+    let dim = 16;
+    let (instance, (pi, qi)) =
+        planted_instance(&mut rng, 40, 40, dim, 0.5).expect("valid instance");
+    println!(
+        "|P| = |Q| = 40, d = {dim}, planted pair at (P[{pi}], Q[{qi}]), total orthogonal pairs = {}",
+        count_orthogonal_pairs(&instance).expect("countable")
+    );
+
+    section("Lemma 2: solving OVP through a (cs, s) join oracle");
+    report(
+        "embedding 1 (signed {-1,1})",
+        &SignedEmbedding::new(dim).expect("valid"),
+        &instance,
+    );
+    report(
+        "embedding 2 (Chebyshev {-1,1}, q = 2)",
+        &ChebyshevEmbedding::new(dim, 2).expect("valid"),
+        &instance,
+    );
+    report(
+        "embedding 3 (chopped product {0,1}, k = 4)",
+        &ZeroOneEmbedding::new(dim, 4).expect("valid"),
+        &instance,
+    );
+
+    section("what this means");
+    println!("Any join algorithm that solves these (cs, s) instances in truly subquadratic time");
+    println!("would, through exactly this pipeline, solve OVP in subquadratic time and refute the");
+    println!("OVP conjecture (and with it SETH). That is Theorem 1 of the paper.");
+}

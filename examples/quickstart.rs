@@ -1,0 +1,91 @@
+//! Quickstart: build a `(cs, s)` inner product search index and run a join.
+//!
+//! This example walks through the core workflow of the library in ~50 lines:
+//!
+//! 1. generate a synthetic data set (unit-ball vectors) and some queries;
+//! 2. pick a `(cs, s)` specification (Definition 1 of the paper);
+//! 3. build the Section 4.1 asymmetric-LSH MIPS index and answer a single query;
+//! 4. run the same spec as a join over all queries and compare with the exact
+//!    brute-force join.
+//!
+//! Run with `cargo run --release -p ips-examples --bin quickstart`.
+
+use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
+use ips_core::brute::brute_force_join;
+use ips_core::join::index_join;
+use ips_core::mips::MipsIndex;
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_examples::{example_rng, f3, section};
+
+fn main() {
+    let mut rng = example_rng(42);
+
+    section("1. synthetic workload");
+    let instance = PlantedInstance::generate(
+        &mut rng,
+        PlantedConfig {
+            data: 2000,
+            queries: 50,
+            dim: 64,
+            background_scale: 0.1,
+            planted_ip: 0.85,
+            planted: 10,
+        },
+    )
+    .expect("valid configuration");
+    println!(
+        "{} data vectors, {} queries, dimension {}",
+        instance.data().len(),
+        instance.queries().len(),
+        64
+    );
+
+    section("2. the (cs, s) specification");
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).expect("valid spec");
+    println!(
+        "threshold s = {}, approximation c = {}, report pairs above cs = {}",
+        spec.threshold,
+        spec.approximation,
+        f3(spec.relaxed_threshold())
+    );
+
+    section("3. single query against the ALSH index (Section 4.1)");
+    let index = AlshMipsIndex::build(
+        &mut rng,
+        instance.data().to_vec(),
+        spec,
+        AlshParams::default(),
+    )
+    .expect("index construction");
+    println!(
+        "index over {} vectors; ideal rho (eq. 3) = {}, hyperplane rho = {}",
+        index.len(),
+        f3(index.rho_data_dependent().unwrap()),
+        f3(index.rho_simple().unwrap())
+    );
+    let (_, planted_query) = instance.planted_pairs()[0];
+    let query = &instance.queries()[planted_query];
+    match index.search(query).expect("search runs") {
+        Some(hit) => println!(
+            "query {planted_query}: found data vector {} with inner product {}",
+            hit.data_index,
+            f3(hit.inner_product)
+        ),
+        None => println!("query {planted_query}: no vector above cs found"),
+    }
+
+    section("4. the full join, approximate vs exact");
+    let approx = index_join(&index, instance.queries()).expect("join runs");
+    let exact = brute_force_join(instance.data(), instance.queries(), &spec).expect("join runs");
+    let reported: Vec<(usize, usize)> = approx
+        .iter()
+        .map(|p| (p.data_index, p.query_index))
+        .collect();
+    println!(
+        "exact join answered {} queries; ALSH join answered {} queries; planted-pair recall = {}",
+        exact.len(),
+        approx.len(),
+        f3(instance.recall(&reported, spec.relaxed_threshold()))
+    );
+}

@@ -1,0 +1,67 @@
+//! Binary inner products as set intersections: the `{0,1}` domain.
+//!
+//! For set data the inner product is the intersection size, and the paper's Table 1
+//! shows this domain has the weakest hardness (only `c = 1 − o(1)` is ruled out) and a
+//! dedicated ALSH — asymmetric minwise hashing. This example indexes a Zipfian corpus of
+//! sets with an MH-ALSH multi-table index, runs containment-style queries with a
+//! controlled overlap, and compares the collision behaviour with the theoretical
+//! `a/(M + |q| − a)` curve.
+//!
+//! Run with `cargo run --release -p ips-examples --bin set_containment`.
+
+use ips_datagen::binary_sets::{containment_pairs, zipfian_sets};
+use ips_examples::{example_rng, f3, section};
+use ips_lsh::mhalsh::MhAlshFamily;
+use ips_lsh::table::{IndexParams, LshIndex};
+
+fn main() {
+    let mut rng = example_rng(77);
+    let universe = 2000;
+    let set_size = 60;
+    let n_sets = 1500;
+
+    section("corpus");
+    let corpus = zipfian_sets(&mut rng, n_sets, universe, set_size, 1.1).expect("valid parameters");
+    println!("{n_sets} sets of size {set_size} over a universe of {universe} Zipf-distributed elements");
+
+    section("MH-ALSH index");
+    let family = MhAlshFamily::new(universe, set_size).expect("valid family");
+    let dense_corpus: Vec<_> = corpus.iter().map(|s| s.to_dense()).collect();
+    let index = LshIndex::build(
+        &family,
+        IndexParams { k: 4, l: 24 },
+        &dense_corpus,
+        &mut rng,
+    )
+    .expect("index construction");
+    println!(
+        "{} tables x {} minhashes each, {} stored entries",
+        index.params().l,
+        index.params().k,
+        index.stored_entries()
+    );
+
+    section("containment queries with controlled overlap");
+    let target = 123usize;
+    for &overlap in &[10usize, 30, 50, 60] {
+        let query = containment_pairs(&mut rng, &corpus[target], set_size, overlap)
+            .expect("feasible request");
+        let jaccard_like =
+            MhAlshFamily::collision_probability(overlap, query.count_ones(), set_size);
+        let candidates = index
+            .query_candidates(&query.to_dense())
+            .expect("query runs");
+        let found = candidates.contains(&target);
+        println!(
+            "overlap {overlap}/{set_size}: transformed collision prob = {}, candidates = {}, target retrieved = {found}",
+            f3(jaccard_like),
+            candidates.len()
+        );
+    }
+
+    section("interpretation");
+    println!("Larger intersections collide more often, so the target set surfaces among the");
+    println!("candidates exactly when the overlap (the binary inner product) is large — the");
+    println!("`(cs, s)` search behaviour MH-ALSH provides, and the regime where the paper's");
+    println!("Section 4.1 construction sometimes improves on it (cf. Figure 2).");
+}

@@ -1,0 +1,6 @@
+//! Integration-test crate for the `ips-join` workspace.
+//!
+//! The library target is intentionally empty: all content lives in the integration
+//! tests under `tests/`, which exercise the public APIs of every workspace crate
+//! together (data generation → embeddings/indexes/joins → evaluation against the
+//! paper's definitions).

@@ -1,0 +1,104 @@
+//! Property-based integration tests: every join implementation, whatever its recall,
+//! must produce *valid* output under Definition 1 (no reported pair below `cs`), and
+//! the exact algorithms must agree with each other on arbitrary inputs.
+
+use ips_core::algebraic::algebraic_exact_join;
+use ips_core::brute::{brute_force_join, brute_force_join_parallel};
+use ips_core::join::alsh_join;
+use ips_core::asymmetric::AlshParams;
+use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
+use ips_linalg::DenseVector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small collection of vectors with coordinates in [−0.4, 0.4] so that every
+/// vector stays comfortably inside the unit ball (dimension ≤ 6).
+fn vectors(count: std::ops::Range<usize>) -> impl Strategy<Value = Vec<DenseVector>> {
+    (count, 2usize..6).prop_flat_map(|(n, dim)| {
+        prop::collection::vec(prop::collection::vec(-0.4f64..0.4, dim..=dim), n..=n)
+            .prop_map(|rows| rows.into_iter().map(DenseVector::new).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn exact_joins_agree_and_are_valid(
+        data in vectors(1..20),
+        queries in vectors(1..10),
+        s in 0.01f64..0.3,
+        c in 0.2f64..1.0,
+        signed in any::<bool>(),
+    ) {
+        // Give data and queries the same dimension by truncating/padding the queries.
+        let dim = data[0].dim();
+        let queries: Vec<DenseVector> = queries
+            .iter()
+            .map(|q| {
+                DenseVector::new((0..dim).map(|i| if i < q.dim() { q[i] } else { 0.0 }).collect())
+            })
+            .collect();
+        let variant = if signed { JoinVariant::Signed } else { JoinVariant::Unsigned };
+        let spec = JoinSpec::new(s, c, variant).unwrap();
+        let reference = brute_force_join(&data, &queries, &spec).unwrap();
+        let parallel = brute_force_join_parallel(&data, &queries, &spec, 3).unwrap();
+        prop_assert_eq!(&parallel, &reference);
+        let algebraic = algebraic_exact_join(&data, &queries, &spec, 4).unwrap();
+        prop_assert_eq!(&algebraic, &reference);
+        // Exact joins answer every promised query with a valid pair.
+        let (recall, valid) = evaluate_join(&data, &queries, &spec, &reference).unwrap();
+        prop_assert_eq!(recall, 1.0);
+        prop_assert!(valid);
+    }
+
+    #[test]
+    fn alsh_join_output_is_always_valid(
+        seed in any::<u64>(),
+        s in 0.05f64..0.3,
+        c in 0.3f64..0.95,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 8;
+        let data: Vec<DenseVector> = (0..40)
+            .map(|_| ips_linalg::random::random_ball_vector(&mut rng, dim, 1.0).unwrap())
+            .collect();
+        let queries: Vec<DenseVector> = (0..10)
+            .map(|_| ips_linalg::random::random_unit_vector(&mut rng, dim).unwrap())
+            .collect();
+        let spec = JoinSpec::new(s, c, JoinVariant::Signed).unwrap();
+        let pairs = alsh_join(
+            &mut rng,
+            &data,
+            &queries,
+            spec,
+            AlshParams {
+                bits_per_table: 4,
+                tables: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (_, valid) = evaluate_join(&data, &queries, &spec, &pairs).unwrap();
+        prop_assert!(valid, "ALSH reported a pair below cs");
+    }
+
+    #[test]
+    fn join_spec_promise_implies_acceptance(
+        s in 0.01f64..10.0,
+        c in 0.01f64..1.0,
+        ip in -20.0f64..20.0,
+        signed in any::<bool>(),
+    ) {
+        let variant = if signed { JoinVariant::Signed } else { JoinVariant::Unsigned };
+        let spec = JoinSpec::new(s, c, variant).unwrap();
+        if spec.satisfies_promise(ip) {
+            prop_assert!(spec.acceptable(ip), "a pair above s must clear cs (c <= 1)");
+        }
+        if !spec.acceptable(ip) {
+            prop_assert!(!spec.satisfies_promise(ip));
+        }
+        prop_assert!((spec.relaxed_threshold() - c * s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Workspace-level property tests: invariants that only make sense when several crates
+//! are composed (generators feeding joins, embeddings feeding the reduction, sketches
+//! sandwiching the exact maximum).
+
+use ips_core::brute::brute_force_join;
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::binary_sets::zipfian_sets;
+use ips_linalg::BinaryVector;
+use ips_ovp::{GapEmbedding, OvpInstance, SignedEmbedding, ZeroOneEmbedding};
+use ips_sketch::linf_mips::{MaxIpConfig, MaxIpEstimator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn binary_matrix(rows: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), dim), rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn embedded_join_separates_orthogonal_pairs(p_bits in binary_matrix(6, 10), q_bits in binary_matrix(6, 10)) {
+        // For any OVP instance, thresholding the embedded inner products at s recovers
+        // exactly the orthogonal pairs — for both the signed and the {0,1} embedding.
+        let p: Vec<BinaryVector> = p_bits.iter().map(|b| BinaryVector::from_bools(b)).collect();
+        let q: Vec<BinaryVector> = q_bits.iter().map(|b| BinaryVector::from_bools(b)).collect();
+        let instance = OvpInstance::new(p.clone(), q.clone()).unwrap();
+        let signed = SignedEmbedding::new(10).unwrap();
+        let zero_one = ZeroOneEmbedding::new(10, 5).unwrap();
+        for i in 0..p.len() {
+            for j in 0..q.len() {
+                let orth = instance.is_orthogonal_pair(i, j).unwrap();
+                let s_ip = signed
+                    .embed_data(&p[i]).unwrap()
+                    .dot(&signed.embed_query(&q[j]).unwrap()).unwrap();
+                prop_assert_eq!(s_ip >= signed.threshold(), orth);
+                let z_ip = zero_one
+                    .embed_data(&p[i]).unwrap()
+                    .dot(&zero_one.embed_query(&q[j]).unwrap()).unwrap();
+                prop_assert_eq!(z_ip >= zero_one.threshold(), orth);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_join_threshold_equals_intersection_threshold(
+        sets in binary_matrix(8, 30),
+        queries in binary_matrix(4, 30),
+        threshold in 1usize..6,
+    ) {
+        // Over {0,1} data the unsigned join with threshold t reports exactly the queries
+        // having a set with intersection >= t — the set-similarity semantics the paper's
+        // introduction describes.
+        let data: Vec<_> = sets.iter().map(|b| BinaryVector::from_bools(b).to_dense()).collect();
+        let qs: Vec<_> = queries.iter().map(|b| BinaryVector::from_bools(b).to_dense()).collect();
+        let spec = JoinSpec::exact(threshold as f64, JoinVariant::Unsigned).unwrap();
+        let pairs = brute_force_join(&data, &qs, &spec).unwrap();
+        for (j, q) in queries.iter().enumerate() {
+            let qv = BinaryVector::from_bools(q);
+            let best = sets
+                .iter()
+                .map(|s| BinaryVector::from_bools(s).dot(&qv).unwrap())
+                .max()
+                .unwrap_or(0);
+            let answered = pairs.iter().any(|p| p.query_index == j);
+            prop_assert_eq!(answered, best >= threshold);
+        }
+    }
+
+    #[test]
+    fn sketch_estimate_is_sandwiched_by_the_norm_inequalities(seed in any::<u64>()) {
+        // ||Aq||_inf <= estimate-ish <= n^{1/kappa} ||Aq||_inf, up to the sketch's
+        // constant factors — checked loosely (factor 4 slack) on Zipfian set data.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 64;
+        let sets = zipfian_sets(&mut rng, 64, dim, 12, 0.9).unwrap();
+        let data: Vec<_> = sets.iter().map(BinaryVector::to_dense).collect();
+        let query = sets[7].to_dense();
+        let estimator = MaxIpEstimator::build(
+            &mut rng,
+            &data,
+            MaxIpConfig { kappa: 2.0, copies: 15, rows: None },
+        )
+        .unwrap();
+        let estimate = estimator.estimate(&query).unwrap();
+        let exact_max = data
+            .iter()
+            .map(|p| p.dot(&query).unwrap().abs())
+            .fold(0.0_f64, f64::max);
+        let slack = estimator.approximation_factor() * 4.0;
+        prop_assert!(estimate <= slack * exact_max + 1e-9, "estimate {estimate} vs max {exact_max}");
+        prop_assert!(estimate * slack >= exact_max - 1e-9, "estimate {estimate} vs max {exact_max}");
+    }
+}

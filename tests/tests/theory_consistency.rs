@@ -1,0 +1,85 @@
+//! Consistency between the paper's closed-form theory (ρ curves, Lemma 4 bound, Table 1
+//! classification) and the measurable behaviour of the concrete implementations.
+
+use ips_core::lower_bounds::grid::{estimate_gap_on_sequence, gap_upper_bound, grid_squares};
+use ips_core::lower_bounds::sequences::hard_sequence_case1;
+use ips_core::theory::{classify_approximation, Hardness, ProblemVariant, VectorDomain};
+use ips_datagen::sphere::similarity_ladder;
+use ips_lsh::collision::estimate_collision_curve;
+use ips_lsh::hyperplane::HyperplaneFamily;
+use ips_lsh::rho::{rho_from_probabilities, rho_simple_alsh};
+use ips_lsh::simple_alsh::SimpleAlshFamily;
+use ips_lsh::SymmetricAsAsymmetric;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn empirical_rho_of_simhash_matches_the_simp_curve() {
+    // Estimate P1 and P2 of single-bit hyperplane hashing at (s, cs) = (0.8, 0.4) and
+    // compare log P1 / log P2 with the closed-form SIMP exponent.
+    let mut rng = StdRng::seed_from_u64(0x7C1);
+    let dim = 32;
+    let s = 0.8;
+    let c = 0.5;
+    let family = SymmetricAsAsymmetric(HyperplaneFamily::single_bit(dim).unwrap());
+    let ladder = similarity_ladder(&mut rng, dim, &[s, c * s]).unwrap();
+    let curve = estimate_collision_curve(&family, &ladder, 20_000, &mut rng).unwrap();
+    let p1 = curve[0].probability;
+    let p2 = curve[1].probability;
+    let empirical_rho = rho_from_probabilities(p1, p2).unwrap();
+    let predicted = rho_simple_alsh(s, c, 1.0).unwrap();
+    assert!(
+        (empirical_rho - predicted).abs() < 0.05,
+        "empirical rho {empirical_rho} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn measured_gap_on_hard_sequences_respects_lemma4() {
+    let mut rng = StdRng::seed_from_u64(0x7C2);
+    // Two hard sequences of different lengths: the longer one must force a smaller gap,
+    // and both gaps must sit below (bound + sampling slack).
+    let short = hard_sequence_case1(0.05, 0.5, 1.0).unwrap();
+    let long = hard_sequence_case1(0.0005, 0.5, 1.0).unwrap();
+    assert!(long.len() > short.len());
+    let family = SimpleAlshFamily::new(1, 1.0, 1).unwrap();
+    let (p1_s, p2_s) = estimate_gap_on_sequence(&family, &short, 800, &mut rng).unwrap();
+    let (p1_l, p2_l) = estimate_gap_on_sequence(&family, &long, 800, &mut rng).unwrap();
+    let slack = 0.08;
+    assert!(p1_s - p2_s <= gap_upper_bound(short.len()) + slack);
+    assert!(p1_l - p2_l <= gap_upper_bound(long.len()) + slack);
+}
+
+#[test]
+fn grid_partition_counts_match_the_closed_form() {
+    // Σ_r 2^{ell-r-1} · 4^r = (4^ell - 2^ell)/2 … verify numerically that the squares
+    // cover exactly n(n+1)/2 nodes for n = 2^ell − 1.
+    for ell in 1..=6u32 {
+        let n = (1usize << ell) - 1;
+        let squares = grid_squares(ell).unwrap();
+        let covered: usize = squares.iter().map(|s| s.side * s.side).sum();
+        // Squares may extend past the staircase only on the diagonal corner; in this
+        // partition they never do, so the total equals the triangle size exactly.
+        assert_eq!(covered, n * (n + 1) / 2, "ell = {ell}");
+    }
+}
+
+#[test]
+fn table1_classification_is_monotone_in_c() {
+    // Hardness can only increase (Permissible → Open → Hard) as c grows towards 1.
+    let n = 1 << 20;
+    let rank = |h: Hardness| match h {
+        Hardness::Permissible => 0,
+        Hardness::Open => 1,
+        Hardness::Hard => 2,
+    };
+    for domain in [VectorDomain::PlusMinusOne, VectorDomain::ZeroOne] {
+        let mut prev = -1i32;
+        for &c in &[1e-5, 1e-3, 0.1, 0.5, 0.9, 0.999, 0.999999] {
+            let h = classify_approximation(domain, ProblemVariant::Unsigned, c, n, 0.25).unwrap();
+            let r = rank(h) as i32;
+            assert!(r >= prev, "classification regressed at c = {c} for {domain:?}");
+            prev = r;
+        }
+    }
+}
