@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ips_core::asymmetric::AlshParams;
 use ips_core::brute::brute_force_join;
+use ips_core::engine::{EngineConfig, JoinEngine};
 use ips_core::join::{alsh_join, sketch_join};
+use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_sketch::linf_mips::MaxIpConfig;
@@ -85,12 +87,60 @@ fn bench_alsh_amplification_ablation(c: &mut Criterion) {
             tables: l,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::new("k_l", format!("{k}x{l}")), &params, |b, p| {
-            b.iter(|| alsh_join(&mut rng, inst.data(), inst.queries(), spec, *p).unwrap())
+        group.bench_with_input(
+            BenchmarkId::new("k_l", format!("{k}x{l}")),
+            &params,
+            |b, p| b.iter(|| alsh_join(&mut rng, inst.data(), inst.queries(), spec, *p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// The JoinEngine's parallel, chunk-batched driver against the serial
+/// one-query-at-a-time loop it replaced, on the exact brute-force index (the
+/// heaviest per-query cost, so the honest parallelism measurement). The
+/// acceptance target for the engine is ≥ 1.5× on 4+ cores.
+fn bench_join_engine_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xB33);
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
+    let inst = instance(4000, &mut rng);
+    let index = BruteForceMipsIndex::new(inst.data().to_vec(), spec);
+    let mut group = c.benchmark_group("join_engine");
+    group.sample_size(10);
+    group.bench_function("serial_loop", |b| {
+        // chunk_size 1 forces the per-query `search` path: exactly the loop the
+        // seed's `index_join` ran.
+        let engine = JoinEngine::with_config(
+            &index,
+            EngineConfig {
+                threads: 1,
+                chunk_size: 1,
+            },
+        );
+        b.iter(|| engine.run_serial(inst.queries()).unwrap())
+    });
+    group.bench_function("serial_batched", |b| {
+        let engine = JoinEngine::with_config(&index, EngineConfig::serial());
+        b.iter(|| engine.run_serial(inst.queries()).unwrap())
+    });
+    for &threads in &[2usize, 4, 0] {
+        let id = if threads == 0 {
+            "all_cores".to_string()
+        } else {
+            threads.to_string()
+        };
+        group.bench_with_input(BenchmarkId::new("parallel", id), &threads, |b, &threads| {
+            let engine = JoinEngine::with_config(&index, EngineConfig::with_threads(threads));
+            b.iter(|| engine.run(inst.queries()).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_joins, bench_alsh_amplification_ablation);
+criterion_group!(
+    benches,
+    bench_joins,
+    bench_alsh_amplification_ablation,
+    bench_join_engine_scaling
+);
 criterion_main!(benches);

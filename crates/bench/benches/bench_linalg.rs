@@ -21,19 +21,25 @@ fn bench_dot_products(c: &mut Criterion) {
         });
         let ba = random_binary_vector(&mut rng, dim, 0.4).unwrap();
         let bb = random_binary_vector(&mut rng, dim, 0.4).unwrap();
-        group.bench_with_input(BenchmarkId::new("binary_bitpacked", dim), &dim, |bencher, _| {
-            bencher.iter(|| black_box(ba.dot(&bb).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binary_bitpacked", dim),
+            &dim,
+            |bencher, _| bencher.iter(|| black_box(ba.dot(&bb).unwrap())),
+        );
         let da = ba.to_dense();
         let db = bb.to_dense();
-        group.bench_with_input(BenchmarkId::new("binary_as_dense", dim), &dim, |bencher, _| {
-            bencher.iter(|| black_box(da.dot(&db).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binary_as_dense", dim),
+            &dim,
+            |bencher, _| bencher.iter(|| black_box(da.dot(&db).unwrap())),
+        );
         let sa = random_sign_vector(&mut rng, dim);
         let sb = random_sign_vector(&mut rng, dim);
-        group.bench_with_input(BenchmarkId::new("sign_bitpacked", dim), &dim, |bencher, _| {
-            bencher.iter(|| black_box(sa.dot(&sb).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sign_bitpacked", dim),
+            &dim,
+            |bencher, _| bencher.iter(|| black_box(sa.dot(&sb).unwrap())),
+        );
     }
     group.finish();
 }

@@ -23,11 +23,15 @@ fn bench_symmetric_families(c: &mut Criterion) {
 
     let hyperplane = HyperplaneFamily::new(DIM, 16).unwrap();
     let hp = hyperplane.sample(&mut rng).unwrap();
-    group.bench_function("hyperplane_16bit", |b| b.iter(|| black_box(hp.hash(&v).unwrap())));
+    group.bench_function("hyperplane_16bit", |b| {
+        b.iter(|| black_box(hp.hash(&v).unwrap()))
+    });
 
     let cross = CrossPolytopeFamily::new(DIM).unwrap();
     let cp = cross.sample(&mut rng).unwrap();
-    group.bench_function("cross_polytope", |b| b.iter(|| black_box(cp.hash(&v).unwrap())));
+    group.bench_function("cross_polytope", |b| {
+        b.iter(|| black_box(cp.hash(&v).unwrap()))
+    });
 
     let e2 = E2LshFamily::new(DIM, 2.5).unwrap();
     let e2f = e2.sample(&mut rng).unwrap();
@@ -59,7 +63,9 @@ fn bench_asymmetric_families(c: &mut Criterion) {
     let set = random_binary_vector(&mut rng, DIM, 0.2).unwrap().to_dense();
     let mha = MhAlshFamily::new(DIM, 40).unwrap();
     let mf = mha.sample(&mut rng).unwrap();
-    group.bench_function("mh_alsh_data", |b| b.iter(|| black_box(mf.hash_data(&set).unwrap())));
+    group.bench_function("mh_alsh_data", |b| {
+        b.iter(|| black_box(mf.hash_data(&set).unwrap()))
+    });
     group.bench_function("mh_alsh_query", |b| {
         b.iter(|| black_box(mf.hash_query(&set).unwrap()))
     });

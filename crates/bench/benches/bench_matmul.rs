@@ -27,7 +27,7 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
 }
 
 fn bench_kernels(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(0xE9_1);
+    let mut rng = StdRng::seed_from_u64(0xE91);
     let mut group = c.benchmark_group("matmul_kernels");
     group.sample_size(10);
     for &n in &[96usize, 192] {
@@ -50,7 +50,7 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 fn bench_gram_join(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(0xE9_2);
+    let mut rng = StdRng::seed_from_u64(0xE92);
     let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
     let mut group = c.benchmark_group("algebraic_join");
     group.sample_size(10);

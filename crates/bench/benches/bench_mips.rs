@@ -29,8 +29,13 @@ fn bench_mips_query(c: &mut Criterion) {
     let queries = model.users().to_vec();
 
     let brute = BruteForceMipsIndex::new(model.items().to_vec(), spec);
-    let alsh = AlshMipsIndex::build(&mut rng, model.items().to_vec(), spec, AlshParams::default())
-        .unwrap();
+    let alsh = AlshMipsIndex::build(
+        &mut rng,
+        model.items().to_vec(),
+        spec,
+        AlshParams::default(),
+    )
+    .unwrap();
     let symmetric = SymmetricLshMips::build(
         &mut rng,
         model.items().to_vec(),
@@ -104,8 +109,13 @@ fn bench_index_construction(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("alsh_build", |b| {
         b.iter(|| {
-            AlshMipsIndex::build(&mut rng, model.items().to_vec(), spec, AlshParams::default())
-                .unwrap()
+            AlshMipsIndex::build(
+                &mut rng,
+                model.items().to_vec(),
+                spec,
+                AlshParams::default(),
+            )
+            .unwrap()
         })
     });
     group.bench_function("sketch_build", |b| {

@@ -69,10 +69,19 @@ fn bench_recovery_query(c: &mut Criterion) {
     .unwrap();
     let mut group = c.benchmark_group("sketch_recovery");
     group.sample_size(20);
-    group.bench_function("prefix_tree_query", |b| b.iter(|| index.query(&query).unwrap()));
-    group.bench_function("exact_argmax", |b| b.iter(|| index.exact_max(&query).unwrap()));
+    group.bench_function("prefix_tree_query", |b| {
+        b.iter(|| index.query(&query).unwrap())
+    });
+    group.bench_function("exact_argmax", |b| {
+        b.iter(|| index.exact_max(&query).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_sketch_apply, bench_estimator_query, bench_recovery_query);
+criterion_group!(
+    benches,
+    bench_sketch_apply,
+    bench_estimator_query,
+    bench_recovery_query
+);
 criterion_main!(benches);

@@ -60,10 +60,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["|P|", "pairs", "brute ms", "gram ms", "speedup"],
-            &rows
-        )
+        render_table(&["|P|", "pairs", "brute ms", "gram ms", "speedup"], &rows)
     );
 
     // Part 2: the amplified unsigned join over {−1,1}, as the planted correlation
@@ -79,10 +76,10 @@ fn main() {
     let mut rows = Vec::new();
     for &agree in &[112usize, 96, 84, 76] {
         let s = (2 * agree) as f64 - dim as f64; // planted inner product
-        let query_vectors: Vec<SignVector> =
-            (0..queries).map(|_| random_sign_vector(&mut rng, dim)).collect();
-        let mut data: Vec<SignVector> =
-            (0..n).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let query_vectors: Vec<SignVector> = (0..queries)
+            .map(|_| random_sign_vector(&mut rng, dim))
+            .collect();
+        let mut data: Vec<SignVector> = (0..n).map(|_| random_sign_vector(&mut rng, dim)).collect();
         let mut planted_pairs = Vec::new();
         for qi in 0..planted {
             let mut partner = query_vectors[qi].clone();
@@ -129,7 +126,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["s/d", "degree t", "candidates", "pairs", "planted recall", "ms"],
+            &[
+                "s/d",
+                "degree t",
+                "candidates",
+                "pairs",
+                "planted recall",
+                "ms"
+            ],
             &rows
         )
     );

@@ -9,13 +9,13 @@
 
 use ips_bench::{fmt, render_table, Timer};
 use ips_datagen::sphere::similarity_ladder;
+use ips_linalg::BinaryVector;
 use ips_lsh::collision::estimate_collision_curve;
 use ips_lsh::hyperplane::HyperplaneFamily;
 use ips_lsh::mhalsh::MhAlshFamily;
 use ips_lsh::simple_alsh::SimpleAlshFamily;
 use ips_lsh::traits::{AsymmetricHashFunction, AsymmetricLshFamily};
 use ips_lsh::SymmetricAsAsymmetric;
-use ips_linalg::BinaryVector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,7 +53,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["inner product", "theory 1-acos(s)/pi", "SimHash measured", "SIMPLE-ALSH measured"],
+            &[
+                "inner product",
+                "theory 1-acos(s)/pi",
+                "SimHash measured",
+                "SIMPLE-ALSH measured"
+            ],
             &rows
         )
     );
@@ -66,9 +71,11 @@ fn main() {
     let data = BinaryVector::from_support(universe, &(0..set_size).collect::<Vec<_>>()).unwrap();
     let mut rows = Vec::new();
     for &overlap in &[0usize, 10, 20, 30, 40] {
-        let query =
-            BinaryVector::from_support(universe, &((set_size - overlap)..(2 * set_size - overlap)).collect::<Vec<_>>())
-                .unwrap();
+        let query = BinaryVector::from_support(
+            universe,
+            &((set_size - overlap)..(2 * set_size - overlap)).collect::<Vec<_>>(),
+        )
+        .unwrap();
         let a = data.dot(&query).unwrap();
         let theory = MhAlshFamily::collision_probability(a, query.count_ones(), capacity);
         let mut collisions = 0usize;

@@ -42,11 +42,21 @@ fn main() {
     let mut rows = Vec::new();
     for &(s, c, u) in &[(0.05, 0.5, 1.0), (0.005, 0.5, 1.0), (0.0005, 0.5, 1.0)] {
         let seq = hard_sequence_case1(s, c, u).expect("valid case-1 parameters");
-        rows.push(measure(&format!("case 1 (s={s}, c={c}, U={u})"), &seq, trials, &mut rng));
+        rows.push(measure(
+            &format!("case 1 (s={s}, c={c}, U={u})"),
+            &seq,
+            trials,
+            &mut rng,
+        ));
     }
     for &(s, c, u) in &[(0.05, 0.8, 1.0), (0.01, 0.9, 1.0)] {
         let seq = hard_sequence_case2(s, c, u).expect("valid case-2 parameters");
-        rows.push(measure(&format!("case 2 (s={s}, c={c}, U={u})"), &seq, trials, &mut rng));
+        rows.push(measure(
+            &format!("case 2 (s={s}, c={c}, U={u})"),
+            &seq,
+            trials,
+            &mut rng,
+        ));
     }
     for &(s, c, levels) in &[(0.05f64, 0.6, 3u32), (0.02, 0.6, 4)] {
         let seq = hard_sequence_case3(s, c, 1.0, levels).expect("valid case-3 parameters");

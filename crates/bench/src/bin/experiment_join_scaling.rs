@@ -12,7 +12,9 @@
 use ips_bench::{fmt, render_table, Timer};
 use ips_core::asymmetric::AlshParams;
 use ips_core::brute::brute_force_join;
+use ips_core::engine::{EngineConfig, JoinEngine};
 use ips_core::join::{alsh_join, sketch_join};
+use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_sketch::linf_mips::MaxIpConfig;
@@ -70,7 +72,10 @@ fn main() {
         let t_sketch = t.elapsed_ms();
 
         let pairs_of = |pairs: &[ips_core::problem::MatchPair]| -> Vec<(usize, usize)> {
-            pairs.iter().map(|p| (p.data_index, p.query_index)).collect()
+            pairs
+                .iter()
+                .map(|p| (p.data_index, p.query_index))
+                .collect()
         };
         let recall_alsh = inst.recall(&pairs_of(&alsh), spec.relaxed_threshold());
         let recall_sketch = inst.recall(&pairs_of(&sketch), spec.relaxed_threshold());
@@ -106,5 +111,48 @@ fn main() {
             &rows
         )
     );
-    println!("\n(64 queries, d = 48, s = 0.8, c = 0.6; ALSH/sketch times include index construction)");
+    println!(
+        "\n(64 queries, d = 48, s = 0.8, c = 0.6; ALSH/sketch times include index construction)"
+    );
+
+    // The JoinEngine's parallel driver against the serial one-query loop on the
+    // largest instance: the speedup every join entry point now inherits.
+    let inst = PlantedInstance::generate(
+        &mut rng,
+        PlantedConfig {
+            data: 8000,
+            queries: 256,
+            dim: 48,
+            background_scale: 0.05,
+            planted_ip: 0.85,
+            planted: 16,
+        },
+    )
+    .expect("valid config");
+    let index = BruteForceMipsIndex::new(inst.data().to_vec(), spec);
+    let serial_engine = JoinEngine::with_config(
+        &index,
+        EngineConfig {
+            threads: 1,
+            chunk_size: 1,
+        },
+    );
+    let t = Timer::start();
+    let serial = serial_engine.run_serial(inst.queries()).unwrap();
+    let t_serial = t.elapsed_ms();
+    let parallel_engine = JoinEngine::new(&index);
+    let t = Timer::start();
+    let parallel = parallel_engine.run(inst.queries()).unwrap();
+    let t_parallel = t.elapsed_ms();
+    assert_eq!(serial, parallel, "engine must not change join results");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nJoinEngine on |P| = 8000, |Q| = 256 (brute-force index, {cores} cores): \
+serial loop {} ms, parallel batched {} ms, speedup {}x",
+        fmt(t_serial, 1),
+        fmt(t_parallel, 1),
+        fmt(t_serial / t_parallel.max(1e-9), 2),
+    );
 }

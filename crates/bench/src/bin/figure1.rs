@@ -21,7 +21,7 @@ fn main() {
     println!("      j = 0 .. {}", n - 1);
     for (i, row) in grid.iter().enumerate() {
         let mut line = format!("i={i:>2}  ");
-        for (_, cell) in row.iter().enumerate() {
+        for cell in row.iter() {
             match cell {
                 (NodeClass::P1, Some((level, _))) => line.push_str(&format!("{level} ")),
                 (NodeClass::P1, None) => line.push_str("? "),
@@ -47,7 +47,9 @@ fn main() {
         }
     }
     let total = n * (n + 1) / 2;
-    println!("\nPartition check: {covered}/{total} P1-nodes covered, {double_covered} covered twice");
+    println!(
+        "\nPartition check: {covered}/{total} P1-nodes covered, {double_covered} covered twice"
+    );
     println!("Squares per level:");
     for r in 0..ell {
         let count = squares.iter().filter(|s| s.level == r).count();
@@ -59,5 +61,8 @@ fn main() {
         .iter()
         .map(|&len| vec![len.to_string(), fmt(gap_upper_bound(len), 6)])
         .collect();
-    println!("{}", render_table(&["sequence length n", "max gap P1-P2"], &rows));
+    println!(
+        "{}",
+        render_table(&["sequence length n", "max gap P1-P2"], &rows)
+    );
 }

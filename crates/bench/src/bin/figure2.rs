@@ -40,7 +40,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["s", "DATA-DEP (eq. 3)", "SIMP [39]", "MH-ALSH [46]", "L2-ALSH [45]"],
+                &[
+                    "s",
+                    "DATA-DEP (eq. 3)",
+                    "SIMP [39]",
+                    "MH-ALSH [46]",
+                    "L2-ALSH [45]"
+                ],
                 &rows
             )
         );
@@ -51,7 +57,10 @@ fn main() {
             .map(|r| r.s)
             .fold(f64::INFINITY, f64::min);
         if dd_beats_mh.is_finite() {
-            println!("   DATA-DEP beats MH-ALSH from s ≈ {} onwards\n", fmt(dd_beats_mh, 2));
+            println!(
+                "   DATA-DEP beats MH-ALSH from s ≈ {} onwards\n",
+                fmt(dd_beats_mh, 2)
+            );
         } else {
             println!("   MH-ALSH dominates DATA-DEP on this grid\n");
         }

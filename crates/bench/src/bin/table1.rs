@@ -17,7 +17,11 @@ use ips_ovp::{ChebyshevEmbedding, GapEmbedding, SignedEmbedding, ZeroOneEmbeddin
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn verify_embedding<E: GapEmbedding>(embedding: &E, trials: usize, rng: &mut StdRng) -> (f64, f64, bool) {
+fn verify_embedding<E: GapEmbedding>(
+    embedding: &E,
+    trials: usize,
+    rng: &mut StdRng,
+) -> (f64, f64, bool) {
     let d = embedding.input_dim();
     let mut min_orth = f64::INFINITY;
     let mut max_non = f64::NEG_INFINITY;
@@ -101,8 +105,9 @@ fn main() {
                 0.25,
             )
             .unwrap();
-            let zo = classify_approximation(VectorDomain::ZeroOne, ProblemVariant::Unsigned, c, n, 0.25)
-                .unwrap();
+            let zo =
+                classify_approximation(VectorDomain::ZeroOne, ProblemVariant::Unsigned, c, n, 0.25)
+                    .unwrap();
             let show = |h: Hardness| match h {
                 Hardness::Hard => "hard",
                 Hardness::Permissible => "permissible",
@@ -120,7 +125,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["n", "c", "signed {-1,1}", "unsigned {-1,1}", "unsigned {0,1}"],
+            &[
+                "n",
+                "c",
+                "signed {-1,1}",
+                "unsigned {-1,1}",
+                "unsigned {0,1}"
+            ],
             &class_rows
         )
     );

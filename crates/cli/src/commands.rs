@@ -7,10 +7,11 @@
 use crate::args::ParsedArgs;
 use crate::dataset::{read_vectors, write_vectors, DatasetSummary};
 use crate::error::{CliError, Result};
-use ips_core::brute::brute_force_join;
-use ips_core::join::{alsh_join, sketch_join};
 use ips_core::algebraic::algebraic_exact_join;
 use ips_core::asymmetric::AlshParams;
+use ips_core::brute::BorrowedBruteIndex;
+use ips_core::engine::{EngineConfig, JoinEngine};
+use ips_core::join::{alsh_engine, sketch_engine};
 use ips_core::mips::{BruteForceMipsIndex, SearchResult};
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant, MatchPair};
 use ips_core::topk::TopKMipsIndex;
@@ -112,10 +113,7 @@ pub fn cmd_generate(args: &ParsedArgs) -> Result<GenerateReport> {
                     dim,
                     popularity_sigma: 0.5,
                 },
-            )
-            .ok_or_else(|| CliError::Usage {
-                reason: "latent generation needs n, queries and dim to be positive".into(),
-            })?;
+            )?;
             (model.items().to_vec(), Some(model.users().to_vec()))
         }
         "planted" => {
@@ -191,31 +189,52 @@ fn run_join(
     queries: &[ips_linalg::DenseVector],
     spec: JoinSpec,
     params: AlshParams,
+    engine_config: EngineConfig,
 ) -> Result<Vec<MatchPair>> {
+    // Every index-backed algorithm goes through the one parallel JoinEngine
+    // driver; `matmul` keeps its own blockwise Gram-product path.
     match algorithm {
-        "brute" => Ok(brute_force_join(data, queries, &spec)?),
+        "brute" => {
+            // Borrowed index: the CSV reader already owns the vectors, no second copy.
+            let engine =
+                JoinEngine::with_config(BorrowedBruteIndex::new(data, spec), engine_config);
+            Ok(engine.run(queries)?)
+        }
         "matmul" => Ok(algebraic_exact_join(data, queries, &spec, 64)?),
-        "alsh" => Ok(alsh_join(rng, data, queries, spec, params)?),
-        "sketch" => Ok(sketch_join(
-            rng,
-            data,
-            queries,
-            spec,
-            MaxIpConfig::default(),
-            16,
-        )?),
+        "alsh" => Ok(alsh_engine(rng, data, spec, params, engine_config)?.run(queries)?),
+        "sketch" => Ok(
+            sketch_engine(rng, data, spec, MaxIpConfig::default(), 16, engine_config)?
+                .run(queries)?,
+        ),
         other => Err(CliError::Usage {
-            reason: format!(
-                "unknown algorithm `{other}`; expected brute, matmul, alsh or sketch"
-            ),
+            reason: format!("unknown algorithm `{other}`; expected brute, matmul, alsh or sketch"),
         }),
     }
+}
+
+fn engine_config(args: &ParsedArgs) -> Result<EngineConfig> {
+    let defaults = EngineConfig::default();
+    Ok(EngineConfig {
+        threads: args.get_usize_or("threads", defaults.threads)?,
+        chunk_size: args.get_usize_or("chunk", defaults.chunk_size)?,
+    })
 }
 
 /// `ips join` — run a `(cs, s)` join between two CSV files.
 pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
     args.ensure_only(&[
-        "data", "queries", "s", "c", "variant", "algorithm", "seed", "limit", "bits", "tables",
+        "data",
+        "queries",
+        "s",
+        "c",
+        "variant",
+        "algorithm",
+        "seed",
+        "limit",
+        "bits",
+        "tables",
+        "threads",
+        "chunk",
     ])?;
     let data = read_vectors(Path::new(args.require("data")?))?;
     let queries = read_vectors(Path::new(args.require("queries")?))?;
@@ -223,8 +242,9 @@ pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
     let algorithm = args.get_or("algorithm", "brute").to_string();
     let mut rng = StdRng::seed_from_u64(args.get_u64_or("seed", 42)?);
     let params = alsh_params(args)?;
+    let config = engine_config(args)?;
     let start = Instant::now();
-    let pairs = run_join(&algorithm, &mut rng, &data, &queries, spec, params)?;
+    let pairs = run_join(&algorithm, &mut rng, &data, &queries, spec, params, config)?;
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     let (recall, valid) = evaluate_join(&data, &queries, &spec, &pairs)?;
     Ok(JoinReport {
@@ -239,7 +259,16 @@ pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
 /// `ips search` — build an index over the data file and answer top-`k` queries.
 pub fn cmd_search(args: &ParsedArgs) -> Result<SearchReport> {
     args.ensure_only(&[
-        "data", "queries", "s", "c", "variant", "algorithm", "seed", "k", "bits", "tables",
+        "data",
+        "queries",
+        "s",
+        "c",
+        "variant",
+        "algorithm",
+        "seed",
+        "k",
+        "bits",
+        "tables",
     ])?;
     let data = read_vectors(Path::new(args.require("data")?))?;
     let queries = read_vectors(Path::new(args.require("queries")?))?;

@@ -1,101 +1,45 @@
-//! Error type for the command-line interface.
+//! Error type for the command-line interface, on the workspace error pattern
+//! ([`ips_linalg::define_error!`]).
 
 use ips_core::CoreError;
+use ips_datagen::DatagenError;
 use ips_linalg::LinalgError;
 use ips_matmul::MatmulError;
 use ips_sketch::SketchError;
-use std::fmt;
 
-/// Result alias used throughout `ips-cli`.
-pub type Result<T> = std::result::Result<T, CliError>;
-
-/// Errors produced by the CLI layer.
-#[derive(Debug)]
-pub enum CliError {
-    /// The command line could not be understood.
-    Usage {
-        /// Explanation of what was wrong.
-        reason: String,
-    },
-    /// A CSV vector file could not be parsed.
-    Parse {
-        /// The file (or stream label) being read.
-        source_name: String,
-        /// 1-based line number of the offending record.
-        line: usize,
-        /// Explanation of the problem.
-        reason: String,
-    },
-    /// An I/O operation failed.
-    Io(std::io::Error),
-    /// An underlying join/search operation failed.
-    Core(CoreError),
-    /// An underlying linear-algebra operation failed.
-    Linalg(LinalgError),
-    /// An underlying sketch operation failed.
-    Sketch(SketchError),
-    /// An underlying matrix-multiplication operation failed.
-    Matmul(MatmulError),
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::Usage { reason } => write!(f, "usage error: {reason}"),
-            CliError::Parse {
-                source_name,
-                line,
-                reason,
-            } => write!(f, "parse error in {source_name} at line {line}: {reason}"),
-            CliError::Io(e) => write!(f, "I/O error: {e}"),
-            CliError::Core(e) => write!(f, "join error: {e}"),
-            CliError::Linalg(e) => write!(f, "linear algebra error: {e}"),
-            CliError::Sketch(e) => write!(f, "sketch error: {e}"),
-            CliError::Matmul(e) => write!(f, "matrix multiplication error: {e}"),
+ips_linalg::define_error! {
+    /// Errors produced by the CLI layer.
+    CliError, Result {
+        variants {
+            /// The command line could not be understood.
+            Usage {
+                /// Explanation of what was wrong.
+                reason: String,
+            } => ("usage error: {reason}"),
+            /// A CSV vector file could not be parsed.
+            Parse {
+                /// The file (or stream label) being read.
+                source_name: String,
+                /// 1-based line number of the offending record.
+                line: usize,
+                /// Explanation of the problem.
+                reason: String,
+            } => ("parse error in {source_name} at line {line}: {reason}"),
         }
-    }
-}
-
-impl std::error::Error for CliError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            CliError::Io(e) => Some(e),
-            CliError::Core(e) => Some(e),
-            CliError::Linalg(e) => Some(e),
-            CliError::Sketch(e) => Some(e),
-            CliError::Matmul(e) => Some(e),
-            _ => None,
+        wraps {
+            /// An I/O operation failed.
+            Io(std::io::Error) => "I/O error",
+            /// An underlying join/search operation failed.
+            Core(CoreError) => "join error",
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
+            /// An underlying workload-generation operation failed.
+            Datagen(DatagenError) => "generation error",
+            /// An underlying sketch operation failed.
+            Sketch(SketchError) => "sketch error",
+            /// An underlying matrix-multiplication operation failed.
+            Matmul(MatmulError) => "matrix multiplication error",
         }
-    }
-}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::Io(e)
-    }
-}
-
-impl From<CoreError> for CliError {
-    fn from(e: CoreError) -> Self {
-        CliError::Core(e)
-    }
-}
-
-impl From<LinalgError> for CliError {
-    fn from(e: LinalgError) -> Self {
-        CliError::Linalg(e)
-    }
-}
-
-impl From<SketchError> for CliError {
-    fn from(e: SketchError) -> Self {
-        CliError::Sketch(e)
-    }
-}
-
-impl From<MatmulError> for CliError {
-    fn from(e: MatmulError) -> Self {
-        CliError::Matmul(e)
     }
 }
 
@@ -127,6 +71,12 @@ mod tests {
         assert!(e.to_string().contains("join error"));
         let e: CliError = LinalgError::Empty { op: "dot" }.into();
         assert!(e.to_string().contains("linear algebra"));
+        let e: CliError = DatagenError::InvalidParameter {
+            name: "n",
+            reason: "zero".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("generation"));
         let e: CliError = SketchError::EmptyDataSet.into();
         assert!(e.to_string().contains("sketch"));
         let e: CliError = MatmulError::Empty { op: "gram" }.into();

@@ -40,6 +40,7 @@ COMMANDS:
     info       data=<path>
     join       data=<path> queries=<path> s=<float> [c=<float>] [variant=signed|unsigned]
                [algorithm=brute|matmul|alsh|sketch] [seed=<int>] [limit=<int>]
+               [threads=<int>] [chunk=<int>]   (0 threads = one per CPU)
     search     data=<path> queries=<path> s=<float> [c=<float>] [k=<int>]
                [algorithm=brute|alsh] [seed=<int>]
     help       print this message

@@ -22,7 +22,11 @@ fn run() -> Result<(), CliError> {
                 report.data_path.display()
             );
             if let Some(path) = &report.query_path {
-                println!("wrote {} query vectors to {}", report.query_count, path.display());
+                println!(
+                    "wrote {} query vectors to {}",
+                    report.query_count,
+                    path.display()
+                );
             }
         }
         "info" => {
@@ -47,7 +51,10 @@ fn run() -> Result<(), CliError> {
                 );
             }
             if report.pairs.len() > limit {
-                println!("  … {} further pairs omitted (raise limit=)", report.pairs.len() - limit);
+                println!(
+                    "  … {} further pairs omitted (raise limit=)",
+                    report.pairs.len() - limit
+                );
             }
         }
         "search" => {
@@ -57,11 +64,15 @@ fn run() -> Result<(), CliError> {
                     .iter()
                     .map(|h| format!("{} ({:+.4})", h.data_index, h.inner_product))
                     .collect();
-                println!("query {:>6}: {}", j, if rendered.is_empty() {
-                    "no acceptable partner".to_string()
-                } else {
-                    rendered.join(", ")
-                });
+                println!(
+                    "query {:>6}: {}",
+                    j,
+                    if rendered.is_empty() {
+                        "no acceptable partner".to_string()
+                    } else {
+                        rendered.join(", ")
+                    }
+                );
             }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),

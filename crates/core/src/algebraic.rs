@@ -51,8 +51,14 @@ pub fn algebraic_exact_join_parallel(
     threads: usize,
 ) -> Result<Vec<MatchPair>> {
     let unsigned = spec.variant == JoinVariant::Unsigned;
-    let pairs =
-        matmul_exact_join_parallel(data, queries, spec.threshold, unsigned, query_block, threads)?;
+    let pairs = matmul_exact_join_parallel(
+        data,
+        queries,
+        spec.threshold,
+        unsigned,
+        query_block,
+        threads,
+    )?;
     Ok(convert(pairs))
 }
 
@@ -80,8 +86,14 @@ pub fn amplified_sign_join<R: Rng + ?Sized>(
             reason: "the amplified join needs a strict approximation factor c < 1".into(),
         });
     }
-    let report =
-        amplified_unsigned_join(rng, data, queries, spec.threshold, spec.approximation, config)?;
+    let report = amplified_unsigned_join(
+        rng,
+        data,
+        queries,
+        spec.threshold,
+        spec.approximation,
+        config,
+    )?;
     Ok(convert(report.pairs))
 }
 

@@ -208,7 +208,9 @@ mod tests {
     #[test]
     fn build_validation() {
         let mut r = rng();
-        assert!(AlshMipsIndex::build(&mut r, vec![], spec(0.5, 0.5), AlshParams::default()).is_err());
+        assert!(
+            AlshMipsIndex::build(&mut r, vec![], spec(0.5, 0.5), AlshParams::default()).is_err()
+        );
         let too_long = vec![DenseVector::from(&[2.0, 0.0][..])];
         assert!(
             AlshMipsIndex::build(&mut r, too_long, spec(0.5, 0.5), AlshParams::default()).is_err()
@@ -217,7 +219,9 @@ mod tests {
             DenseVector::from(&[0.5, 0.0][..]),
             DenseVector::from(&[0.5][..]),
         ];
-        assert!(AlshMipsIndex::build(&mut r, mixed, spec(0.5, 0.5), AlshParams::default()).is_err());
+        assert!(
+            AlshMipsIndex::build(&mut r, mixed, spec(0.5, 0.5), AlshParams::default()).is_err()
+        );
         let data = vec![DenseVector::from(&[0.5, 0.0][..])];
         assert!(
             AlshMipsIndex::build(&mut r, data, spec(2.0, 0.5), AlshParams::default()).is_err(),
@@ -241,7 +245,10 @@ mod tests {
         assert!(!index.is_empty());
         assert_eq!(index.spec(), spec);
         assert_eq!(index.data().len(), n);
-        let hit = index.search(&query).unwrap().expect("planted point must be found");
+        let hit = index
+            .search(&query)
+            .unwrap()
+            .expect("planted point must be found");
         assert_eq!(hit.data_index, 42);
         assert!(hit.inner_product >= 0.8 - 1e-9);
         // Candidate sets should be (much) smaller than the data set.

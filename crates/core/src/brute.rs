@@ -2,11 +2,13 @@
 //!
 //! Every upper bound in the paper is an attempt to beat these `O(|P|·|Q|·d)` loops, and
 //! every conditional lower bound says that in certain regimes one essentially cannot.
-//! Both a sequential and a multi-threaded variant (scoped threads over query chunks,
-//! via `crossbeam`) are provided; the parallel variant is the honest baseline for the
-//! wall-clock benchmarks on multi-core machines.
+//! Both a sequential and a multi-threaded variant are provided; the parallel variant
+//! (the [`crate::engine::JoinEngine`] over a borrowed exact index) is the honest
+//! baseline for the wall-clock benchmarks on multi-core machines.
 
+use crate::engine::{EngineConfig, JoinEngine};
 use crate::error::{CoreError, Result};
+use crate::mips::{data_major_batch, MipsIndex, SearchResult};
 use crate::problem::{JoinSpec, MatchPair};
 use ips_linalg::DenseVector;
 
@@ -30,7 +32,43 @@ pub fn brute_force_join(
     Ok(out)
 }
 
-/// Multi-threaded exact join: splits the query set across `threads` scoped workers.
+/// The exact quadratic-scan index over *borrowed* data: the zero-copy sibling of
+/// [`crate::mips::BruteForceMipsIndex`], for callers that already own the vectors
+/// (the parallel baseline below, the CLI's default algorithm) and should not pay
+/// a second copy just to join through the engine.
+pub struct BorrowedBruteIndex<'a> {
+    data: &'a [DenseVector],
+    spec: JoinSpec,
+}
+
+impl<'a> BorrowedBruteIndex<'a> {
+    /// Wraps the data set (no copy, no preprocessing).
+    pub fn new(data: &'a [DenseVector], spec: JoinSpec) -> Self {
+        Self { data, spec }
+    }
+}
+
+impl MipsIndex for BorrowedBruteIndex<'_> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.spec
+    }
+
+    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
+        Ok(brute_force_mips(self.data, query, &self.spec)?.map(SearchResult::from))
+    }
+
+    fn search_batch(&self, queries: &[DenseVector]) -> Result<Vec<Option<SearchResult>>> {
+        data_major_batch(self.data, queries, &self.spec)
+    }
+}
+
+/// Multi-threaded exact join: the [`JoinEngine`] over a borrowed exact index, with
+/// the query set split across `threads` workers (one chunk each, mirroring the
+/// pre-engine behaviour of this baseline).
 pub fn brute_force_join_parallel(
     data: &[DenseVector],
     queries: &[DenseVector],
@@ -47,36 +85,12 @@ pub fn brute_force_join_parallel(
         });
     }
     let threads = threads.min(queries.len());
-    let chunk_size = queries.len().div_ceil(threads);
-    let results: Vec<Result<Vec<MatchPair>>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .chunks(chunk_size)
-            .enumerate()
-            .map(|(chunk_idx, chunk)| {
-                scope.spawn(move |_| -> Result<Vec<MatchPair>> {
-                    let mut local = Vec::new();
-                    for (offset, q) in chunk.iter().enumerate() {
-                        let j = chunk_idx * chunk_size + offset;
-                        if let Some(pair) = best_for_query(data, q, j, spec)? {
-                            local.push(pair);
-                        }
-                    }
-                    Ok(local)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed");
-    let mut out = Vec::new();
-    for r in results {
-        out.extend(r?);
-    }
-    out.sort_by_key(|p| p.query_index);
-    Ok(out)
+    let index = BorrowedBruteIndex::new(data, *spec);
+    let config = EngineConfig {
+        threads,
+        chunk_size: queries.len().div_ceil(threads),
+    };
+    JoinEngine::with_config(index, config).run(queries)
 }
 
 /// Exact maximum inner product search: the data index maximising the variant's value,
@@ -98,23 +112,16 @@ fn best_for_query(
     query_index: usize,
     spec: &JoinSpec,
 ) -> Result<Option<MatchPair>> {
-    let mut best: Option<MatchPair> = None;
-    for (i, p) in data.iter().enumerate() {
-        let ip = p.dot(q)?;
-        let value = spec.variant.value(ip);
-        let better = best
-            .as_ref()
-            .map(|b| value > spec.variant.value(b.inner_product))
-            .unwrap_or(true);
-        if better {
-            best = Some(MatchPair {
-                data_index: i,
-                query_index,
-                inner_product: ip,
-            });
-        }
-    }
-    Ok(best.filter(|b| spec.satisfies_promise(b.inner_product)))
+    // One-query batch through the shared kernel, so the argmax tie-breaking and
+    // promise filter have a single definition crate-wide.
+    let hit = data_major_batch(data, std::slice::from_ref(q), spec)?
+        .pop()
+        .flatten();
+    Ok(hit.map(|h| MatchPair {
+        data_index: h.data_index,
+        query_index,
+        inner_product: h.inner_product,
+    }))
 }
 
 #[cfg(test)]
@@ -155,7 +162,9 @@ mod tests {
         let data = vec![dv(&[1.0, 0.0])];
         let queries = vec![dv(&[-0.95, 0.0])];
         let signed = JoinSpec::exact(0.8, JoinVariant::Signed).unwrap();
-        assert!(brute_force_join(&data, &queries, &signed).unwrap().is_empty());
+        assert!(brute_force_join(&data, &queries, &signed)
+            .unwrap()
+            .is_empty());
         let unsigned = JoinSpec::exact(0.8, JoinVariant::Unsigned).unwrap();
         let pairs = brute_force_join(&data, &queries, &unsigned).unwrap();
         assert_eq!(pairs.len(), 1);

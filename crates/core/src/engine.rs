@@ -1,0 +1,302 @@
+//! The unified join engine: one parallel, chunk-batched driver behind every join.
+//!
+//! A `(cs, s)` join is "build an index over `P`, query it with every `q ∈ Q`" — the
+//! reduction the paper uses throughout. The seed implementation ran that reduction as a
+//! serial one-query-at-a-time loop in four separate places; [`JoinEngine`] is the single
+//! replacement. It owns (or borrows) any [`MipsIndex`], splits the query set into
+//! chunks, and feeds the chunks through [`MipsIndex::search_batch`] on a pool of scoped
+//! worker threads with work-stealing chunk claims, so:
+//!
+//! * every index gets query parallelism for free (searches take `&self`; all the
+//!   workspace's indexes are plain data and therefore [`Sync`]);
+//! * an index that can answer a *batch* faster than query-at-a-time (the brute-force
+//!   scan's data-major loop, and any future blocked/SIMD path) accelerates every join
+//!   by overriding one method;
+//! * the output is byte-for-byte what the serial loop produces — the workers only
+//!   partition the query set, and results are reassembled in query order.
+//!
+//! This is the seam future sharding and caching work plugs into: anything that can
+//! answer `search_batch` — a remote shard, a cached layer, a GPU kernel — joins through
+//! the same driver.
+
+use crate::error::Result;
+use crate::mips::MipsIndex;
+use crate::problem::{JoinSpec, MatchPair};
+use ips_linalg::DenseVector;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How a [`JoinEngine`] schedules its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Queries per batched work unit handed to [`MipsIndex::search_batch`].
+    pub chunk_size: usize,
+}
+
+impl EngineConfig {
+    /// Serial execution (one thread), primarily for baselines and tests.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Exactly `threads` workers with the default chunk size.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    fn resolved_chunk_size(&self) -> usize {
+        self.chunk_size.max(1)
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            // Large enough that a batch amortises scheduling and lets data-major
+            // batch kernels reuse each loaded data vector; small enough that a
+            // typical query set still splits across every core.
+            chunk_size: 32,
+        }
+    }
+}
+
+/// The unified parallel join driver over any [`MipsIndex`].
+///
+/// `I` may be an owned index (`JoinEngine<AlshMipsIndex>`) or a borrowed one
+/// (`JoinEngine<&AlshMipsIndex>`), since `&I` implements [`MipsIndex`] too.
+pub struct JoinEngine<I: MipsIndex> {
+    index: I,
+    config: EngineConfig,
+}
+
+impl<I: MipsIndex> JoinEngine<I> {
+    /// An engine over `index` with the default configuration.
+    pub fn new(index: I) -> Self {
+        Self::with_config(index, EngineConfig::default())
+    }
+
+    /// An engine over `index` with an explicit schedule.
+    pub fn with_config(index: I, config: EngineConfig) -> Self {
+        Self { index, config }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Consumes the engine, returning the index.
+    pub fn into_index(self) -> I {
+        self.index
+    }
+
+    /// The engine's schedule.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The `(cs, s)` spec of the underlying index.
+    pub fn spec(&self) -> JoinSpec {
+        self.index.spec()
+    }
+
+    /// Runs the join serially on the calling thread (still chunk-batched, so
+    /// [`MipsIndex::search_batch`] overrides apply). This is the reference
+    /// semantics [`JoinEngine::run`] must reproduce.
+    pub fn run_serial(&self, queries: &[DenseVector]) -> Result<Vec<MatchPair>> {
+        let chunk_size = self.config.resolved_chunk_size();
+        let mut out = Vec::new();
+        for (chunk_idx, chunk) in queries.chunks(chunk_size).enumerate() {
+            let hits = self.index.search_batch(chunk)?;
+            collect_chunk(&mut out, chunk_idx * chunk_size, hits);
+        }
+        Ok(out)
+    }
+
+    /// Runs the `(cs, s)` join of the index's data set against `queries`.
+    ///
+    /// Chunks of `config.chunk_size` queries are claimed by `config.threads`
+    /// scoped workers off a shared atomic cursor (work stealing, so uneven
+    /// per-query cost — common for LSH probing — cannot idle a worker). Results
+    /// are returned sorted by query index and are identical to
+    /// [`JoinEngine::run_serial`].
+    pub fn run(&self, queries: &[DenseVector]) -> Result<Vec<MatchPair>>
+    where
+        I: Sync,
+    {
+        let chunk_size = self.config.resolved_chunk_size();
+        let chunks: Vec<&[DenseVector]> = queries.chunks(chunk_size).collect();
+        let threads = self.config.resolved_threads().min(chunks.len().max(1));
+        if threads <= 1 || chunks.len() <= 1 {
+            return self.run_serial(queries);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let worker_results: Vec<Result<Vec<MatchPair>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let failed = &failed;
+                    let chunks = &chunks;
+                    let index = &self.index;
+                    scope.spawn(move || -> Result<Vec<MatchPair>> {
+                        let mut local = Vec::new();
+                        loop {
+                            // One worker's failure is the whole join's failure;
+                            // stop claiming chunks so the error surfaces without
+                            // paying for the rest of the query set.
+                            if failed.load(Ordering::Relaxed) {
+                                return Ok(local);
+                            }
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(k) else {
+                                return Ok(local);
+                            };
+                            match index.search_batch(chunk) {
+                                Ok(hits) => collect_chunk(&mut local, k * chunk_size, hits),
+                                Err(e) => {
+                                    failed.store(true, Ordering::Relaxed);
+                                    return Err(e);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join engine worker panicked"))
+                .collect()
+        });
+
+        let mut out = Vec::new();
+        for r in worker_results {
+            out.extend(r?);
+        }
+        out.sort_unstable_by_key(|p| p.query_index);
+        Ok(out)
+    }
+}
+
+fn collect_chunk(
+    out: &mut Vec<MatchPair>,
+    base: usize,
+    hits: Vec<Option<crate::mips::SearchResult>>,
+) {
+    for (offset, hit) in hits.into_iter().enumerate() {
+        if let Some(hit) = hit {
+            out.push(MatchPair {
+                data_index: hit.data_index,
+                query_index: base + offset,
+                inner_product: hit.inner_product,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mips::BruteForceMipsIndex;
+    use crate::problem::JoinVariant;
+    use ips_linalg::random::random_unit_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(seed: u64, n: usize, q: usize, dim: usize) -> (Vec<DenseVector>, Vec<DenseVector>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..n)
+            .map(|_| random_unit_vector(&mut rng, dim).unwrap())
+            .collect();
+        let queries = (0..q)
+            .map(|_| random_unit_vector(&mut rng, dim).unwrap())
+            .collect();
+        (data, queries)
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_for_every_schedule() {
+        let (data, queries) = workload(0xE46, 80, 37, 12);
+        let spec = JoinSpec::exact(0.2, JoinVariant::Unsigned).unwrap();
+        let index = BruteForceMipsIndex::new(data, spec);
+        let reference = JoinEngine::with_config(&index, EngineConfig::serial())
+            .run_serial(&queries)
+            .unwrap();
+        for threads in [1, 2, 3, 8] {
+            for chunk_size in [1, 5, 32, 64] {
+                let engine = JoinEngine::with_config(
+                    &index,
+                    EngineConfig {
+                        threads,
+                        chunk_size,
+                    },
+                );
+                assert_eq!(
+                    engine.run(&queries).unwrap(),
+                    reference,
+                    "threads={threads} chunk_size={chunk_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_set_yields_empty_join() {
+        let (data, _) = workload(0xE47, 10, 0, 8);
+        let spec = JoinSpec::exact(0.2, JoinVariant::Signed).unwrap();
+        let engine = JoinEngine::new(BruteForceMipsIndex::new(data, spec));
+        assert!(engine.run(&[]).unwrap().is_empty());
+        assert!(engine.run_serial(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn engine_exposes_index_spec_and_config() {
+        let (data, _) = workload(0xE48, 4, 0, 8);
+        let spec = JoinSpec::exact(0.5, JoinVariant::Signed).unwrap();
+        let engine = JoinEngine::with_config(
+            BruteForceMipsIndex::new(data, spec),
+            EngineConfig::with_threads(3),
+        );
+        assert_eq!(engine.spec(), spec);
+        assert_eq!(engine.config().threads, 3);
+        assert_eq!(engine.index().len(), 4);
+        assert_eq!(engine.into_index().len(), 4);
+    }
+
+    #[test]
+    fn errors_from_workers_propagate() {
+        let (data, _) = workload(0xE49, 20, 0, 8);
+        let spec = JoinSpec::exact(0.2, JoinVariant::Signed).unwrap();
+        let engine = JoinEngine::with_config(
+            BruteForceMipsIndex::new(data, spec),
+            EngineConfig {
+                threads: 4,
+                chunk_size: 2,
+            },
+        );
+        // Dimension-mismatched queries must surface the underlying error.
+        let bad: Vec<DenseVector> = (0..16).map(|_| DenseVector::from(&[1.0][..])).collect();
+        assert!(engine.run(&bad).is_err());
+        assert!(engine.run_serial(&bad).is_err());
+    }
+}

@@ -1,105 +1,46 @@
-//! Error types for `ips-core`.
+//! Error types for `ips-core`, on the workspace error pattern
+//! ([`ips_linalg::define_error!`]).
 
 use ips_linalg::LinalgError;
 use ips_lsh::LshError;
 use ips_matmul::MatmulError;
 use ips_ovp::OvpError;
 use ips_sketch::SketchError;
-use std::fmt;
 
-/// Result alias used throughout `ips-core`.
-pub type Result<T> = std::result::Result<T, CoreError>;
-
-/// Errors produced by the join and search implementations.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
-    /// A vector had the wrong dimensionality for the structure it was used with.
-    DimensionMismatch {
-        /// Expected dimension.
-        expected: usize,
-        /// Offending dimension.
-        actual: usize,
-    },
-    /// A parameter was outside its legal range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Explanation of the constraint that was violated.
-        reason: String,
-    },
-    /// A data set was empty where at least one vector was required.
-    EmptyDataSet,
-    /// An underlying linear-algebra operation failed.
-    Linalg(LinalgError),
-    /// An underlying LSH operation failed.
-    Lsh(LshError),
-    /// An underlying sketch operation failed.
-    Sketch(SketchError),
-    /// An underlying OVP operation failed.
-    Ovp(OvpError),
-    /// An underlying matrix-multiplication operation failed.
-    Matmul(MatmulError),
-}
-
-impl fmt::Display for CoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CoreError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected}, got {actual}")
-            }
-            CoreError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
-            CoreError::EmptyDataSet => write!(f, "data set must contain at least one vector"),
-            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
-            CoreError::Lsh(e) => write!(f, "LSH error: {e}"),
-            CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
-            CoreError::Ovp(e) => write!(f, "OVP error: {e}"),
-            CoreError::Matmul(e) => write!(f, "matrix multiplication error: {e}"),
+ips_linalg::define_error! {
+    /// Errors produced by the join and search implementations.
+    #[derive(Clone, PartialEq)]
+    CoreError, Result {
+        variants {
+            /// A vector had the wrong dimensionality for the structure it was used with.
+            DimensionMismatch {
+                /// Expected dimension.
+                expected: usize,
+                /// Offending dimension.
+                actual: usize,
+            } => ("dimension mismatch: expected {expected}, got {actual}"),
+            /// A parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
+            /// A data set was empty where at least one vector was required.
+            EmptyDataSet => ("data set must contain at least one vector"),
         }
-    }
-}
-
-impl std::error::Error for CoreError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            CoreError::Linalg(e) => Some(e),
-            CoreError::Lsh(e) => Some(e),
-            CoreError::Sketch(e) => Some(e),
-            CoreError::Ovp(e) => Some(e),
-            CoreError::Matmul(e) => Some(e),
-            _ => None,
+        wraps {
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
+            /// An underlying LSH operation failed.
+            Lsh(LshError) => "LSH error",
+            /// An underlying sketch operation failed.
+            Sketch(SketchError) => "sketch error",
+            /// An underlying OVP operation failed.
+            Ovp(OvpError) => "OVP error",
+            /// An underlying matrix-multiplication operation failed.
+            Matmul(MatmulError) => "matrix multiplication error",
         }
-    }
-}
-
-impl From<LinalgError> for CoreError {
-    fn from(e: LinalgError) -> Self {
-        CoreError::Linalg(e)
-    }
-}
-
-impl From<LshError> for CoreError {
-    fn from(e: LshError) -> Self {
-        CoreError::Lsh(e)
-    }
-}
-
-impl From<SketchError> for CoreError {
-    fn from(e: SketchError) -> Self {
-        CoreError::Sketch(e)
-    }
-}
-
-impl From<OvpError> for CoreError {
-    fn from(e: OvpError) -> Self {
-        CoreError::Ovp(e)
-    }
-}
-
-impl From<MatmulError> for CoreError {
-    fn from(e: MatmulError) -> Self {
-        CoreError::Matmul(e)
     }
 }
 
@@ -111,10 +52,7 @@ mod tests {
     fn conversions_and_display() {
         let e: CoreError = LinalgError::Empty { op: "dot" }.into();
         assert!(e.to_string().contains("linear algebra"));
-        let e: CoreError = LshError::DomainViolation {
-            reason: "x".into(),
-        }
-        .into();
+        let e: CoreError = LshError::DomainViolation { reason: "x".into() }.into();
         assert!(e.to_string().contains("LSH"));
         let e: CoreError = SketchError::EmptyDataSet.into();
         assert!(e.to_string().contains("sketch"));

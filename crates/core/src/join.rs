@@ -6,37 +6,54 @@
 //!
 //! * [`alsh_join`] — the Section 4.1 asymmetric-LSH index ([`AlshMipsIndex`]);
 //! * [`symmetric_join`] — the Section 4.2 symmetric LSH ([`SymmetricLshMips`]);
-//! * [`sketch_join`] — the Section 4.3 linear-sketch structure (delegating to
-//!   `ips-sketch`);
+//! * [`sketch_join`] — the Section 4.3 linear-sketch structure
+//!   ([`crate::mips::SketchMipsAdapter`] over `ips-sketch`);
 //!
-//! plus [`index_join`], the generic driver that works with any [`MipsIndex`]. Every
-//! reported pair carries its exact inner product, and the generic driver never reports a
-//! pair below `cs`, so the outputs satisfy the validity half of Definition 1 by
-//! construction; recall is what the experiments measure.
+//! plus [`index_join`], the generic driver that works with any [`MipsIndex`]. All four
+//! entry points build (or borrow) an index and hand the query set to
+//! [`JoinEngine::run`] — the unified parallel, chunk-batched driver — so they share one
+//! scheduling, batching and result-assembly path. Every reported pair carries its exact
+//! inner product, and the engine never reports a pair below `cs`, so the outputs
+//! satisfy the validity half of Definition 1 by construction; recall is what the
+//! experiments measure.
+//!
+//! Each `*_join` function has an `*_engine` sibling returning the configured
+//! [`JoinEngine`] instead of running it, for callers that want to reuse the index
+//! across query batches or pick a custom [`EngineConfig`].
+//!
+//! Engine semantics note: an **empty query set** joins to an empty result across
+//! all entry points (the seed's sketch path used to reject it; the engine
+//! unified the behaviour). An empty *data* set still fails at index
+//! construction or on the first search, as before.
 
 use crate::asymmetric::{AlshMipsIndex, AlshParams};
+use crate::engine::{EngineConfig, JoinEngine};
 use crate::error::Result;
-use crate::mips::MipsIndex;
+use crate::mips::{MipsIndex, SketchMipsAdapter};
 use crate::problem::{JoinSpec, MatchPair};
 use crate::symmetric::{SymmetricLshMips, SymmetricParams};
 use ips_linalg::DenseVector;
-use ips_sketch::join::sketch_unsigned_join;
 use ips_sketch::linf_mips::MaxIpConfig;
 use rand::Rng;
 
 /// Runs a `(cs, s)` join through an already-built [`MipsIndex`].
-pub fn index_join<I: MipsIndex>(index: &I, queries: &[DenseVector]) -> Result<Vec<MatchPair>> {
-    let mut out = Vec::new();
-    for (j, q) in queries.iter().enumerate() {
-        if let Some(hit) = index.search(q)? {
-            out.push(MatchPair {
-                data_index: hit.data_index,
-                query_index: j,
-                inner_product: hit.inner_product,
-            });
-        }
-    }
-    Ok(out)
+pub fn index_join<I: MipsIndex + Sync>(
+    index: &I,
+    queries: &[DenseVector],
+) -> Result<Vec<MatchPair>> {
+    JoinEngine::new(index).run(queries)
+}
+
+/// Builds the Section 4.1 asymmetric-LSH index over `data` and wraps it in an engine.
+pub fn alsh_engine<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    spec: JoinSpec,
+    params: AlshParams,
+    config: EngineConfig,
+) -> Result<JoinEngine<AlshMipsIndex>> {
+    let index = AlshMipsIndex::build(rng, data.to_vec(), spec, params)?;
+    Ok(JoinEngine::with_config(index, config))
 }
 
 /// The Section 4.1 join: builds an [`AlshMipsIndex`] over `data` and queries it with
@@ -48,8 +65,19 @@ pub fn alsh_join<R: Rng + ?Sized>(
     spec: JoinSpec,
     params: AlshParams,
 ) -> Result<Vec<MatchPair>> {
-    let index = AlshMipsIndex::build(rng, data.to_vec(), spec, params)?;
-    index_join(&index, queries)
+    alsh_engine(rng, data, spec, params, EngineConfig::default())?.run(queries)
+}
+
+/// Builds the Section 4.2 symmetric-LSH index over `data` and wraps it in an engine.
+pub fn symmetric_engine<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    spec: JoinSpec,
+    params: SymmetricParams,
+    config: EngineConfig,
+) -> Result<JoinEngine<SymmetricLshMips>> {
+    let index = SymmetricLshMips::build(rng, data.to_vec(), spec, params)?;
+    Ok(JoinEngine::with_config(index, config))
 }
 
 /// The Section 4.2 join: symmetric LSH over a shared unit-ball domain.
@@ -60,8 +88,20 @@ pub fn symmetric_join<R: Rng + ?Sized>(
     spec: JoinSpec,
     params: SymmetricParams,
 ) -> Result<Vec<MatchPair>> {
-    let index = SymmetricLshMips::build(rng, data.to_vec(), spec, params)?;
-    index_join(&index, queries)
+    symmetric_engine(rng, data, spec, params, EngineConfig::default())?.run(queries)
+}
+
+/// Builds the Section 4.3 sketch structure over `data` and wraps it in an engine.
+pub fn sketch_engine<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    spec: JoinSpec,
+    config: MaxIpConfig,
+    leaf_size: usize,
+    engine_config: EngineConfig,
+) -> Result<JoinEngine<SketchMipsAdapter>> {
+    let index = SketchMipsAdapter::build(rng, data.to_vec(), spec, config, leaf_size)?;
+    Ok(JoinEngine::with_config(index, engine_config))
 }
 
 /// The Section 4.3 join: the unsigned `(cs, s)` join computed through the linear-sketch
@@ -75,15 +115,7 @@ pub fn sketch_join<R: Rng + ?Sized>(
     config: MaxIpConfig,
     leaf_size: usize,
 ) -> Result<Vec<MatchPair>> {
-    let pairs = sketch_unsigned_join(rng, data, queries, spec.relaxed_threshold(), config, leaf_size)?;
-    Ok(pairs
-        .into_iter()
-        .map(|p| MatchPair {
-            data_index: p.data_index,
-            query_index: p.query_index,
-            inner_product: p.inner_product,
-        })
-        .collect())
+    sketch_engine(rng, data, spec, config, leaf_size, EngineConfig::default())?.run(queries)
 }
 
 #[cfg(test)]
@@ -127,8 +159,10 @@ mod tests {
             AlshParams::default(),
         )
         .unwrap();
-        let reported: Vec<(usize, usize)> =
-            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let reported: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|p| (p.data_index, p.query_index))
+            .collect();
         let recall = inst.recall(&reported, spec.relaxed_threshold());
         assert!(recall >= 0.8, "ALSH join recall too low: {recall}");
         let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &pairs).unwrap();
@@ -146,8 +180,10 @@ mod tests {
             rows: None,
         };
         let pairs = sketch_join(&mut r, inst.data(), inst.queries(), spec, config, 8).unwrap();
-        let reported: Vec<(usize, usize)> =
-            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let reported: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|p| (p.data_index, p.query_index))
+            .collect();
         let recall = inst.recall(&reported, spec.relaxed_threshold());
         assert!(recall >= 0.8, "sketch join recall too low: {recall}");
         let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &pairs).unwrap();
@@ -183,6 +219,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_query_set_joins_to_empty_everywhere() {
+        let mut r = rng();
+        let inst = planted(&mut r);
+        let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
+        let index = crate::mips::BruteForceMipsIndex::new(inst.data().to_vec(), spec);
+        assert!(index_join(&index, &[]).unwrap().is_empty());
+        assert!(
+            alsh_join(&mut r, inst.data(), &[], spec, AlshParams::default())
+                .unwrap()
+                .is_empty()
+        );
+        let config = MaxIpConfig {
+            kappa: 2.0,
+            copies: 5,
+            rows: None,
+        };
+        assert!(sketch_join(&mut r, inst.data(), &[], spec, config, 8)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn symmetric_join_runs_on_shared_domain() {
         let mut r = rng();
         // Small instance: symmetric construction is heavier due to the tag dimension.
@@ -207,10 +265,15 @@ mod tests {
             SymmetricParams::default(),
         )
         .unwrap();
-        let reported: Vec<(usize, usize)> =
-            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let reported: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|p| (p.data_index, p.query_index))
+            .collect();
         let recall = inst.recall(&reported, spec.relaxed_threshold());
-        assert!(recall >= 2.0 / 3.0, "symmetric join recall too low: {recall}");
+        assert!(
+            recall >= 2.0 / 3.0,
+            "symmetric join recall too low: {recall}"
+        );
         let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &pairs).unwrap();
         assert!(valid);
     }

@@ -15,8 +15,10 @@
 //!   index (ball-to-sphere reduction + sphere LSH, with the ρ of equation 3);
 //!   [`symmetric`] implements the Section 4.2 symmetric LSH for "almost all vectors"
 //!   built on an explicit incoherent vector collection; [`join`] assembles joins out of
-//!   these indexes and out of the Section 4.3 sketch structure (re-exported from
-//!   `ips-sketch`); [`mips`] gives a common trait over all MIPS indexes.
+//!   these indexes and out of the Section 4.3 sketch structure (adapted from
+//!   `ips-sketch`); [`mips`] gives a common trait over all MIPS indexes; [`engine`]
+//!   provides the unified parallel, chunk-batched [`JoinEngine`] every join entry
+//!   point runs through.
 //! * **Lower bounds (Sections 2–3)** — [`lower_bounds`] contains the hard sequence
 //!   constructions of Theorem 3, the grid partition and mass-accounting argument of
 //!   Lemma 4 (Figure 1), and the closed-form gap bounds; [`theory`] classifies parameter
@@ -33,6 +35,7 @@
 pub mod algebraic;
 pub mod asymmetric;
 pub mod brute;
+pub mod engine;
 pub mod error;
 pub mod join;
 pub mod lower_bounds;
@@ -43,8 +46,9 @@ pub mod theory;
 pub mod topk;
 
 pub use asymmetric::AlshMipsIndex;
+pub use engine::{EngineConfig, JoinEngine};
 pub use error::{CoreError, Result};
-pub use mips::{MipsIndex, SearchResult};
+pub use mips::{MipsIndex, SearchResult, SketchMipsAdapter};
 pub use problem::{JoinSpec, JoinVariant, MatchPair};
 pub use symmetric::SymmetricLshMips;
 pub use topk::{top_k_join, top_k_recall, TopKMipsIndex};

@@ -111,9 +111,12 @@ pub fn classify_node(i: usize, j: usize) -> NodeClass {
     }
 }
 
-/// The Figure 1 data: for an `n × n` grid (`n = 2^ell − 1`), every node's class and the
-/// identifier of the square containing it (or `None` for P2-nodes).
-pub fn figure1_grid(ell: u32) -> Result<Vec<Vec<(NodeClass, Option<(u32, usize)>)>>> {
+/// One Figure 1 grid node: its class and the identifier of the square containing it
+/// (`None` for P2-nodes).
+pub type GridNode = (NodeClass, Option<(u32, usize)>);
+
+/// The Figure 1 data: for an `n × n` grid (`n = 2^ell − 1`), every node's [`GridNode`].
+pub fn figure1_grid(ell: u32) -> Result<Vec<Vec<GridNode>>> {
     let squares = grid_squares(ell)?;
     let n = (1usize << ell) - 1;
     let mut grid = vec![vec![(NodeClass::P2, None); n]; n];

@@ -163,12 +163,7 @@ pub fn hard_sequence_case2(s: f64, c: f64, u: f64) -> Result<HardSequence> {
         })
         .collect();
     let data = (0..m)
-        .map(|j| {
-            DenseVector::new(vec![
-                (s / u).sqrt(),
-                j as f64 * (s * (1.0 - c) / u).sqrt(),
-            ])
-        })
+        .map(|j| DenseVector::new(vec![(s / u).sqrt(), j as f64 * (s * (1.0 - c) / u).sqrt()]))
         .collect();
     Ok(HardSequence {
         queries,
@@ -278,7 +273,10 @@ mod tests {
             let seq = hard_sequence_case1(s, c, u).unwrap();
             assert!(seq.len() >= 2, "sequence too short for s={s}, c={c}, U={u}");
             assert!(!seq.is_empty());
-            assert!(seq.verify_domains(), "domain violated for s={s}, c={c}, U={u}");
+            assert!(
+                seq.verify_domains(),
+                "domain violated for s={s}, c={c}, U={u}"
+            );
             assert_eq!(seq.verify_staircase(false).unwrap(), None);
             assert_eq!(seq.verify_staircase(true).unwrap(), None);
             assert!(seq.implied_gap_bound() > 0.0);
@@ -307,7 +305,10 @@ mod tests {
         for &(s, c, u) in &[(0.05, 0.5, 1.0), (0.01, 0.9, 2.0), (0.2, 0.7, 8.0)] {
             let seq = hard_sequence_case2(s, c, u).unwrap();
             assert!(seq.len() >= 2, "sequence too short for s={s}, c={c}, U={u}");
-            assert!(seq.verify_domains(), "domain violated for s={s}, c={c}, U={u}");
+            assert!(
+                seq.verify_domains(),
+                "domain violated for s={s}, c={c}, U={u}"
+            );
             // Case 2 only guarantees the signed staircase.
             assert_eq!(seq.verify_staircase(false).unwrap(), None);
         }

@@ -123,10 +123,12 @@ pub fn evaluate_join(
 ) -> Result<(f64, bool)> {
     let mut valid = true;
     for pair in reported {
-        let p = data.get(pair.data_index).ok_or(CoreError::InvalidParameter {
-            name: "reported",
-            reason: format!("data index {} out of range", pair.data_index),
-        })?;
+        let p = data
+            .get(pair.data_index)
+            .ok_or(CoreError::InvalidParameter {
+                name: "reported",
+                reason: format!("data index {} out of range", pair.data_index),
+            })?;
         let q = queries
             .get(pair.query_index)
             .ok_or(CoreError::InvalidParameter {

@@ -359,11 +359,15 @@ mod tests {
         // Plant a distinct vector with a high inner product with the query.
         data[77] = query.scaled(0.9);
         let spec = spec(0.6, 0.5);
-        let index = SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
+        let index =
+            SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
         assert_eq!(index.len(), n);
         assert!(!index.is_empty());
         assert_eq!(index.spec(), spec);
-        let hit = index.search(&query).unwrap().expect("planted partner not found");
+        let hit = index
+            .search(&query)
+            .unwrap()
+            .expect("planted partner not found");
         assert_eq!(hit.data_index, 77);
         assert!(hit.inner_product >= 0.3);
         assert!(index.candidate_count(&query).unwrap() < n);
@@ -380,8 +384,12 @@ mod tests {
         let target = data[13].clone();
         let self_ip = target.dot(&target).unwrap();
         let spec = JoinSpec::new(self_ip * 0.9, 0.9, JoinVariant::Signed).unwrap();
-        let index = SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
-        let hit = index.search(&target).unwrap().expect("self-match must be found");
+        let index =
+            SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
+        let hit = index
+            .search(&target)
+            .unwrap()
+            .expect("self-match must be found");
         assert_eq!(hit.data_index, 13);
         assert!((hit.inner_product - self_ip).abs() < 1e-9);
     }
@@ -389,8 +397,13 @@ mod tests {
     #[test]
     fn build_rejects_bad_input() {
         let mut r = rng();
-        assert!(SymmetricLshMips::build(&mut r, vec![], spec(0.5, 0.5), SymmetricParams::default())
-            .is_err());
+        assert!(SymmetricLshMips::build(
+            &mut r,
+            vec![],
+            spec(0.5, 0.5),
+            SymmetricParams::default()
+        )
+        .is_err());
         let mixed = vec![DenseVector::zeros(3), DenseVector::zeros(4)];
         assert!(
             SymmetricLshMips::build(&mut r, mixed, spec(0.5, 0.5), SymmetricParams::default())

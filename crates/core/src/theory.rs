@@ -115,12 +115,7 @@ pub fn classify_approximation(
 /// fourth and fifth columns of Table 1: hard when the ratio is `1 − o(1/√(log n))`
 /// (`{−1,1}`) or `1 − o(1/log n)` (`{0,1}`); permissible when the ratio is bounded away
 /// from 1 by a constant `margin`.
-pub fn classify_ratio(
-    domain: VectorDomain,
-    ratio: f64,
-    n: usize,
-    margin: f64,
-) -> Result<Hardness> {
+pub fn classify_ratio(domain: VectorDomain, ratio: f64, n: usize, margin: f64) -> Result<Hardness> {
     if !(ratio > 0.0 && ratio <= 1.0) {
         return Err(CoreError::InvalidParameter {
             name: "ratio",
@@ -251,8 +246,14 @@ mod tests {
         // The headline open problem: constant approximation over {0,1} is neither hard
         // nor known to be easy.
         assert_eq!(
-            classify_approximation(VectorDomain::ZeroOne, ProblemVariant::Unsigned, 0.5, N, 0.25)
-                .unwrap(),
+            classify_approximation(
+                VectorDomain::ZeroOne,
+                ProblemVariant::Unsigned,
+                0.5,
+                N,
+                0.25
+            )
+            .unwrap(),
             Hardness::Open
         );
         // c extremely close to 1 is hard.
@@ -269,8 +270,14 @@ mod tests {
         );
         // Polynomially small c is permissible.
         assert_eq!(
-            classify_approximation(VectorDomain::ZeroOne, ProblemVariant::Unsigned, 1e-4, N, 0.25)
-                .unwrap(),
+            classify_approximation(
+                VectorDomain::ZeroOne,
+                ProblemVariant::Unsigned,
+                1e-4,
+                N,
+                0.25
+            )
+            .unwrap(),
             Hardness::Permissible
         );
     }

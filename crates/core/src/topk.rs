@@ -112,7 +112,10 @@ pub fn top_k_recall(exact: &[SearchResult], approximate: &[SearchResult]) -> f64
     }
     let approx: std::collections::HashSet<usize> =
         approximate.iter().map(|h| h.data_index).collect();
-    let hit = exact.iter().filter(|h| approx.contains(&h.data_index)).count();
+    let hit = exact
+        .iter()
+        .filter(|h| approx.contains(&h.data_index))
+        .count();
     hit as f64 / exact.len() as f64
 }
 
@@ -180,7 +183,13 @@ mod tests {
             .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.2))
             .collect();
         // Plant five vectors with high inner products with the query.
-        for (slot, scale) in [(3usize, 0.95), (50, 0.9), (90, 0.85), (140, 0.8), (190, 0.75)] {
+        for (slot, scale) in [
+            (3usize, 0.95),
+            (50, 0.9),
+            (90, 0.85),
+            (140, 0.8),
+            (190, 0.75),
+        ] {
             data[slot] = query.scaled(scale);
         }
         let spec = spec(0.7, 0.7);

@@ -9,6 +9,7 @@
 //!   set, with a controlled intersection size, used to validate MH-ALSH and the
 //!   set-containment example application.
 
+use crate::error::{DatagenError, Result};
 use crate::zipf::ZipfSampler;
 use ips_linalg::BinaryVector;
 use rand::Rng;
@@ -17,7 +18,7 @@ use rand::Rng;
 /// *distinct* elements drawn from a Zipf(`exponent`) distribution (rejection-sampled
 /// until distinct).
 ///
-/// Returns `None` for degenerate parameters (`set_size > dim`, zero sizes, invalid
+/// Returns an error for degenerate parameters (`set_size > dim`, zero sizes, invalid
 /// exponent).
 pub fn zipfian_sets<R: Rng + ?Sized>(
     rng: &mut R,
@@ -25,9 +26,14 @@ pub fn zipfian_sets<R: Rng + ?Sized>(
     dim: usize,
     set_size: usize,
     exponent: f64,
-) -> Option<Vec<BinaryVector>> {
+) -> Result<Vec<BinaryVector>> {
     if count == 0 || dim == 0 || set_size == 0 || set_size > dim {
-        return None;
+        return Err(DatagenError::InvalidParameter {
+            name: "set_size",
+            reason: format!(
+                "need count > 0, dim > 0 and 0 < set_size <= dim, got count={count} dim={dim} set_size={set_size}"
+            ),
+        });
     }
     let sampler = ZipfSampler::new(dim, exponent)?;
     let mut out = Vec::with_capacity(count);
@@ -51,28 +57,40 @@ pub fn zipfian_sets<R: Rng + ?Sized>(
         }
         out.push(set);
     }
-    Some(out)
+    Ok(out)
 }
 
 /// Generates a query set that intersects `data` in exactly `overlap` elements and has
 /// `query_size` elements in total (the remaining elements are drawn outside the data
 /// set's support).
 ///
-/// Returns `None` when the requested sizes are infeasible for the universe.
+/// Returns an error when the requested sizes are infeasible for the universe.
 pub fn containment_pairs<R: Rng + ?Sized>(
     rng: &mut R,
     data: &BinaryVector,
     query_size: usize,
     overlap: usize,
-) -> Option<BinaryVector> {
+) -> Result<BinaryVector> {
     let dim = data.dim();
     let support = data.support();
     if overlap > support.len() || overlap > query_size {
-        return None;
+        return Err(DatagenError::InvalidParameter {
+            name: "overlap",
+            reason: format!(
+                "overlap {overlap} exceeds the data support ({}) or the query size ({query_size})",
+                support.len()
+            ),
+        });
     }
     let outside_needed = query_size - overlap;
     if outside_needed > dim - support.len() {
-        return None;
+        return Err(DatagenError::InvalidParameter {
+            name: "query_size",
+            reason: format!(
+                "{outside_needed} elements needed outside a support of {} in a universe of {dim}",
+                support.len()
+            ),
+        });
     }
     let mut query = BinaryVector::zeros(dim);
     // Choose `overlap` elements of the data support uniformly (partial Fisher–Yates).
@@ -91,7 +109,7 @@ pub fn containment_pairs<R: Rng + ?Sized>(
             placed += 1;
         }
     }
-    Some(query)
+    Ok(query)
 }
 
 #[cfg(test)]
@@ -113,9 +131,9 @@ mod tests {
             assert_eq!(s.count_ones(), 30);
             assert_eq!(s.dim(), 500);
         }
-        assert!(zipfian_sets(&mut r, 0, 500, 30, 1.0).is_none());
-        assert!(zipfian_sets(&mut r, 5, 10, 30, 1.0).is_none());
-        assert!(zipfian_sets(&mut r, 5, 10, 5, -1.0).is_none());
+        assert!(zipfian_sets(&mut r, 0, 500, 30, 1.0).is_err());
+        assert!(zipfian_sets(&mut r, 5, 10, 30, 1.0).is_err());
+        assert!(zipfian_sets(&mut r, 5, 10, 5, -1.0).is_err());
     }
 
     #[test]
@@ -133,7 +151,10 @@ mod tests {
     #[test]
     fn containment_pairs_have_exact_overlap() {
         let mut r = rng();
-        let data = zipfian_sets(&mut r, 1, 200, 40, 0.8).unwrap().pop().unwrap();
+        let data = zipfian_sets(&mut r, 1, 200, 40, 0.8)
+            .unwrap()
+            .pop()
+            .unwrap();
         for overlap in [0usize, 5, 20, 40] {
             let query = containment_pairs(&mut r, &data, 50, overlap).unwrap();
             assert_eq!(query.count_ones(), 50);
@@ -145,8 +166,8 @@ mod tests {
     fn containment_pairs_reject_infeasible_requests() {
         let mut r = rng();
         let data = BinaryVector::from_support(10, &[0, 1, 2]).unwrap();
-        assert!(containment_pairs(&mut r, &data, 5, 4).is_none()); // overlap > |data|
-        assert!(containment_pairs(&mut r, &data, 2, 3).is_none()); // overlap > size
-        assert!(containment_pairs(&mut r, &data, 10, 2).is_none()); // not enough room outside
+        assert!(containment_pairs(&mut r, &data, 5, 4).is_err()); // overlap > |data|
+        assert!(containment_pairs(&mut r, &data, 2, 3).is_err()); // overlap > size
+        assert!(containment_pairs(&mut r, &data, 10, 2).is_err()); // not enough room outside
     }
 }

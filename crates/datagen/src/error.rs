@@ -1,0 +1,48 @@
+//! Error types for the workload generators, on the workspace error pattern
+//! ([`ips_linalg::define_error!`]).
+//!
+//! Before this existed the generators either borrowed `LinalgError` for their own
+//! parameter validation (misattributing the failure to the linear-algebra layer)
+//! or returned bare `Option`s (losing the reason entirely); now every generator
+//! reports a [`DatagenError`] and underlying linear-algebra failures convert
+//! through `From` like everywhere else in the workspace.
+
+use ips_linalg::LinalgError;
+
+ips_linalg::define_error! {
+    /// Errors produced by the workload generators.
+    #[derive(Clone, PartialEq)]
+    DatagenError, Result {
+        variants {
+            /// A generator parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
+        }
+        wraps {
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = DatagenError::InvalidParameter {
+            name: "planted",
+            reason: "too many".into(),
+        };
+        assert!(e.to_string().contains("planted"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: DatagenError = LinalgError::Empty { op: "dot" }.into();
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

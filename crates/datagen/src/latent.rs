@@ -11,6 +11,7 @@
 //! user vectors as unit directions, then normalises everything into the unit ball so the
 //! data satisfies the domain assumptions of the Section 4 data structures.
 
+use crate::error::{DatagenError, Result};
 use ips_linalg::random::{random_unit_vector, standard_gaussian};
 use ips_linalg::DenseVector;
 use rand::Rng;
@@ -49,16 +50,22 @@ pub struct LatentFactorModel {
 }
 
 impl LatentFactorModel {
-    /// Generates a workload. Returns `None` when any of the counts or the dimension is
-    /// zero.
-    pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: LatentFactorConfig) -> Option<Self> {
+    /// Generates a workload. Returns an error when any of the counts or the dimension
+    /// is zero.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: LatentFactorConfig) -> Result<Self> {
         if config.items == 0 || config.users == 0 || config.dim == 0 {
-            return None;
+            return Err(DatagenError::InvalidParameter {
+                name: "config",
+                reason: format!(
+                    "items, users and dim must be positive, got items={} users={} dim={}",
+                    config.items, config.users, config.dim
+                ),
+            });
         }
         let mut items = Vec::with_capacity(config.items);
         let mut max_norm: f64 = 0.0;
         for _ in 0..config.items {
-            let direction = random_unit_vector(rng, config.dim).ok()?;
+            let direction = random_unit_vector(rng, config.dim)?;
             let popularity = (config.popularity_sigma * standard_gaussian(rng)).exp();
             let v = direction.scaled(popularity);
             max_norm = max_norm.max(v.norm());
@@ -71,9 +78,9 @@ impl LatentFactorModel {
             }
         }
         let users = (0..config.users)
-            .map(|_| random_unit_vector(rng, config.dim).ok())
-            .collect::<Option<Vec<_>>>()?;
-        Some(Self { items, users })
+            .map(|_| random_unit_vector(rng, config.dim))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(Self { items, users })
     }
 
     /// The item (data) vectors, all inside the unit ball.
@@ -129,12 +136,12 @@ mod tests {
             items: 0,
             ..Default::default()
         };
-        assert!(LatentFactorModel::generate(&mut r, zero_items).is_none());
+        assert!(LatentFactorModel::generate(&mut r, zero_items).is_err());
         let zero_dim = LatentFactorConfig {
             dim: 0,
             ..Default::default()
         };
-        assert!(LatentFactorModel::generate(&mut r, zero_dim).is_none());
+        assert!(LatentFactorModel::generate(&mut r, zero_dim).is_err());
     }
 
     #[test]

@@ -21,11 +21,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod binary_sets;
+pub mod error;
 pub mod latent;
 pub mod planted;
 pub mod sphere;
 pub mod zipf;
 
+pub use error::{DatagenError, Result};
 pub use latent::{LatentFactorConfig, LatentFactorModel};
 pub use planted::{PlantedConfig, PlantedInstance};
 pub use zipf::ZipfSampler;

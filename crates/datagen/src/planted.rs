@@ -9,8 +9,9 @@
 //! join experiments (E5) then measure recall of the planted pairs and the runtime
 //! scaling of each algorithm.
 
+use crate::error::{DatagenError, Result};
 use ips_linalg::random::random_unit_vector;
-use ips_linalg::{DenseVector, LinalgError};
+use ips_linalg::DenseVector;
 use rand::Rng;
 
 /// Configuration of a planted-pair instance.
@@ -56,34 +57,31 @@ impl PlantedInstance {
     /// Generates an instance. Returns an error if the configuration is degenerate
     /// (zero sizes, more planted pairs than queries or data, non-positive scales, or a
     /// planted inner product that does not fit in the unit ball).
-    pub fn generate<R: Rng + ?Sized>(
-        rng: &mut R,
-        config: PlantedConfig,
-    ) -> Result<Self, LinalgError> {
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, config: PlantedConfig) -> Result<Self> {
         if config.data == 0 || config.queries == 0 || config.dim < 2 {
-            return Err(LinalgError::InvalidParameter {
+            return Err(DatagenError::InvalidParameter {
                 name: "config",
                 reason: "data, queries must be positive and dim >= 2".into(),
             });
         }
         if config.planted > config.queries || config.planted > config.data {
-            return Err(LinalgError::InvalidParameter {
+            return Err(DatagenError::InvalidParameter {
                 name: "planted",
                 reason: "cannot plant more pairs than queries or data vectors".into(),
             });
         }
         if !(config.background_scale > 0.0) || !(config.planted_ip.abs() <= 1.0) {
-            return Err(LinalgError::InvalidParameter {
+            return Err(DatagenError::InvalidParameter {
                 name: "scales",
                 reason: "background scale must be positive and |planted_ip| <= 1".into(),
             });
         }
         let queries: Vec<DenseVector> = (0..config.queries)
             .map(|_| random_unit_vector(rng, config.dim))
-            .collect::<Result<_, _>>()?;
+            .collect::<std::result::Result<_, ips_linalg::LinalgError>>()?;
         let mut data: Vec<DenseVector> = (0..config.data)
             .map(|_| Ok(random_unit_vector(rng, config.dim)?.scaled(config.background_scale)))
-            .collect::<Result<_, LinalgError>>()?;
+            .collect::<std::result::Result<_, ips_linalg::LinalgError>>()?;
         // Plant pair i: data vector at a random index gets inner product planted_ip with
         // query i while staying inside the unit ball (norm <= 1). Planted data indices
         // are chosen *distinct* (partial Fisher–Yates) so later pairs never overwrite
@@ -102,7 +100,10 @@ impl PlantedInstance {
                     break residual.normalized()?;
                 }
             };
-            let ortho_mass = (1.0 - config.planted_ip * config.planted_ip).max(0.0).sqrt() * 0.5;
+            let ortho_mass = (1.0 - config.planted_ip * config.planted_ip)
+                .max(0.0)
+                .sqrt()
+                * 0.5;
             let p = q.scaled(config.planted_ip).add(&noise.scaled(ortho_mass))?;
             let pick = rng.gen_range(qi..candidate_indices.len());
             candidate_indices.swap(qi, pick);
@@ -242,7 +243,10 @@ mod tests {
                 max_ip = max_ip.max(p.dot(q).unwrap().abs());
             }
         }
-        assert!(max_ip < 0.1, "background inner products too large: {max_ip}");
+        assert!(
+            max_ip < 0.1,
+            "background inner products too large: {max_ip}"
+        );
     }
 
     #[test]

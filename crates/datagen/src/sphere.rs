@@ -5,8 +5,9 @@
 //! the symmetric-LSH construction of Section 4.2, which operates on vectors of the unit
 //! ball / sphere.
 
+use crate::error::{DatagenError, Result};
 use ips_linalg::random::{correlated_unit_pair, random_ball_vector, random_unit_vector};
-use ips_linalg::{DenseVector, LinalgError};
+use ips_linalg::DenseVector;
 use rand::Rng;
 
 /// Draws `count` uniform unit vectors in dimension `dim`.
@@ -14,8 +15,10 @@ pub fn unit_vectors<R: Rng + ?Sized>(
     rng: &mut R,
     count: usize,
     dim: usize,
-) -> Result<Vec<DenseVector>, LinalgError> {
-    (0..count).map(|_| random_unit_vector(rng, dim)).collect()
+) -> Result<Vec<DenseVector>> {
+    (0..count)
+        .map(|_| random_unit_vector(rng, dim).map_err(DatagenError::from))
+        .collect()
 }
 
 /// Draws `count` vectors uniform in the ball of the given radius.
@@ -24,9 +27,9 @@ pub fn ball_vectors<R: Rng + ?Sized>(
     count: usize,
     dim: usize,
     radius: f64,
-) -> Result<Vec<DenseVector>, LinalgError> {
+) -> Result<Vec<DenseVector>> {
     (0..count)
-        .map(|_| random_ball_vector(rng, dim, radius))
+        .map(|_| random_ball_vector(rng, dim, radius).map_err(DatagenError::from))
         .collect()
 }
 
@@ -37,7 +40,7 @@ pub fn similarity_ladder<R: Rng + ?Sized>(
     rng: &mut R,
     dim: usize,
     similarities: &[f64],
-) -> Result<Vec<(f64, DenseVector, DenseVector)>, LinalgError> {
+) -> Result<Vec<(f64, DenseVector, DenseVector)>> {
     similarities
         .iter()
         .map(|&s| {

@@ -5,6 +5,7 @@
 //! and is what makes the binary-set workloads of [`crate::binary_sets`] non-trivial for
 //! minwise-hashing based methods.
 
+use crate::error::{DatagenError, Result};
 use rand::Rng;
 
 /// A sampler over `{0, …, n−1}` with `P(i) ∝ 1/(i+1)^exponent`.
@@ -17,10 +18,19 @@ impl ZipfSampler {
     /// Creates a sampler over a universe of `n ≥ 1` elements with the given exponent
     /// (`0.0` degenerates to the uniform distribution).
     ///
-    /// Returns `None` when `n == 0` or the exponent is negative/non-finite.
-    pub fn new(n: usize, exponent: f64) -> Option<Self> {
-        if n == 0 || !exponent.is_finite() || exponent < 0.0 {
-            return None;
+    /// Returns an error when `n == 0` or the exponent is negative/non-finite.
+    pub fn new(n: usize, exponent: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(DatagenError::InvalidParameter {
+                name: "n",
+                reason: "universe must contain at least one element".into(),
+            });
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(DatagenError::InvalidParameter {
+                name: "exponent",
+                reason: format!("must be finite and nonnegative, got {exponent}"),
+            });
         }
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
@@ -31,7 +41,7 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        Some(Self { cdf })
+        Ok(Self { cdf })
     }
 
     /// Universe size.
@@ -77,9 +87,9 @@ mod tests {
 
     #[test]
     fn construction_guards() {
-        assert!(ZipfSampler::new(0, 1.0).is_none());
-        assert!(ZipfSampler::new(10, -1.0).is_none());
-        assert!(ZipfSampler::new(10, f64::NAN).is_none());
+        assert!(ZipfSampler::new(0, 1.0).is_err());
+        assert!(ZipfSampler::new(10, -1.0).is_err());
+        assert!(ZipfSampler::new(10, f64::NAN).is_err());
         let z = ZipfSampler::new(10, 1.0).unwrap();
         assert_eq!(z.len(), 10);
         assert!(!z.is_empty());
@@ -109,7 +119,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let z = ZipfSampler::new(20, 1.0).unwrap();
         let trials = 60_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }

@@ -85,7 +85,11 @@ impl BinaryVector {
     /// # Panics
     /// Panics if `i >= dim()`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.dim, "bit index {i} out of range for dim {}", self.dim);
+        assert!(
+            i < self.dim,
+            "bit index {i} out of range for dim {}",
+            self.dim
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -94,7 +98,11 @@ impl BinaryVector {
     /// # Panics
     /// Panics if `i >= dim()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.dim, "bit index {i} out of range for dim {}", self.dim);
+        assert!(
+            i < self.dim,
+            "bit index {i} out of range for dim {}",
+            self.dim
+        );
         let word = i / WORD_BITS;
         let bit = i % WORD_BITS;
         if value {
@@ -193,7 +201,11 @@ impl BinaryVector {
 
     /// Converts to a dense `f64` vector with entries in `{0.0, 1.0}`.
     pub fn to_dense(&self) -> DenseVector {
-        DenseVector::new((0..self.dim).map(|i| if self.get(i) { 1.0 } else { 0.0 }).collect())
+        DenseVector::new(
+            (0..self.dim)
+                .map(|i| if self.get(i) { 1.0 } else { 0.0 })
+                .collect(),
+        )
     }
 
     /// Concatenates two binary vectors.

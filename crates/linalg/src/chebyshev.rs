@@ -117,7 +117,10 @@ mod tests {
             for &eps in &[0.01, 0.1, 0.3, 0.49] {
                 let val = chebyshev_t(q, 1.0 + eps);
                 let exact = chebyshev_t_outside(q, eps);
-                assert!((val - exact).abs() < 1e-6 * exact.max(1.0), "q={q} eps={eps}");
+                assert!(
+                    (val - exact).abs() < 1e-6 * exact.max(1.0),
+                    "q={q} eps={eps}"
+                );
                 if f64::from(q) * eps.sqrt() >= 2.0 {
                     assert!(
                         val >= growth_lower_bound(q, eps) - 1e-9,

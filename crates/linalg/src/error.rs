@@ -1,51 +1,155 @@
-//! Error types shared by the linear algebra primitives.
+//! Error types shared by the linear algebra primitives, and the
+//! [`define_error!`](crate::define_error) macro every workspace crate builds its
+//! error type with.
 
-use std::fmt;
+/// Defines a crate error type on the workspace's one error pattern.
+///
+/// Every `ips-*` crate used to hand-roll the same ~100 lines: an enum of
+/// descriptive variants, a `Display` impl, a `std::error::Error` impl whose
+/// `source` walks into wrapped upstream errors, and one `From` impl per wrapped
+/// error so cross-crate failures convert with `?` instead of being flattened
+/// into strings. This macro is that pattern, stated once:
+///
+/// ```
+/// ips_linalg::define_error! {
+///     /// Errors produced by the frobnicator.
+///     FrobError, FrobResult {
+///         variants {
+///             /// A parameter was outside its legal range.
+///             InvalidParameter {
+///                 /// Name of the offending parameter.
+///                 name: &'static str,
+///                 /// Explanation of the constraint that was violated.
+///                 reason: String,
+///             } => ("invalid parameter `{name}`: {reason}"),
+///             /// The input was empty.
+///             Empty => ("input must be non-empty"),
+///         }
+///         wraps {
+///             /// An underlying linear-algebra operation failed.
+///             Linalg(ips_linalg::LinalgError) => "linear algebra error",
+///         }
+///     }
+/// }
+///
+/// let e: FrobError = ips_linalg::LinalgError::Empty { op: "dot" }.into();
+/// assert!(e.to_string().starts_with("linear algebra error:"));
+/// assert!(std::error::Error::source(&e).is_some());
+/// ```
+///
+/// `variants` declares the crate's own failure modes with their `Display`
+/// format (the parenthesised part is passed to `write!` verbatim, so extra
+/// positional arguments work). `wraps` declares one tuple variant per upstream
+/// error type; each gets its `From` impl, a `"label: {inner}"` display, and a
+/// `source()` arm. The second identifier names the generated
+/// `Result<T> = Result<T, Error>` alias.
+///
+/// The generated enum derives `Debug`; add further derives (`Clone`,
+/// `PartialEq`, ...) as attributes on the invocation when every payload
+/// supports them.
+#[macro_export]
+macro_rules! define_error {
+    (
+        $(#[$enum_meta:meta])*
+        $name:ident, $result:ident {
+            variants {
+                $(
+                    $(#[$vmeta:meta])*
+                    $variant:ident $({
+                        $( $(#[$fmeta:meta])* $field:ident: $ftype:ty ),+ $(,)?
+                    })? => ( $($fmt:tt)+ ),
+                )+
+            }
+            $(wraps {
+                $(
+                    $(#[$wmeta:meta])*
+                    $wvariant:ident($wty:ty) => $wlabel:literal,
+                )+
+            })?
+        }
+    ) => {
+        $(#[$enum_meta])*
+        #[derive(Debug)]
+        pub enum $name {
+            $(
+                $(#[$vmeta])*
+                $variant $({
+                    $( $(#[$fmeta])* $field: $ftype ),+
+                })?,
+            )+
+            $($(
+                $(#[$wmeta])*
+                $wvariant($wty),
+            )+)?
+        }
 
-/// Result alias used throughout `ips-linalg`.
-pub type Result<T> = std::result::Result<T, LinalgError>;
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                match self {
+                    $(
+                        $name::$variant $({ $($field),+ })? => write!(f, $($fmt)+),
+                    )+
+                    $($(
+                        $name::$wvariant(inner) => write!(f, concat!($wlabel, ": {}"), inner),
+                    )+)?
+                }
+            }
+        }
 
-/// Errors produced by vector / matrix operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LinalgError {
-    /// Two operands had incompatible dimensions.
-    DimensionMismatch {
-        /// Dimension of the left operand.
-        left: usize,
-        /// Dimension of the right operand.
-        right: usize,
-        /// Human-readable description of the operation that failed.
-        op: &'static str,
-    },
-    /// An operation required a non-empty vector or matrix.
-    Empty {
-        /// Description of the operation that failed.
-        op: &'static str,
-    },
-    /// A parameter was outside its legal range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Explanation of the constraint that was violated.
-        reason: String,
-    },
+        impl ::std::error::Error for $name {
+            fn source(&self) -> Option<&(dyn ::std::error::Error + 'static)> {
+                #[allow(unreachable_patterns)]
+                match self {
+                    $($(
+                        $name::$wvariant(inner) => Some(inner),
+                    )+)?
+                    _ => None,
+                }
+            }
+        }
+
+        $($(
+            impl ::std::convert::From<$wty> for $name {
+                fn from(e: $wty) -> Self {
+                    $name::$wvariant(e)
+                }
+            }
+        )+)?
+
+        /// Result alias for this crate's error type.
+        pub type $result<T> = ::std::result::Result<T, $name>;
+    };
 }
 
-impl fmt::Display for LinalgError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LinalgError::DimensionMismatch { left, right, op } => {
-                write!(f, "dimension mismatch in {op}: {left} vs {right}")
-            }
-            LinalgError::Empty { op } => write!(f, "operation {op} requires non-empty input"),
-            LinalgError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
+crate::define_error! {
+    /// Errors produced by vector / matrix operations.
+    #[derive(Clone, PartialEq, Eq)]
+    LinalgError, Result {
+        variants {
+            /// Two operands had incompatible dimensions.
+            DimensionMismatch {
+                /// Dimension of the left operand.
+                left: usize,
+                /// Dimension of the right operand.
+                right: usize,
+                /// Human-readable description of the operation that failed.
+                op: &'static str,
+            } => ("dimension mismatch in {op}: {left} vs {right}"),
+            /// An operation required a non-empty vector or matrix.
+            Empty {
+                /// Description of the operation that failed.
+                op: &'static str,
+            } => ("operation {op} requires non-empty input"),
+            /// A parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
         }
     }
 }
-
-impl std::error::Error for LinalgError {}
 
 #[cfg(test)]
 mod tests {
@@ -81,5 +185,10 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>() {}
         assert_err::<LinalgError>();
+    }
+
+    #[test]
+    fn own_variants_have_no_source() {
+        assert!(std::error::Error::source(&LinalgError::Empty { op: "dot" }).is_none());
     }
 }

@@ -29,12 +29,12 @@ fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -47,7 +47,7 @@ fn next_prime(mut n: u64) -> u64 {
     if n <= 2 {
         return 2;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         n += 1;
     }
     while !is_prime(n) {
@@ -243,7 +243,10 @@ impl GaussianCollection {
     pub fn vector(&self, i: usize) -> Result<&DenseVector> {
         self.vectors.get(i).ok_or(LinalgError::InvalidParameter {
             name: "i",
-            reason: format!("index {i} out of range for collection of size {}", self.vectors.len()),
+            reason: format!(
+                "index {i} out of range for collection of size {}",
+                self.vectors.len()
+            ),
         })
     }
 

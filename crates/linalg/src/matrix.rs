@@ -93,7 +93,10 @@ impl Matrix {
     /// # Panics
     /// Panics when the indices are out of range.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -102,7 +105,10 @@ impl Matrix {
     /// # Panics
     /// Panics when the indices are out of range.
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         self.data[r * self.cols + c] = value;
     }
 

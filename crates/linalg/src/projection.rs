@@ -20,7 +20,11 @@ pub struct GaussianProjection {
 
 impl GaussianProjection {
     /// Samples a projection with i.i.d. `N(0, 1/output_dim)` entries.
-    pub fn sample<R: Rng + ?Sized>(rng: &mut R, input_dim: usize, output_dim: usize) -> Result<Self> {
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        input_dim: usize,
+        output_dim: usize,
+    ) -> Result<Self> {
         if input_dim == 0 || output_dim == 0 {
             return Err(LinalgError::InvalidParameter {
                 name: "dims",
@@ -135,7 +139,12 @@ mod tests {
 
     #[test]
     fn jl_dimension_grows_with_count_and_precision() {
-        assert!(GaussianProjection::jl_dimension(1000, 0.1) > GaussianProjection::jl_dimension(10, 0.1));
-        assert!(GaussianProjection::jl_dimension(100, 0.05) > GaussianProjection::jl_dimension(100, 0.2));
+        assert!(
+            GaussianProjection::jl_dimension(1000, 0.1) > GaussianProjection::jl_dimension(10, 0.1)
+        );
+        assert!(
+            GaussianProjection::jl_dimension(100, 0.05)
+                > GaussianProjection::jl_dimension(100, 0.2)
+        );
     }
 }

@@ -277,7 +277,10 @@ mod tests {
     fn repeat_scales_dot() {
         let x = SignVector::from_signs(&[1, -1, 1]);
         let y = SignVector::from_signs(&[1, 1, 1]);
-        assert_eq!(x.repeat(4).dot(&y.repeat(4)).unwrap(), 4 * x.dot(&y).unwrap());
+        assert_eq!(
+            x.repeat(4).dot(&y.repeat(4)).unwrap(),
+            4 * x.dot(&y).unwrap()
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(AndConstruction::<()>::amplified_probability(1.2, 2), 1.0);
         let p = AndConstruction::<()>::candidate_probability(0.5, 1, 2);
         assert!((p - 0.75).abs() < 1e-12);
-        assert_eq!(AndConstruction::<()>::candidate_probability(0.0, 3, 10), 0.0);
+        assert_eq!(
+            AndConstruction::<()>::candidate_probability(0.0, 3, 10),
+            0.0
+        );
     }
 
     #[test]

@@ -1,65 +1,38 @@
-//! Error types for the LSH crate.
+//! Error types for the LSH crate, on the workspace error pattern
+//! ([`ips_linalg::define_error!`]).
 
 use ips_linalg::LinalgError;
-use std::fmt;
 
-/// Result alias used throughout `ips-lsh`.
-pub type Result<T> = std::result::Result<T, LshError>;
-
-/// Errors produced by hashing families and indexes.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LshError {
-    /// A vector had the wrong dimensionality for the family it was hashed with.
-    DimensionMismatch {
-        /// Dimension the family was constructed for.
-        expected: usize,
-        /// Dimension of the offending vector.
-        actual: usize,
-    },
-    /// A parameter was outside its legal range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Explanation of the constraint that was violated.
-        reason: String,
-    },
-    /// A vector violated a domain requirement (e.g. norm larger than 1 for a family
-    /// defined on the unit ball).
-    DomainViolation {
-        /// Explanation of the violated requirement.
-        reason: String,
-    },
-    /// An underlying linear-algebra operation failed.
-    Linalg(LinalgError),
-}
-
-impl fmt::Display for LshError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LshError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: family expects {expected}, got {actual}")
-            }
-            LshError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
-            LshError::DomainViolation { reason } => write!(f, "domain violation: {reason}"),
-            LshError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+ips_linalg::define_error! {
+    /// Errors produced by hashing families and indexes.
+    #[derive(Clone, PartialEq)]
+    LshError, Result {
+        variants {
+            /// A vector had the wrong dimensionality for the family it was hashed with.
+            DimensionMismatch {
+                /// Dimension the family was constructed for.
+                expected: usize,
+                /// Dimension of the offending vector.
+                actual: usize,
+            } => ("dimension mismatch: family expects {expected}, got {actual}"),
+            /// A parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
+            /// A vector violated a domain requirement (e.g. norm larger than 1 for a family
+            /// defined on the unit ball).
+            DomainViolation {
+                /// Explanation of the violated requirement.
+                reason: String,
+            } => ("domain violation: {reason}"),
         }
-    }
-}
-
-impl std::error::Error for LshError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            LshError::Linalg(e) => Some(e),
-            _ => None,
+        wraps {
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
         }
-    }
-}
-
-impl From<LinalgError> for LshError {
-    fn from(e: LinalgError) -> Self {
-        LshError::Linalg(e)
     }
 }
 

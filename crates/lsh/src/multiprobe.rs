@@ -190,14 +190,18 @@ mod tests {
     }
 
     fn unit_data(rng: &mut StdRng, n: usize, dim: usize) -> Vec<DenseVector> {
-        (0..n).map(|_| random_unit_vector(rng, dim).unwrap()).collect()
+        (0..n)
+            .map(|_| random_unit_vector(rng, dim).unwrap())
+            .collect()
     }
 
     #[test]
     fn build_and_query_validation() {
         let mut r = rng();
         let data = unit_data(&mut r, 10, 8);
-        assert!(MultiProbeIndex::build(&mut r, &[], MultiProbeParams { bits: 4, tables: 2 }).is_err());
+        assert!(
+            MultiProbeIndex::build(&mut r, &[], MultiProbeParams { bits: 4, tables: 2 }).is_err()
+        );
         assert!(
             MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 0, tables: 2 }).is_err()
         );
@@ -211,9 +215,7 @@ mod tests {
         assert_eq!(index.params(), MultiProbeParams { bits: 4, tables: 2 });
         assert_eq!(index.max_probes(), 1 + 4 + 6);
         assert!(index.query_candidates(&data[0], 0).is_err());
-        assert!(index
-            .query_candidates(&DenseVector::zeros(5), 1)
-            .is_err());
+        assert!(index.query_candidates(&DenseVector::zeros(5), 1).is_err());
     }
 
     #[test]
@@ -246,8 +248,15 @@ mod tests {
     fn more_probes_never_shrink_the_candidate_set() {
         let mut r = rng();
         let data = unit_data(&mut r, 200, 16);
-        let index =
-            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 10, tables: 4 }).unwrap();
+        let index = MultiProbeIndex::build(
+            &mut r,
+            &data,
+            MultiProbeParams {
+                bits: 10,
+                tables: 4,
+            },
+        )
+        .unwrap();
         let query = random_unit_vector(&mut r, 16).unwrap();
         let mut previous = 0usize;
         for probes in [1, 2, 4, 8, 16] {
@@ -265,8 +274,15 @@ mod tests {
         let query = random_unit_vector(&mut r, dim).unwrap();
         // Plant a near-duplicate.
         data[123] = query.scaled(0.999);
-        let index =
-            MultiProbeIndex::build(&mut r, &data, MultiProbeParams { bits: 12, tables: 4 }).unwrap();
+        let index = MultiProbeIndex::build(
+            &mut r,
+            &data,
+            MultiProbeParams {
+                bits: 12,
+                tables: 4,
+            },
+        )
+        .unwrap();
         // With enough probes the planted point is found even with only 4 tables.
         let candidates = index.query_candidates(&query, 20).unwrap();
         assert!(candidates.contains(&123), "planted near-duplicate missed");

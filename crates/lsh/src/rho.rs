@@ -164,7 +164,10 @@ mod tests {
                 let simp = rho_simple_alsh(s, c, 1.0).unwrap();
                 let mh = rho_mh_alsh(s, c).unwrap();
                 for rho in [dd, simp, mh] {
-                    assert!(rho > 0.0 && rho < 1.0, "rho {rho} out of range (s={s}, c={c})");
+                    assert!(
+                        rho > 0.0 && rho < 1.0,
+                        "rho {rho} out of range (s={s}, c={c})"
+                    );
                 }
             }
         }
@@ -231,7 +234,10 @@ mod tests {
             let rho = rho_l2_alsh(s, 0.7, params).unwrap();
             assert!(rho > 0.0 && rho < 1.0);
             let dd = rho_data_dependent(s, 0.7, 1.0).unwrap();
-            assert!(dd <= rho + 0.05, "DATA-DEP should be competitive with L2-ALSH");
+            assert!(
+                dd <= rho + 0.05,
+                "DATA-DEP should be competitive with L2-ALSH"
+            );
         }
     }
 

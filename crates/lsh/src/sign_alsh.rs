@@ -157,8 +157,9 @@ impl SignAlshFamily {
     /// product `ip` (before augmentation) and data norm `data_norm` — the quantity whose
     /// arccos drives the collision probability.
     pub fn augmented_cosine(&self, ip: f64, data_norm: f64, query_norm: f64) -> f64 {
-        let scaled_norm_sq =
-            (data_norm * self.params.u / self.max_data_norm).powi(2).min(1.0);
+        let scaled_norm_sq = (data_norm * self.params.u / self.max_data_norm)
+            .powi(2)
+            .min(1.0);
         let mut tail = 0.0;
         let mut power = scaled_norm_sq;
         for _ in 0..self.params.m {
@@ -325,6 +326,9 @@ mod tests {
             }
             rates.push(collisions as f64 / trials as f64);
         }
-        assert!(rates[0] < rates[1] && rates[1] < rates[2], "rates {rates:?}");
+        assert!(
+            rates[0] < rates[1] && rates[1] < rates[2],
+            "rates {rates:?}"
+        );
     }
 }

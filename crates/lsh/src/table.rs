@@ -193,7 +193,10 @@ mod tests {
         data[7] = query.scaled(0.98); // high inner product with the query
         let index = LshIndex::build(&fam, IndexParams { k: 6, l: 24 }, &data, &mut rng).unwrap();
         let candidates = index.query_candidates(&query).unwrap();
-        assert!(candidates.contains(&7), "high-IP point missed: {candidates:?}");
+        assert!(
+            candidates.contains(&7),
+            "high-IP point missed: {candidates:?}"
+        );
     }
 
     #[test]

@@ -149,6 +149,9 @@ mod tests {
         let a = DenseVector::from(&[1.0, 1.0][..]);
         let b = DenseVector::from(&[-1.0, -1.0][..]);
         let collide = f.collides(&a, &b).unwrap();
-        assert_eq!(collide, f.hash_data(&a).unwrap() == f.hash_query(&b).unwrap());
+        assert_eq!(
+            collide,
+            f.hash_data(&a).unwrap() == f.hash_query(&b).unwrap()
+        );
     }
 }

@@ -2,6 +2,7 @@
 //! preservation of the asymmetric transforms, and monotonicity of the closed-form ρ and
 //! collision-probability formulas.
 
+use ips_linalg::BinaryVector;
 use ips_linalg::DenseVector;
 use ips_lsh::alsh_l2::{L2AlshFamily, L2AlshParams};
 use ips_lsh::amplify::AndConstruction;
@@ -9,8 +10,9 @@ use ips_lsh::hyperplane::HyperplaneFamily;
 use ips_lsh::mhalsh::MhAlshFamily;
 use ips_lsh::rho::{rho_data_dependent, rho_mh_alsh, rho_simple_alsh};
 use ips_lsh::simple_alsh::SphereTransform;
-use ips_lsh::traits::{AsymmetricHashFunction, AsymmetricLshFamily, HashFunction, LshFamily, SymmetricAsAsymmetric};
-use ips_linalg::BinaryVector;
+use ips_lsh::traits::{
+    AsymmetricHashFunction, AsymmetricLshFamily, HashFunction, LshFamily, SymmetricAsAsymmetric,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

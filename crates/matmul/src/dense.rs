@@ -9,7 +9,7 @@
 //! * [`multiply_blocked`] — the same loop tiled into `block × block` panels so each
 //!   panel of `B` stays in cache while a panel of `A` streams over it;
 //! * [`multiply_parallel`] — the blocked kernel with the rows of `A` split across
-//!   `threads` scoped workers (via `crossbeam`).
+//!   `threads` scoped workers (std scoped threads).
 //!
 //! [`gram_matrix`] packages the product the joins actually need: data vectors as rows of
 //! `P`, query vectors as rows of `Q`, output `G = P·Qᵀ` with `G[i][j] = pᵢᵀqⱼ`.
@@ -107,15 +107,14 @@ pub fn multiply_parallel(a: &Matrix, b: &Matrix, block: usize, threads: usize) -
             rest = tail;
             row += take_rows;
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (row_start, chunk) in chunks {
                 let rows_here = chunk.len() / m;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     blocked_shifted(a, b, block, row_start, row_start + rows_here, chunk);
                 });
             }
-        })
-        .expect("matmul worker thread panicked");
+        });
     }
     Ok(Matrix::from_row_major(n, m, out).expect("output buffer has the right length"))
 }
@@ -187,8 +186,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
-        Matrix::from_row_major(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap()
+        Matrix::from_row_major(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap()
     }
 
     fn assert_close(a: &Matrix, b: &Matrix) {
@@ -276,8 +279,8 @@ mod tests {
     fn gram_matrix_rejects_bad_input() {
         let v = DenseVector::from(&[1.0, 2.0][..]);
         let w = DenseVector::from(&[1.0, 2.0, 3.0][..]);
-        assert!(gram_matrix(&[], &[v.clone()]).is_err());
-        assert!(gram_matrix(&[v.clone()], &[]).is_err());
+        assert!(gram_matrix(&[], std::slice::from_ref(&v)).is_err());
+        assert!(gram_matrix(std::slice::from_ref(&v), &[]).is_err());
         assert!(gram_matrix(&[v], &[w]).is_err());
     }
 }

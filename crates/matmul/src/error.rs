@@ -1,68 +1,39 @@
-//! Error types for the matrix-multiplication substrate.
+//! Error types for the matrix-multiplication substrate, on the workspace error
+//! pattern ([`ips_linalg::define_error!`]).
 
 use ips_linalg::LinalgError;
-use std::fmt;
 
-/// Result alias used throughout `ips-matmul`.
-pub type Result<T> = std::result::Result<T, MatmulError>;
-
-/// Errors produced by the matrix-multiplication routines and the algebraic joins.
-#[derive(Debug, Clone, PartialEq)]
-pub enum MatmulError {
-    /// Two matrices (or a matrix and a vector collection) had incompatible shapes.
-    ShapeMismatch {
-        /// Shape of the left operand, `(rows, cols)`.
-        left: (usize, usize),
-        /// Shape of the right operand, `(rows, cols)`.
-        right: (usize, usize),
-        /// Human-readable description of the operation that failed.
-        op: &'static str,
-    },
-    /// A parameter was outside its legal range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Explanation of the constraint that was violated.
-        reason: String,
-    },
-    /// An operation required a non-empty input.
-    Empty {
-        /// Description of the operation that failed.
-        op: &'static str,
-    },
-    /// An underlying linear-algebra operation failed.
-    Linalg(LinalgError),
-}
-
-impl fmt::Display for MatmulError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MatmulError::ShapeMismatch { left, right, op } => write!(
-                f,
-                "shape mismatch in {op}: {}x{} vs {}x{}",
-                left.0, left.1, right.0, right.1
-            ),
-            MatmulError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
-            MatmulError::Empty { op } => write!(f, "operation {op} requires non-empty input"),
-            MatmulError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+ips_linalg::define_error! {
+    /// Errors produced by the matrix-multiplication routines and the algebraic joins.
+    #[derive(Clone, PartialEq)]
+    MatmulError, Result {
+        variants {
+            /// Two matrices (or a matrix and a vector collection) had incompatible shapes.
+            ShapeMismatch {
+                /// Shape of the left operand, `(rows, cols)`.
+                left: (usize, usize),
+                /// Shape of the right operand, `(rows, cols)`.
+                right: (usize, usize),
+                /// Human-readable description of the operation that failed.
+                op: &'static str,
+            } => ("shape mismatch in {op}: {}x{} vs {}x{}", left.0, left.1, right.0, right.1),
+            /// A parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
+            /// An operation required a non-empty input.
+            Empty {
+                /// Description of the operation that failed.
+                op: &'static str,
+            } => ("operation {op} requires non-empty input"),
         }
-    }
-}
-
-impl std::error::Error for MatmulError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            MatmulError::Linalg(e) => Some(e),
-            _ => None,
+        wraps {
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
         }
-    }
-}
-
-impl From<LinalgError> for MatmulError {
-    fn from(e: LinalgError) -> Self {
-        MatmulError::Linalg(e)
     }
 }
 

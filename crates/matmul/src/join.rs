@@ -125,12 +125,12 @@ pub fn matmul_exact_join_parallel(
     }
     let threads = threads.min(queries.len());
     let chunk_size = queries.len().div_ceil(threads);
-    let results: Vec<Result<Vec<AlgebraicPair>>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<AlgebraicPair>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk_size)
             .enumerate()
             .map(|(chunk_idx, chunk)| {
-                scope.spawn(move |_| -> Result<Vec<AlgebraicPair>> {
+                scope.spawn(move || -> Result<Vec<AlgebraicPair>> {
                     let offset = chunk_idx * chunk_size;
                     let mut local =
                         matmul_exact_join(data, chunk, threshold, unsigned, query_block)?;
@@ -145,8 +145,7 @@ pub fn matmul_exact_join_parallel(
             .into_iter()
             .map(|h| h.join().expect("join worker thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
     let mut out = Vec::new();
     for r in results {
         out.extend(r?);
@@ -223,12 +222,27 @@ mod tests {
     #[test]
     fn validation() {
         let v = dv(&[1.0, 0.0]);
-        assert!(matmul_exact_join(&[], &[v.clone()], 0.5, false, 4).is_err());
-        assert!(matmul_exact_join(&[v.clone()], &[], 0.5, false, 4).is_err());
-        assert!(matmul_exact_join(&[v.clone()], &[v.clone()], 0.5, false, 0).is_err());
-        assert!(matmul_exact_join_parallel(&[v.clone()], &[v.clone()], 0.5, false, 4, 0).is_err());
+        assert!(matmul_exact_join(&[], std::slice::from_ref(&v), 0.5, false, 4).is_err());
+        assert!(matmul_exact_join(std::slice::from_ref(&v), &[], 0.5, false, 4).is_err());
+        assert!(matmul_exact_join(
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&v),
+            0.5,
+            false,
+            0
+        )
+        .is_err());
+        assert!(matmul_exact_join_parallel(
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&v),
+            0.5,
+            false,
+            4,
+            0
+        )
+        .is_err());
         let w = dv(&[1.0, 0.0, 0.0]);
-        assert!(matmul_exact_join(&[v.clone()], &[w], 0.5, false, 4).is_err());
+        assert!(matmul_exact_join(std::slice::from_ref(&v), &[w], 0.5, false, 4).is_err());
     }
 
     #[test]
@@ -289,7 +303,9 @@ mod tests {
         for &threshold in &[0.1, 0.5, 0.9] {
             for pair in matmul_exact_join(&data, &queries, threshold, true, 8).unwrap() {
                 assert!(pair.inner_product.abs() >= threshold);
-                let exact = data[pair.data_index].dot(&queries[pair.query_index]).unwrap();
+                let exact = data[pair.data_index]
+                    .dot(&queries[pair.query_index])
+                    .unwrap();
                 assert!((exact - pair.inner_product).abs() < 1e-9);
             }
         }

@@ -22,8 +22,8 @@
 //!   followed by a Gram product and exact verification of the surviving candidates —
 //!   the laptop-scale analogue of the outlier-correlation detection of [51, 29].
 //!
-//! The crate depends only on `ips-linalg` (vectors and matrices), `rand` and
-//! `crossbeam`; the `ips-core` crate re-exports the joins behind its common interface.
+//! The crate depends only on `ips-linalg` (vectors and matrices) and `rand`;
+//! the `ips-core` crate re-exports the joins behind its common interface.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

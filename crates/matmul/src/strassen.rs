@@ -126,7 +126,7 @@ fn assemble(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix) -> Matrix {
 /// Strassen recursion on square power-of-two matrices.
 fn strassen_square(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
     let n = a.rows();
-    if n <= cutoff || n % 2 != 0 {
+    if n <= cutoff || !n.is_multiple_of(2) {
         return multiply_blocked(a, b, DEFAULT_BLOCK)
             .expect("square inputs of equal size always multiply");
     }
@@ -157,8 +157,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
-        Matrix::from_row_major(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap()
+        Matrix::from_row_major(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap()
     }
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {

@@ -257,26 +257,78 @@ mod tests {
         let v = random_sign_vector(&mut r, 8);
         let q = random_sign_vector(&mut r, 8);
         let cfg = AmplifiedJoinConfig::default();
-        assert!(amplified_unsigned_join(&mut r, &[], &[q.clone()], 4.0, 0.5, cfg).is_err());
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[], 4.0, 0.5, cfg).is_err());
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[q.clone()], 0.0, 0.5, cfg).is_err());
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[q.clone()], 20.0, 0.5, cfg).is_err());
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[q.clone()], 4.0, 1.5, cfg).is_err());
+        assert!(
+            amplified_unsigned_join(&mut r, &[], std::slice::from_ref(&q), 4.0, 0.5, cfg).is_err()
+        );
+        assert!(
+            amplified_unsigned_join(&mut r, std::slice::from_ref(&v), &[], 4.0, 0.5, cfg).is_err()
+        );
+        assert!(amplified_unsigned_join(
+            &mut r,
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&q),
+            0.0,
+            0.5,
+            cfg
+        )
+        .is_err());
+        assert!(amplified_unsigned_join(
+            &mut r,
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&q),
+            20.0,
+            0.5,
+            cfg
+        )
+        .is_err());
+        assert!(amplified_unsigned_join(
+            &mut r,
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&q),
+            4.0,
+            1.5,
+            cfg
+        )
+        .is_err());
         let bad = AmplifiedJoinConfig {
             degree: 0,
             ..Default::default()
         };
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[q.clone()], 4.0, 0.5, bad).is_err());
+        assert!(amplified_unsigned_join(
+            &mut r,
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&q),
+            4.0,
+            0.5,
+            bad
+        )
+        .is_err());
         let bad = AmplifiedJoinConfig {
             projection_dim: 0,
             ..Default::default()
         };
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[q.clone()], 4.0, 0.5, bad).is_err());
+        assert!(amplified_unsigned_join(
+            &mut r,
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&q),
+            4.0,
+            0.5,
+            bad
+        )
+        .is_err());
         let bad = AmplifiedJoinConfig {
             detection_fraction: 0.0,
             ..Default::default()
         };
-        assert!(amplified_unsigned_join(&mut r, &[v.clone()], &[q.clone()], 4.0, 0.5, bad).is_err());
+        assert!(amplified_unsigned_join(
+            &mut r,
+            std::slice::from_ref(&v),
+            std::slice::from_ref(&q),
+            4.0,
+            0.5,
+            bad
+        )
+        .is_err());
         let mismatched = random_sign_vector(&mut r, 9);
         assert!(
             amplified_unsigned_join(&mut r, &[v], &[mismatched], 4.0, 0.5, cfg).is_err(),
@@ -310,7 +362,7 @@ mod tests {
         let report = amplified_unsigned_join(
             &mut r,
             &data,
-            &[query.clone()],
+            std::slice::from_ref(&query),
             48.0,
             0.5,
             AmplifiedJoinConfig {
@@ -373,7 +425,9 @@ mod tests {
         )
         .unwrap();
         for pair in &report.pairs {
-            let exact = data[pair.data_index].dot(&queries[pair.query_index]).unwrap() as f64;
+            let exact = data[pair.data_index]
+                .dot(&queries[pair.query_index])
+                .unwrap() as f64;
             assert!((exact - pair.inner_product).abs() < 1e-9);
             assert!(exact.abs() >= c * s);
         }

@@ -23,8 +23,7 @@ fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
 fn matrices_close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
     a.rows() == b.rows()
         && a.cols() == b.cols()
-        && (0..a.rows())
-            .all(|i| (0..a.cols()).all(|j| (a.get(i, j) - b.get(i, j)).abs() < tol))
+        && (0..a.rows()).all(|i| (0..a.cols()).all(|j| (a.get(i, j) - b.get(i, j)).abs() < tol))
 }
 
 proptest! {

@@ -295,7 +295,11 @@ impl ChebyshevEmbedding {
         }
         for _ in 2..=self.degree {
             let doubled = repeat(&tensor(base, &prev1), 2);
-            let tail_source = if query_side { prev2.negated() } else { prev2.clone() };
+            let tail_source = if query_side {
+                prev2.negated()
+            } else {
+                prev2.clone()
+            };
             let tail = repeat(&tail_source, b_sq);
             let next = concat_all(&[doubled, tail])?;
             prev2 = prev1;
@@ -425,7 +429,10 @@ impl ZeroOneEmbedding {
                     DenseVector::new(vec![if bit { 0.0 } else { 1.0 }, 1.0])
                 } else {
                     // query side: (y_j, 1 − y_j)
-                    DenseVector::new(vec![if bit { 1.0 } else { 0.0 }, if bit { 0.0 } else { 1.0 }])
+                    DenseVector::new(vec![
+                        if bit { 1.0 } else { 0.0 },
+                        if bit { 0.0 } else { 1.0 },
+                    ])
                 };
                 acc = tensor(&acc, &pair);
             }
@@ -480,7 +487,11 @@ mod tests {
         StdRng::seed_from_u64(0xE1BED)
     }
 
-    fn random_pair_with_ip(rng: &mut StdRng, dim: usize, want_orthogonal: bool) -> (BinaryVector, BinaryVector) {
+    fn random_pair_with_ip(
+        rng: &mut StdRng,
+        dim: usize,
+        want_orthogonal: bool,
+    ) -> (BinaryVector, BinaryVector) {
         loop {
             let x = random_binary_vector(rng, dim, 0.4).unwrap();
             let y = random_binary_vector(rng, dim, 0.4).unwrap();
@@ -534,10 +545,18 @@ mod tests {
         let e = SignedEmbedding::new(dim).unwrap();
         for _ in 0..10 {
             let (x, y) = random_pair_with_ip(&mut r, dim, true);
-            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            let v = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap();
             assert!(v >= e.threshold());
             let (x, y) = random_pair_with_ip(&mut r, dim, false);
-            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            let v = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap();
             assert!(v <= e.approx_threshold());
         }
         assert!(e.embed_data(&BinaryVector::zeros(3)).is_err());
@@ -619,7 +638,10 @@ mod tests {
                 .dot(&e.embed_query(&y).unwrap())
                 .unwrap()
                 .abs();
-            assert!(v >= e.threshold() - 1e-6, "orthogonal pair below threshold: {v}");
+            assert!(
+                v >= e.threshold() - 1e-6,
+                "orthogonal pair below threshold: {v}"
+            );
             let (x, y) = random_pair_with_ip(&mut r, dim, false);
             let v = e
                 .embed_data(&x)
@@ -627,7 +649,10 @@ mod tests {
                 .dot(&e.embed_query(&y).unwrap())
                 .unwrap()
                 .abs();
-            assert!(v <= e.approx_threshold() + 1e-6, "non-orthogonal pair above cs: {v}");
+            assert!(
+                v <= e.approx_threshold() + 1e-6,
+                "non-orthogonal pair above cs: {v}"
+            );
         }
     }
 
@@ -698,10 +723,18 @@ mod tests {
         let e = ZeroOneEmbedding::new(dim, 5).unwrap();
         for _ in 0..10 {
             let (x, y) = random_pair_with_ip(&mut r, dim, true);
-            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            let v = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap();
             assert_eq!(v, e.threshold());
             let (x, y) = random_pair_with_ip(&mut r, dim, false);
-            let v = e.embed_data(&x).unwrap().dot(&e.embed_query(&y).unwrap()).unwrap();
+            let v = e
+                .embed_data(&x)
+                .unwrap()
+                .dot(&e.embed_query(&y).unwrap())
+                .unwrap();
             assert!(v <= e.approx_threshold());
         }
         assert!(e.embed_data(&BinaryVector::zeros(3)).is_err());

@@ -1,61 +1,34 @@
-//! Error types for the OVP crate.
+//! Error types for the OVP crate, on the workspace error pattern
+//! ([`ips_linalg::define_error!`]).
 
 use ips_linalg::LinalgError;
-use std::fmt;
 
-/// Result alias used throughout `ips-ovp`.
-pub type Result<T> = std::result::Result<T, OvpError>;
-
-/// Errors produced by OVP instances, embeddings and reductions.
-#[derive(Debug, Clone, PartialEq)]
-pub enum OvpError {
-    /// Vectors inside one instance disagreed on dimensionality.
-    InconsistentDimensions {
-        /// Dimension of the first vector encountered.
-        expected: usize,
-        /// Dimension of the offending vector.
-        actual: usize,
-    },
-    /// A parameter was outside its legal range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Explanation of the constraint that was violated.
-        reason: String,
-    },
-    /// An instance was empty where a non-empty one was required.
-    EmptyInstance,
-    /// An underlying linear-algebra operation failed.
-    Linalg(LinalgError),
-}
-
-impl fmt::Display for OvpError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OvpError::InconsistentDimensions { expected, actual } => {
-                write!(f, "inconsistent dimensions: expected {expected}, got {actual}")
-            }
-            OvpError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
-            OvpError::EmptyInstance => write!(f, "OVP instance must contain at least one vector per side"),
-            OvpError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+ips_linalg::define_error! {
+    /// Errors produced by OVP instances, embeddings and reductions.
+    #[derive(Clone, PartialEq)]
+    OvpError, Result {
+        variants {
+            /// Vectors inside one instance disagreed on dimensionality.
+            InconsistentDimensions {
+                /// Dimension of the first vector encountered.
+                expected: usize,
+                /// Dimension of the offending vector.
+                actual: usize,
+            } => ("inconsistent dimensions: expected {expected}, got {actual}"),
+            /// A parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
+            /// An instance was empty where a non-empty one was required.
+            EmptyInstance => ("OVP instance must contain at least one vector per side"),
         }
-    }
-}
-
-impl std::error::Error for OvpError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            OvpError::Linalg(e) => Some(e),
-            _ => None,
+        wraps {
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
         }
-    }
-}
-
-impl From<LinalgError> for OvpError {
-    fn from(e: LinalgError) -> Self {
-        OvpError::Linalg(e)
     }
 }
 

@@ -81,7 +81,10 @@ pub fn embedding_ratio<E: GapEmbedding>(embedding: &E) -> Option<f64> {
 /// The returned embedding is fully constructed (so its gap can be verified on real
 /// vectors); for large `n` the output dimension grows quickly, so callers exploring the
 /// asymptotics should use modest `n`/`gamma`.
-pub fn theorem1_chebyshev(n: usize, gamma: f64) -> Result<(ChebyshevEmbedding, HardInstanceParameters)> {
+pub fn theorem1_chebyshev(
+    n: usize,
+    gamma: f64,
+) -> Result<(ChebyshevEmbedding, HardInstanceParameters)> {
     let d = validate(n, gamma)?;
     let q = (d as f64).sqrt().ceil() as u32;
     let embedding = ChebyshevEmbedding::new(d, q.max(1))?;
@@ -102,7 +105,11 @@ pub fn theorem1_chebyshev(n: usize, gamma: f64) -> Result<(ChebyshevEmbedding, H
 /// `d = γ·log₂ n` and `k = k(d)`; any `k = ω(1)` growing with `d` gives
 /// `c = 1 − 1/k = 1 − o(1)`. The default choice here is `k = d` (the paper's choice in
 /// the proof of Theorem 2), which keeps the output dimension at `2d`.
-pub fn theorem1_zero_one(n: usize, gamma: f64, k: Option<usize>) -> Result<(ZeroOneEmbedding, HardInstanceParameters)> {
+pub fn theorem1_zero_one(
+    n: usize,
+    gamma: f64,
+    k: Option<usize>,
+) -> Result<(ZeroOneEmbedding, HardInstanceParameters)> {
     let d = validate(n, gamma)?;
     let k = k.unwrap_or(d).clamp(1, d);
     let embedding = ZeroOneEmbedding::new(d, k)?;
@@ -190,7 +197,7 @@ mod tests {
         // The {0,1} family has its ratio closer to 1 than the Chebyshev family at
         // comparable d — matching the Theorem 2 cutoffs (1 − o(1/log n) vs
         // 1 − o(1/√log n)).
-        let (_, cheb_same_d) = theorem1_chebyshev(1 << 14, 0.6, ).unwrap();
+        let (_, cheb_same_d) = theorem1_chebyshev(1 << 14, 0.6).unwrap();
         let zo_ratio = zo.ratio.unwrap();
         let cheb_ratio = cheb_same_d.ratio.unwrap();
         assert!(zo_ratio > cheb_ratio, "{zo_ratio} !> {cheb_ratio}");

@@ -24,7 +24,10 @@ impl OvpInstance {
     ///
     /// Returns an error if either side is empty or any vector disagrees on dimension.
     pub fn new(p: Vec<BinaryVector>, q: Vec<BinaryVector>) -> Result<Self> {
-        let first = p.first().or_else(|| q.first()).ok_or(OvpError::EmptyInstance)?;
+        let first = p
+            .first()
+            .or_else(|| q.first())
+            .ok_or(OvpError::EmptyInstance)?;
         let dim = first.dim();
         if p.is_empty() || q.is_empty() {
             return Err(OvpError::EmptyInstance);

@@ -201,12 +201,13 @@ mod tests {
         let embedding = SignedEmbedding::new(dim).unwrap();
         let inst = no_pair_instance(&mut r, 8, 8, dim, 0.5).unwrap();
         // Oracle that reports nonsense pairs, including out-of-range ones.
-        let mut nonsense = |_: &[DenseVector],
-                            _: &[DenseVector],
-                            _cs: f64,
-                            _s: f64,
-                            _signed: bool|
-         -> Result<Vec<(usize, usize)>> { Ok(vec![(0, 0), (100, 3), (2, 100)]) };
+        let mut nonsense =
+            |_: &[DenseVector],
+             _: &[DenseVector],
+             _cs: f64,
+             _s: f64,
+             _signed: bool|
+             -> Result<Vec<(usize, usize)>> { Ok(vec![(0, 0), (100, 3), (2, 100)]) };
         assert_eq!(
             solve_via_join(&inst, &embedding, &mut nonsense).unwrap(),
             OvpAnswer::NoPair

@@ -10,7 +10,11 @@ fn bit_vec(len: usize) -> impl Strategy<Value = Vec<bool>> {
     prop::collection::vec(any::<bool>(), len)
 }
 
-fn check_gap<E: GapEmbedding>(embedding: &E, x: &BinaryVector, y: &BinaryVector) -> Result<(), TestCaseError> {
+fn check_gap<E: GapEmbedding>(
+    embedding: &E,
+    x: &BinaryVector,
+    y: &BinaryVector,
+) -> Result<(), TestCaseError> {
     let fx = embedding.embed_data(x).unwrap();
     let gy = embedding.embed_query(y).unwrap();
     prop_assert_eq!(fx.dim(), embedding.output_dim());

@@ -1,61 +1,34 @@
-//! Error types for the sketch crate.
+//! Error types for the sketch crate, on the workspace error pattern
+//! ([`ips_linalg::define_error!`]).
 
 use ips_linalg::LinalgError;
-use std::fmt;
 
-/// Result alias used throughout `ips-sketch`.
-pub type Result<T> = std::result::Result<T, SketchError>;
-
-/// Errors produced by sketch construction and queries.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SketchError {
-    /// A vector had the wrong dimensionality.
-    DimensionMismatch {
-        /// Expected dimension.
-        expected: usize,
-        /// Offending dimension.
-        actual: usize,
-    },
-    /// A parameter was outside its legal range.
-    InvalidParameter {
-        /// Name of the offending parameter.
-        name: &'static str,
-        /// Explanation of the constraint that was violated.
-        reason: String,
-    },
-    /// A data set was empty where at least one vector was required.
-    EmptyDataSet,
-    /// An underlying linear-algebra operation failed.
-    Linalg(LinalgError),
-}
-
-impl fmt::Display for SketchError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SketchError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected}, got {actual}")
-            }
-            SketchError::InvalidParameter { name, reason } => {
-                write!(f, "invalid parameter `{name}`: {reason}")
-            }
-            SketchError::EmptyDataSet => write!(f, "data set must contain at least one vector"),
-            SketchError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+ips_linalg::define_error! {
+    /// Errors produced by sketch construction and queries.
+    #[derive(Clone, PartialEq)]
+    SketchError, Result {
+        variants {
+            /// A vector had the wrong dimensionality.
+            DimensionMismatch {
+                /// Expected dimension.
+                expected: usize,
+                /// Offending dimension.
+                actual: usize,
+            } => ("dimension mismatch: expected {expected}, got {actual}"),
+            /// A parameter was outside its legal range.
+            InvalidParameter {
+                /// Name of the offending parameter.
+                name: &'static str,
+                /// Explanation of the constraint that was violated.
+                reason: String,
+            } => ("invalid parameter `{name}`: {reason}"),
+            /// A data set was empty where at least one vector was required.
+            EmptyDataSet => ("data set must contain at least one vector"),
         }
-    }
-}
-
-impl std::error::Error for SketchError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SketchError::Linalg(e) => Some(e),
-            _ => None,
+        wraps {
+            /// An underlying linear-algebra operation failed.
+            Linalg(LinalgError) => "linear algebra error",
         }
-    }
-}
-
-impl From<LinalgError> for SketchError {
-    fn from(e: LinalgError) -> Self {
-        SketchError::Linalg(e)
     }
 }
 
@@ -65,7 +38,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SketchError::EmptyDataSet.to_string().contains("at least one"));
+        assert!(SketchError::EmptyDataSet
+            .to_string()
+            .contains("at least one"));
         assert!(SketchError::DimensionMismatch {
             expected: 2,
             actual: 3

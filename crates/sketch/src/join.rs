@@ -169,9 +169,18 @@ mod tests {
         data[10] = queries[0].scaled(6.0);
         data[40] = queries[2].scaled(-5.0);
         let pairs = sketch_unsigned_join(&mut r, &data, &queries, 2.0, config(), 8).unwrap();
-        let found: Vec<(usize, usize)> = pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
-        assert!(found.contains(&(10, 0)), "missing planted pair for query 0: {found:?}");
-        assert!(found.contains(&(40, 2)), "missing planted pair for query 2: {found:?}");
+        let found: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|p| (p.data_index, p.query_index))
+            .collect();
+        assert!(
+            found.contains(&(10, 0)),
+            "missing planted pair for query 0: {found:?}"
+        );
+        assert!(
+            found.contains(&(40, 2)),
+            "missing planted pair for query 2: {found:?}"
+        );
         // Queries 1 and 3 have no partner above the threshold; every reported pair must
         // genuinely clear cs (no false positives by construction).
         for p in &pairs {

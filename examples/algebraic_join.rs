@@ -12,7 +12,7 @@
 //! * the Section 4.1 ALSH join run on the same vectors rescaled to the unit ball
 //!   (the hashing route the rest of the workspace focuses on).
 //!
-//! Run with: `cargo run --release -p ips-examples --bin algebraic_join`
+//! Run with: `cargo run --release -p ips-examples --example algebraic_join`
 
 use ips_core::algebraic::{algebraic_exact_join, amplified_sign_join};
 use ips_core::asymmetric::AlshParams;
@@ -36,8 +36,9 @@ fn main() {
 
     // Planted ±1 workload: for the first `planted` queries, a data vector agreeing on
     // `agree` coordinates is hidden in the haystack.
-    let query_vectors: Vec<SignVector> =
-        (0..queries).map(|_| random_sign_vector(&mut rng, dim)).collect();
+    let query_vectors: Vec<SignVector> = (0..queries)
+        .map(|_| random_sign_vector(&mut rng, dim))
+        .collect();
     let mut data: Vec<SignVector> = (0..n).map(|_| random_sign_vector(&mut rng, dim)).collect();
     let mut planted_queries = HashSet::new();
     for qi in 0..planted {
@@ -50,7 +51,9 @@ fn main() {
     }
     let s = (2 * agree - dim) as f64;
     let spec = JoinSpec::new(s, 0.5, JoinVariant::Unsigned).unwrap();
-    println!("unsigned (cs, s) join over {{−1,1}}^{dim}: |P| = {n}, |Q| = {queries}, s = {s}, c = 0.5");
+    println!(
+        "unsigned (cs, s) join over {{−1,1}}^{dim}: |P| = {n}, |Q| = {queries}, s = {s}, c = 0.5"
+    );
     println!("{planted} planted pairs with inner product {s}\n");
 
     let recall = |pairs: &[ips_core::problem::MatchPair]| -> f64 {

@@ -6,7 +6,7 @@
 //! Lemma 4 ceiling `1/(8·log n)`. It then shows the Section 4.2 escape hatch: a
 //! *symmetric* LSH that works for all pairs except identical ones.
 //!
-//! Run with `cargo run --release -p ips-examples --bin lsh_limits`.
+//! Run with `cargo run --release -p ips-examples --example lsh_limits`.
 
 use ips_core::lower_bounds::grid::{estimate_gap_on_sequence, gap_upper_bound};
 use ips_core::lower_bounds::sequences::{hard_sequence_case1, hard_sequence_case2};

@@ -8,7 +8,7 @@
 //! only separates `k − 1` from `k` (which is why constant-factor approximation over sets
 //! remains the paper's open problem).
 //!
-//! Run with `cargo run --release -p ips-examples --bin ovp_hardness`.
+//! Run with `cargo run --release -p ips-examples --example ovp_hardness`.
 
 use ips_examples::{example_rng, f3, section};
 use ips_ovp::reduction::{solve_via_join, BruteForceJoinOracle, OvpAnswer};
@@ -18,8 +18,8 @@ use ips_ovp::{
 };
 
 fn report<E: GapEmbedding>(name: &str, embedding: &E, instance: &ips_ovp::OvpInstance) {
-    let answer = solve_via_join(instance, embedding, &mut BruteForceJoinOracle)
-        .expect("reduction runs");
+    let answer =
+        solve_via_join(instance, embedding, &mut BruteForceJoinOracle).expect("reduction runs");
     let c = embedding.approximation_factor();
     println!(
         "{name}: output dim {}, s = {}, cs = {}, implied c = {}",
@@ -29,9 +29,9 @@ fn report<E: GapEmbedding>(name: &str, embedding: &E, instance: &ips_ovp::OvpIns
         f3(c)
     );
     match answer {
-        OvpAnswer::OrthogonalPair(i, j) => println!(
-            "   -> orthogonal pair recovered through the join oracle: P[{i}] ⟂ Q[{j}]"
-        ),
+        OvpAnswer::OrthogonalPair(i, j) => {
+            println!("   -> orthogonal pair recovered through the join oracle: P[{i}] ⟂ Q[{j}]")
+        }
         OvpAnswer::NoPair => println!("   -> no orthogonal pair reported"),
     }
 }

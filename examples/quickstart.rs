@@ -5,14 +5,14 @@
 //! 1. generate a synthetic data set (unit-ball vectors) and some queries;
 //! 2. pick a `(cs, s)` specification (Definition 1 of the paper);
 //! 3. build the Section 4.1 asymmetric-LSH MIPS index and answer a single query;
-//! 4. run the same spec as a join over all queries and compare with the exact
-//!    brute-force join.
+//! 4. run the same spec as a join over all queries through the parallel
+//!    [`JoinEngine`] and compare with the exact brute-force join.
 //!
-//! Run with `cargo run --release -p ips-examples --bin quickstart`.
+//! Run with `cargo run --release -p ips-examples --example quickstart`.
 
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::brute_force_join;
-use ips_core::join::index_join;
+use ips_core::engine::{EngineConfig, JoinEngine};
 use ips_core::mips::MipsIndex;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
@@ -76,7 +76,10 @@ fn main() {
     }
 
     section("4. the full join, approximate vs exact");
-    let approx = index_join(&index, instance.queries()).expect("join runs");
+    // The engine borrows the index (any `&MipsIndex` is itself an index) and
+    // fans the query set out over all cores in batched chunks.
+    let engine = JoinEngine::with_config(&index, EngineConfig::default());
+    let approx = engine.run(instance.queries()).expect("join runs");
     let exact = brute_force_join(instance.data(), instance.queries(), &spec).expect("join runs");
     let reported: Vec<(usize, usize)> = approx
         .iter()

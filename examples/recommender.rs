@@ -12,7 +12,7 @@
 //! 3. picks the join threshold from the best-inner-product distribution and runs the
 //!    `(cs, s)` join.
 //!
-//! Run with `cargo run --release -p ips-examples --bin recommender`.
+//! Run with `cargo run --release -p ips-examples --example recommender`.
 
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::brute_force_join;
@@ -38,13 +38,20 @@ fn main() {
         },
     )
     .expect("valid configuration");
-    println!("{} items, {} users, d = 48", model.items().len(), model.users().len());
+    println!(
+        "{} items, {} users, d = 48",
+        model.items().len(),
+        model.users().len()
+    );
 
     // Pick s at the 25th percentile of the best-inner-product distribution so roughly
     // three quarters of the users have a partner above the promise threshold.
     let s = model.best_ip_quantile(0.25).expect("non-empty model");
     let spec = JoinSpec::new(s, 0.8, JoinVariant::Signed).expect("valid spec");
-    println!("join threshold s = {} (25th percentile of best inner products), c = 0.8", f3(s));
+    println!(
+        "join threshold s = {} (25th percentile of best inner products), c = 0.8",
+        f3(s)
+    );
 
     section("top-1 retrieval: recall against the exact scan");
     let alsh = AlshMipsIndex::build(

@@ -7,7 +7,7 @@
 //! controlled overlap, and compares the collision behaviour with the theoretical
 //! `a/(M + |q| − a)` curve.
 //!
-//! Run with `cargo run --release -p ips-examples --bin set_containment`.
+//! Run with `cargo run --release -p ips-examples --example set_containment`.
 
 use ips_datagen::binary_sets::{containment_pairs, zipfian_sets};
 use ips_examples::{example_rng, f3, section};
@@ -22,7 +22,9 @@ fn main() {
 
     section("corpus");
     let corpus = zipfian_sets(&mut rng, n_sets, universe, set_size, 1.1).expect("valid parameters");
-    println!("{n_sets} sets of size {set_size} over a universe of {universe} Zipf-distributed elements");
+    println!(
+        "{n_sets} sets of size {set_size} over a universe of {universe} Zipf-distributed elements"
+    );
 
     section("MH-ALSH index");
     let family = MhAlshFamily::new(universe, set_size).expect("valid family");

@@ -41,8 +41,12 @@ fn gram_join_agrees_with_brute_force_on_recommender_data() {
         let expected = brute_force_join(model.items(), model.users(), &spec).unwrap();
         assert!(!expected.is_empty(), "workload must promise some queries");
         for query_block in [1usize, 7, 64, 1024] {
-            let got = algebraic_exact_join(model.items(), model.users(), &spec, query_block).unwrap();
-            assert_eq!(got, expected, "query_block = {query_block}, variant {variant:?}");
+            let got =
+                algebraic_exact_join(model.items(), model.users(), &spec, query_block).unwrap();
+            assert_eq!(
+                got, expected,
+                "query_block = {query_block}, variant {variant:?}"
+            );
         }
         for threads in [1usize, 3, 8] {
             let got =
@@ -72,8 +76,12 @@ fn planted_sign_workload(
     agree: usize,
     planted: usize,
 ) -> (Vec<SignVector>, Vec<SignVector>, Vec<(usize, usize)>) {
-    let queries: Vec<SignVector> = (0..query_count).map(|_| random_sign_vector(rng, dim)).collect();
-    let mut data: Vec<SignVector> = (0..data_count).map(|_| random_sign_vector(rng, dim)).collect();
+    let queries: Vec<SignVector> = (0..query_count)
+        .map(|_| random_sign_vector(rng, dim))
+        .collect();
+    let mut data: Vec<SignVector> = (0..data_count)
+        .map(|_| random_sign_vector(rng, dim))
+        .collect();
     let mut pairs = Vec::new();
     for qi in 0..planted.min(query_count) {
         let mut partner = queries[qi].clone();
@@ -108,7 +116,9 @@ fn amplified_join_recovers_planted_sign_pairs() {
     .unwrap();
     // Validity: every reported pair clears cs = 26 in absolute value.
     for pair in &pairs {
-        let exact = data[pair.data_index].dot(&queries[pair.query_index]).unwrap() as f64;
+        let exact = data[pair.data_index]
+            .dot(&queries[pair.query_index])
+            .unwrap() as f64;
         assert!(exact.abs() >= spec.relaxed_threshold());
         assert!((exact - pair.inner_product).abs() < 1e-9);
     }
@@ -131,7 +141,9 @@ fn amplified_join_recovers_planted_sign_pairs() {
 fn amplified_join_reports_nothing_on_uncorrelated_data() {
     let mut rng = rng();
     let dim = 64;
-    let data: Vec<SignVector> = (0..100).map(|_| random_sign_vector(&mut rng, dim)).collect();
+    let data: Vec<SignVector> = (0..100)
+        .map(|_| random_sign_vector(&mut rng, dim))
+        .collect();
     let queries: Vec<SignVector> = (0..20).map(|_| random_sign_vector(&mut rng, dim)).collect();
     // Random ±1 vectors have |ip| concentrated around √d = 8; demanding cs = 28 means
     // essentially nothing should be reported, and anything that is must truly clear 28.
@@ -149,7 +161,9 @@ fn amplified_join_reports_nothing_on_uncorrelated_data() {
     )
     .unwrap();
     for pair in &pairs {
-        let exact = data[pair.data_index].dot(&queries[pair.query_index]).unwrap() as f64;
+        let exact = data[pair.data_index]
+            .dot(&queries[pair.query_index])
+            .unwrap() as f64;
         assert!(exact.abs() >= spec.relaxed_threshold());
     }
 }

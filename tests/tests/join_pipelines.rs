@@ -2,9 +2,11 @@
 //! construction and joins (`ips-core`, `ips-lsh`, `ips-sketch`), and evaluation against
 //! the paper's Definition 1 semantics.
 
-use ips_core::asymmetric::AlshParams;
+use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::{brute_force_join, brute_force_join_parallel};
+use ips_core::engine::{EngineConfig, JoinEngine};
 use ips_core::join::{alsh_join, sketch_join};
+use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{evaluate_join, negate_queries, JoinSpec, JoinVariant};
 use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
@@ -58,14 +60,19 @@ fn planted_pairs_are_found_by_every_join() {
 
     // Exact join finds every planted query.
     let exact_recall = inst.recall(
-        &exact.iter().map(|p| (p.data_index, p.query_index)).collect::<Vec<_>>(),
+        &exact
+            .iter()
+            .map(|p| (p.data_index, p.query_index))
+            .collect::<Vec<_>>(),
         spec.relaxed_threshold(),
     );
     assert_eq!(exact_recall, 1.0);
 
     for (name, pairs) in [("alsh", &alsh), ("sketch", &sketch)] {
-        let reported: Vec<(usize, usize)> =
-            pairs.iter().map(|p| (p.data_index, p.query_index)).collect();
+        let reported: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|p| (p.data_index, p.query_index))
+            .collect();
         let recall = inst.recall(&reported, spec.relaxed_threshold());
         assert!(recall >= 0.75, "{name} join recall too low: {recall}");
         let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, pairs).unwrap();
@@ -108,6 +115,80 @@ fn unsigned_join_equals_two_signed_joins() {
     combined.sort_unstable();
     combined.dedup();
     assert_eq!(unsigned_queries, combined);
+}
+
+#[test]
+fn join_engine_schedules_never_change_results() {
+    // The engine's parallel, chunk-batched driver must be observationally
+    // identical to the serial loop for every index and every schedule.
+    let mut rng = rng();
+    let inst = PlantedInstance::generate(
+        &mut rng,
+        PlantedConfig {
+            data: 300,
+            queries: 41,
+            dim: 24,
+            background_scale: 0.05,
+            planted_ip: 0.85,
+            planted: 6,
+        },
+    )
+    .unwrap();
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+
+    let brute = BruteForceMipsIndex::new(inst.data().to_vec(), spec);
+    let alsh =
+        AlshMipsIndex::build(&mut rng, inst.data().to_vec(), spec, AlshParams::default()).unwrap();
+
+    let brute_reference = JoinEngine::with_config(&brute, EngineConfig::serial())
+        .run_serial(inst.queries())
+        .unwrap();
+    let alsh_reference = JoinEngine::with_config(&alsh, EngineConfig::serial())
+        .run_serial(inst.queries())
+        .unwrap();
+    for threads in [1, 2, 5, 0] {
+        for chunk_size in [1, 7, 64] {
+            let config = EngineConfig {
+                threads,
+                chunk_size,
+            };
+            assert_eq!(
+                JoinEngine::with_config(&brute, config)
+                    .run(inst.queries())
+                    .unwrap(),
+                brute_reference,
+                "brute force: threads={threads} chunk_size={chunk_size}"
+            );
+            assert_eq!(
+                JoinEngine::with_config(&alsh, config)
+                    .run(inst.queries())
+                    .unwrap(),
+                alsh_reference,
+                "ALSH: threads={threads} chunk_size={chunk_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_over_brute_force_index_equals_brute_force_join() {
+    // The brute-force index applies the promise threshold per query, so the
+    // engine-driven join over it is exactly `brute_force_join`.
+    let mut rng = rng();
+    let model = LatentFactorModel::generate(
+        &mut rng,
+        LatentFactorConfig {
+            items: 150,
+            users: 33,
+            dim: 16,
+            popularity_sigma: 0.5,
+        },
+    )
+    .unwrap();
+    let spec = JoinSpec::exact(0.1, JoinVariant::Signed).unwrap();
+    let reference = brute_force_join(model.items(), model.users(), &spec).unwrap();
+    let engine = JoinEngine::new(BruteForceMipsIndex::new(model.items().to_vec(), spec));
+    assert_eq!(engine.run(model.users()).unwrap(), reference);
 }
 
 #[test]

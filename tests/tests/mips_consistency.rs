@@ -36,8 +36,13 @@ fn every_index_reports_only_pairs_above_cs() {
     let spec = JoinSpec::new(s, 0.7, JoinVariant::Signed).unwrap();
 
     let brute = BruteForceMipsIndex::new(model.items().to_vec(), spec);
-    let alsh =
-        AlshMipsIndex::build(&mut rng, model.items().to_vec(), spec, AlshParams::default()).unwrap();
+    let alsh = AlshMipsIndex::build(
+        &mut rng,
+        model.items().to_vec(),
+        spec,
+        AlshParams::default(),
+    )
+    .unwrap();
     let symmetric = SymmetricLshMips::build(
         &mut rng,
         model.items().to_vec(),
@@ -113,7 +118,10 @@ fn alsh_recall_is_high_on_easy_instances() {
     }
     assert!(promised > 0);
     let recall = answered as f64 / promised as f64;
-    assert!(recall >= 0.8, "ALSH answered only {recall} of promised queries");
+    assert!(
+        recall >= 0.8,
+        "ALSH answered only {recall} of promised queries"
+    );
 }
 
 #[test]
@@ -152,5 +160,8 @@ fn sketch_recovery_matches_exact_argmax_when_gap_is_large() {
             hits += 1;
         }
     }
-    assert!(hits >= 8, "sketch recovery found only {hits}/10 dominant items");
+    assert!(
+        hits >= 8,
+        "sketch recovery found only {hits}/10 dominant items"
+    );
 }

@@ -7,8 +7,8 @@ use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_linalg::DenseVector;
 use ips_ovp::reduction::{solve_via_join, OvpAnswer};
 use ips_ovp::{
-    brute_force_pair, count_orthogonal_pairs, no_pair_instance, planted_instance,
-    SignedEmbedding, ZeroOneEmbedding,
+    brute_force_pair, count_orthogonal_pairs, no_pair_instance, planted_instance, SignedEmbedding,
+    ZeroOneEmbedding,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

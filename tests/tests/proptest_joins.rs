@@ -3,9 +3,11 @@
 //! the exact algorithms must agree with each other on arbitrary inputs.
 
 use ips_core::algebraic::algebraic_exact_join;
+use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::{brute_force_join, brute_force_join_parallel};
+use ips_core::engine::{EngineConfig, JoinEngine};
 use ips_core::join::alsh_join;
-use ips_core::asymmetric::AlshParams;
+use ips_core::mips::{BruteForceMipsIndex, MipsIndex, SearchResult};
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
 use ips_linalg::DenseVector;
 use proptest::prelude::*;
@@ -100,5 +102,94 @@ proptest! {
             prop_assert!(!spec.satisfies_promise(ip));
         }
         prop_assert!((spec.relaxed_threshold() - c * s).abs() < 1e-12);
+    }
+}
+
+/// The serial reference the batch path must reproduce: one `search` per query.
+fn serial_search_loop<I: MipsIndex>(
+    index: &I,
+    queries: &[DenseVector],
+) -> Vec<Option<SearchResult>> {
+    queries.iter().map(|q| index.search(q).unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The batch-path contract behind the JoinEngine: `search_batch` (and the
+    // engine built on it) must return exactly what the serial `search` loop
+    // returns for the brute-force and ALSH indexes, for every chunking and
+    // thread count.
+    #[test]
+    fn search_batch_matches_serial_search(
+        seed in any::<u64>(),
+        n in 5usize..60,
+        q in 1usize..25,
+        s in 0.05f64..0.4,
+        c in 0.3f64..0.95,
+        chunk_size in 1usize..40,
+        threads in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 8;
+        let data: Vec<DenseVector> = (0..n)
+            .map(|_| ips_linalg::random::random_ball_vector(&mut rng, dim, 1.0).unwrap())
+            .collect();
+        let queries: Vec<DenseVector> = (0..q)
+            .map(|_| ips_linalg::random::random_unit_vector(&mut rng, dim).unwrap())
+            .collect();
+        let spec = JoinSpec::new(s, c, JoinVariant::Signed).unwrap();
+        let brute = BruteForceMipsIndex::new(data.clone(), spec);
+        let alsh = AlshMipsIndex::build(
+            &mut rng,
+            data,
+            spec,
+            AlshParams { bits_per_table: 4, tables: 8, ..Default::default() },
+        )
+        .unwrap();
+
+        let brute_serial = serial_search_loop(&brute, &queries);
+        let alsh_serial = serial_search_loop(&alsh, &queries);
+
+        // The whole-set batch call (covers the brute-force data-major override).
+        prop_assert_eq!(&brute.search_batch(&queries).unwrap(), &brute_serial);
+        prop_assert_eq!(&alsh.search_batch(&queries).unwrap(), &alsh_serial);
+
+        // Arbitrary chunkings of the batch call.
+        for chunk in queries.chunks(chunk_size) {
+            let base = (chunk.as_ptr() as usize - queries.as_ptr() as usize)
+                / std::mem::size_of::<DenseVector>();
+            prop_assert_eq!(
+                &brute.search_batch(chunk).unwrap()[..],
+                &brute_serial[base..base + chunk.len()]
+            );
+        }
+
+        // The engine over both indexes, under the sampled schedule, against the
+        // pair set the serial loop induces.
+        let config = EngineConfig { threads, chunk_size };
+        for (index_name, serial, engine_pairs) in [
+            (
+                "brute",
+                &brute_serial,
+                JoinEngine::with_config(&brute, config).run(&queries).unwrap(),
+            ),
+            (
+                "alsh",
+                &alsh_serial,
+                JoinEngine::with_config(&alsh, config).run(&queries).unwrap(),
+            ),
+        ] {
+            let expected: Vec<(usize, usize, f64)> = serial
+                .iter()
+                .enumerate()
+                .filter_map(|(j, hit)| hit.map(|h| (h.data_index, j, h.inner_product)))
+                .collect();
+            let got: Vec<(usize, usize, f64)> = engine_pairs
+                .iter()
+                .map(|p| (p.data_index, p.query_index, p.inner_product))
+                .collect();
+            prop_assert_eq!(&got, &expected, "index = {}", index_name);
+        }
     }
 }

@@ -78,7 +78,10 @@ fn table1_classification_is_monotone_in_c() {
         for &c in &[1e-5, 1e-3, 0.1, 0.5, 0.9, 0.999, 0.999999] {
             let h = classify_approximation(domain, ProblemVariant::Unsigned, c, n, 0.25).unwrap();
             let r = rank(h) as i32;
-            assert!(r >= prev, "classification regressed at c = {c} for {domain:?}");
+            assert!(
+                r >= prev,
+                "classification regressed at c = {c} for {domain:?}"
+            );
             prev = r;
         }
     }

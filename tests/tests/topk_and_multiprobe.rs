@@ -6,10 +6,10 @@ use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_core::topk::{top_k_join, top_k_recall, TopKMipsIndex};
 use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
+use ips_linalg::random::{correlated_unit_pair, random_unit_vector};
 use ips_lsh::multiprobe::{MultiProbeIndex, MultiProbeParams};
 use ips_lsh::sign_alsh::{SignAlshFamily, SignAlshParams};
 use ips_lsh::traits::{AsymmetricHashFunction, AsymmetricLshFamily};
-use ips_linalg::random::{correlated_unit_pair, random_unit_vector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,7 +38,9 @@ fn top_k_join_on_recommender_data_respects_definition1_per_pair() {
     let mut per_query = std::collections::HashMap::new();
     for p in &pairs {
         assert!(spec.acceptable(p.inner_product));
-        let ip = model.items()[p.data_index].dot(&model.users()[p.query_index]).unwrap();
+        let ip = model.items()[p.data_index]
+            .dot(&model.users()[p.query_index])
+            .unwrap();
         assert!((ip - p.inner_product).abs() < 1e-9);
         *per_query.entry(p.query_index).or_insert(0usize) += 1;
     }
@@ -51,7 +53,10 @@ fn top_k_join_on_recommender_data_respects_definition1_per_pair() {
             .iter()
             .any(|p| spec.acceptable(p.dot(user).unwrap()));
         if has_acceptable {
-            assert!(per_query.contains_key(&j), "query {j} unanswered by exact top-k");
+            assert!(
+                per_query.contains_key(&j),
+                "query {j} unanswered by exact top-k"
+            );
         }
     }
 }
@@ -97,7 +102,10 @@ fn alsh_top_k_recall_improves_with_more_tables() {
         recalls[1] >= recalls[0],
         "recall did not improve with more tables: {recalls:?}"
     );
-    assert!(recalls[1] >= 0.6, "64-table top-3 recall too low: {recalls:?}");
+    assert!(
+        recalls[1] >= 0.6,
+        "64-table top-3 recall too low: {recalls:?}"
+    );
 }
 
 #[test]
@@ -126,7 +134,11 @@ fn multiprobe_trades_probes_for_tables() {
     let recall_at = |probes: usize| -> f64 {
         let mut hit = 0usize;
         for (j, q) in queries.iter().enumerate() {
-            if index.query_candidates(q, probes).unwrap().contains(&(j * 16)) {
+            if index
+                .query_candidates(q, probes)
+                .unwrap()
+                .contains(&(j * 16))
+            {
                 hit += 1;
             }
         }

@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support);
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented for
+//!   numeric ranges and tuples of strategies;
+//! * [`arbitrary::any`] for primitives;
+//! * [`collection::vec`] with `usize` / range size arguments;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: cases are sampled from a seed derived
+//! deterministically from the test name (stable across runs — failures always
+//! reproduce), and failing cases are **not shrunk**; the failure message reports
+//! the case number instead of a minimal counterexample.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The whole public API again, under the `prop` name the prelude glob exposes.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test, returning
+/// [`test_runner::TestCaseError::Fail`] from the enclosing `Result` function
+/// (the [`proptest!`] harness wraps each body in one, so `?` works as upstream).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property test. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case when the condition does not hold; rejected cases
+/// are skipped without counting as failures.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }` becomes
+/// a `#[test]` (the attribute is written explicitly by the caller, as with
+/// upstream proptest) that samples the strategies for `config.cases` cases and
+/// runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ($($strat,)*);
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    #[allow(unused_variables, unused_mut)]
+                    let ($($arg,)*) = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(reason))) => {
+                            panic!(
+                                "proptest case {case}/{} of `{}` failed: {reason} (offline runner: no shrinking)",
+                                config.cases,
+                                stringify!($name),
+                            );
+                        }
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest case {case}/{} of `{}` panicked (offline runner: no shrinking)",
+                                config.cases,
+                                stringify!($name),
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@run ($config) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@run ($crate::test_runner::ProptestConfig::default()) $($rest)*}
+    };
+}

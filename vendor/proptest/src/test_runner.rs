@@ -1,0 +1,89 @@
+//! Configuration, failure reporting and deterministic per-case RNG for the
+//! [`crate::proptest!`] harness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Why one sampled case did not pass: a genuine failure (`prop_assert!`) or a
+/// rejection (`prop_assume!` filtered the inputs out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// The inputs were rejected by an assumption; the case does not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(reason) => write!(f, "{reason}"),
+            Self::Reject(reason) => write!(f, "input rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// How the [`crate::proptest!`] harness runs a property (`Config` upstream).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the offline runner uses fewer because
+        // several properties here build LSH indexes per case.
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for one case of one property: seeded from an FNV-1a hash
+/// of the fully qualified test name and the case number, so reruns (locally and
+/// in CI) always sample the same cases.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn distinct_names_and_cases_give_distinct_streams() {
+        let a = case_rng("mod::test_a", 0).next_u64();
+        let b = case_rng("mod::test_b", 0).next_u64();
+        let c = case_rng("mod::test_a", 1).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, case_rng("mod::test_a", 0).next_u64());
+    }
+}

@@ -1,0 +1,49 @@
+//! Exercises the `proptest!` macro grammar the workspace's test files use.
+
+use proptest::prelude::*;
+
+fn pairs(len: usize) -> impl Strategy<Value = Vec<(u32, bool)>> {
+    prop::collection::vec((0u32..100, any::<bool>()), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ranges_stay_in_bounds(x in 1usize..40, y in 0.0f64..3.0, z in 2usize..=6) {
+        prop_assert!((1..40).contains(&x));
+        prop_assert!((0.0..3.0).contains(&y));
+        prop_assert!((2..=6).contains(&z));
+    }
+
+    #[test]
+    fn flat_mapped_collections_work(
+        rows in (1usize..5, 2usize..6).prop_flat_map(|(n, dim)| {
+            prop::collection::vec(prop::collection::vec(-0.4f64..0.4, dim..=dim), n..=n)
+        }),
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(!rows.is_empty());
+        let dim = rows[0].len();
+        prop_assert!(rows.iter().all(|r| r.len() == dim));
+        let _ = seed;
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_runs(v in pairs(3), flag in any::<bool>()) {
+        prop_assert_eq!(v.len(), 3);
+        let _ = flag;
+    }
+}
+
+#[test]
+fn cases_are_deterministic_across_processes() {
+    use proptest::strategy::Strategy;
+    let mut rng = proptest::test_runner::case_rng("harness::fixed", 0);
+    let a = (0u32..1000).sample(&mut rng);
+    let mut rng = proptest::test_runner::case_rng("harness::fixed", 0);
+    let b = (0u32..1000).sample(&mut rng);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) framework.
+//!
+//! The build environment has no access to crates.io. The workspace only *derives*
+//! `Serialize` / `Deserialize` (no serialization backend such as `serde_json` is
+//! used anywhere), so this vendored crate provides the two traits as markers and
+//! re-exports a minimal derive that implements them. Code can keep writing
+//! `#[derive(Serialize, Deserialize)]` and downstream crates can take
+//! `T: Serialize` bounds; swapping in the real `serde` later is a manifest change
+//! only.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// Offline stand-in: carries no methods because no serialization backend is
+/// available in this environment; the derive implements it so trait bounds and
+/// derives compile unchanged.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+///
+/// See [`Serialize`] for why this is a marker in the offline build.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,53 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline). Supports the shapes the workspace actually derives on:
+//! plain non-generic `struct`s and `enum`s. Generic types get no impl (the
+//! workspace has none today); deriving on one is a compile error at the use site
+//! the moment a bound is required, which is the failure mode we want.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword, or
+/// `None` when the type is generic (a `<` immediately follows the name).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
