@@ -4,7 +4,7 @@
 //!
 //! 1. **Exact joins as Gram products.** How does the blockwise `P·Qᵀ` join compare with
 //!    the scalar brute-force loop as `|P|` grows? (Same asymptotics, better locality —
-//!    this is the substrate both Valiant [51] and Karppa et al. [29] rely on.)
+//!    this is the substrate both Valiant \[51\] and Karppa et al. \[29\] rely on.)
 //! 2. **Amplify-and-multiply.** For the unsigned `(cs, s)` join over `{−1,1}`, how do
 //!    recall and candidate counts of the amplified join behave as the approximation
 //!    factor `c` and the amplification degree `t` vary? The paper's Table 1 says this

@@ -15,6 +15,7 @@
 //! | `experiment_ovp` | E8 — the OVP → join reduction end-to-end |
 //! | `experiment_algebraic` | E9 — the algebraic (matrix-multiplication) joins: Gram-product exact join and the amplified unsigned join over `{−1,1}` |
 //! | `experiment_topk` | E10 — top-k recall of the Section 4.1 ALSH index vs table count on the recommender workload |
+//! | `calibrate_planner` | fits the adaptive join planner's `CostModel` constants on the adversarial workload suite and checks every pick against measured runtimes |
 //!
 //! The Criterion benches under `benches/` measure the same code paths with statistical
 //! rigour; the binaries print the rows/series the paper reports so the shapes can be

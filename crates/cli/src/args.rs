@@ -88,6 +88,18 @@ impl ParsedArgs {
         })
     }
 
+    /// An optional boolean with a default; accepts `true`/`false`/`1`/`0`.
+    pub fn get_bool_or(&self, key: &str, default: bool) -> Result<bool> {
+        match self.get(key) {
+            Some("true") | Some("1") => Ok(true),
+            Some("false") | Some("0") => Ok(false),
+            Some(v) => Err(CliError::Usage {
+                reason: format!("argument `{key}` must be true/false/1/0, got `{v}`"),
+            }),
+            None => Ok(default),
+        }
+    }
+
     /// An optional 64-bit seed with a default.
     pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64> {
         match self.get(key) {
@@ -135,6 +147,15 @@ mod tests {
         assert_eq!(args.get_or("algorithm", "brute"), "brute");
         assert_eq!(args.get_f64_or("c", 1.0).unwrap(), 1.0);
         assert_eq!(args.get_u64_or("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn booleans_parse_and_reject_garbage() {
+        let args = ParsedArgs::parse(&["a=true", "b=0", "c=maybe"]).unwrap();
+        assert!(args.get_bool_or("a", false).unwrap());
+        assert!(!args.get_bool_or("b", true).unwrap());
+        assert!(args.get_bool_or("c", false).is_err());
+        assert!(args.get_bool_or("missing", true).unwrap());
     }
 
     #[test]

@@ -11,9 +11,11 @@ use ips_core::algebraic::algebraic_exact_join;
 use ips_core::asymmetric::AlshParams;
 use ips_core::brute::BorrowedBruteIndex;
 use ips_core::engine::{EngineConfig, JoinEngine};
-use ips_core::join::{alsh_engine, sketch_engine};
+use ips_core::join::{alsh_engine, sketch_engine, symmetric_engine};
 use ips_core::mips::{BruteForceMipsIndex, SearchResult};
+use ips_core::planner::{JoinPlan, JoinPlanner, PlannerConfig};
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant, MatchPair};
+use ips_core::symmetric::SymmetricParams;
 use ips_core::topk::TopKMipsIndex;
 use ips_core::AlshMipsIndex;
 use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
@@ -43,7 +45,8 @@ pub struct GenerateReport {
 /// Report returned by `ips join`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinReport {
-    /// The algorithm that produced the pairs.
+    /// The algorithm that produced the pairs; for `algorithm=auto` this is the
+    /// strategy the planner chose (e.g. `auto→alsh`).
     pub algorithm: String,
     /// The reported pairs (at most one per query for the single-partner algorithms).
     pub pairs: Vec<MatchPair>,
@@ -51,8 +54,14 @@ pub struct JoinReport {
     pub recall: f64,
     /// Whether every reported pair clears the relaxed threshold `cs`.
     pub valid: bool,
-    /// Wall-clock time of the join itself, in milliseconds.
+    /// Wall-clock time of the join in milliseconds. For `algorithm=auto` this
+    /// is the end-to-end figure — workload sampling and planning included —
+    /// so it can exceed the manual run of the same strategy by the planning
+    /// overhead.
     pub elapsed_ms: f64,
+    /// The cost-based plan, present only under `algorithm=auto`; printed by
+    /// the binary when `explain=true`.
+    pub plan: Option<JoinPlan>,
 }
 
 /// Report returned by `ips search`: for each query index, its top-`k` results.
@@ -190,24 +199,49 @@ fn run_join(
     spec: JoinSpec,
     params: AlshParams,
     engine_config: EngineConfig,
-) -> Result<Vec<MatchPair>> {
+) -> Result<(Vec<MatchPair>, Option<JoinPlan>)> {
     // Every index-backed algorithm goes through the one parallel JoinEngine
-    // driver; `matmul` keeps its own blockwise Gram-product path.
+    // driver; `matmul` keeps its own blockwise Gram-product path, and `auto`
+    // lets the cost-based planner choose among the engine-backed strategies.
     match algorithm {
+        "auto" => {
+            let planner = JoinPlanner {
+                config: PlannerConfig {
+                    alsh: params,
+                    engine: engine_config,
+                    ..PlannerConfig::default()
+                },
+                ..JoinPlanner::default()
+            };
+            let plan = planner.plan(rng, data, queries, spec)?;
+            let pairs = plan.execute(rng, data, queries)?;
+            Ok((pairs, Some(plan)))
+        }
         "brute" => {
             // Borrowed index: the CSV reader already owns the vectors, no second copy.
             let engine =
                 JoinEngine::with_config(BorrowedBruteIndex::new(data, spec), engine_config);
-            Ok(engine.run(queries)?)
+            Ok((engine.run(queries)?, None))
         }
-        "matmul" => Ok(algebraic_exact_join(data, queries, &spec, 64)?),
-        "alsh" => Ok(alsh_engine(rng, data, spec, params, engine_config)?.run(queries)?),
-        "sketch" => Ok(
+        "matmul" => Ok((algebraic_exact_join(data, queries, &spec, 64)?, None)),
+        "alsh" => Ok((
+            alsh_engine(rng, data, spec, params, engine_config)?.run(queries)?,
+            None,
+        )),
+        "symmetric" => Ok((
+            symmetric_engine(rng, data, spec, SymmetricParams::default(), engine_config)?
+                .run(queries)?,
+            None,
+        )),
+        "sketch" => Ok((
             sketch_engine(rng, data, spec, MaxIpConfig::default(), 16, engine_config)?
                 .run(queries)?,
-        ),
+            None,
+        )),
         other => Err(CliError::Usage {
-            reason: format!("unknown algorithm `{other}`; expected brute, matmul, alsh or sketch"),
+            reason: format!(
+                "unknown algorithm `{other}`; expected auto, brute, matmul, alsh, symmetric or sketch"
+            ),
         }),
     }
 }
@@ -220,7 +254,23 @@ fn engine_config(args: &ParsedArgs) -> Result<EngineConfig> {
     })
 }
 
+/// The algorithm selection for `ips join`: `algorithm=` with `algo=` accepted
+/// as a shorthand (giving both is ambiguous and rejected).
+fn parse_algorithm(args: &ParsedArgs) -> Result<String> {
+    match (args.get("algorithm"), args.get("algo")) {
+        (Some(_), Some(_)) => Err(CliError::Usage {
+            reason: "give either `algorithm=` or `algo=`, not both".into(),
+        }),
+        (Some(a), None) | (None, Some(a)) => Ok(a.to_string()),
+        (None, None) => Ok("brute".to_string()),
+    }
+}
+
 /// `ips join` — run a `(cs, s)` join between two CSV files.
+///
+/// `algorithm=auto` (or `algo=auto`) hands the choice to the cost-based
+/// [`JoinPlanner`]; the resulting [`JoinPlan`] is attached to the report and
+/// rendered by the binary when `explain=true` is given.
 pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
     args.ensure_only(&[
         "data",
@@ -229,6 +279,8 @@ pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
         "c",
         "variant",
         "algorithm",
+        "algo",
+        "explain",
         "seed",
         "limit",
         "bits",
@@ -239,20 +291,30 @@ pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
     let data = read_vectors(Path::new(args.require("data")?))?;
     let queries = read_vectors(Path::new(args.require("queries")?))?;
     let spec = parse_spec(args)?;
-    let algorithm = args.get_or("algorithm", "brute").to_string();
+    let algorithm = parse_algorithm(args)?;
+    if args.get_bool_or("explain", false)? && algorithm != "auto" {
+        return Err(CliError::Usage {
+            reason: format!("explain= requires algo=auto (got algorithm `{algorithm}`)"),
+        });
+    }
     let mut rng = StdRng::seed_from_u64(args.get_u64_or("seed", 42)?);
     let params = alsh_params(args)?;
     let config = engine_config(args)?;
     let start = Instant::now();
-    let pairs = run_join(&algorithm, &mut rng, &data, &queries, spec, params, config)?;
+    let (pairs, plan) = run_join(&algorithm, &mut rng, &data, &queries, spec, params, config)?;
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     let (recall, valid) = evaluate_join(&data, &queries, &spec, &pairs)?;
+    let algorithm = match &plan {
+        Some(p) => format!("auto→{}", p.choice),
+        None => algorithm,
+    };
     Ok(JoinReport {
         algorithm,
         pairs,
         recall,
         valid,
         elapsed_ms,
+        plan,
     })
 }
 
@@ -400,7 +462,7 @@ mod tests {
             &format!("query-file={}", queries.display()),
         ]))
         .unwrap();
-        for algorithm in ["alsh", "sketch"] {
+        for algorithm in ["alsh", "symmetric", "sketch"] {
             let report = cmd_join(&args(&[
                 &format!("data={}", data.display()),
                 &format!("queries={}", queries.display()),
@@ -418,6 +480,74 @@ mod tests {
                 report.recall
             );
         }
+    }
+
+    #[test]
+    fn auto_join_plans_and_reports_the_chosen_strategy() {
+        let dir = temp_dir("auto");
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=200",
+            "queries=16",
+            "dim=16",
+            "seed=5",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        let report = cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.7",
+            "c=0.6",
+            "algo=auto",
+            "explain=true",
+        ]))
+        .unwrap();
+        let plan = report.plan.as_ref().expect("auto attaches a plan");
+        assert_eq!(report.algorithm, format!("auto→{}", plan.choice));
+        assert!(report.valid);
+        // The small workload must be answered by the exact scan.
+        assert_eq!(plan.choice, ips_core::planner::Strategy::BruteForce);
+        assert!(plan.explain().contains("plan: brute"));
+        // A manual algorithm never carries a plan.
+        let manual = cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.7",
+            "c=0.6",
+            "algorithm=brute",
+        ]))
+        .unwrap();
+        assert!(manual.plan.is_none());
+        // ...and the auto run's pairs match the strategy it claims it ran.
+        assert_eq!(report.pairs, manual.pairs);
+    }
+
+    #[test]
+    fn algorithm_aliases_and_explain_are_validated() {
+        let dir = temp_dir("auto-usage");
+        let data = dir.join("v.csv");
+        crate::dataset::write_vectors(&data, &[ips_linalg::DenseVector::from(&[0.5, 0.5][..])])
+            .unwrap();
+        let both = args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "algorithm=brute",
+            "algo=auto",
+        ]);
+        assert!(cmd_join(&both).is_err(), "algorithm= and algo= together");
+        let explain_manual = args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "algorithm=brute",
+            "explain=true",
+        ]);
+        assert!(cmd_join(&explain_manual).is_err(), "explain without auto");
     }
 
     #[test]

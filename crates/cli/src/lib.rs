@@ -8,7 +8,9 @@
 //! * `ips info` — print summary statistics of a CSV vector file;
 //! * `ips join` — run a signed/unsigned `(cs, s)` join between two CSV files with a
 //!   selectable algorithm (brute force, blockwise matrix product, the Section 4.1 ALSH
-//!   index, or the Section 4.3 sketch) and print the reported pairs;
+//!   index, or the Section 4.3 sketch — or `algo=auto` to let the cost-based planner
+//!   of `ips_core::planner` choose, with `explain=true` showing its reasoning) and
+//!   print the reported pairs;
 //! * `ips search` — build an index over a data file and answer top-`k` queries from a
 //!   query file.
 //!
@@ -39,8 +41,11 @@ COMMANDS:
                data=<path> [query-file=<path>] [planted-ip=<float>] [planted=<int>]
     info       data=<path>
     join       data=<path> queries=<path> s=<float> [c=<float>] [variant=signed|unsigned]
-               [algorithm=brute|matmul|alsh|sketch] [seed=<int>] [limit=<int>]
+               [algorithm=auto|brute|matmul|alsh|symmetric|sketch] [seed=<int>] [limit=<int>]
                [threads=<int>] [chunk=<int>]   (0 threads = one per CPU)
+               algo= is shorthand for algorithm=; algo=auto lets the cost-based
+               planner pick the strategy, and explain=true prints the chosen
+               plan with every strategy's estimated cost
     search     data=<path> queries=<path> s=<float> [c=<float>] [k=<int>]
                [algorithm=brute|alsh] [seed=<int>]
     help       print this message

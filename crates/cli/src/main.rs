@@ -35,6 +35,11 @@ fn run() -> Result<(), CliError> {
         }
         "join" => {
             let report = cmd_join(&args)?;
+            if args.get_bool_or("explain", false)? {
+                if let Some(plan) = &report.plan {
+                    print!("{}", plan.explain());
+                }
+            }
             println!(
                 "{} join: {} pairs, recall {:.3}, valid {}, {:.1} ms",
                 report.algorithm,

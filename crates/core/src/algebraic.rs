@@ -1,7 +1,7 @@
 //! The algebraic (matrix-multiplication) joins, wrapped behind the core API.
 //!
-//! Section 1.2 of the paper ("Algebraic techniques") credits Valiant [51] and
-//! Karppa et al. [29] with the only truly subquadratic algorithms for unsigned join in
+//! Section 1.2 of the paper ("Algebraic techniques") credits Valiant \[51\] and
+//! Karppa et al. \[29\] with the only truly subquadratic algorithms for unsigned join in
 //! the *permissible* ranges of Table 1 — they reduce the join to (fast) matrix
 //! multiplication rather than to hashing. The implementations live in the `ips-matmul`
 //! substrate crate; this module adapts them to the workspace-wide [`JoinSpec`] /

@@ -2,10 +2,10 @@
 //!
 //! Construction (paper, Section 4.1): data vectors (unit ball) and query vectors (ball
 //! of radius `U`) are mapped to the `(d+2)`-dimensional unit sphere with the asymmetric
-//! map of [39] — `p ↦ (p, √(1−‖p‖²), 0)`, `q ↦ (q/U, 0, √(1−‖q‖²/U²))` — after which
+//! map of \[39\] — `p ↦ (p, √(1−‖p‖²), 0)`, `q ↦ (q/U, 0, √(1−‖q‖²/U²))` — after which
 //! signed inner product search *is* approximate near-neighbour search on the sphere
 //! with distance threshold `r = √(2(1 − s/U))` and approximation
-//! `c' = √((1 − cs/U)/(1 − s/U))`. Plugging in the optimal data-dependent sphere LSH [9]
+//! `c' = √((1 − cs/U)/(1 − s/U))`. Plugging in the optimal data-dependent sphere LSH \[9\]
 //! gives the exponent of equation 3,
 //!
 //! ```text
@@ -14,7 +14,7 @@
 //!
 //! the DATA-DEP curve of Figure 2. The runnable index here uses hyperplane (SimHash)
 //! hashing as the sphere substrate — the same reduction with the SIMP exponent — because
-//! the data-dependent scheme of [9] is a theoretical construction; the ρ *formulas* for
+//! the data-dependent scheme of \[9\] is a theoretical construction; the ρ *formulas* for
 //! both are exposed so the benchmarks can compare predicted exponents with measured
 //! candidate-set sizes.
 

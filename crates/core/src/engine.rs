@@ -83,6 +83,29 @@ impl Default for EngineConfig {
 ///
 /// `I` may be an owned index (`JoinEngine<AlshMipsIndex>`) or a borrowed one
 /// (`JoinEngine<&AlshMipsIndex>`), since `&I` implements [`MipsIndex`] too.
+///
+/// ```
+/// use ips_core::engine::{EngineConfig, JoinEngine};
+/// use ips_core::mips::BruteForceMipsIndex;
+/// use ips_core::problem::{JoinSpec, JoinVariant};
+/// use ips_linalg::DenseVector;
+///
+/// let data = vec![
+///     DenseVector::from(&[1.0, 0.0][..]),
+///     DenseVector::from(&[0.0, 1.0][..]),
+/// ];
+/// let spec = JoinSpec::new(0.5, 1.0, JoinVariant::Signed).unwrap();
+/// let engine = JoinEngine::with_config(
+///     BruteForceMipsIndex::new(data, spec),
+///     EngineConfig::with_threads(2),
+/// );
+/// let queries = vec![DenseVector::from(&[0.9, 0.1][..])];
+/// let pairs = engine.run(&queries).unwrap();
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!(pairs[0].data_index, 0);
+/// // An empty query set joins to an empty result (workspace-wide contract).
+/// assert!(engine.run(&[]).unwrap().is_empty());
+/// ```
 pub struct JoinEngine<I: MipsIndex> {
     index: I,
     config: EngineConfig,

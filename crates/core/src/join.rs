@@ -19,12 +19,20 @@
 //!
 //! Each `*_join` function has an `*_engine` sibling returning the configured
 //! [`JoinEngine`] instead of running it, for callers that want to reuse the index
-//! across query batches or pick a custom [`EngineConfig`].
+//! across query batches or pick a custom [`EngineConfig`]. Callers that do not
+//! want to pick a strategy at all should use [`crate::planner::auto_join`], which
+//! estimates each strategy's cost on the workload and dispatches the winner
+//! through these same entry points.
 //!
-//! Engine semantics note: an **empty query set** joins to an empty result across
-//! all entry points (the seed's sketch path used to reject it; the engine
-//! unified the behaviour). An empty *data* set still fails at index
-//! construction or on the first search, as before.
+//! # Contract
+//!
+//! Every entry point honours the validity half of Definition 1 by construction —
+//! no reported pair falls below `cs` — and only ever *misses* promised queries;
+//! see the [`JoinSpec`](crate::problem::JoinSpec#validity-contract) rustdoc for
+//! the full contract. Engine semantics note: an **empty query set** joins to an
+//! empty result across all entry points (the seed's sketch path used to reject
+//! it; the engine unified the behaviour). An empty *data* set still fails at
+//! index construction or on the first search, as before.
 
 use crate::asymmetric::{AlshMipsIndex, AlshParams};
 use crate::engine::{EngineConfig, JoinEngine};

@@ -18,7 +18,9 @@
 //!   these indexes and out of the Section 4.3 sketch structure (adapted from
 //!   `ips-sketch`); [`mips`] gives a common trait over all MIPS indexes; [`engine`]
 //!   provides the unified parallel, chunk-batched [`JoinEngine`] every join entry
-//!   point runs through.
+//!   point runs through; [`planner`] adds the cost-based [`JoinPlanner`] that picks
+//!   the strategy from workload statistics ([`auto_join`]), since no single strategy
+//!   dominates — the paper's central message, operationalised.
 //! * **Lower bounds (Sections 2–3)** — [`lower_bounds`] contains the hard sequence
 //!   constructions of Theorem 3, the grid partition and mass-accounting argument of
 //!   Lemma 4 (Figure 1), and the closed-form gap bounds; [`theory`] classifies parameter
@@ -28,6 +30,40 @@
 //! The OVP reductions behind the hardness results live in the companion crate
 //! [`ips_ovp`]; workload generators live in `ips-datagen`; the benchmark harness that
 //! regenerates every table and figure lives in `ips-bench`.
+//!
+//! # Quickstart
+//!
+//! The core workflow — generate a workload, pick a `(cs, s)` spec, let the planner
+//! run the join, and check the result against the exact scan (this is the runnable
+//! version of the README quickstart):
+//!
+//! ```
+//! use ips_core::brute::brute_force_join;
+//! use ips_core::planner::auto_join_with_plan;
+//! use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
+//! use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! // 1. a synthetic workload: near-orthogonal background, 4 planted pairs.
+//! let instance = PlantedInstance::generate(&mut rng, PlantedConfig {
+//!     data: 300, queries: 24, dim: 24,
+//!     background_scale: 0.1, planted_ip: 0.85, planted: 4,
+//! }).unwrap();
+//! // 2. the (cs, s) spec of Definition 1: report pairs above cs = 0.48,
+//! //    promise answers for queries with a partner above s = 0.8.
+//! let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+//! // 3. the adaptive join: the planner samples the workload, costs every
+//! //    strategy, and dispatches the winner through the JoinEngine.
+//! let (pairs, plan) =
+//!     auto_join_with_plan(&mut rng, instance.data(), instance.queries(), spec).unwrap();
+//! println!("{}", plan.explain());
+//! // 4. validity holds whatever was chosen; the exact join bounds the answer set.
+//! let (_, valid) = evaluate_join(instance.data(), instance.queries(), &spec, &pairs).unwrap();
+//! assert!(valid);
+//! let exact = brute_force_join(instance.data(), instance.queries(), &spec).unwrap();
+//! assert!(pairs.len() <= exact.len());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,6 +76,7 @@ pub mod error;
 pub mod join;
 pub mod lower_bounds;
 pub mod mips;
+pub mod planner;
 pub mod problem;
 pub mod symmetric;
 pub mod theory;
@@ -49,6 +86,7 @@ pub use asymmetric::AlshMipsIndex;
 pub use engine::{EngineConfig, JoinEngine};
 pub use error::{CoreError, Result};
 pub use mips::{MipsIndex, SearchResult, SketchMipsAdapter};
+pub use planner::{auto_join, auto_join_with_plan, CostModel, JoinPlan, JoinPlanner, Strategy};
 pub use problem::{JoinSpec, JoinVariant, MatchPair};
 pub use symmetric::SymmetricLshMips;
 pub use topk::{top_k_join, top_k_recall, TopKMipsIndex};

@@ -40,6 +40,35 @@ impl JoinVariant {
 }
 
 /// The parameters of a `(cs, s)` approximate join or search.
+///
+/// # Validity contract
+///
+/// Definition 1 splits a join's guarantee into two halves, and every index and
+/// join entry point in this workspace honours the first *by construction*:
+///
+/// * **Validity** — a reported pair `(p, q)` always clears the *relaxed*
+///   threshold: `variant.value(pᵀq) ≥ cs` (see [`JoinSpec::acceptable`]).
+///   Indexes re-score their candidates against the exact inner product before
+///   reporting, so no approximation error can leak a below-`cs` pair into the
+///   output. This holds for *every* strategy, including the natively unsigned
+///   Section 4.3 sketch under a [`JoinVariant::Signed`] spec (the adapter
+///   finds candidates by absolute value but only reports them when the signed
+///   product clears `cs`).
+/// * **Recall** — an answer is only *promised* for queries that have a partner
+///   clearing the full threshold `s` (see [`JoinSpec::satisfies_promise`]).
+///   The exact strategies answer every promised query; the approximate ones
+///   may miss (that is precisely what the experiments measure), but a miss is
+///   the only permitted failure mode.
+///
+/// [`evaluate_join`] scores both halves against ground truth.
+///
+/// # Empty inputs
+///
+/// Since the joins were unified behind [`crate::engine::JoinEngine`], an empty
+/// *query* set joins to an empty result across every entry point — including
+/// the sketch path, which used to reject it. An empty *data* set still fails
+/// (at index construction or on the first search): there is nothing to build
+/// an index over, and `(cs, s)` search over an empty set is undefined.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JoinSpec {
     /// The promise threshold `s > 0`.

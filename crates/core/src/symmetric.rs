@@ -1,6 +1,6 @@
 //! The Section 4.2 *symmetric* LSH for "almost all vectors".
 //!
-//! Neyshabur and Srebro [39] proved that no symmetric LSH for signed IPS exists when the
+//! Neyshabur and Srebro \[39\] proved that no symmetric LSH for signed IPS exists when the
 //! data and query domains are the same ball — the culprit being the pair `q = p`, whose
 //! collision probability is forced to 1. Section 4.2 of the paper circumvents the
 //! impossibility by relaxing the LSH definition to ignore identical pairs: assuming all
@@ -12,7 +12,7 @@
 //! ```
 //!
 //! where `{v_u}` is a *strongly explicit* collection of pairwise ε-incoherent unit
-//! vectors indexed by the vector's bit pattern (Reed–Solomon codes, [38]). For `p ≠ q`
+//! vectors indexed by the vector's bit pattern (Reed–Solomon codes, \[38\]). For `p ≠ q`
 //! the cross terms contribute at most ε, so `|f(p)ᵀf(q) − pᵀq| ≤ ε`, the map is the same
 //! on both sides (symmetric!), and any sphere LSH applies; only the diagonal `p = q`
 //! loses its guarantee, which is handled by an explicit exact-match lookup before the

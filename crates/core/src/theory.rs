@@ -44,7 +44,7 @@ pub enum Hardness {
     /// (Theorems 1 and 2).
     Hard,
     /// A truly subquadratic algorithm is known in this regime (Section 4.3 /
-    /// Karppa et al. [29]).
+    /// Karppa et al. \[29\]).
     Permissible,
     /// Neither a hardness reduction nor a subquadratic algorithm is known.
     Open,

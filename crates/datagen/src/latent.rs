@@ -2,9 +2,9 @@
 //!
 //! In matrix-factorisation recommenders a user `u` and an item `v` are embedded as
 //! `d`-dimensional vectors and the predicted preference is the inner product `uᵀv`
-//! (Koren–Bell–Volinsky [31]). Retrieving the best item for a user is exactly MIPS, and
+//! (Koren–Bell–Volinsky \[31\]). Retrieving the best item for a user is exactly MIPS, and
 //! the offline "find all user/item pairs with predicted rating above s" task is the IPS
-//! join — the motivating application of Teflioudi et al. [50] cited in the introduction.
+//! join — the motivating application of Teflioudi et al. \[50\] cited in the introduction.
 //!
 //! The generator draws item vectors with log-normal-ish popularity scaling (a few items
 //! have much larger norms, which is what makes MIPS different from cosine search) and

@@ -35,7 +35,8 @@ pub fn ball_vectors<R: Rng + ?Sized>(
 
 /// For every similarity in `similarities`, draws a unit-vector pair with exactly that
 /// inner product and returns `(similarity, data, query)` triples ready for
-/// [`ips_lsh::collision::estimate_collision_curve`].
+/// `ips_lsh::collision::estimate_collision_curve` (this crate does not depend
+/// on `ips-lsh`, so the path is not a doc link).
 pub fn similarity_ladder<R: Rng + ?Sized>(
     rng: &mut R,
     dim: usize,

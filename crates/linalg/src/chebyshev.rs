@@ -58,7 +58,7 @@ pub fn scaled_chebyshev(q: u32, u: f64, b: f64) -> f64 {
 }
 
 /// Lower bound `e^{q√ε}` on `T_q(1 + ε)` for `0 < ε < 1/2` (the asymptotic property
-/// quoted from Valiant [51] and used in the proof of Lemma 3).
+/// quoted from Valiant \[51\] and used in the proof of Lemma 3).
 ///
 /// The exact identity is `T_q(1 + ε) = cosh(q · arccosh(1 + ε)) ≥ e^{q√(2ε)}/2`, so the
 /// stated bound holds once `q√ε ≥ ln 2 / (√2 − 1) ≈ 1.68`; for smaller `q` the precise

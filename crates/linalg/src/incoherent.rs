@@ -5,7 +5,7 @@
 //! `i ≠ j`, and — crucially — the collection must be *strongly explicit*: given an index
 //! `u` (the bit pattern of a data/query vector) we must be able to compute `v_u`
 //! directly, without materialising the whole collection. The paper cites the
-//! Reed–Solomon construction of Nelson, Nguyễn and Woodruff [38].
+//! Reed–Solomon construction of Nelson, Nguyễn and Woodruff \[38\].
 //!
 //! Two constructions are provided:
 //!

@@ -1,6 +1,6 @@
 //! L2-ALSH(SL) — the original asymmetric LSH for maximum inner product search.
 //!
-//! Shrivastava and Li (NIPS 2014, reference [45] of the paper) reduce MIPS to Euclidean
+//! Shrivastava and Li (NIPS 2014, reference \[45\] of the paper) reduce MIPS to Euclidean
 //! near-neighbour search by the asymmetric pair of maps
 //!
 //! ```text
@@ -32,7 +32,7 @@ pub struct L2AlshParams {
 }
 
 impl Default for L2AlshParams {
-    /// The parameter setting recommended in [45]: `m = 3`, `U = 0.83`, `r = 2.5`.
+    /// The parameter setting recommended in \[45\]: `m = 3`, `U = 0.83`, `r = 2.5`.
     fn default() -> Self {
         Self {
             m: 3,

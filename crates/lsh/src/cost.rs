@@ -1,0 +1,104 @@
+//! Closed-form cost and candidate-set-size estimators for LSH indexes.
+//!
+//! The adaptive join planner in `ips-core` has to predict what an index *would*
+//! cost before paying to build it. For multi-table hyperplane indexes (the
+//! substrate of both Section 4.1 reductions) everything it needs has a closed
+//! form: the per-bit collision probability of SimHash is `1 − θ/π`
+//! (Goemans–Williamson), AND/OR amplification turns that into a per-table and
+//! per-index hit probability, and the expected candidate-set size is the sum of
+//! hit probabilities over the data set — estimated here from a *sample* of
+//! inner products rather than the full `n·m` product matrix.
+//!
+//! All "flop" counts are in fused multiply-add units: one unit is one
+//! `a * b + c` on `f64`s. They deliberately ignore memory effects — the
+//! calibration binary in `ips-bench` fits a per-strategy nanoseconds-per-unit
+//! constant that absorbs them on a given machine.
+
+/// Per-bit collision probability of hyperplane (SimHash) hashing for two unit
+/// vectors at the given cosine similarity: `1 − arccos(cos θ)/π`.
+///
+/// The input is clamped into `[−1, 1]`, so callers can pass raw inner-product
+/// ratios that are only approximately cosines (e.g. `pᵀq / U` under the
+/// SIMPLE-ALSH ball-to-sphere map, whose mapped cosine is exactly that ratio).
+pub fn hyperplane_collision_prob(cosine: f64) -> f64 {
+    1.0 - cosine.clamp(-1.0, 1.0).acos() / std::f64::consts::PI
+}
+
+/// Probability that a pair colliding per-bit with probability `p_bit` lands in
+/// the same bucket of at least one of `l` tables of `k` concatenated bits:
+/// `1 − (1 − p_bit^k)^l` (OR over tables of AND over bits).
+pub fn table_hit_prob(p_bit: f64, k: usize, l: usize) -> f64 {
+    let p_table = p_bit.clamp(0.0, 1.0).powi(k as i32);
+    1.0 - (1.0 - p_table).powi(l as i32)
+}
+
+/// Expected number of candidates a `k`-bit, `l`-table hyperplane index returns
+/// per query, extrapolated from a sample of pair cosines.
+///
+/// `sampled_cosines` holds the mapped cosine similarity of uniformly sampled
+/// (data, query) pairs; the expectation of [`table_hit_prob`] over the sample,
+/// scaled by the data-set size `n`, estimates `E[|candidates|]` per query. An
+/// empty sample returns `0.0` (nothing is known, and the planner treats the
+/// candidate re-scoring term as free).
+pub fn expected_candidates(n: usize, sampled_cosines: &[f64], k: usize, l: usize) -> f64 {
+    if sampled_cosines.is_empty() {
+        return 0.0;
+    }
+    let mean_hit: f64 = sampled_cosines
+        .iter()
+        .map(|&c| table_hit_prob(hyperplane_collision_prob(c), k, l))
+        .sum::<f64>()
+        / sampled_cosines.len() as f64;
+    n as f64 * mean_hit
+}
+
+/// Flops to hash one `dim`-dimensional vector into a `k`-bit, `l`-table index:
+/// each bit is one `dim`-length dot product against a hyperplane normal.
+pub fn hash_flops(dim: usize, k: usize, l: usize) -> f64 {
+    (dim * k * l) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_prob_matches_known_angles() {
+        assert!((hyperplane_collision_prob(1.0) - 1.0).abs() < 1e-12);
+        assert!((hyperplane_collision_prob(-1.0) - 0.0).abs() < 1e-12);
+        assert!((hyperplane_collision_prob(0.0) - 0.5).abs() < 1e-12);
+        // Out-of-range inputs are clamped, not NaN.
+        assert_eq!(hyperplane_collision_prob(1.5), 1.0);
+        assert_eq!(hyperplane_collision_prob(-7.0), 0.0);
+    }
+
+    #[test]
+    fn table_hit_prob_amplifies_correctly() {
+        // AND over k bits shrinks the probability, OR over l tables grows it back.
+        let p = 0.9;
+        assert!(table_hit_prob(p, 8, 1) < p);
+        assert!(table_hit_prob(p, 8, 32) > table_hit_prob(p, 8, 1));
+        // Certain collision stays certain; impossible stays impossible.
+        assert!((table_hit_prob(1.0, 12, 4) - 1.0).abs() < 1e-12);
+        assert_eq!(table_hit_prob(0.0, 12, 4), 0.0);
+    }
+
+    #[test]
+    fn expected_candidates_scales_with_n_and_similarity() {
+        let close = [0.95, 0.9, 0.92];
+        let far = [0.05, 0.0, -0.1];
+        let many_close = expected_candidates(1000, &close, 12, 32);
+        let many_far = expected_candidates(1000, &far, 12, 32);
+        assert!(many_close > many_far);
+        assert!(
+            (expected_candidates(2000, &close, 12, 32) - 2.0 * many_close).abs()
+                < 1e-9 * many_close
+        );
+        assert_eq!(expected_candidates(1000, &[], 12, 32), 0.0);
+    }
+
+    #[test]
+    fn hash_flops_is_bit_count_times_dim() {
+        assert_eq!(hash_flops(64, 12, 32), (64 * 12 * 32) as f64);
+    }
+}

@@ -1,7 +1,7 @@
 //! Cross-polytope LSH for the unit sphere.
 //!
 //! The cross-polytope family of Andoni, Indyk, Kapralov, Laarhoven, Razenshteyn and
-//! Schmidt ("Practical and optimal LSH for angular distance", NIPS 2015 — reference [7]
+//! Schmidt ("Practical and optimal LSH for angular distance", NIPS 2015 — reference \[7\]
 //! of the paper) hashes a point on the sphere by applying a (pseudo-)random rotation and
 //! returning the closest signed standard basis vector `±e_i`. It achieves the optimal
 //! ρ for angular distance asymptotically and is the practical choice the paper suggests

@@ -8,7 +8,7 @@
 //! p(r) = 1 − 2Φ(−w/r) − (2r/(√(2π) w)) (1 − exp(−w²/(2r²)))
 //! ```
 //!
-//! which is what L2-ALSH(SL) [45] plugs its asymmetric transformations into. The family
+//! which is what L2-ALSH(SL) \[45\] plugs its asymmetric transformations into. The family
 //! is symmetric; the ALSH constructions wrap it with different data/query preprocessing.
 
 use crate::error::{LshError, Result};

@@ -10,18 +10,19 @@
 //! | Scheme | Module | Role in the paper |
 //! |---|---|---|
 //! | Hyperplane / SimHash (Charikar) | [`hyperplane`] | sphere substrate; SIMP curve of Figure 2 |
-//! | Cross-polytope LSH | [`crosspolytope`] | the "practical and optimal" sphere LSH of [7] |
+//! | Cross-polytope LSH | [`crosspolytope`] | the "practical and optimal" sphere LSH of \[7\] |
 //! | p-stable E2LSH | [`e2lsh`] | substrate of L2-ALSH |
 //! | MinHash | [`minhash`] | substrate of MH-ALSH |
-//! | Asymmetric minwise hashing (MH-ALSH) | [`mhalsh`] | state of the art for binary data [46] |
-//! | L2-ALSH(SL) | [`alsh_l2`] | the original ALSH for MIPS [45] |
-//! | Sign-ALSH | [`sign_alsh`] | improved ALSH via sign random projections (follow-up to [45]) |
-//! | SIMPLE-ALSH | [`simple_alsh`] | Neyshabur–Srebro reduction [39]; basis of Section 4.1 |
+//! | Asymmetric minwise hashing (MH-ALSH) | [`mhalsh`] | state of the art for binary data \[46\] |
+//! | L2-ALSH(SL) | [`alsh_l2`] | the original ALSH for MIPS \[45\] |
+//! | Sign-ALSH | [`sign_alsh`] | improved ALSH via sign random projections (follow-up to \[45\]) |
+//! | SIMPLE-ALSH | [`simple_alsh`] | Neyshabur–Srebro reduction \[39\]; basis of Section 4.1 |
 //! | Multi-probe SimHash | [`multiprobe`] | table-count vs probe-count ablation for the Section 4.1 index |
 //!
 //! The closed-form ρ exponents compared in **Figure 2** (DATA-DEP, SIMP, MH-ALSH) are
 //! provided by the [`rho`] module; empirical collision probabilities for validation of
-//! the theoretical curves are computed by [`collision`].
+//! the theoretical curves are computed by [`collision`]; closed-form cost and
+//! candidate-set-size predictions for the adaptive join planner live in [`cost`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,6 +30,7 @@
 pub mod alsh_l2;
 pub mod amplify;
 pub mod collision;
+pub mod cost;
 pub mod crosspolytope;
 pub mod e2lsh;
 pub mod error;

@@ -1,6 +1,6 @@
 //! Asymmetric minwise hashing (MH-ALSH) for binary inner products.
 //!
-//! Shrivastava and Li (WWW 2015, reference [46] of the paper) observed that for binary
+//! Shrivastava and Li (WWW 2015, reference \[46\] of the paper) observed that for binary
 //! data the inner product `a = xᵀq` (the intersection size) can be made
 //! LSH-able by an *asymmetric* padding: fix `M ≥ max_x |x|`, append `M − |x|` "dummy"
 //! ones to every **data** vector inside a fresh extension region of the universe, and

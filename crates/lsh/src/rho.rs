@@ -6,11 +6,11 @@
 //! data/query vectors in the unit ball (`U = 1`):
 //!
 //! * **DATA-DEP** — the paper's Section 4.1 bound obtained by plugging the optimal
-//!   data-dependent sphere LSH [9] into the Neyshabur–Srebro reduction:
+//!   data-dependent sphere LSH \[9\] into the Neyshabur–Srebro reduction:
 //!   `ρ = (1 − s)/(1 + (1 − 2c)s)` (equation 3);
-//! * **SIMP** — SIMPLE-ALSH [39]: the same reduction followed by hyperplane hashing,
+//! * **SIMP** — SIMPLE-ALSH \[39\]: the same reduction followed by hyperplane hashing,
 //!   giving `ρ = log(1 − arccos(s)/π) / log(1 − arccos(cs)/π)`;
-//! * **MH-ALSH** — asymmetric minwise hashing [46] for binary data; with sets normalised
+//! * **MH-ALSH** — asymmetric minwise hashing \[46\] for binary data; with sets normalised
 //!   so that `|x| = |q| = M` and inner product `a = s·M`, the transformed Jaccard is
 //!   `s/(2 − s)`, giving `ρ = log(s/(2 − s)) / log(cs/(2 − cs))`.
 //!
@@ -61,7 +61,7 @@ pub fn rho_data_dependent(s: f64, c: f64, u: f64) -> Result<f64> {
     Ok((1.0 - t) / (1.0 + (1.0 - 2.0 * c) * t))
 }
 
-/// The SIMPLE-ALSH exponent [39]: hyperplane hashing after the ball-to-sphere reduction.
+/// The SIMPLE-ALSH exponent \[39\]: hyperplane hashing after the ball-to-sphere reduction.
 /// `ρ = log(1 − arccos(s/U)/π) / log(1 − arccos(cs/U)/π)`.
 pub fn rho_simple_alsh(s: f64, c: f64, u: f64) -> Result<f64> {
     validate_threshold(s, c, u)?;
@@ -70,7 +70,7 @@ pub fn rho_simple_alsh(s: f64, c: f64, u: f64) -> Result<f64> {
     rho_from_probabilities(p1, p2)
 }
 
-/// The MH-ALSH exponent [46] for binary data, normalised so both sets have the maximum
+/// The MH-ALSH exponent \[46\] for binary data, normalised so both sets have the maximum
 /// size `M` and the inner product is `s·M` (`s ∈ (0, 1)`):
 /// `ρ = log(s/(2 − s)) / log(cs/(2 − cs))`.
 pub fn rho_mh_alsh(s: f64, c: f64) -> Result<f64> {
@@ -80,7 +80,7 @@ pub fn rho_mh_alsh(s: f64, c: f64) -> Result<f64> {
     rho_from_probabilities(p1, p2)
 }
 
-/// The L2-ALSH(SL) exponent [45] for normalised queries and data norms at most 1,
+/// The L2-ALSH(SL) exponent \[45\] for normalised queries and data norms at most 1,
 /// computed from the E2LSH collision probability at the worst-case transformed
 /// distances.
 pub fn rho_l2_alsh(s: f64, c: f64, params: L2AlshParams) -> Result<f64> {

@@ -1,7 +1,7 @@
 //! Sign-ALSH — asymmetric MIPS hashing via sign random projections.
 //!
 //! A follow-up to L2-ALSH by the same authors (Shrivastava and Li; the construction the
-//! paper's reference [46] builds on for the binary case) replaces the E2LSH substrate by
+//! paper's reference \[46\] builds on for the binary case) replaces the E2LSH substrate by
 //! sign random projections and the norm-augmentation by *centred* powers:
 //!
 //! ```text

@@ -1,6 +1,6 @@
 //! SIMPLE-ALSH — the Neyshabur–Srebro asymmetric reduction to the sphere.
 //!
-//! Reference [39] of the paper maps a data vector `p` (inside the unit ball) and a query
+//! Reference \[39\] of the paper maps a data vector `p` (inside the unit ball) and a query
 //! vector `q` (inside the ball of radius `U`) to the unit sphere in `d + 2` dimensions:
 //!
 //! ```text

@@ -6,7 +6,7 @@
 //!
 //! Table 1 of the paper splits approximation ranges into *hard* and *permissible*; the
 //! permissible entries for unsigned join over `{−1,1}` are achieved by reductions to
-//! fast matrix multiplication (Valiant [51] and Karppa–Kaski–Kohonen [29]) rather than
+//! fast matrix multiplication (Valiant \[51\] and Karppa–Kaski–Kohonen \[29\]) rather than
 //! by LSH. This crate builds that baseline family so the benchmark harness can compare
 //! the LSH/sketch data structures of Section 4 against it:
 //!

@@ -1,6 +1,6 @@
 //! Amplify-and-multiply unsigned join for `{−1,1}` data.
 //!
-//! Valiant [51] and Karppa–Kaski–Kohonen [29] beat LSH for unsigned join over `{−1,1}`
+//! Valiant \[51\] and Karppa–Kaski–Kohonen \[29\] beat LSH for unsigned join over `{−1,1}`
 //! in the "permissible" parameter ranges of Table 1 by *amplifying* the gap between
 //! inner products above `s` and below `cs`, then detecting the survivors with one large
 //! matrix product. The laptop-scale version implemented here follows the same recipe:

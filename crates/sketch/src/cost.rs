@@ -1,0 +1,126 @@
+//! Cost estimators for the Section 4.3 sketch structures.
+//!
+//! Like `ips_lsh::cost`, this module predicts what the sketch index *would*
+//! cost without building it, for the adaptive join planner in `ips-core`. The
+//! dominant work is dense linear algebra with exactly known shapes, so the
+//! estimates are arithmetic identities over the same recursion the builder
+//! runs — they just never touch a vector:
+//!
+//! * building one [`crate::MaxIpEstimator`] over `n` rows is `copies`
+//!   applications of an `m × n` sketch to an `n × d` matrix (`m·n·d` flops
+//!   each);
+//! * querying it is `copies` sketched mat-vecs (`m·d` flops each);
+//! * the recovery tree of [`crate::SketchMipsIndex`] builds *two* estimators
+//!   per internal node (over the node's halves) and a query walks one
+//!   root-to-leaf path, probing both children at every level, then re-scores
+//!   the leaf exactly.
+//!
+//! Flops are fused multiply-add units; the per-machine nanoseconds-per-unit
+//! constant is fitted by the `calibrate_planner` binary in `ips-bench`.
+
+use crate::linf_mips::MaxIpConfig;
+use crate::maxstable::MaxStableSketch;
+
+/// The number of buckets one sketch copy uses over `n` rows: the explicit
+/// `rows` override when set, [`MaxStableSketch::recommended_rows`] otherwise —
+/// exactly the resolution rule of [`crate::MaxIpEstimator::build`].
+pub fn resolved_rows(n: usize, config: &MaxIpConfig) -> usize {
+    config
+        .rows
+        .unwrap_or_else(|| MaxStableSketch::recommended_rows(n, config.kappa))
+}
+
+/// Flops to build one value estimator over `n` rows of dimension `d`.
+pub fn estimator_build_flops(n: usize, d: usize, config: &MaxIpConfig) -> f64 {
+    (config.copies * resolved_rows(n, config) * n * d) as f64
+}
+
+/// Flops to answer one query against a value estimator over `n` rows.
+pub fn estimator_query_flops(n: usize, d: usize, config: &MaxIpConfig) -> f64 {
+    (config.copies * resolved_rows(n, config) * d) as f64
+}
+
+/// Flops to build the full recovery tree of [`crate::SketchMipsIndex`] over
+/// `n` vectors of dimension `d` with the given leaf size.
+pub fn tree_build_flops(n: usize, d: usize, config: &MaxIpConfig, leaf_size: usize) -> f64 {
+    let leaf_size = leaf_size.max(1);
+    if n <= leaf_size {
+        return 0.0;
+    }
+    let mid = n / 2;
+    estimator_build_flops(mid, d, config)
+        + estimator_build_flops(n - mid, d, config)
+        + tree_build_flops(mid, d, config, leaf_size)
+        + tree_build_flops(n - mid, d, config, leaf_size)
+}
+
+/// Flops to answer one query against the recovery tree: both children's
+/// estimators are probed at every internal node of the walk (which always
+/// descends into the larger half first in this cost recursion — the walk's
+/// *worst-case* path), plus the exact re-scoring of one leaf.
+pub fn tree_query_flops(n: usize, d: usize, config: &MaxIpConfig, leaf_size: usize) -> f64 {
+    let leaf_size = leaf_size.max(1);
+    if n <= leaf_size {
+        return (n * d) as f64;
+    }
+    let mid = n / 2;
+    estimator_query_flops(mid, d, config)
+        + estimator_query_flops(n - mid, d, config)
+        + tree_query_flops(n - mid, d, config, leaf_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(rows: Option<usize>) -> MaxIpConfig {
+        MaxIpConfig {
+            kappa: 2.0,
+            copies: 3,
+            rows,
+        }
+    }
+
+    #[test]
+    fn resolved_rows_honours_override_and_default() {
+        assert_eq!(resolved_rows(100, &config(Some(7))), 7);
+        assert_eq!(
+            resolved_rows(100, &config(None)),
+            MaxStableSketch::recommended_rows(100, 2.0)
+        );
+    }
+
+    #[test]
+    fn estimator_flops_match_shapes() {
+        let c = config(Some(16));
+        assert_eq!(estimator_build_flops(50, 8, &c), (3 * 16 * 50 * 8) as f64);
+        assert_eq!(estimator_query_flops(50, 8, &c), (3 * 16 * 8) as f64);
+    }
+
+    #[test]
+    fn tree_costs_degenerate_at_the_leaf() {
+        let c = config(Some(4));
+        // n <= leaf_size: no estimators are built, queries are one exact scan.
+        assert_eq!(tree_build_flops(6, 10, &c, 8), 0.0);
+        assert_eq!(tree_query_flops(6, 10, &c, 8), 60.0);
+    }
+
+    #[test]
+    fn tree_costs_grow_with_n_and_shrink_with_leaf_size() {
+        let c = config(None);
+        assert!(tree_build_flops(512, 16, &c, 8) > tree_build_flops(128, 16, &c, 8));
+        assert!(tree_build_flops(512, 16, &c, 64) < tree_build_flops(512, 16, &c, 8));
+        assert!(tree_query_flops(512, 16, &c, 8) > tree_query_flops(128, 16, &c, 8));
+    }
+
+    #[test]
+    fn tree_build_counts_both_children_per_node() {
+        // One internal node over n=8, leaf=4: two estimators over 4 rows each.
+        let c = config(Some(5));
+        let expected = 2.0 * estimator_build_flops(4, 3, &c);
+        assert_eq!(tree_build_flops(8, 3, &c, 4), expected);
+        // And a query probes both children then scans one 4-row leaf.
+        let q = 2.0 * estimator_query_flops(4, 3, &c) + 12.0;
+        assert_eq!(tree_query_flops(8, 3, &c, 4), q);
+    }
+}

@@ -7,7 +7,7 @@
 //! `n × d` matrix `A`; then for a query `q` the vector of inner products is `Aq` and the
 //! unsigned maximum inner product is `‖Aq‖_∞`. Estimating `‖Aq‖_∞` directly is hard, but
 //! `‖Aq‖_κ` is within a factor `n^{1/κ}` of it, and `‖·‖_κ` admits *linear* sketches of
-//! dimension `Õ(n^{1−2/κ})` (Andoni's max-stability sketch, reference [5]). Because the
+//! dimension `Õ(n^{1−2/κ})` (Andoni's max-stability sketch, reference \[5\]). Because the
 //! sketch is linear it can be pre-applied to `A`: store `Π·A` (an `Õ(n^{1−2/κ}) × d`
 //! matrix) and at query time compute `‖(ΠA)q‖_∞` in `Õ(d·n^{1−2/κ})` time — a
 //! `c ≈ n^{−1/κ}` approximation of the maximum absolute inner product.
@@ -21,11 +21,14 @@
 //! * [`recovery`] — the bit-by-bit / prefix-tree index recovery structure that also
 //!   returns *which* row attains (approximately) the maximum;
 //! * [`join`] — the unsigned `(cs, s)` join built on top of the recovery structure,
-//!   including the query-scaling reduction described in the paper.
+//!   including the query-scaling reduction described in the paper;
+//! * [`cost`] — closed-form build/query flop predictions for the adaptive join
+//!   planner in `ips-core`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cost;
 pub mod error;
 pub mod join;
 pub mod linf_mips;

@@ -1,6 +1,6 @@
 //! The max-stability sketch for `ℓ_κ`, `κ ≥ 2`.
 //!
-//! Andoni's construction (reference [5] of the paper, "High frequency moments via
+//! Andoni's construction (reference \[5\] of the paper, "High frequency moments via
 //! max-stability") exploits the fact that for i.i.d. exponential variables `E_i`, the
 //! random variable `max_i |x_i| / E_i^{1/κ}` is Fréchet-distributed with scale `‖x‖_κ`:
 //!
@@ -74,7 +74,7 @@ impl MaxStableSketch {
     }
 
     /// The recommended number of buckets for an `n`-dimensional input:
-    /// `⌈4 · n^{1−2/κ} · ln(n+2)⌉ + 8`, matching the `Õ(n^{1−2/κ})` bound of [5] with a
+    /// `⌈4 · n^{1−2/κ} · ln(n+2)⌉ + 8`, matching the `Õ(n^{1−2/κ})` bound of \[5\] with a
     /// small-instance floor.
     pub fn recommended_rows(n: usize, kappa: f64) -> usize {
         let n = n.max(1) as f64;

@@ -3,7 +3,7 @@
 //!
 //! The paper's Table 1 splits approximation regimes between *hard* (no subquadratic
 //! algorithm unless OVP fails) and *permissible* — and the permissible entries for
-//! `{−1,1}` are owned by the algebraic family of Valiant [51] and Karppa et al. [29],
+//! `{−1,1}` are owned by the algebraic family of Valiant \[51\] and Karppa et al. \[29\],
 //! not by LSH. This example makes that split tangible on a planted workload:
 //!
 //! * the exact Gram-product join (always correct, quadratic),

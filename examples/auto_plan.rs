@@ -1,0 +1,54 @@
+//! The adaptive join planner across workloads with different winners.
+//!
+//! Each workload of the planner-adversarial suite (`ips_datagen::adversarial`)
+//! is built so a specific strategy should win — or so a strategy's domain
+//! preconditions fail outright. This example runs the planner on each one and
+//! prints the full `explain()` report: the sampled statistics, every
+//! strategy's estimated cost, eligibility, and the final choice. It is the
+//! library-level view of `ips join algo=auto explain=true`.
+//!
+//! Run with `cargo run --release -p ips-examples --example auto_plan`.
+
+use ips_core::planner::JoinPlanner;
+use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
+use ips_datagen::adversarial::{planner_suite, AdversarialScale};
+use ips_examples::{example_rng, f3, section};
+
+fn main() {
+    let mut rng = example_rng(0xA07);
+    // A deliberately modest scale so the example runs in seconds; the planner
+    // decisions at production scale are exercised by the decision tests and
+    // the calibrate_planner binary.
+    let scale = AdversarialScale {
+        n: 1000,
+        m: 128,
+        dim: 24,
+    };
+    let suite = planner_suite(&mut rng, scale).expect("suite generates");
+    let planner = JoinPlanner::default();
+
+    for w in &suite {
+        section(w.name);
+        let variant = if w.unsigned {
+            JoinVariant::Unsigned
+        } else {
+            JoinVariant::Signed
+        };
+        let spec =
+            JoinSpec::new(w.threshold, w.approximation, variant).expect("suite specs are valid");
+        let plan = planner
+            .plan(&mut rng, &w.data, &w.queries, spec)
+            .expect("planning runs");
+        print!("{}", plan.explain());
+        let pairs = plan
+            .execute(&mut rng, &w.data, &w.queries)
+            .expect("execution runs");
+        let (recall, valid) =
+            evaluate_join(&w.data, &w.queries, &spec, &pairs).expect("evaluation runs");
+        println!(
+            "executed: {} pairs, recall {} vs ground truth, valid {valid}",
+            pairs.len(),
+            f3(recall),
+        );
+    }
+}

@@ -6,7 +6,9 @@
 //! 2. pick a `(cs, s)` specification (Definition 1 of the paper);
 //! 3. build the Section 4.1 asymmetric-LSH MIPS index and answer a single query;
 //! 4. run the same spec as a join over all queries through the parallel
-//!    [`JoinEngine`] and compare with the exact brute-force join.
+//!    [`JoinEngine`] and compare with the exact brute-force join;
+//! 5. hand the whole decision to the cost-based planner (`auto_join`) and
+//!    print its reasoning — what `ips join algo=auto explain=true` shows.
 //!
 //! Run with `cargo run --release -p ips-examples --example quickstart`.
 
@@ -14,6 +16,7 @@ use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::brute_force_join;
 use ips_core::engine::{EngineConfig, JoinEngine};
 use ips_core::mips::MipsIndex;
+use ips_core::planner::auto_join_with_plan;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_examples::{example_rng, f3, section};
@@ -90,5 +93,18 @@ fn main() {
         exact.len(),
         approx.len(),
         f3(instance.recall(&reported, spec.relaxed_threshold()))
+    );
+
+    section("5. the adaptive join (cost-based planner)");
+    // auto_join samples the workload, predicts each strategy's cost and
+    // dispatches the winner — the CLI's `join algo=auto explain=true`.
+    let (auto_pairs, plan) =
+        auto_join_with_plan(&mut rng, instance.data(), instance.queries(), spec)
+            .expect("planning runs");
+    print!("{}", plan.explain());
+    println!(
+        "auto join ({}) answered {} queries",
+        plan.choice,
+        auto_pairs.len()
     );
 }
