@@ -9,7 +9,7 @@
 //! LSH/sketch columns grow sublinearly and keep recall high; absolute numbers are
 //! machine-dependent.
 
-use ips_bench::{fmt, render_table, Timer};
+use ips_bench::{fmt, render_table, JsonReporter, Timer};
 use ips_core::asymmetric::AlshParams;
 use ips_core::brute::brute_force_join;
 use ips_core::engine::{EngineConfig, JoinEngine};
@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut json = JsonReporter::from_env_args();
     let mut rng = StdRng::seed_from_u64(0xE5);
     println!("== E5: (cs, s) join scaling on planted-pair workloads ==\n");
     let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
@@ -43,6 +44,12 @@ fn main() {
         let t = Timer::start();
         let exact = brute_force_join(inst.data(), inst.queries(), &spec).unwrap();
         let t_brute = t.elapsed_ms();
+        json.record(
+            "join_scaling",
+            &[("algo", "brute".to_string()), ("n", n.to_string())],
+            t.elapsed_ns(),
+            (2 * n * 64 * 48) as f64,
+        );
 
         let t = Timer::start();
         let alsh = alsh_join(
@@ -54,6 +61,12 @@ fn main() {
         )
         .unwrap();
         let t_alsh = t.elapsed_ms();
+        json.record(
+            "join_scaling",
+            &[("algo", "alsh".to_string()), ("n", n.to_string())],
+            t.elapsed_ns(),
+            0.0,
+        );
 
         let t = Timer::start();
         let sketch = sketch_join(
@@ -70,6 +83,12 @@ fn main() {
         )
         .unwrap();
         let t_sketch = t.elapsed_ms();
+        json.record(
+            "join_scaling",
+            &[("algo", "sketch".to_string()), ("n", n.to_string())],
+            t.elapsed_ns(),
+            0.0,
+        );
 
         let pairs_of = |pairs: &[ips_core::problem::MatchPair]| -> Vec<(usize, usize)> {
             pairs
@@ -140,10 +159,22 @@ fn main() {
     let t = Timer::start();
     let serial = serial_engine.run_serial(inst.queries()).unwrap();
     let t_serial = t.elapsed_ms();
+    json.record(
+        "engine_comparison",
+        &[("mode", "serial".to_string()), ("n", "8000".to_string())],
+        t.elapsed_ns(),
+        (2usize * 8000 * 256 * 48) as f64,
+    );
     let parallel_engine = JoinEngine::new(&index);
     let t = Timer::start();
     let parallel = parallel_engine.run(inst.queries()).unwrap();
     let t_parallel = t.elapsed_ms();
+    json.record(
+        "engine_comparison",
+        &[("mode", "parallel".to_string()), ("n", "8000".to_string())],
+        t.elapsed_ns(),
+        (2usize * 8000 * 256 * 48) as f64,
+    );
     assert_eq!(serial, parallel, "engine must not change join results");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -155,4 +186,5 @@ serial loop {} ms, parallel batched {} ms, speedup {}x",
         fmt(t_parallel, 1),
         fmt(t_serial / t_parallel.max(1e-9), 2),
     );
+    json.finish().expect("write --json report");
 }

@@ -1,0 +1,160 @@
+//! Serving-layer throughput: queries/second against a prebuilt snapshot vs
+//! rebuilding the index for every query.
+//!
+//! This is the measurement the `ips-store` subsystem exists for: the paper's index
+//! structures spend almost all their time in *construction* (hash tables, recovery
+//! trees), and a batch process that rebuilds per invocation throws that work away.
+//! The binary builds a 10k-point ALSH workload once, snapshots it, then measures
+//!
+//! 1. **serve** — load the snapshot once and answer a query batch through
+//!    [`ips_store::ServingIndex::query`] (the `ips serve` path), amortising the load;
+//! 2. **rebuild-per-query** — build a fresh [`AlshMipsIndex`] for every single query
+//!    (the pre-`ips-store` workflow), extrapolated from a few queries because it is
+//!    as slow as it sounds.
+//!
+//! The acceptance bar for the subsystem is serve ≥ 5× rebuild-per-query; the measured
+//! ratio here is orders of magnitude beyond that, and the snapshot load itself is
+//! reported separately so the break-even point (a handful of queries) can be read off.
+
+use ips_bench::{fmt, render_table, JsonReporter, Timer};
+use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
+use ips_core::mips::MipsIndex;
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_store::{IndexConfig, ServingConfig, ServingIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut json = JsonReporter::from_env_args();
+    let mut rng = StdRng::seed_from_u64(0x5E17E);
+    let n = 10_000;
+    let query_count = 64;
+    let dim = 32;
+    println!("== serve_throughput: snapshot serving vs rebuild-per-query ({n} points) ==\n");
+
+    let inst = PlantedInstance::generate(
+        &mut rng,
+        PlantedConfig {
+            data: n,
+            queries: query_count,
+            dim,
+            background_scale: 0.05,
+            planted_ip: 0.85,
+            planted: 16,
+        },
+    )
+    .expect("valid config");
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+    let params = AlshParams::default();
+    let serving_config = ServingConfig {
+        seed: 0xB11D,
+        ..ServingConfig::default()
+    };
+
+    // Build once and snapshot — the `ips build` step.
+    let build_timer = Timer::start();
+    let mut built = ServingIndex::build(
+        inst.data().to_vec(),
+        spec,
+        IndexConfig::Alsh(params),
+        serving_config,
+    )
+    .expect("build");
+    let build_ns = build_timer.elapsed_ns();
+    let dir = std::env::temp_dir().join("ips-serve-throughput");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot_path = dir.join("alsh-10k.snap");
+    let bytes = built.save(&snapshot_path).expect("save snapshot");
+
+    // Path 1: load the snapshot once, answer the whole batch.
+    let load_timer = Timer::start();
+    let serving = ServingIndex::open(&snapshot_path, serving_config).expect("open snapshot");
+    let load_ns = load_timer.elapsed_ns();
+    let query_timer = Timer::start();
+    let pairs = serving.query(inst.queries()).expect("serve batch");
+    let serve_batch_ns = query_timer.elapsed_ns();
+    let serve_per_query_ns = serve_batch_ns / query_count as u128;
+
+    // Path 2: rebuild the index for every query (extrapolated from 3 queries).
+    let rebuild_queries = 3;
+    let rebuild_timer = Timer::start();
+    let mut rebuild_hits = 0usize;
+    for q in inst.queries().iter().take(rebuild_queries) {
+        let mut fresh_rng = StdRng::seed_from_u64(0xB11D);
+        let index = AlshMipsIndex::build(&mut fresh_rng, inst.data().to_vec(), spec, params)
+            .expect("rebuild");
+        if index.search(q).expect("search").is_some() {
+            rebuild_hits += 1;
+        }
+    }
+    let rebuild_per_query_ns = rebuild_timer.elapsed_ns() / rebuild_queries as u128;
+
+    let speedup = rebuild_per_query_ns as f64 / serve_per_query_ns.max(1) as f64;
+    let serve_qps = 1e9 / serve_per_query_ns.max(1) as f64;
+    let rebuild_qps = 1e9 / rebuild_per_query_ns.max(1) as f64;
+    println!(
+        "{}",
+        render_table(
+            &["path", "ns / query", "queries / s"],
+            &[
+                vec![
+                    "serve (snapshot loaded once)".to_string(),
+                    serve_per_query_ns.to_string(),
+                    fmt(serve_qps, 0),
+                ],
+                vec![
+                    "rebuild per query".to_string(),
+                    rebuild_per_query_ns.to_string(),
+                    fmt(rebuild_qps, 2),
+                ],
+            ]
+        )
+    );
+    println!(
+        "\nsnapshot: {} bytes; build {} ms; load {} ms; batch of {query_count} answered in {} ms \
+         ({} hits, {rebuild_hits}/{rebuild_queries} rebuild-path hits)",
+        bytes,
+        fmt(build_ns as f64 / 1e6, 1),
+        fmt(load_ns as f64 / 1e6, 1),
+        fmt(serve_batch_ns as f64 / 1e6, 1),
+        pairs.len(),
+    );
+    println!(
+        "speedup serving vs rebuild-per-query: {}x ({})",
+        fmt(speedup, 1),
+        if speedup >= 5.0 {
+            "PASS: >= 5x acceptance bar"
+        } else {
+            "FAIL: below the 5x acceptance bar"
+        }
+    );
+    println!(
+        "break-even: the one-time load pays for itself after ~{} queries",
+        fmt(
+            load_ns as f64 / (rebuild_per_query_ns - serve_per_query_ns).max(1) as f64,
+            1
+        )
+    );
+
+    for (name, ns, flops) in [
+        ("serve_build", build_ns, 0.0),
+        ("serve_load", load_ns, 0.0),
+        ("serve_query", serve_per_query_ns, 0.0),
+        ("rebuild_query", rebuild_per_query_ns, 0.0),
+    ] {
+        json.record(
+            "serve_throughput",
+            &[
+                ("path", name.to_string()),
+                ("n", n.to_string()),
+                ("dim", dim.to_string()),
+                ("speedup", fmt(speedup, 1)),
+            ],
+            ns,
+            flops,
+        );
+    }
+    json.finish().expect("write --json report");
+    let _ = std::fs::remove_file(&snapshot_path);
+}

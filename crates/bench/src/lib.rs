@@ -16,13 +16,20 @@
 //! | `experiment_algebraic` | E9 — the algebraic (matrix-multiplication) joins: Gram-product exact join and the amplified unsigned join over `{−1,1}` |
 //! | `experiment_topk` | E10 — top-k recall of the Section 4.1 ALSH index vs table count on the recommender workload |
 //! | `calibrate_planner` | fits the adaptive join planner's `CostModel` constants on the adversarial workload suite and checks every pick against measured runtimes |
+//! | `serve_throughput` | queries/sec serving a prebuilt `ips-store` snapshot vs rebuilding the index per query (the ≥ 5× acceptance bar of the serving layer) |
+//!
+//! Every `experiment_*` / `figure*` / `table1` binary (and `serve_throughput`) accepts
+//! `--json <path>` and writes its measurements as machine-readable
+//! `{name, params, wall_ns, flops}` records via [`JsonReporter`], so benchmark
+//! trajectories can be recorded without scraping the text tables.
 //!
 //! The Criterion benches under `benches/` measure the same code paths with statistical
 //! rigour; the binaries print the rows/series the paper reports so the shapes can be
 //! compared side by side.
 //!
-//! This library crate holds the small amount of shared harness code (text tables and a
-//! wall-clock timer) so the binaries stay focused on the experiment logic.
+//! This library crate holds the small amount of shared harness code (text tables, a
+//! wall-clock timer, the `--json` reporter) so the binaries stay focused on the
+//! experiment logic.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,6 +53,11 @@ impl Timer {
     /// Elapsed time in milliseconds.
     pub fn elapsed_ms(&self) -> f64 {
         self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed time in integer nanoseconds (the unit the `--json` records use).
+    pub fn elapsed_ns(&self) -> u128 {
+        self.start.elapsed().as_nanos()
     }
 }
 
@@ -99,6 +111,149 @@ pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
+/// One machine-readable measurement of an experiment binary: what was measured
+/// (`name` + `params`), how long it took (`wall_ns`), and the floating-point
+/// operation count when the experiment has a natural closed form (`0` otherwise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonRecord {
+    /// Which measurement this row belongs to (e.g. `join_scaling`).
+    pub name: String,
+    /// The measurement's parameters, as `(key, value)` strings.
+    pub params: Vec<(String, String)>,
+    /// Wall-clock nanoseconds of the measured phase.
+    pub wall_ns: u128,
+    /// Estimated floating-point operations of the measured phase, `0.0` when no
+    /// natural estimate exists.
+    pub flops: f64,
+}
+
+/// Collects [`JsonRecord`]s and writes them as a JSON array when the binary was
+/// invoked with `--json <path>` — the hook that lets `BENCH_*.json` trajectories be
+/// recorded from the same binaries that print the human-readable tables.
+///
+/// Without `--json` the reporter is inert: records are accepted and dropped, so the
+/// binaries call it unconditionally.
+#[derive(Debug, Default)]
+pub struct JsonReporter {
+    path: Option<std::path::PathBuf>,
+    records: Vec<JsonRecord>,
+}
+
+impl JsonReporter {
+    /// A reporter writing to `path` (`None` = inert).
+    pub fn new(path: Option<std::path::PathBuf>) -> Self {
+        Self {
+            path,
+            records: Vec::new(),
+        }
+    }
+
+    /// Builds a reporter from the process arguments: accepts exactly `--json <path>`
+    /// (or nothing) and exits with status 2 on anything else, so a typoed flag can't
+    /// silently produce a table-only run.
+    pub fn from_env_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let path = match args.as_slice() {
+            [] => None,
+            [flag, path] if flag == "--json" => Some(std::path::PathBuf::from(path)),
+            other => {
+                eprintln!(
+                    "error: unrecognised arguments {other:?}; the only supported flag is --json <path>"
+                );
+                std::process::exit(2);
+            }
+        };
+        Self::new(path)
+    }
+
+    /// Whether a `--json` path was given (lets binaries skip expensive bookkeeping).
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Appends one measurement.
+    pub fn record(&mut self, name: &str, params: &[(&str, String)], wall_ns: u128, flops: f64) {
+        self.records.push(JsonRecord {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            wall_ns,
+            flops,
+        });
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[JsonRecord] {
+        &self.records
+    }
+
+    /// Renders the collected records as a JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("  {\"name\": ");
+            out.push_str(&json_string(&r.name));
+            out.push_str(", \"params\": {");
+            for (j, (k, v)) in r.params.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(k));
+                out.push_str(": ");
+                out.push_str(&json_string(v));
+            }
+            out.push_str(&format!(
+                "}}, \"wall_ns\": {}, \"flops\": {}}}",
+                r.wall_ns,
+                if r.flops == 0.0 {
+                    "0".to_string()
+                } else {
+                    format!("{:e}", r.flops)
+                }
+            ));
+            out.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON file when `--json` was given; a no-op otherwise. Every binary
+    /// calls this once, last.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.path {
+            std::fs::write(path, self.to_json())?;
+            eprintln!("wrote {} records to {}", self.records.len(), path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +287,42 @@ mod tests {
     fn fmt_controls_decimals() {
         assert_eq!(fmt(std::f64::consts::PI, 2), "3.14");
         assert_eq!(fmt(1.0, 0), "1");
+    }
+
+    #[test]
+    fn json_reporter_renders_and_writes() {
+        let mut inert = JsonReporter::new(None);
+        assert!(!inert.enabled());
+        inert.record("x", &[], 1, 0.0);
+        inert.finish().unwrap(); // no path: no file, no error
+
+        let dir = std::env::temp_dir().join("ips-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let mut reporter = JsonReporter::new(Some(path.clone()));
+        assert!(reporter.enabled());
+        reporter.record(
+            "join_scaling",
+            &[("algo", "brute".to_string()), ("n", "500".to_string())],
+            123_456,
+            1.5e9,
+        );
+        reporter.record("odd \"name\"\n", &[], 7, 0.0);
+        assert_eq!(reporter.records().len(), 2);
+        reporter.finish().unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("[\n"));
+        assert!(written.contains("\"name\": \"join_scaling\""));
+        assert!(written.contains("\"params\": {\"algo\": \"brute\", \"n\": \"500\"}"));
+        assert!(written.contains("\"wall_ns\": 123456"));
+        assert!(written.contains("\"flops\": 1.5e9"));
+        assert!(written.contains("odd \\\"name\\\"\\n"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn timer_reports_nanoseconds() {
+        let t = Timer::start();
+        let _ = t.elapsed_ns();
     }
 }

@@ -100,6 +100,19 @@ impl ParsedArgs {
         }
     }
 
+    /// An optional *strictly positive* integer with a default: an explicit `0` is
+    /// rejected with an explanation instead of being silently clamped or
+    /// reinterpreted (catches `threads=0` / `chunk=0` confusion).
+    pub fn get_positive_usize_or(&self, key: &str, default: usize) -> Result<usize> {
+        let value = self.get_usize_or(key, default)?;
+        if value == 0 && self.get(key).is_some() {
+            return Err(CliError::Usage {
+                reason: format!("argument `{key}` must be at least 1, got 0"),
+            });
+        }
+        Ok(value)
+    }
+
     /// An optional 64-bit seed with a default.
     pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64> {
         match self.get(key) {
@@ -169,6 +182,22 @@ mod tests {
         assert!(args.get_u64_or("seed", 0).is_err());
         assert!(args.require("missing").is_err());
         assert!(args.require_usize("missing").is_err());
+    }
+
+    #[test]
+    fn explicit_zeros_are_rejected_by_the_positive_parser() {
+        let args = ParsedArgs::parse(&["threads=0", "chunk=4"]).unwrap();
+        let err = args.get_positive_usize_or("threads", 2).unwrap_err();
+        assert!(err.to_string().contains("`threads`"));
+        assert!(err.to_string().contains("at least 1"));
+        assert_eq!(args.get_positive_usize_or("chunk", 1).unwrap(), 4);
+        // An *absent* key falls back to the default, even a zero default (the
+        // engine's internal 0 = one-per-CPU sentinel stays reachable as a default).
+        assert_eq!(args.get_positive_usize_or("missing", 0).unwrap(), 0);
+        assert!(ParsedArgs::parse(&["k=x"])
+            .unwrap()
+            .get_positive_usize_or("k", 1)
+            .is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_datagen::sphere::unit_vectors;
 use ips_sketch::linf_mips::MaxIpConfig;
+use ips_store::{IndexConfig, ServingConfig, ServingIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -246,11 +247,20 @@ fn run_join(
     }
 }
 
-fn engine_config(args: &ParsedArgs) -> Result<EngineConfig> {
+/// Parses `threads=` / `chunk=` into an [`EngineConfig`], rejecting explicit zeros
+/// (public so the `serve` dispatch in `main.rs` shares the validation).
+pub fn engine_config(args: &ParsedArgs) -> Result<EngineConfig> {
     let defaults = EngineConfig::default();
+    // `threads=0` / `chunk=0` used to be accepted and silently reinterpreted (0
+    // threads meant one-per-CPU, 0 chunk was clamped to 1); both are now errors.
+    // The one-per-CPU schedule is spelled `threads=auto` (and is the default).
+    let threads = match args.get("threads") {
+        Some("auto") => 0,
+        _ => args.get_positive_usize_or("threads", defaults.threads)?,
+    };
     Ok(EngineConfig {
-        threads: args.get_usize_or("threads", defaults.threads)?,
-        chunk_size: args.get_usize_or("chunk", defaults.chunk_size)?,
+        threads,
+        chunk_size: args.get_positive_usize_or("chunk", defaults.chunk_size)?,
     })
 }
 
@@ -315,6 +325,197 @@ pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
         valid,
         elapsed_ms,
         plan,
+    })
+}
+
+/// Report returned by `ips build`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildReport {
+    /// Where the snapshot was written.
+    pub snapshot_path: PathBuf,
+    /// The family that was built (for `algorithm=auto`, the planner's choice).
+    pub family: String,
+    /// Number of indexed data vectors.
+    pub data_count: usize,
+    /// Dimension of the vectors.
+    pub dim: usize,
+    /// Size of the snapshot file in bytes.
+    pub bytes: u64,
+    /// Wall-clock build+save time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Report returned by `ips query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// The family of the loaded snapshot.
+    pub family: String,
+    /// Number of live vectors in the snapshot.
+    pub live: usize,
+    /// The reported pairs (`data_index` holds the serving layer's external ids).
+    pub pairs: Vec<MatchPair>,
+    /// Number of query vectors asked.
+    pub query_count: usize,
+    /// The `k` used (`0` means above-threshold search: at most one partner).
+    pub k: usize,
+    /// Wall-clock time of the batch in milliseconds (excluding snapshot load).
+    pub elapsed_ms: f64,
+}
+
+/// Resolves the `algorithm=`/`algo=` choice of `ips build` into a concrete
+/// [`IndexConfig`], consulting the PR-2 cost-based planner for `auto`.
+fn resolve_build_config(
+    algorithm: &str,
+    args: &ParsedArgs,
+    rng: &mut StdRng,
+    data: &[ips_linalg::DenseVector],
+    spec: JoinSpec,
+) -> Result<IndexConfig> {
+    let alsh = alsh_params(args)?;
+    let sketch = MaxIpConfig {
+        kappa: args.get_f64_or("kappa", MaxIpConfig::default().kappa)?,
+        copies: args.get_positive_usize_or("copies", MaxIpConfig::default().copies)?,
+        rows: None,
+    };
+    let leaf = args.get_positive_usize_or("leaf", 16)?;
+    Ok(match algorithm {
+        "brute" => IndexConfig::Brute,
+        "alsh" => IndexConfig::Alsh(alsh),
+        "symmetric" => IndexConfig::Symmetric(SymmetricParams::default()),
+        "sketch" => IndexConfig::Sketch {
+            config: sketch,
+            leaf_size: leaf,
+        },
+        "auto" => {
+            // The planner costs strategies against the query workload, so auto
+            // builds need a representative query file.
+            let queries = read_vectors(Path::new(args.get("queries").ok_or_else(|| {
+                CliError::Usage {
+                    reason: "algorithm=auto needs queries=<path> (a representative query \
+                             workload for the cost-based planner)"
+                        .into(),
+                }
+            })?))?;
+            let planner = JoinPlanner {
+                config: PlannerConfig {
+                    alsh,
+                    sketch,
+                    sketch_leaf_size: leaf,
+                    ..PlannerConfig::default()
+                },
+                ..JoinPlanner::default()
+            };
+            let plan = planner.plan(rng, data, &queries, spec)?;
+            match plan.choice {
+                ips_core::planner::Strategy::BruteForce => IndexConfig::Brute,
+                ips_core::planner::Strategy::Alsh => IndexConfig::Alsh(plan.alsh_params),
+                ips_core::planner::Strategy::Symmetric => {
+                    IndexConfig::Symmetric(plan.symmetric_params)
+                }
+                ips_core::planner::Strategy::Sketch => IndexConfig::Sketch {
+                    config: plan.sketch_config,
+                    leaf_size: plan.sketch_leaf_size,
+                },
+            }
+        }
+        other => {
+            return Err(CliError::Usage {
+                reason: format!(
+                    "unknown algorithm `{other}`; expected auto, brute, alsh, symmetric or sketch"
+                ),
+            })
+        }
+    })
+}
+
+/// `ips build` — build an index over a CSV data file and write it as a snapshot.
+///
+/// The strategy is picked manually (`algorithm=`) or by the PR-2 cost-based planner
+/// (`algorithm=auto queries=<path>`). The written snapshot round-trips losslessly:
+/// serving it answers queries bit-identically to the index built here.
+pub fn cmd_build(args: &ParsedArgs) -> Result<BuildReport> {
+    args.ensure_only(&[
+        "data",
+        "snapshot",
+        "queries",
+        "s",
+        "c",
+        "variant",
+        "algorithm",
+        "algo",
+        "seed",
+        "bits",
+        "tables",
+        "kappa",
+        "copies",
+        "leaf",
+    ])?;
+    let data = read_vectors(Path::new(args.require("data")?))?;
+    let snapshot_path = PathBuf::from(args.require("snapshot")?);
+    let spec = parse_spec(args)?;
+    let seed = args.get_u64_or("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let algorithm = parse_algorithm(args)?;
+    let algorithm =
+        if algorithm == "brute" && args.get("algorithm").is_none() && args.get("algo").is_none() {
+            // `ips join` defaults to brute; a snapshot is usually built to amortise an
+            // index, so `ips build` defaults to ALSH instead.
+            "alsh".to_string()
+        } else {
+            algorithm
+        };
+    let start = Instant::now();
+    let index_config = resolve_build_config(&algorithm, args, &mut rng, &data, spec)?;
+    let dim = data[0].dim();
+    let data_count = data.len();
+    let mut serving = ServingIndex::build(
+        data,
+        spec,
+        index_config,
+        ServingConfig {
+            seed,
+            ..ServingConfig::default()
+        },
+    )?;
+    let bytes = serving.save(&snapshot_path)?;
+    Ok(BuildReport {
+        snapshot_path,
+        family: serving.family().name().to_string(),
+        data_count,
+        dim,
+        bytes,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// `ips query` — one-shot batch of queries against a snapshot file.
+///
+/// `k=0` (the default) runs the `(cs, s)` above-threshold search (at most one
+/// partner per query); `k>=1` returns up to `k` partners per query, best first.
+pub fn cmd_query(args: &ParsedArgs) -> Result<QueryReport> {
+    args.ensure_only(&["snapshot", "queries", "k", "threads", "chunk", "limit"])?;
+    let queries = read_vectors(Path::new(args.require("queries")?))?;
+    let k = args.get_usize_or("k", 0)?;
+    let serving = ServingIndex::open(
+        Path::new(args.require("snapshot")?),
+        ServingConfig {
+            engine: engine_config(args)?,
+            ..ServingConfig::default()
+        },
+    )?;
+    let start = Instant::now();
+    let pairs = if k == 0 {
+        serving.query(&queries)?
+    } else {
+        serving.query_top_k(&queries, k)?
+    };
+    Ok(QueryReport {
+        family: serving.family().name().to_string(),
+        live: serving.len(),
+        pairs,
+        query_count: queries.len(),
+        k,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
     })
 }
 
@@ -548,6 +749,117 @@ mod tests {
             "explain=true",
         ]);
         assert!(cmd_join(&explain_manual).is_err(), "explain without auto");
+    }
+
+    #[test]
+    fn build_then_query_round_trips_through_a_snapshot() {
+        let dir = temp_dir("build-query");
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        let snapshot = dir.join("index.snap");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=200",
+            "queries=12",
+            "dim=16",
+            "planted-ip=0.85",
+            "planted=5",
+            "seed=9",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        // Default build family is ALSH (the structure worth persisting).
+        let built = cmd_build(&args(&[
+            &format!("data={}", data.display()),
+            &format!("snapshot={}", snapshot.display()),
+            "s=0.8",
+            "c=0.6",
+            "seed=5",
+        ]))
+        .unwrap();
+        assert_eq!(built.family, "alsh");
+        assert_eq!(built.data_count, 200);
+        assert_eq!(built.dim, 16);
+        assert!(built.bytes > 0);
+        // Query the snapshot twice: answers are identical (lossless round trip,
+        // no rebuild randomness).
+        let a = cmd_query(&args(&[
+            &format!("snapshot={}", snapshot.display()),
+            &format!("queries={}", queries.display()),
+        ]))
+        .unwrap();
+        let b = cmd_query(&args(&[
+            &format!("snapshot={}", snapshot.display()),
+            &format!("queries={}", queries.display()),
+        ]))
+        .unwrap();
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.family, "alsh");
+        assert_eq!(a.live, 200);
+        assert_eq!(a.query_count, 12);
+        assert!(!a.pairs.is_empty(), "planted pairs must be found");
+        // Top-k against the same snapshot.
+        let top = cmd_query(&args(&[
+            &format!("snapshot={}", snapshot.display()),
+            &format!("queries={}", queries.display()),
+            "k=3",
+        ]))
+        .unwrap();
+        assert_eq!(top.k, 3);
+        // Auto builds need a query workload for the planner; with one, the
+        // planner picks brute on this small instance.
+        assert!(cmd_build(&args(&[
+            &format!("data={}", data.display()),
+            &format!("snapshot={}", snapshot.display()),
+            "s=0.8",
+            "algo=auto",
+        ]))
+        .is_err());
+        let auto = cmd_build(&args(&[
+            &format!("data={}", data.display()),
+            &format!("snapshot={}", snapshot.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.8",
+            "c=0.6",
+            "algo=auto",
+        ]))
+        .unwrap();
+        assert_eq!(auto.family, "brute");
+    }
+
+    #[test]
+    fn zero_threads_and_chunk_are_rejected_with_auto_spelled_out() {
+        let dir = temp_dir("zeros");
+        let data = dir.join("z.csv");
+        crate::dataset::write_vectors(&data, &[ips_linalg::DenseVector::from(&[0.5, 0.5][..])])
+            .unwrap();
+        for bad in ["threads=0", "chunk=0"] {
+            let err = cmd_join(&args(&[
+                &format!("data={}", data.display()),
+                &format!("queries={}", data.display()),
+                "s=0.1",
+                bad,
+            ]))
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("at least 1"),
+                "{bad} not rejected: {err}"
+            );
+        }
+        // threads=auto is the documented spelling for one-per-CPU.
+        cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", data.display()),
+            "s=0.1",
+            "threads=auto",
+            "chunk=16",
+        ]))
+        .unwrap();
+        // Unknown keys list the valid ones.
+        let err = cmd_query(&args(&["snapshot=x", "queries=y", "limt=3"])).unwrap_err();
+        assert!(err.to_string().contains("unknown argument `limt`"));
+        assert!(err.to_string().contains("limit"));
     }
 
     #[test]

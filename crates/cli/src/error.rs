@@ -6,6 +6,7 @@ use ips_datagen::DatagenError;
 use ips_linalg::LinalgError;
 use ips_matmul::MatmulError;
 use ips_sketch::SketchError;
+use ips_store::StoreError;
 
 ips_linalg::define_error! {
     /// Errors produced by the CLI layer.
@@ -39,6 +40,8 @@ ips_linalg::define_error! {
             Sketch(SketchError) => "sketch error",
             /// An underlying matrix-multiplication operation failed.
             Matmul(MatmulError) => "matrix multiplication error",
+            /// An underlying snapshot/serving operation failed.
+            Store(StoreError) => "store error",
         }
     }
 }
@@ -81,6 +84,8 @@ mod tests {
         assert!(e.to_string().contains("sketch"));
         let e: CliError = MatmulError::Empty { op: "gram" }.into();
         assert!(e.to_string().contains("matrix multiplication"));
+        let e: CliError = StoreError::UnknownId { id: 3 }.into();
+        assert!(e.to_string().contains("store error"));
         assert!(std::error::Error::source(&CliError::Usage { reason: "x".into() }).is_none());
     }
 }

@@ -12,11 +12,18 @@
 //!   of `ips_core::planner` choose, with `explain=true` showing its reasoning) and
 //!   print the reported pairs;
 //! * `ips search` — build an index over a data file and answer top-`k` queries from a
-//!   query file.
+//!   query file;
+//! * `ips build` — build an index once and persist it as an `ips-store` snapshot
+//!   (strategy picked manually or by the cost-based planner);
+//! * `ips serve` — load a snapshot into a long-lived serving process and answer a
+//!   line-protocol session (`query` / `topk` / `insert` / `delete` / `stats` /
+//!   `save`) over stdin/stdout;
+//! * `ips query` — one-shot query batch against a snapshot.
 //!
 //! The crate is a thin, testable layer: argument parsing lives in [`args`], CSV I/O in
-//! [`dataset`], and each subcommand is an ordinary function in [`commands`] that returns
-//! its report as a value (the binary in `main.rs` only prints it).
+//! [`dataset`], the serve REPL in [`serve`], and each subcommand is an ordinary
+//! function in [`commands`] that returns its report as a value (the binary in
+//! `main.rs` only prints it).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +32,7 @@ pub mod args;
 pub mod commands;
 pub mod dataset;
 pub mod error;
+pub mod serve;
 
 pub use args::ParsedArgs;
 pub use error::{CliError, Result};
@@ -42,13 +50,25 @@ COMMANDS:
     info       data=<path>
     join       data=<path> queries=<path> s=<float> [c=<float>] [variant=signed|unsigned]
                [algorithm=auto|brute|matmul|alsh|symmetric|sketch] [seed=<int>] [limit=<int>]
-               [threads=<int>] [chunk=<int>]   (0 threads = one per CPU)
+               [threads=auto|<int>] [chunk=<int>]
                algo= is shorthand for algorithm=; algo=auto lets the cost-based
                planner pick the strategy, and explain=true prints the chosen
                plan with every strategy's estimated cost
     search     data=<path> queries=<path> s=<float> [c=<float>] [k=<int>]
                [algorithm=brute|alsh] [seed=<int>]
+    build      data=<path> snapshot=<path> s=<float> [c=<float>] [variant=signed|unsigned]
+               [algorithm=alsh|brute|symmetric|sketch|auto] [seed=<int>] [bits=<int>]
+               [tables=<int>] [kappa=<float>] [copies=<int>] [leaf=<int>]
+               algorithm=auto consults the cost-based planner and needs queries=<path>
+    serve      snapshot=<path> [threads=auto|<int>] [chunk=<int>]
+               [rebuild-threshold=<float>]   (compaction trigger, default 0.25 —
+               the (cs, s) join thresholds live in the snapshot, set at build time)
+               then speaks a line protocol on stdin/stdout: query <v>[;<v>...],
+               topk <k> <v>[;<v>...], insert <v>, delete <id>, stats, save <path>, quit
+    query      snapshot=<path> queries=<path> [k=<int>] [threads=auto|<int>]
+               [chunk=<int>] [limit=<int>]
     help       print this message
 
 Vector files are plain CSV: one vector per line, coordinates separated by commas.
+threads= and chunk= must be at least 1 (threads=auto means one worker per CPU).
 ";

@@ -1,7 +1,8 @@
 //! The `ips` binary: command dispatch and report printing for the `ips-cli` library.
 
 use ips_cli::args::ParsedArgs;
-use ips_cli::commands::{cmd_generate, cmd_info, cmd_join, cmd_search};
+use ips_cli::commands::{cmd_build, cmd_generate, cmd_info, cmd_join, cmd_query, cmd_search};
+use ips_cli::serve::serve_session;
 use ips_cli::{CliError, USAGE};
 use std::process::ExitCode;
 
@@ -77,6 +78,57 @@ fn run() -> Result<(), CliError> {
                     } else {
                         rendered.join(", ")
                     }
+                );
+            }
+        }
+        "build" => {
+            let report = cmd_build(&args)?;
+            println!(
+                "built {} snapshot over {} vectors (dim {}): {} ({} bytes, {:.1} ms)",
+                report.family,
+                report.data_count,
+                report.dim,
+                report.snapshot_path.display(),
+                report.bytes,
+                report.elapsed_ms
+            );
+        }
+        "serve" => {
+            args.ensure_only(&["snapshot", "threads", "chunk", "rebuild-threshold", "seed"])?;
+            let threshold = args.get_f64_or("rebuild-threshold", 0.25)?;
+            let mut serving = ips_store::ServingIndex::open(
+                std::path::Path::new(args.require("snapshot")?),
+                ips_store::ServingConfig {
+                    engine: ips_cli::commands::engine_config(&args)?,
+                    rebuild_threshold: threshold,
+                    seed: args.get_u64_or("seed", 42)?,
+                },
+            )?;
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_session(&mut serving, stdin.lock(), stdout.lock())?;
+        }
+        "query" => {
+            let report = cmd_query(&args)?;
+            println!(
+                "{} snapshot: {} live vectors, {} queries, {} pairs, {:.1} ms",
+                report.family,
+                report.live,
+                report.query_count,
+                report.pairs.len(),
+                report.elapsed_ms
+            );
+            let limit = args.get_usize_or("limit", 20)?;
+            for pair in report.pairs.iter().take(limit) {
+                println!(
+                    "  query {:>6}  id {:>6}  inner product {:+.6}",
+                    pair.query_index, pair.data_index, pair.inner_product
+                );
+            }
+            if report.pairs.len() > limit {
+                println!(
+                    "  … {} further pairs omitted (raise limit=)",
+                    report.pairs.len() - limit
                 );
             }
         }

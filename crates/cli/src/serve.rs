@@ -1,0 +1,266 @@
+//! `ips serve` — the line-protocol REPL over a loaded snapshot.
+//!
+//! One command per line on stdin, one or more reply lines on stdout, errors as
+//! `error: …` lines (the session keeps going). The protocol is deliberately plain so
+//! it can be scripted with a heredoc or driven by another process:
+//!
+//! ```text
+//! query 0.1,0.2,0.3[;0.4,0.5,0.6 ...]   one reply line per vector:
+//!                                         hit <id> <inner product>   |   miss
+//! topk <k> <vector>[;<vector> ...]      one reply line per vector:
+//!                                         hits <id>:<ip>,<id>:<ip>…  |   none
+//! insert 0.1,0.2,0.3                    inserted <id>
+//! delete <id>                           deleted <id>
+//! stats                                 stats family=… live=… queries=… hits=…
+//!                                         inserts=… deletes=… rebuilds=… avg_query_ns=…
+//! save <path>                           saved <path> (<bytes> bytes)
+//! help                                  command summary
+//! quit | exit                           bye (EOF works too)
+//! ```
+//!
+//! Vectors are comma-separated coordinates (the CSV line format of the data files);
+//! `;` separates the vectors of one batch, which is answered through the
+//! [`ips_core::JoinEngine`] in a single [`ServingIndex::query`] call.
+
+use crate::error::{CliError, Result};
+use ips_linalg::DenseVector;
+use ips_store::ServingIndex;
+use std::io::{BufRead, Write};
+
+/// Parses one `a,b,c` coordinate list.
+fn parse_vector(text: &str) -> Result<DenseVector> {
+    let mut coords = Vec::new();
+    for field in text.split(',') {
+        let field = field.trim();
+        let value: f64 = field.parse().map_err(|_| CliError::Usage {
+            reason: format!("`{field}` is not a number"),
+        })?;
+        if !value.is_finite() {
+            return Err(CliError::Usage {
+                reason: format!("non-finite coordinate `{field}`"),
+            });
+        }
+        coords.push(value);
+    }
+    if coords.is_empty() {
+        return Err(CliError::Usage {
+            reason: "empty vector".into(),
+        });
+    }
+    Ok(DenseVector::new(coords))
+}
+
+/// Parses a `;`-separated batch of vectors.
+fn parse_batch(text: &str) -> Result<Vec<DenseVector>> {
+    text.split(';').map(|v| parse_vector(v.trim())).collect()
+}
+
+const HELP: &str = "\
+commands:
+  query <v>[;<v>...]    (cs, s) search; replies `hit <id> <ip>` or `miss` per vector
+  topk <k> <v>[;<v>...] top-k search; replies `hits <id>:<ip>,...` or `none` per vector
+  insert <v>            add a vector; replies `inserted <id>`
+  delete <id>           remove a vector; replies `deleted <id>`
+  stats                 per-index counters
+  save <path>           compact and write a snapshot
+  quit                  end the session";
+
+/// Executes one protocol line, appending reply lines to `out`. Returns `false` when
+/// the session should end.
+fn execute(serving: &mut ServingIndex, line: &str, out: &mut Vec<String>) -> Result<bool> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(true);
+    }
+    let (command, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let rest = rest.trim();
+    match command {
+        "query" => {
+            let queries = parse_batch(rest)?;
+            let pairs = serving.query(&queries)?;
+            let mut by_query = vec![None; queries.len()];
+            for p in pairs {
+                by_query[p.query_index] = Some(p);
+            }
+            for slot in by_query {
+                out.push(match slot {
+                    Some(p) => format!("hit {} {:+.6}", p.data_index, p.inner_product),
+                    None => "miss".to_string(),
+                });
+            }
+        }
+        "topk" => {
+            let (k, batch) = rest.split_once(' ').ok_or_else(|| CliError::Usage {
+                reason: "topk needs `topk <k> <vector>[;<vector>...]`".into(),
+            })?;
+            let k: usize = k.parse().map_err(|_| CliError::Usage {
+                reason: format!("`{k}` is not a k"),
+            })?;
+            let queries = parse_batch(batch)?;
+            let pairs = serving.query_top_k(&queries, k)?;
+            let mut by_query: Vec<Vec<String>> = vec![Vec::new(); queries.len()];
+            for p in pairs {
+                by_query[p.query_index].push(format!("{}:{:+.6}", p.data_index, p.inner_product));
+            }
+            for hits in by_query {
+                out.push(if hits.is_empty() {
+                    "none".to_string()
+                } else {
+                    format!("hits {}", hits.join(","))
+                });
+            }
+        }
+        "insert" => {
+            let id = serving.insert(parse_vector(rest)?)?;
+            out.push(format!("inserted {id}"));
+        }
+        "delete" => {
+            let id: u64 = rest.parse().map_err(|_| CliError::Usage {
+                reason: format!("`{rest}` is not an id"),
+            })?;
+            serving.delete(id)?;
+            out.push(format!("deleted {id}"));
+        }
+        "stats" => {
+            let stats = serving.stats();
+            out.push(format!(
+                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={}",
+                serving.family(),
+                serving.len(),
+                stats.queries,
+                stats.hits,
+                stats.inserts,
+                stats.deletes,
+                stats.rebuilds,
+                stats.avg_query_ns(),
+            ));
+        }
+        "save" => {
+            if rest.is_empty() {
+                return Err(CliError::Usage {
+                    reason: "save needs a path".into(),
+                });
+            }
+            let bytes = serving.save(std::path::Path::new(rest))?;
+            out.push(format!("saved {rest} ({bytes} bytes)"));
+        }
+        "help" => out.push(HELP.to_string()),
+        "quit" | "exit" => {
+            out.push("bye".to_string());
+            return Ok(false);
+        }
+        other => {
+            return Err(CliError::Usage {
+                reason: format!("unknown command `{other}` (try `help`)"),
+            })
+        }
+    }
+    Ok(true)
+}
+
+/// Drives a whole serve session: reads protocol lines from `input` until EOF or
+/// `quit`, writing replies to `output`. Errors in individual commands are reported
+/// as `error: …` lines and the session continues; only I/O failures end it early.
+pub fn serve_session<R: BufRead, W: Write>(
+    serving: &mut ServingIndex,
+    input: R,
+    mut output: W,
+) -> Result<()> {
+    writeln!(
+        output,
+        "serving {} index: {} live vectors, dim {} (try `help`)",
+        serving.family(),
+        serving.len(),
+        serving.dim()
+    )?;
+    for line in input.lines() {
+        let line = line?;
+        let mut replies = Vec::new();
+        match execute(serving, &line, &mut replies) {
+            Ok(keep_going) => {
+                for reply in replies {
+                    writeln!(output, "{reply}")?;
+                }
+                if !keep_going {
+                    break;
+                }
+            }
+            Err(e) => writeln!(output, "error: {e}")?,
+        }
+        output.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_core::problem::{JoinSpec, JoinVariant};
+    use ips_store::{IndexConfig, ServingConfig};
+
+    fn serving() -> ServingIndex {
+        let data = vec![
+            DenseVector::from(&[0.9, 0.0][..]),
+            DenseVector::from(&[0.0, 0.8][..]),
+        ];
+        let spec = JoinSpec::new(0.5, 0.8, JoinVariant::Signed).unwrap();
+        ServingIndex::build(data, spec, IndexConfig::Brute, ServingConfig::default()).unwrap()
+    }
+
+    fn run(session: &str) -> String {
+        let mut index = serving();
+        let mut out = Vec::new();
+        serve_session(&mut index, session.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn scripted_session_round_trip() {
+        let out = run("query 1.0,0.0\nquery 1,0;0,1;0.1,0.1\ninsert 0.7,0.7\nquery 0.7,0.7\ndelete 2\nquery 0.7,0.7\nstats\nquit\nquery 1,0\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("serving brute index: 2 live vectors, dim 2"));
+        assert_eq!(lines[1], "hit 0 +0.900000");
+        // Batched queries answer in order.
+        assert_eq!(lines[2], "hit 0 +0.900000");
+        assert_eq!(lines[3], "hit 1 +0.800000");
+        assert_eq!(lines[4], "miss");
+        assert_eq!(lines[5], "inserted 2");
+        assert!(lines[6].starts_with("hit 2 "));
+        assert_eq!(lines[7], "deleted 2");
+        // With the insert gone, the best remaining partner (0.63 >= s) answers again.
+        assert_eq!(lines[8], "hit 0 +0.630000");
+        assert!(lines[9].starts_with("stats family=brute live=2 queries=6 hits=5"));
+        assert!(lines[9].contains("inserts=1 deletes=1"));
+        // quit ends the session: the trailing query is never answered.
+        assert_eq!(*lines.last().unwrap(), "bye");
+    }
+
+    #[test]
+    fn topk_help_comments_and_errors() {
+        let out = run("# a comment\n\ntopk 2 1.0,0.0;0.05,0.05\nhelp\ntopk nope\nbogus\ndelete x\ndelete 99\ninsert 1,2,3\nquery 0,oops\n");
+        assert!(out.contains("hits 0:+0.900000"), "{out}");
+        assert!(out.contains("\nnone\n"), "{out}");
+        assert!(out.contains("commands:"), "{out}");
+        assert!(out.contains("error: usage error: topk needs"), "{out}");
+        assert!(out.contains("error: usage error: unknown command `bogus`"));
+        assert!(out.contains("error: usage error: `x` is not an id"));
+        assert!(out.contains("error: store error: unknown or deleted vector id 99"));
+        assert!(out.contains("dimension 3 != index dimension 2"));
+        assert!(out.contains("error: usage error: `oops` is not a number"));
+    }
+
+    #[test]
+    fn save_from_a_session_is_loadable() {
+        let dir = std::env::temp_dir().join("ips-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.snap");
+        let script = format!("insert 0.5,0.5\nsave {}\n", path.display());
+        let out = run(&script);
+        assert!(out.contains("inserted 2"));
+        assert!(out.contains("saved "), "{out}");
+        let reloaded = ServingIndex::open(&path, ServingConfig::default()).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        assert_eq!(reloaded.ids(), vec![0, 1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -54,8 +54,16 @@ impl Default for AlshParams {
 
 /// The Section 4.1 MIPS index: ball-to-sphere reduction + multi-table sphere LSH +
 /// exact re-scoring of candidates.
+///
+/// The index is *dynamic*: [`AlshMipsIndex::insert`] and [`AlshMipsIndex::delete`]
+/// maintain the hash tables incrementally using the functions sampled at build time, so
+/// a serving process can mutate a loaded index without rebuilding it. Deleted slots are
+/// tombstoned (their vector stays in `data` to keep slot ids stable) but are removed
+/// from every hash table, so they can never appear as candidates again.
 pub struct AlshMipsIndex {
     data: Vec<DenseVector>,
+    live: Vec<bool>,
+    live_count: usize,
     index: LshIndex<SimpleAlshFamily>,
     spec: JoinSpec,
     params: AlshParams,
@@ -106,8 +114,125 @@ impl AlshMipsIndex {
             l: params.tables,
         };
         let index = LshIndex::build(&family, index_params, &data, rng)?;
+        let live_count = data.len();
+        Ok(Self {
+            live: vec![true; live_count],
+            live_count,
+            data,
+            index,
+            spec,
+            params,
+        })
+    }
+
+    /// Inserts a new data vector, hashing it into every table with the functions
+    /// sampled at build time, and returns its slot id.
+    ///
+    /// The vector must match the index dimension and lie in the unit ball. Slot ids
+    /// are stable: they are never reused, so an id handed out here stays valid until
+    /// [`AlshMipsIndex::delete`]d.
+    pub fn insert(&mut self, v: DenseVector) -> Result<usize> {
+        let dim = self.data[0].dim();
+        if v.dim() != dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                actual: v.dim(),
+            });
+        }
+        if v.norm() > 1.0 + 1e-9 {
+            return Err(CoreError::InvalidParameter {
+                name: "v",
+                reason: format!("data vector norm {} exceeds 1", v.norm()),
+            });
+        }
+        let id = self.data.len();
+        self.index.insert(id as u32, &v)?;
+        self.data.push(v);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(id)
+    }
+
+    /// Deletes the vector in slot `id`: removes it from every hash table and
+    /// tombstones the slot (the slot id is never reused).
+    ///
+    /// Returns an error for an out-of-range or already-deleted slot.
+    pub fn delete(&mut self, id: usize) -> Result<()> {
+        if id >= self.data.len() || !self.live[id] {
+            return Err(CoreError::InvalidParameter {
+                name: "id",
+                reason: format!("slot {id} is out of range or already deleted"),
+            });
+        }
+        self.index.remove(id as u32, &self.data[id])?;
+        self.live[id] = false;
+        self.live_count -= 1;
+        Ok(())
+    }
+
+    /// Whether slot `id` currently holds a live (non-deleted) vector.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.live.get(id).copied().unwrap_or(false)
+    }
+
+    /// Total number of slots ever allocated, live or tombstoned
+    /// ([`MipsIndex::len`] counts only live vectors).
+    pub fn slots(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The underlying multi-table LSH index (persistence accessor).
+    pub fn lsh_index(&self) -> &LshIndex<SimpleAlshFamily> {
+        &self.index
+    }
+
+    /// Reassembles an index from previously extracted state — the inverse of
+    /// [`AlshMipsIndex::data`] / [`AlshMipsIndex::lsh_index`] / accessors plus the
+    /// liveness mask, used by snapshot persistence to restore an index bit-identically
+    /// (same functions, same buckets, same query results) without re-sampling.
+    pub fn from_raw_parts(
+        data: Vec<DenseVector>,
+        live: Vec<bool>,
+        index: LshIndex<SimpleAlshFamily>,
+        spec: JoinSpec,
+        params: AlshParams,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataSet);
+        }
+        if live.len() != data.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "live",
+                reason: format!(
+                    "liveness mask has {} entries for {} slots",
+                    live.len(),
+                    data.len()
+                ),
+            });
+        }
+        let dim = data[0].dim();
+        for v in &data {
+            if v.dim() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.dim(),
+                });
+            }
+        }
+        let live_count = live.iter().filter(|&&l| l).count();
+        if index.len() != live_count {
+            return Err(CoreError::InvalidParameter {
+                name: "index",
+                reason: format!(
+                    "LSH index stores {} points but the mask marks {live_count} live",
+                    index.len()
+                ),
+            });
+        }
         Ok(Self {
             data,
+            live,
+            live_count,
             index,
             spec,
             params,
@@ -151,7 +276,8 @@ impl AlshMipsIndex {
         Ok(self.index.query_candidates(query)?)
     }
 
-    /// The data vectors held by the index.
+    /// The vectors held by the index, one per slot — tombstoned slots keep their
+    /// vector (so slot ids stay stable) but never appear as candidates.
     pub fn data(&self) -> &[DenseVector] {
         &self.data
     }
@@ -159,7 +285,7 @@ impl AlshMipsIndex {
 
 impl MipsIndex for AlshMipsIndex {
     fn len(&self) -> usize {
-        self.data.len()
+        self.live_count
     }
 
     fn spec(&self) -> JoinSpec {
@@ -282,6 +408,86 @@ mod tests {
         let query = random_unit_vector(&mut r, dim).unwrap();
         // All inner products are at most 0.05 < cs = 0.4: nothing may be reported.
         assert!(index.search(&query).unwrap().is_none());
+    }
+
+    #[test]
+    fn insert_and_delete_maintain_search_results() {
+        let mut r = rng();
+        let dim = 16;
+        let query = random_unit_vector(&mut r, dim).unwrap();
+        let data: Vec<DenseVector> = (0..120)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.2))
+            .collect();
+        let spec = spec(0.8, 0.6);
+        let mut index = AlshMipsIndex::build(&mut r, data, spec, AlshParams::default()).unwrap();
+        // Nothing matches the query yet.
+        assert!(index.search(&query).unwrap().is_none());
+        // Insert a strong partner dynamically: it must now be found.
+        let id = index.insert(query.scaled(0.9)).unwrap();
+        assert_eq!(id, 120);
+        assert_eq!(index.len(), 121);
+        assert_eq!(index.slots(), 121);
+        assert!(index.is_live(id));
+        let hit = index.search(&query).unwrap().expect("inserted point found");
+        assert_eq!(hit.data_index, id);
+        // Delete it again: the index returns to reporting nothing.
+        index.delete(id).unwrap();
+        assert_eq!(index.len(), 120);
+        assert_eq!(index.slots(), 121);
+        assert!(!index.is_live(id));
+        assert!(index.search(&query).unwrap().is_none());
+        // A tombstoned or out-of-range slot cannot be deleted again.
+        assert!(index.delete(id).is_err());
+        assert!(index.delete(10_000).is_err());
+        // Validation of dynamic inserts matches build validation.
+        assert!(index.insert(DenseVector::zeros(dim + 1)).is_err());
+        assert!(index
+            .insert(random_unit_vector(&mut r, dim).unwrap().scaled(1.5))
+            .is_err());
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_preserves_results() {
+        let mut r = rng();
+        let dim = 12;
+        let data: Vec<DenseVector> = (0..80)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let spec = spec(0.4, 0.5);
+        let index =
+            AlshMipsIndex::build(&mut r, data.clone(), spec, AlshParams::default()).unwrap();
+        let rebuilt = AlshMipsIndex::from_raw_parts(
+            index.data().to_vec(),
+            (0..index.slots()).map(|i| index.is_live(i)).collect(),
+            super::LshIndex::from_raw_parts(
+                index.lsh_index().functions().to_vec(),
+                index.lsh_index().tables().to_vec(),
+                index.lsh_index().params(),
+                index.lsh_index().len(),
+            )
+            .unwrap(),
+            index.spec(),
+            index.params(),
+        )
+        .unwrap();
+        for q in &data[..10] {
+            assert_eq!(index.search(q).unwrap(), rebuilt.search(q).unwrap());
+        }
+        // A liveness mask that disagrees with the LSH index is rejected.
+        assert!(AlshMipsIndex::from_raw_parts(
+            index.data().to_vec(),
+            vec![false; index.slots()],
+            super::LshIndex::from_raw_parts(
+                index.lsh_index().functions().to_vec(),
+                index.lsh_index().tables().to_vec(),
+                index.lsh_index().params(),
+                index.lsh_index().len(),
+            )
+            .unwrap(),
+            index.spec(),
+            index.params(),
+        )
+        .is_err());
     }
 
     #[test]

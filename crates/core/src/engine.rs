@@ -22,6 +22,7 @@
 use crate::error::Result;
 use crate::mips::MipsIndex;
 use crate::problem::{JoinSpec, MatchPair};
+use crate::topk::TopKMipsIndex;
 use ips_linalg::DenseVector;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -166,23 +167,70 @@ impl<I: MipsIndex> JoinEngine<I> {
     where
         I: Sync,
     {
+        self.run_chunked(queries, &|chunk, base| {
+            let hits = self.index.search_batch(chunk)?;
+            let mut local = Vec::new();
+            collect_chunk(&mut local, base, hits);
+            Ok(local)
+        })
+    }
+
+    /// Runs a batched top-`k` join through the same chunked, work-stealing driver as
+    /// [`JoinEngine::run`]: up to `k` pairs per query, each clearing the relaxed
+    /// threshold `cs`, best first within a query, queries in order.
+    ///
+    /// This is the serving layer's batch entry point — a long-lived
+    /// [`TopKMipsIndex`] answers whole query batches with the engine's concurrency
+    /// and chunking instead of a caller-side loop.
+    pub fn run_top_k(&self, queries: &[DenseVector], k: usize) -> Result<Vec<MatchPair>>
+    where
+        I: TopKMipsIndex + Sync,
+    {
+        self.run_chunked(queries, &|chunk, base| {
+            let mut local = Vec::new();
+            for (offset, q) in chunk.iter().enumerate() {
+                for hit in self.index.search_top_k(q, k)? {
+                    local.push(MatchPair {
+                        data_index: hit.data_index,
+                        query_index: base + offset,
+                        inner_product: hit.inner_product,
+                    });
+                }
+            }
+            Ok(local)
+        })
+    }
+
+    /// The shared chunked driver: splits `queries` into chunks, has workers claim
+    /// chunks off an atomic cursor, and reassembles per-chunk pair lists in chunk
+    /// order — so any per-chunk computation gets identical scheduling, early-abort
+    /// and output-ordering behaviour.
+    fn run_chunked<F>(&self, queries: &[DenseVector], per_chunk: &F) -> Result<Vec<MatchPair>>
+    where
+        I: Sync,
+        F: Fn(&[DenseVector], usize) -> Result<Vec<MatchPair>> + Sync,
+    {
         let chunk_size = self.config.resolved_chunk_size();
         let chunks: Vec<&[DenseVector]> = queries.chunks(chunk_size).collect();
         let threads = self.config.resolved_threads().min(chunks.len().max(1));
         if threads <= 1 || chunks.len() <= 1 {
-            return self.run_serial(queries);
+            let mut out = Vec::new();
+            for (k, chunk) in chunks.iter().enumerate() {
+                out.extend(per_chunk(chunk, k * chunk_size)?);
+            }
+            return Ok(out);
         }
 
         let cursor = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        let worker_results: Vec<Result<Vec<MatchPair>>> = std::thread::scope(|scope| {
+        type Tagged = Vec<(usize, Vec<MatchPair>)>;
+        let worker_results: Vec<Result<Tagged>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let cursor = &cursor;
                     let failed = &failed;
                     let chunks = &chunks;
-                    let index = &self.index;
-                    scope.spawn(move || -> Result<Vec<MatchPair>> {
+                    scope.spawn(move || -> Result<Tagged> {
                         let mut local = Vec::new();
                         loop {
                             // One worker's failure is the whole join's failure;
@@ -195,8 +243,8 @@ impl<I: MipsIndex> JoinEngine<I> {
                             let Some(chunk) = chunks.get(k) else {
                                 return Ok(local);
                             };
-                            match index.search_batch(chunk) {
-                                Ok(hits) => collect_chunk(&mut local, k * chunk_size, hits),
+                            match per_chunk(chunk, k * chunk_size) {
+                                Ok(pairs) => local.push((k, pairs)),
                                 Err(e) => {
                                     failed.store(true, Ordering::Relaxed);
                                     return Err(e);
@@ -212,12 +260,16 @@ impl<I: MipsIndex> JoinEngine<I> {
                 .collect()
         });
 
-        let mut out = Vec::new();
+        let mut tagged = Vec::new();
         for r in worker_results {
-            out.extend(r?);
+            tagged.extend(r?);
         }
-        out.sort_unstable_by_key(|p| p.query_index);
-        Ok(out)
+        // Chunk order is query order, and pairs within a chunk are already ordered,
+        // so reassembly by chunk index reproduces the serial output exactly — even
+        // when a query contributes several pairs (top-k), which a per-pair sort on
+        // query index alone could not keep stable.
+        tagged.sort_unstable_by_key(|(k, _)| *k);
+        Ok(tagged.into_iter().flat_map(|(_, pairs)| pairs).collect())
     }
 }
 
@@ -279,6 +331,43 @@ mod tests {
                     reference,
                     "threads={threads} chunk_size={chunk_size}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_matches_the_serial_per_query_loop() {
+        use crate::topk::TopKMipsIndex;
+        let (data, queries) = workload(0xE50, 90, 41, 10);
+        let spec = JoinSpec::new(0.1, 0.5, JoinVariant::Signed).unwrap();
+        let index = BruteForceMipsIndex::new(data, spec);
+        for k in [1usize, 3, 5] {
+            // Reference: the plain per-query loop.
+            let mut expected = Vec::new();
+            for (j, q) in queries.iter().enumerate() {
+                for hit in index.search_top_k(q, k).unwrap() {
+                    expected.push(MatchPair {
+                        data_index: hit.data_index,
+                        query_index: j,
+                        inner_product: hit.inner_product,
+                    });
+                }
+            }
+            for threads in [1, 3, 8] {
+                for chunk_size in [1, 7, 64] {
+                    let engine = JoinEngine::with_config(
+                        &index,
+                        EngineConfig {
+                            threads,
+                            chunk_size,
+                        },
+                    );
+                    assert_eq!(
+                        engine.run_top_k(&queries, k).unwrap(),
+                        expected,
+                        "k={k} threads={threads} chunk_size={chunk_size}"
+                    );
+                }
             }
         }
     }

@@ -202,6 +202,12 @@ impl SketchMipsAdapter {
     pub fn inner(&self) -> &ips_sketch::SketchMipsIndex {
         &self.inner
     }
+
+    /// Wraps an already-built (e.g. snapshot-loaded) sketch structure under a spec —
+    /// the inverse of [`SketchMipsAdapter::inner`], used by snapshot persistence.
+    pub fn from_parts(inner: ips_sketch::SketchMipsIndex, spec: JoinSpec) -> Self {
+        Self { inner, spec }
+    }
 }
 
 impl MipsIndex for SketchMipsAdapter {

@@ -144,12 +144,25 @@ impl Default for SymmetricParams {
 }
 
 /// The Section 4.2 symmetric-LSH MIPS index over a shared unit-ball domain.
+///
+/// Like [`crate::asymmetric::AlshMipsIndex`], the index is *dynamic*
+/// ([`SymmetricLshMips::insert`] / [`SymmetricLshMips::delete`] maintain the hash
+/// tables and the exact-match lookup incrementally, with tombstoned slots keeping
+/// their vector so slot ids stay stable) and *persistable* (the sphere map is a
+/// deterministic function of the parameters, so raw-parts round-trips only need the
+/// data, the liveness mask and the sampled LSH state).
 pub struct SymmetricLshMips {
     data: Vec<DenseVector>,
+    live: Vec<bool>,
+    live_count: usize,
     map: SymmetricSphereMap,
     index: LshIndex<SymmetricAsAsymmetric<HyperplaneFamily>>,
-    exact_lookup: HashMap<Vec<u8>, usize>,
+    /// Encoding → live slot ids in insertion order; the *last* entry answers the
+    /// diagonal lookup, matching what a fresh build (which overwrites earlier ids)
+    /// would store.
+    exact_lookup: HashMap<Vec<u8>, Vec<usize>>,
     spec: JoinSpec,
+    params: SymmetricParams,
 }
 
 impl SymmetricLshMips {
@@ -174,10 +187,10 @@ impl SymmetricLshMips {
         }
         let map = SymmetricSphereMap::new(dim, params.epsilon, params.precision_bits)?;
         let mut mapped = Vec::with_capacity(data.len());
-        let mut exact_lookup = HashMap::with_capacity(data.len());
+        let mut exact_lookup: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(data.len());
         for (i, v) in data.iter().enumerate() {
             mapped.push(map.map(v)?);
-            exact_lookup.insert(map.encode(v)?, i);
+            exact_lookup.entry(map.encode(v)?).or_default().push(i);
         }
         let family = SymmetricAsAsymmetric(HyperplaneFamily::single_bit(map.output_dim())?);
         let index = LshIndex::build(
@@ -189,12 +202,146 @@ impl SymmetricLshMips {
             &mapped,
             rng,
         )?;
+        let live_count = data.len();
         Ok(Self {
+            live: vec![true; live_count],
+            live_count,
             data,
             map,
             index,
             exact_lookup,
             spec,
+            params,
+        })
+    }
+
+    /// Inserts a new data vector (unit ball), hashing its sphere image into every
+    /// table and registering its encoding in the exact-match lookup. Returns the new
+    /// slot id; slot ids are stable and never reused.
+    pub fn insert(&mut self, v: DenseVector) -> Result<usize> {
+        let dim = self.data[0].dim();
+        if v.dim() != dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                actual: v.dim(),
+            });
+        }
+        let mapped = self.map.map(&v)?; // also rejects vectors outside the unit ball
+        let id = self.data.len();
+        self.index.insert(id as u32, &mapped)?;
+        self.exact_lookup
+            .entry(self.map.encode(&v)?)
+            .or_default()
+            .push(id);
+        self.data.push(v);
+        self.live.push(true);
+        self.live_count += 1;
+        Ok(id)
+    }
+
+    /// Deletes the vector in slot `id`: removes it from every hash table and from the
+    /// exact-match lookup, tombstoning the slot.
+    pub fn delete(&mut self, id: usize) -> Result<()> {
+        if id >= self.data.len() || !self.live[id] {
+            return Err(CoreError::InvalidParameter {
+                name: "id",
+                reason: format!("slot {id} is out of range or already deleted"),
+            });
+        }
+        let mapped = self.map.map(&self.data[id])?;
+        self.index.remove(id as u32, &mapped)?;
+        let encoding = self.map.encode(&self.data[id])?;
+        if let Some(ids) = self.exact_lookup.get_mut(&encoding) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.exact_lookup.remove(&encoding);
+            }
+        }
+        self.live[id] = false;
+        self.live_count -= 1;
+        Ok(())
+    }
+
+    /// Whether slot `id` currently holds a live (non-deleted) vector.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.live.get(id).copied().unwrap_or(false)
+    }
+
+    /// Total number of slots ever allocated, live or tombstoned.
+    pub fn slots(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The tuning parameters the index was built with.
+    pub fn params(&self) -> SymmetricParams {
+        self.params
+    }
+
+    /// The underlying multi-table LSH index (persistence accessor). Its points are the
+    /// *sphere images* of the data vectors, which the sphere map recomputes
+    /// deterministically on load.
+    pub fn lsh_index(&self) -> &LshIndex<SymmetricAsAsymmetric<HyperplaneFamily>> {
+        &self.index
+    }
+
+    /// Reassembles an index from previously extracted state. The sphere map and the
+    /// exact-match lookup are deterministic functions of `data`, `live` and `params`,
+    /// so only the sampled LSH state needs to have been persisted.
+    pub fn from_raw_parts(
+        data: Vec<DenseVector>,
+        live: Vec<bool>,
+        index: LshIndex<SymmetricAsAsymmetric<HyperplaneFamily>>,
+        spec: JoinSpec,
+        params: SymmetricParams,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(CoreError::EmptyDataSet);
+        }
+        if live.len() != data.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "live",
+                reason: format!(
+                    "liveness mask has {} entries for {} slots",
+                    live.len(),
+                    data.len()
+                ),
+            });
+        }
+        let dim = data[0].dim();
+        for v in &data {
+            if v.dim() != dim {
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.dim(),
+                });
+            }
+        }
+        let live_count = live.iter().filter(|&&l| l).count();
+        if index.len() != live_count {
+            return Err(CoreError::InvalidParameter {
+                name: "index",
+                reason: format!(
+                    "LSH index stores {} points but the mask marks {live_count} live",
+                    index.len()
+                ),
+            });
+        }
+        let map = SymmetricSphereMap::new(dim, params.epsilon, params.precision_bits)?;
+        let mut exact_lookup: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(live_count);
+        for (i, v) in data.iter().enumerate() {
+            if live[i] {
+                exact_lookup.entry(map.encode(v)?).or_default().push(i);
+            }
+        }
+        Ok(Self {
+            data,
+            live,
+            live_count,
+            map,
+            index,
+            exact_lookup,
+            spec,
+            params,
         })
     }
 
@@ -214,7 +361,11 @@ impl SymmetricLshMips {
     /// top-`k` search re-scores.
     pub fn candidate_indices(&self, query: &DenseVector) -> Result<Vec<usize>> {
         let mut out = self.index.query_candidates(&self.map.map(query)?)?;
-        if let Some(&i) = self.exact_lookup.get(&self.map.encode(query)?) {
+        if let Some(&i) = self
+            .exact_lookup
+            .get(&self.map.encode(query)?)
+            .and_then(|ids| ids.last())
+        {
             if !out.contains(&i) {
                 out.push(i);
                 out.sort_unstable();
@@ -223,7 +374,8 @@ impl SymmetricLshMips {
         Ok(out)
     }
 
-    /// The data vectors held by the index.
+    /// The vectors held by the index, one per slot — tombstoned slots keep their
+    /// vector (so slot ids stay stable) but never appear as candidates.
     pub fn data(&self) -> &[DenseVector] {
         &self.data
     }
@@ -231,7 +383,7 @@ impl SymmetricLshMips {
 
 impl MipsIndex for SymmetricLshMips {
     fn len(&self) -> usize {
-        self.data.len()
+        self.live_count
     }
 
     fn spec(&self) -> JoinSpec {
@@ -242,7 +394,7 @@ impl MipsIndex for SymmetricLshMips {
         // Step 1 (paper): check whether the query itself is an input vector; the hash
         // guarantees do not cover the diagonal, so it is handled exactly.
         let encoding = self.map.encode(query)?;
-        if let Some(&i) = self.exact_lookup.get(&encoding) {
+        if let Some(&i) = self.exact_lookup.get(&encoding).and_then(|ids| ids.last()) {
             let ip = self.data[i].dot(query)?;
             if self.spec.satisfies_promise(ip) {
                 return Ok(Some(SearchResult {
@@ -392,6 +544,77 @@ mod tests {
             .expect("self-match must be found");
         assert_eq!(hit.data_index, 13);
         assert!((hit.inner_product - self_ip).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_and_delete_maintain_search_and_exact_lookup() {
+        let mut r = rng();
+        let dim = 12;
+        let data: Vec<DenseVector> = (0..60)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.1))
+            .collect();
+        let spec = spec(0.6, 0.5);
+        let mut index =
+            SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
+        let query = random_unit_vector(&mut r, dim).unwrap().scaled(0.95);
+        assert!(index.search(&query).unwrap().is_none());
+        // A dynamically inserted strong partner is found...
+        let id = index.insert(query.scaled(0.9)).unwrap();
+        assert_eq!(id, 60);
+        assert_eq!(index.len(), 61);
+        let hit = index.search(&query).unwrap().expect("inserted point found");
+        assert_eq!(hit.data_index, id);
+        // ...including through the diagonal exact-match path.
+        let self_hit = index.search(&index.data()[id].clone()).unwrap().unwrap();
+        assert_eq!(self_hit.data_index, id);
+        // Delete restores the original behaviour, for both paths.
+        index.delete(id).unwrap();
+        assert_eq!(index.len(), 60);
+        assert!(!index.is_live(id));
+        assert_eq!(index.slots(), 61);
+        assert!(index.search(&query).unwrap().is_none());
+        assert!(index.delete(id).is_err());
+        // Raw-parts round-trip preserves results (the sphere map and lookup are
+        // rebuilt deterministically).
+        let rebuilt = SymmetricLshMips::from_raw_parts(
+            index.data().to_vec(),
+            (0..index.slots()).map(|i| index.is_live(i)).collect(),
+            LshIndex::from_raw_parts(
+                index.lsh_index().functions().to_vec(),
+                index.lsh_index().tables().to_vec(),
+                index.lsh_index().params(),
+                index.lsh_index().len(),
+            )
+            .unwrap(),
+            index.spec(),
+            index.params(),
+        )
+        .unwrap();
+        for q in index.data().iter().take(8) {
+            assert_eq!(index.search(q).unwrap(), rebuilt.search(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn duplicate_vectors_keep_an_exact_lookup_entry_after_delete() {
+        let mut r = rng();
+        let dim = 8;
+        let v = random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.7);
+        let mut data: Vec<DenseVector> = (0..20)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap().scaled(0.1))
+            .collect();
+        data.push(v.clone()); // slot 20
+        let self_ip = v.dot(&v).unwrap();
+        let spec = JoinSpec::new(self_ip * 0.9, 0.9, JoinVariant::Signed).unwrap();
+        let mut index =
+            SymmetricLshMips::build(&mut r, data, spec, SymmetricParams::default()).unwrap();
+        // Insert a duplicate of v: the diagonal lookup now answers with the later slot
+        // (matching what a fresh build over the same sequence stores).
+        let dup = index.insert(v.clone()).unwrap();
+        assert_eq!(index.search(&v).unwrap().unwrap().data_index, dup);
+        // Deleting the duplicate falls back to the original copy, not to a miss.
+        index.delete(dup).unwrap();
+        assert_eq!(index.search(&v).unwrap().unwrap().data_index, 20);
     }
 
     #[test]

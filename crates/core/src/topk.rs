@@ -28,6 +28,14 @@ pub trait TopKMipsIndex: MipsIndex {
     fn search_top_k(&self, query: &DenseVector, k: usize) -> Result<Vec<SearchResult>>;
 }
 
+/// Shared references forward, so [`crate::engine::JoinEngine`] can run top-`k` joins
+/// over a borrowed index just as it runs single-partner joins.
+impl<I: TopKMipsIndex + ?Sized> TopKMipsIndex for &I {
+    fn search_top_k(&self, query: &DenseVector, k: usize) -> Result<Vec<SearchResult>> {
+        (**self).search_top_k(query, k)
+    }
+}
+
 /// Sorts candidate results by the spec's similarity value (descending), keeps only
 /// acceptable ones, and truncates to `k`.
 fn finalize(mut hits: Vec<SearchResult>, spec: &JoinSpec, k: usize) -> Vec<SearchResult> {
@@ -80,6 +88,20 @@ impl TopKMipsIndex for SymmetricLshMips {
     fn search_top_k(&self, query: &DenseVector, k: usize) -> Result<Vec<SearchResult>> {
         let candidates = self.candidate_indices(query)?;
         rescore_candidates(self.data(), &candidates, query, &self.spec(), k)
+    }
+}
+
+/// The sketch structure recovers a *single* candidate per query (the prefix-tree walk
+/// of Section 4.3 has no ranked candidate set), so its top-`k` is the top-1 result —
+/// an approximate implementation is allowed to return fewer than `k` partners, and
+/// this one always returns at most one. The serving layer documents this when a
+/// sketch-family index answers `topk`.
+impl TopKMipsIndex for crate::mips::SketchMipsAdapter {
+    fn search_top_k(&self, query: &DenseVector, k: usize) -> Result<Vec<SearchResult>> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self.search(query)?.into_iter().collect())
     }
 }
 

@@ -71,6 +71,28 @@ pub struct AndFunction<H> {
     functions: Vec<H>,
 }
 
+impl<H> AndFunction<H> {
+    /// The concatenated component functions, in hash order.
+    pub fn functions(&self) -> &[H] {
+        &self.functions
+    }
+
+    /// Reassembles a composite function from its components — the inverse of
+    /// [`AndFunction::functions`], used by snapshot persistence.
+    ///
+    /// Returns an error when the list is empty (a 0-wise AND hashes everything
+    /// to one bucket, which [`AndConstruction::new`] also rejects).
+    pub fn from_functions(functions: Vec<H>) -> Result<Self> {
+        if functions.is_empty() {
+            return Err(LshError::InvalidParameter {
+                name: "functions",
+                reason: "AND-function needs at least one component".into(),
+            });
+        }
+        Ok(Self { functions })
+    }
+}
+
 impl<H: AsymmetricHashFunction> AsymmetricHashFunction for AndFunction<H> {
     fn hash_data(&self, p: &DenseVector) -> Result<u64> {
         let mut acc = 0u64;

@@ -74,6 +74,31 @@ impl HyperplaneFunction {
     pub fn planes(&self) -> &[DenseVector] {
         &self.planes
     }
+
+    /// Reassembles a function from its hyperplane normals — the inverse of
+    /// [`HyperplaneFunction::planes`], used by snapshot persistence to restore a
+    /// sampled function without re-drawing it.
+    ///
+    /// Returns an error when the list is empty, longer than 64 (the bucket is a
+    /// `u64` bit pattern), or the planes disagree on dimension.
+    pub fn from_planes(planes: Vec<DenseVector>) -> Result<Self> {
+        if planes.is_empty() || planes.len() > 64 {
+            return Err(LshError::InvalidParameter {
+                name: "planes",
+                reason: format!("need 1..=64 hyperplanes, got {}", planes.len()),
+            });
+        }
+        let dim = planes[0].dim();
+        for p in &planes {
+            if p.dim() != dim {
+                return Err(LshError::DimensionMismatch {
+                    expected: dim,
+                    actual: p.dim(),
+                });
+            }
+        }
+        Ok(Self { planes })
+    }
 }
 
 impl HashFunction for HyperplaneFunction {

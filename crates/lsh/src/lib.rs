@@ -47,4 +47,5 @@ pub mod traits;
 pub use error::{LshError, Result};
 pub use traits::{
     AsymmetricHashFunction, AsymmetricLshFamily, HashFunction, LshFamily, SymmetricAsAsymmetric,
+    SymmetricFunctionPair,
 };

@@ -148,6 +148,36 @@ pub struct SimpleAlshFunction {
     inner: HyperplaneFunction,
 }
 
+impl SimpleAlshFunction {
+    /// The ball-to-sphere transform applied before hashing.
+    pub fn transform(&self) -> &SphereTransform {
+        &self.transform
+    }
+
+    /// The hyperplane function applied to the embedded vectors.
+    pub fn hyperplane(&self) -> &HyperplaneFunction {
+        &self.inner
+    }
+
+    /// Reassembles a function pair from its parts — the inverse of
+    /// [`SimpleAlshFunction::transform`] / [`SimpleAlshFunction::hyperplane`],
+    /// used by snapshot persistence.
+    ///
+    /// Returns an error when the hyperplanes are not of the transform's output
+    /// dimension (`dim + 2`).
+    pub fn from_parts(transform: SphereTransform, inner: HyperplaneFunction) -> Result<Self> {
+        for plane in inner.planes() {
+            if plane.dim() != transform.output_dim() {
+                return Err(LshError::DimensionMismatch {
+                    expected: transform.output_dim(),
+                    actual: plane.dim(),
+                });
+            }
+        }
+        Ok(Self { transform, inner })
+    }
+}
+
 impl AsymmetricHashFunction for SimpleAlshFunction {
     fn hash_data(&self, p: &DenseVector) -> Result<u64> {
         let embedded = self.transform.transform_data(p)?;

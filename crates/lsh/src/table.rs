@@ -6,6 +6,13 @@
 //! probabilities `P1 > P2`, choosing `k ≈ log n / log(1/P2)` and `L ≈ n^ρ` gives the
 //! classical `O(n^ρ)` query time that all the upper-bound discussions in the paper
 //! (Sections 1.1 and 4) refer to.
+//!
+//! The index is *dynamic*: [`LshIndex::insert`] and [`LshIndex::remove`] maintain the
+//! `L` tables incrementally (hashing the point with each table's stored function), so a
+//! long-lived serving process can mutate an index without rebuilding it; and it is
+//! *persistable*: [`LshIndex::functions`] / [`LshIndex::tables`] /
+//! [`LshIndex::from_raw_parts`] expose exactly the state a snapshot needs to restore an
+//! index bit-identically (same sampled functions, same buckets, same query results).
 
 use crate::amplify::AndConstruction;
 use crate::error::{LshError, Result};
@@ -129,6 +136,105 @@ impl<F: AsymmetricLshFamily + Clone> LshIndex<F> {
             .map(|t| t.values().map(Vec::len).sum::<usize>())
             .sum()
     }
+
+    /// The `L` sampled composite functions, in table order (persistence accessor).
+    pub fn functions(&self) -> &[<AndConstruction<F> as AsymmetricLshFamily>::Function] {
+        &self.functions
+    }
+
+    /// The `L` hash tables, in table order (persistence accessor). Each maps a bucket
+    /// key to the point ids stored under it, in insertion order.
+    pub fn tables(&self) -> &[HashMap<u64, Vec<u32>>] {
+        &self.tables
+    }
+
+    /// Reassembles an index from previously extracted state — the inverse of
+    /// [`LshIndex::functions`] / [`LshIndex::tables`] / [`LshIndex::params`], used by
+    /// snapshot persistence to restore an index without re-sampling its functions.
+    ///
+    /// `len` is the number of *distinct* points stored (each point appears once per
+    /// table). Returns an error when the function and table counts disagree with each
+    /// other or with `params.l`, or when any table's entry count differs from `len`.
+    pub fn from_raw_parts(
+        functions: Vec<<AndConstruction<F> as AsymmetricLshFamily>::Function>,
+        tables: Vec<HashMap<u64, Vec<u32>>>,
+        params: IndexParams,
+        len: usize,
+    ) -> Result<Self> {
+        if functions.is_empty() || functions.len() != tables.len() || functions.len() != params.l {
+            return Err(LshError::InvalidParameter {
+                name: "functions/tables",
+                reason: format!(
+                    "need params.l = {} non-empty matching function and table lists, got {} and {}",
+                    params.l,
+                    functions.len(),
+                    tables.len()
+                ),
+            });
+        }
+        for table in &tables {
+            let entries: usize = table.values().map(Vec::len).sum();
+            if entries != len {
+                return Err(LshError::InvalidParameter {
+                    name: "tables",
+                    reason: format!("table holds {entries} entries for a length-{len} index"),
+                });
+            }
+        }
+        Ok(Self {
+            functions,
+            tables,
+            params,
+            len,
+        })
+    }
+
+    /// Inserts a point under id `id`, hashing it into every table with that table's
+    /// stored function — the dynamic-maintenance half of the serving layer.
+    ///
+    /// The caller owns the id space; inserting an id that is already present stores it
+    /// twice and is a logic error.
+    pub fn insert(&mut self, id: u32, p: &DenseVector) -> Result<()> {
+        // Hash against every table before mutating any of them, so a domain or
+        // dimension error cannot leave the point half-inserted.
+        let mut buckets = Vec::with_capacity(self.functions.len());
+        for f in &self.functions {
+            buckets.push(f.hash_data(p)?);
+        }
+        for (table, bucket) in self.tables.iter_mut().zip(buckets) {
+            table.entry(bucket).or_default().push(id);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes the point stored under id `id`, locating its bucket in each table by
+    /// re-hashing the vector `p` it was inserted with.
+    ///
+    /// Returns `true` when the id was found (in any table) and removed. Buckets left
+    /// empty are dropped, so a remove exactly undoes the matching insert.
+    pub fn remove(&mut self, id: u32, p: &DenseVector) -> Result<bool> {
+        let mut buckets = Vec::with_capacity(self.functions.len());
+        for f in &self.functions {
+            buckets.push(f.hash_data(p)?);
+        }
+        let mut removed = false;
+        for (table, bucket) in self.tables.iter_mut().zip(buckets) {
+            if let Some(ids) = table.get_mut(&bucket) {
+                if let Some(pos) = ids.iter().position(|&x| x == id) {
+                    ids.remove(pos);
+                    removed = true;
+                }
+                if ids.is_empty() {
+                    table.remove(&bucket);
+                }
+            }
+        }
+        if removed {
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +303,86 @@ mod tests {
             candidates.contains(&7),
             "high-IP point missed: {candidates:?}"
         );
+    }
+
+    #[test]
+    fn dynamic_insert_and_remove_match_a_fresh_build() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let dim = 10;
+        let fam = SimpleAlshFamily::new(dim, 1.0, 1).unwrap();
+        let params = IndexParams { k: 3, l: 8 };
+        let data: Vec<DenseVector> = (0..60)
+            .map(|_| random_ball_vector(&mut rng, dim, 1.0).unwrap())
+            .collect();
+        // Build over the first 40 points, then insert the remaining 20 dynamically.
+        let mut dynamic = LshIndex::build(&fam, params, &data[..40], &mut rng).unwrap();
+        for (i, p) in data[40..].iter().enumerate() {
+            dynamic.insert((40 + i) as u32, p).unwrap();
+        }
+        assert_eq!(dynamic.len(), 60);
+        // Same functions, so querying must see the inserted points exactly as if they
+        // had been present at build time: remove them again and the tables must return
+        // to the built state.
+        let before: Vec<_> = (0..5)
+            .map(|i| dynamic.query_candidates(&data[i]).unwrap())
+            .collect();
+        for (i, p) in data[40..].iter().enumerate() {
+            assert!(dynamic.remove((40 + i) as u32, p).unwrap());
+        }
+        assert_eq!(dynamic.len(), 40);
+        for t in dynamic.tables() {
+            assert!(t.values().all(|ids| ids.iter().all(|&id| id < 40)));
+        }
+        // Candidates after removal never contain removed ids.
+        for i in 0..5 {
+            let after = dynamic.query_candidates(&data[i]).unwrap();
+            assert!(after.iter().all(|&id| id < 40));
+            let expected: Vec<usize> = before[i].iter().copied().filter(|&id| id < 40).collect();
+            assert_eq!(after, expected);
+        }
+        // Removing an id that is not stored reports false and changes nothing.
+        assert!(!dynamic.remove(99, &data[59]).unwrap());
+        assert_eq!(dynamic.len(), 40);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_preserves_queries() {
+        let mut rng = StdRng::seed_from_u64(96);
+        let dim = 8;
+        let fam = SimpleAlshFamily::new(dim, 1.0, 1).unwrap();
+        let data: Vec<DenseVector> = (0..30)
+            .map(|_| random_ball_vector(&mut rng, dim, 1.0).unwrap())
+            .collect();
+        let params = IndexParams { k: 2, l: 6 };
+        let index = LshIndex::build(&fam, params, &data, &mut rng).unwrap();
+        let rebuilt = LshIndex::<SimpleAlshFamily>::from_raw_parts(
+            index.functions().to_vec(),
+            index.tables().to_vec(),
+            index.params(),
+            index.len(),
+        )
+        .unwrap();
+        for q in &data[..5] {
+            assert_eq!(
+                index.query_candidates(q).unwrap(),
+                rebuilt.query_candidates(q).unwrap()
+            );
+        }
+        // Validation: mismatched table count and wrong entry totals are rejected.
+        assert!(LshIndex::<SimpleAlshFamily>::from_raw_parts(
+            index.functions().to_vec(),
+            index.tables()[..3].to_vec(),
+            index.params(),
+            index.len(),
+        )
+        .is_err());
+        assert!(LshIndex::<SimpleAlshFamily>::from_raw_parts(
+            index.functions().to_vec(),
+            index.tables().to_vec(),
+            index.params(),
+            index.len() + 1,
+        )
+        .is_err());
     }
 
     #[test]

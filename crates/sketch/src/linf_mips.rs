@@ -119,6 +119,62 @@ impl MaxIpEstimator {
         self.sketched.first().map_or(0, Matrix::rows)
     }
 
+    /// The norm exponent `κ` the estimator was built with.
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+
+    /// The pre-sketched `Π_t·A` matrices, one per independent copy (persistence
+    /// accessor — together with `κ`, `n` and `d` this is the estimator's whole state).
+    pub fn sketched(&self) -> &[Matrix] {
+        &self.sketched
+    }
+
+    /// Reassembles an estimator from previously extracted state — the inverse of
+    /// [`MaxIpEstimator::sketched`] and friends, used by snapshot persistence to
+    /// restore an estimator without re-drawing its sketches.
+    ///
+    /// Returns an error for an invalid `κ`, an empty copy list, `n == 0`, or sketched
+    /// matrices that disagree on shape (every copy must be `m × d`).
+    pub fn from_raw_parts(kappa: f64, n: usize, dim: usize, sketched: Vec<Matrix>) -> Result<Self> {
+        if !(kappa >= 2.0) {
+            return Err(SketchError::InvalidParameter {
+                name: "kappa",
+                reason: format!("kappa must be at least 2, got {kappa}"),
+            });
+        }
+        if n == 0 {
+            return Err(SketchError::EmptyDataSet);
+        }
+        let first_rows = match sketched.first() {
+            Some(m) => m.rows(),
+            None => {
+                return Err(SketchError::InvalidParameter {
+                    name: "sketched",
+                    reason: "at least one sketch copy is required".into(),
+                })
+            }
+        };
+        for m in &sketched {
+            if m.cols() != dim || m.rows() != first_rows {
+                return Err(SketchError::InvalidParameter {
+                    name: "sketched",
+                    reason: format!(
+                        "every copy must be {first_rows}x{dim}, got {}x{}",
+                        m.rows(),
+                        m.cols()
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            kappa,
+            n,
+            dim,
+            sketched,
+        })
+    }
+
     /// Estimates `‖Aq‖_κ` (which sandwiches `‖Aq‖_∞` within `n^{1/κ}`).
     pub fn estimate(&self, q: &DenseVector) -> Result<f64> {
         if q.dim() != self.dim {

@@ -26,13 +26,24 @@ pub struct MipsCandidate {
     pub inner_product: f64,
 }
 
-enum Node {
+/// One node of the recovery prefix tree.
+///
+/// The variants are public so snapshot persistence can walk and reassemble the tree
+/// (see [`SketchMipsIndex::root`] / [`SketchMipsIndex::from_raw_parts`]); ordinary
+/// queries never need to touch them.
+pub enum Node {
+    /// An internal split: one estimator per half, and the two subtrees.
     Internal {
+        /// Estimator over the vectors whose indices fall in the left half.
         estimator_left: MaxIpEstimator,
+        /// Estimator over the vectors whose indices fall in the right half.
         estimator_right: MaxIpEstimator,
+        /// Subtree over the left half.
         left: Box<Node>,
+        /// Subtree over the right half.
         right: Box<Node>,
     },
+    /// A leaf, where exact evaluation takes over.
     Leaf {
         /// Global indices of the vectors stored in this leaf.
         indices: Vec<usize>,
@@ -128,6 +139,73 @@ impl SketchMipsIndex {
     /// The leaf size used when building the tree.
     pub fn leaf_size(&self) -> usize {
         self.leaf_size
+    }
+
+    /// The indexed data vectors (persistence accessor).
+    pub fn data(&self) -> &[DenseVector] {
+        &self.data
+    }
+
+    /// The root of the prefix tree (persistence accessor).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Reassembles an index from previously extracted state — the inverse of
+    /// [`SketchMipsIndex::data`] / [`SketchMipsIndex::root`] / accessors, used by
+    /// snapshot persistence to restore the tree without re-drawing its sketches.
+    ///
+    /// Performs the same input validation as [`SketchMipsIndex::build`] plus a check
+    /// that every leaf index points into `data`; it does not re-verify the estimator
+    /// contents (a snapshot's checksum covers corruption).
+    pub fn from_raw_parts(
+        data: Vec<DenseVector>,
+        root: Node,
+        config: MaxIpConfig,
+        leaf_size: usize,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(SketchError::EmptyDataSet);
+        }
+        if leaf_size == 0 {
+            return Err(SketchError::InvalidParameter {
+                name: "leaf_size",
+                reason: "leaf size must be at least 1".into(),
+            });
+        }
+        let dim = data[0].dim();
+        for v in &data {
+            if v.dim() != dim {
+                return Err(SketchError::DimensionMismatch {
+                    expected: dim,
+                    actual: v.dim(),
+                });
+            }
+        }
+        fn check(node: &Node, n: usize) -> Result<()> {
+            match node {
+                Node::Internal { left, right, .. } => {
+                    check(left, n)?;
+                    check(right, n)
+                }
+                Node::Leaf { indices } => {
+                    if indices.is_empty() || indices.iter().any(|&i| i >= n) {
+                        return Err(SketchError::InvalidParameter {
+                            name: "root",
+                            reason: "leaf holds an empty or out-of-range index list".into(),
+                        });
+                    }
+                    Ok(())
+                }
+            }
+        }
+        check(&root, data.len())?;
+        Ok(Self {
+            data,
+            root,
+            config,
+            leaf_size,
+        })
     }
 
     /// Recovers an (approximate) maximiser of `|p_iᵀq|` by walking the prefix tree.

@@ -1,0 +1,257 @@
+//! Binary encoding primitives of the snapshot format.
+//!
+//! Every multi-byte value is written **little-endian** regardless of host, and floats
+//! are written as their IEEE-754 bit patterns (`f64::to_bits`), so a snapshot written
+//! on one machine decodes to *bit-identical* state on any other — the property the
+//! round-trip guarantees of [`crate::snapshot`] rest on. Integrity is checked with the
+//! 64-bit FNV-1a hash ([`fnv1a64`]) over the encoded payload; corruption and
+//! truncation surface as [`StoreError::Corrupt`] instead of garbage indexes.
+
+use crate::error::{Result, StoreError};
+
+/// Offset basis of 64-bit FNV-1a.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// Prime of 64-bit FNV-1a.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// The 64-bit FNV-1a hash of `bytes` — the snapshot checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    bytes: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64` (sizes are 64-bit on disk whatever
+    /// the host width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact, NaN-preserving).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (`0` / `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends an optional `u64` as a presence byte plus the value.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_u64(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// A bounds-checked little-endian byte cursor over an encoded snapshot.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt {
+                context: "reader",
+                reason: format!("wanted {n} bytes, {} remain", self.remaining()),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Consumes a 64-bit size, rejecting values that do not fit the host `usize`.
+    pub fn take_usize(&mut self) -> Result<usize> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| StoreError::Corrupt {
+            context: "reader",
+            reason: format!("size {v} exceeds the host address width"),
+        })
+    }
+
+    /// Consumes an `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Consumes a one-byte bool, rejecting anything but `0` / `1`.
+    pub fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::Corrupt {
+                context: "reader",
+                reason: format!("invalid bool byte {other}"),
+            }),
+        }
+    }
+
+    /// Consumes an optional `u64` (presence byte plus value).
+    pub fn take_opt_u64(&mut self) -> Result<Option<u64>> {
+        Ok(if self.take_bool()? {
+            Some(self.take_u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Fails unless every byte has been consumed — decoding must account for the
+    /// whole payload, or the snapshot and the decoder disagree about the format.
+    pub fn expect_end(&self, context: &'static str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Corrupt {
+                context,
+                reason: format!("{} trailing bytes after decoding", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_is_bit_exact() {
+        let mut w = ByteWriter::new();
+        assert!(w.is_empty());
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_opt_u64(None);
+        w.put_opt_u64(Some(9));
+        w.put_bytes(b"xy");
+        assert!(!w.is_empty());
+        assert_eq!(w.len(), w.as_bytes().len());
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_usize().unwrap(), 42);
+        // -0.0 and NaN survive bit-exactly (a numeric == check would miss both).
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.take_f64().unwrap().is_nan());
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_opt_u64().unwrap(), None);
+        assert_eq!(r.take_opt_u64().unwrap(), Some(9));
+        assert_eq!(r.take_bytes(2).unwrap(), b"xy");
+        r.expect_end("test").unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.take_u64().is_err());
+        assert_eq!(r.remaining(), 3);
+        let mut r = ByteReader::new(&[9]);
+        assert!(r.take_bool().is_err(), "bool byte must be 0 or 1");
+        let r = ByteReader::new(&[0]);
+        assert!(r.expect_end("test").is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+}

@@ -1,0 +1,143 @@
+//! The [`ServingRegistry`]: a named collection of loaded serving indexes.
+//!
+//! A serving process typically hosts several snapshots at once (one per tenant,
+//! shard or dataset); the registry owns them, routes by name, and aggregates their
+//! counters. It is the programmatic seam under `ips serve` — the CLI serves one
+//! registry entry, embedders can hold many.
+
+use crate::error::{Result, StoreError};
+use crate::serving::{ServingConfig, ServingIndex, ServingStats};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A named collection of [`ServingIndex`]es.
+#[derive(Default)]
+pub struct ServingRegistry {
+    indexes: BTreeMap<String, ServingIndex>,
+}
+
+impl ServingRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Returns `true` when no index is registered.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// The registered names, ascending.
+    pub fn names(&self) -> Vec<&str> {
+        self.indexes.keys().map(String::as_str).collect()
+    }
+
+    /// Registers an already-constructed serving index under `name`, replacing and
+    /// returning any previous holder of the name.
+    pub fn register(&mut self, name: &str, index: ServingIndex) -> Option<ServingIndex> {
+        self.indexes.insert(name.to_string(), index)
+    }
+
+    /// Loads a snapshot file and registers it under `name`.
+    pub fn open(&mut self, name: &str, path: &Path, config: ServingConfig) -> Result<()> {
+        let index = ServingIndex::open(path, config)?;
+        self.indexes.insert(name.to_string(), index);
+        Ok(())
+    }
+
+    /// The index registered under `name`.
+    pub fn get(&self, name: &str) -> Result<&ServingIndex> {
+        self.indexes
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownIndex {
+                name: name.to_string(),
+            })
+    }
+
+    /// Mutable access to the index registered under `name`.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut ServingIndex> {
+        self.indexes
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownIndex {
+                name: name.to_string(),
+            })
+    }
+
+    /// Unregisters and returns the index under `name`.
+    pub fn close(&mut self, name: &str) -> Result<ServingIndex> {
+        self.indexes
+            .remove(name)
+            .ok_or_else(|| StoreError::UnknownIndex {
+                name: name.to_string(),
+            })
+    }
+
+    /// Per-index counters, one `(name, stats)` row per registered index, ascending by
+    /// name.
+    pub fn stats(&self) -> Vec<(&str, ServingStats)> {
+        self.indexes
+            .iter()
+            .map(|(name, index)| (name.as_str(), index.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::IndexConfig;
+    use ips_core::problem::{JoinSpec, JoinVariant};
+    use ips_linalg::random::random_ball_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_index(seed: u64) -> ServingIndex {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..20)
+            .map(|_| random_ball_vector(&mut rng, 6, 1.0).unwrap())
+            .collect();
+        let spec = JoinSpec::new(0.4, 0.5, JoinVariant::Signed).unwrap();
+        ServingIndex::build(data, spec, IndexConfig::Brute, ServingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn register_route_and_close() {
+        let mut registry = ServingRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.get("a").is_err());
+        registry.register("b", sample_index(1));
+        registry.register("a", sample_index(2));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["a", "b"]);
+        assert_eq!(registry.get("a").unwrap().len(), 20);
+        registry.get_mut("a").unwrap().delete(0).unwrap();
+        assert_eq!(registry.get("a").unwrap().len(), 19);
+        let stats = registry.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "a");
+        assert_eq!(stats[0].1.deletes, 1);
+        let closed = registry.close("a").unwrap();
+        assert_eq!(closed.len(), 19);
+        assert!(registry.close("a").is_err());
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn open_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("ips-store-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reg.snap");
+        sample_index(3).save(&path).unwrap();
+        let mut registry = ServingRegistry::new();
+        registry
+            .open("loaded", &path, ServingConfig::default())
+            .unwrap();
+        assert_eq!(registry.get("loaded").unwrap().len(), 20);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

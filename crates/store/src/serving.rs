@@ -1,0 +1,858 @@
+//! The long-lived serving layer: a loaded snapshot that answers query batches and
+//! accepts incremental `insert` / `delete`, with per-index counters.
+//!
+//! A [`ServingIndex`] owns one [`AnyIndex`] (the *primary* structure) and hands out
+//! **stable external ids**: the id returned by [`ServingIndex::insert`] stays valid
+//! across every later mutation, rebuild and save/load cycle, which is what clients of
+//! a long-lived service key their state on.
+//!
+//! # Mutation strategy per family
+//!
+//! * **ALSH / symmetric LSH** — true dynamic maintenance: inserts hash the new vector
+//!   into every table with the functions sampled at build time, deletes remove it
+//!   again (see [`ips_lsh::table::LshIndex::insert`]). Tombstoned slots still occupy
+//!   memory, so when their fraction exceeds the rebuild threshold the index is
+//!   compacted by a rebuild.
+//! * **Brute force** — building *is* storing the vectors, so the primary is rebuilt
+//!   on every mutation (the threshold is irrelevant).
+//! * **Sketch** — the Section 4.3 structure cannot absorb single-vector updates, so
+//!   inserts go to a brute-scanned *overlay* and deletes *tombstone* the id (a
+//!   tombstoned primary answer is suppressed, costing recall, never validity). When
+//!   `(overlay + tombstones) / live` exceeds [`ServingConfig::rebuild_threshold`]
+//!   (default 0.25) the structure is rebuilt over the live set.
+//!
+//! Rebuilds always re-seed from [`ServingConfig::seed`], so a mutated-then-compacted
+//! index is *identical* to one built fresh from the same live vectors with the same
+//! seed — the equivalence the insert/delete property tests pin down.
+//!
+//! Queries run through the existing [`JoinEngine`] (same chunking, work stealing and
+//! result assembly as every join in the workspace) via [`ServingIndex::query`] /
+//! [`ServingIndex::query_top_k`], and results carry external ids.
+
+use crate::error::{Result, StoreError};
+use crate::snapshot::{AnyIndex, IndexFamily, Snapshot};
+use ips_core::asymmetric::AlshParams;
+use ips_core::engine::{EngineConfig, JoinEngine};
+use ips_core::mips::{BruteForceMipsIndex, MipsIndex, SearchResult, SketchMipsAdapter};
+use ips_core::problem::{JoinSpec, MatchPair};
+use ips_core::symmetric::{SymmetricLshMips, SymmetricParams};
+use ips_core::topk::TopKMipsIndex;
+use ips_core::AlshMipsIndex;
+use ips_linalg::DenseVector;
+use ips_sketch::linf_mips::MaxIpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which structure to build over the data, with its family-specific tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexConfig {
+    /// The exact quadratic scan.
+    Brute,
+    /// The Section 4.1 asymmetric-LSH index.
+    Alsh(AlshParams),
+    /// The Section 4.2 symmetric LSH.
+    Symmetric(SymmetricParams),
+    /// The Section 4.3 sketch structure.
+    Sketch {
+        /// Per-node sketch configuration.
+        config: MaxIpConfig,
+        /// Where the recovery tree stops and exact evaluation takes over.
+        leaf_size: usize,
+    },
+}
+
+impl IndexConfig {
+    /// The family this configuration builds.
+    pub fn family(&self) -> IndexFamily {
+        match self {
+            IndexConfig::Brute => IndexFamily::Brute,
+            IndexConfig::Alsh(_) => IndexFamily::Alsh,
+            IndexConfig::Symmetric(_) => IndexFamily::Symmetric,
+            IndexConfig::Sketch { .. } => IndexFamily::Sketch,
+        }
+    }
+}
+
+/// Tuning of a [`ServingIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingConfig {
+    /// Schedule of the [`JoinEngine`] answering query batches.
+    pub engine: EngineConfig,
+    /// Rebuild when `(tombstoned + overlaid) / live` exceeds this fraction
+    /// (brute rebuilds on every mutation regardless).
+    pub rebuild_threshold: f64,
+    /// Seed for every build and rebuild, making maintenance reproducible.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            rebuild_threshold: 0.25,
+            seed: 0x1B5_5E4E,
+        }
+    }
+}
+
+/// A point-in-time copy of a serving index's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Query vectors answered.
+    pub queries: u64,
+    /// Pairs reported across all queries.
+    pub hits: u64,
+    /// Total wall-clock nanoseconds spent answering query batches.
+    pub query_ns: u64,
+    /// Vectors inserted.
+    pub inserts: u64,
+    /// Vectors deleted.
+    pub deletes: u64,
+    /// Primary-structure rebuilds performed.
+    pub rebuilds: u64,
+}
+
+impl ServingStats {
+    /// Mean nanoseconds per query vector (0 before the first query).
+    pub fn avg_query_ns(&self) -> u64 {
+        self.query_ns.checked_div(self.queries).unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    hits: AtomicU64,
+    query_ns: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+/// A loaded, mutable, query-serving index with stable external ids.
+pub struct ServingIndex {
+    primary: AnyIndex,
+    /// Slot → external id, for every primary slot (live or tombstoned).
+    primary_ids: Vec<u64>,
+    /// Live external id → primary slot.
+    id_to_slot: HashMap<u64, usize>,
+    /// Sketch-family inserts not yet absorbed by a rebuild, in id order.
+    overlay: Vec<(u64, DenseVector)>,
+    /// Sketch-family deletes not yet absorbed by a rebuild.
+    tombstones: HashSet<u64>,
+    next_id: u64,
+    dim: usize,
+    spec: JoinSpec,
+    index_config: IndexConfig,
+    config: ServingConfig,
+    counters: Counters,
+}
+
+fn build_index(
+    data: Vec<DenseVector>,
+    spec: JoinSpec,
+    index_config: IndexConfig,
+    seed: u64,
+) -> Result<AnyIndex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(match index_config {
+        IndexConfig::Brute => AnyIndex::Brute(BruteForceMipsIndex::new(data, spec)),
+        IndexConfig::Alsh(params) => {
+            AnyIndex::Alsh(AlshMipsIndex::build(&mut rng, data, spec, params)?)
+        }
+        IndexConfig::Symmetric(params) => {
+            AnyIndex::Symmetric(SymmetricLshMips::build(&mut rng, data, spec, params)?)
+        }
+        IndexConfig::Sketch { config, leaf_size } => AnyIndex::Sketch(SketchMipsAdapter::build(
+            &mut rng, data, spec, config, leaf_size,
+        )?),
+    })
+}
+
+fn extract_index_config(index: &AnyIndex) -> IndexConfig {
+    match index {
+        AnyIndex::Brute(_) => IndexConfig::Brute,
+        AnyIndex::Alsh(i) => IndexConfig::Alsh(i.params()),
+        AnyIndex::Symmetric(i) => IndexConfig::Symmetric(i.params()),
+        AnyIndex::Sketch(i) => IndexConfig::Sketch {
+            config: i.inner().config(),
+            leaf_size: i.inner().leaf_size(),
+        },
+    }
+}
+
+impl ServingIndex {
+    /// Builds a fresh index over `data` and wraps it for serving, numbering external
+    /// ids `0..data.len()`.
+    pub fn build(
+        data: Vec<DenseVector>,
+        spec: JoinSpec,
+        index_config: IndexConfig,
+        config: ServingConfig,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StoreError::InvalidParameter {
+                name: "data",
+                reason: "a serving index needs at least one vector".into(),
+            });
+        }
+        let primary = build_index(data, spec, index_config, config.seed)?;
+        Self::from_snapshot(Snapshot::new(primary), config)
+    }
+
+    /// Wraps a loaded [`Snapshot`] for serving.
+    pub fn from_snapshot(snapshot: Snapshot, config: ServingConfig) -> Result<Self> {
+        if !(config.rebuild_threshold > 0.0) {
+            return Err(StoreError::InvalidParameter {
+                name: "rebuild_threshold",
+                reason: format!("must be positive, got {}", config.rebuild_threshold),
+            });
+        }
+        let Snapshot {
+            index: primary,
+            ids: primary_ids,
+            next_id,
+        } = snapshot;
+        let dim = match primary.vector(0) {
+            Some(v) => v.dim(),
+            None => {
+                return Err(StoreError::InvalidParameter {
+                    name: "snapshot",
+                    reason: "a serving index needs at least one vector".into(),
+                })
+            }
+        };
+        let mut id_to_slot = HashMap::with_capacity(primary_ids.len());
+        for (slot, &id) in primary_ids.iter().enumerate() {
+            if primary.is_live(slot) {
+                id_to_slot.insert(id, slot);
+            }
+        }
+        let index_config = extract_index_config(&primary);
+        let spec = primary.spec();
+        Ok(Self {
+            primary,
+            primary_ids,
+            id_to_slot,
+            overlay: Vec::new(),
+            tombstones: HashSet::new(),
+            next_id,
+            dim,
+            spec,
+            index_config,
+            config,
+            counters: Counters::default(),
+        })
+    }
+
+    /// Loads a snapshot file and wraps it for serving.
+    pub fn open(path: &Path, config: ServingConfig) -> Result<Self> {
+        Self::from_snapshot(Snapshot::load(path)?, config)
+    }
+
+    /// Compacts pending state into the primary structure and writes a snapshot file,
+    /// returning the number of bytes written. The saved snapshot preserves every
+    /// live external id and the id allocator, so a reload continues exactly where
+    /// this index stands.
+    ///
+    /// An index with **no live vectors cannot be saved**: the snapshot format
+    /// carries the dimension through its vectors, and the non-brute structures
+    /// cannot be rebuilt empty — a snapshot written in that state would either be
+    /// unloadable (brute) or resurrect tombstoned vectors (sketch). The error is
+    /// returned before anything is written; insert at least one vector first.
+    pub fn save(&mut self, path: &Path) -> Result<u64> {
+        if self.is_empty() {
+            return Err(StoreError::InvalidParameter {
+                name: "serving",
+                reason: "cannot snapshot an index with no live vectors; insert before saving"
+                    .into(),
+            });
+        }
+        self.compact()?;
+        let bytes = crate::snapshot::encode(&self.primary, &self.primary_ids, self.next_id);
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// The index family being served.
+    pub fn family(&self) -> IndexFamily {
+        self.primary.family()
+    }
+
+    /// The `(cs, s)` spec queries are answered under.
+    pub fn spec(&self) -> JoinSpec {
+        self.spec
+    }
+
+    /// The data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live vectors.
+    pub fn len(&self) -> usize {
+        self.id_to_slot.len() + self.overlay.len()
+    }
+
+    /// Returns `true` when every vector has been deleted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live external ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.id_to_slot.keys().copied().collect();
+        out.extend(self.overlay.iter().map(|(id, _)| *id));
+        out.sort_unstable();
+        out
+    }
+
+    /// The vector behind a live external id.
+    pub fn vector(&self, id: u64) -> Result<&DenseVector> {
+        if let Some(&slot) = self.id_to_slot.get(&id) {
+            return self
+                .primary
+                .vector(slot)
+                .ok_or(StoreError::UnknownId { id });
+        }
+        self.overlay
+            .iter()
+            .find(|(oid, _)| *oid == id)
+            .map(|(_, v)| v)
+            .ok_or(StoreError::UnknownId { id })
+    }
+
+    /// A point-in-time copy of the per-index counters.
+    pub fn stats(&self) -> ServingStats {
+        ServingStats {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            query_ns: self.counters.query_ns.load(Ordering::Relaxed),
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            deletes: self.counters.deletes.load(Ordering::Relaxed),
+            rebuilds: self.counters.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Inserts a vector, returning its stable external id.
+    pub fn insert(&mut self, v: DenseVector) -> Result<u64> {
+        if v.dim() != self.dim {
+            return Err(StoreError::InvalidParameter {
+                name: "v",
+                reason: format!("dimension {} != index dimension {}", v.dim(), self.dim),
+            });
+        }
+        let id = self.next_id;
+        match &mut self.primary {
+            AnyIndex::Alsh(index) => {
+                let slot = index.insert(v)?;
+                debug_assert_eq!(slot, self.primary_ids.len());
+                self.primary_ids.push(id);
+                self.id_to_slot.insert(id, slot);
+            }
+            AnyIndex::Symmetric(index) => {
+                let slot = index.insert(v)?;
+                debug_assert_eq!(slot, self.primary_ids.len());
+                self.primary_ids.push(id);
+                self.id_to_slot.insert(id, slot);
+            }
+            AnyIndex::Brute(_) => {
+                let mut entries = self.live_entries();
+                entries.push((id, v));
+                self.rebuild_from(entries)?;
+            }
+            AnyIndex::Sketch(_) => {
+                self.overlay.push((id, v));
+            }
+        }
+        self.next_id = id + 1;
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        self.maybe_rebuild()?;
+        Ok(id)
+    }
+
+    /// Deletes the vector behind a live external id.
+    pub fn delete(&mut self, id: u64) -> Result<()> {
+        if let Some(pos) = self.overlay.iter().position(|(oid, _)| *oid == id) {
+            self.overlay.remove(pos);
+            self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let slot = *self
+            .id_to_slot
+            .get(&id)
+            .ok_or(StoreError::UnknownId { id })?;
+        match &mut self.primary {
+            AnyIndex::Alsh(index) => {
+                index.delete(slot)?;
+                self.id_to_slot.remove(&id);
+            }
+            AnyIndex::Symmetric(index) => {
+                index.delete(slot)?;
+                self.id_to_slot.remove(&id);
+            }
+            AnyIndex::Brute(_) => {
+                self.id_to_slot.remove(&id);
+                let entries = self.live_entries();
+                self.rebuild_from(entries)?;
+            }
+            AnyIndex::Sketch(_) => {
+                self.tombstones.insert(id);
+                self.id_to_slot.remove(&id);
+            }
+        }
+        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        self.maybe_rebuild()?;
+        Ok(())
+    }
+
+    /// Answers a batch of `(cs, s)` above-threshold queries through the
+    /// [`JoinEngine`] (one best partner per query at most, external ids in
+    /// `data_index`), updating the query/hit/latency counters.
+    pub fn query(&self, queries: &[DenseVector]) -> Result<Vec<MatchPair>> {
+        let start = Instant::now();
+        let engine = JoinEngine::with_config(ServingView(self), self.config.engine);
+        let pairs = engine.run(queries)?;
+        self.note_queries(queries.len(), pairs.len(), start);
+        Ok(pairs)
+    }
+
+    /// Answers a batch of top-`k` queries through the [`JoinEngine`] (up to `k`
+    /// partners per query, best first, external ids in `data_index`), updating the
+    /// counters. For a sketch-family index the structure recovers at most one
+    /// candidate per query, so fewer than `k` partners are expected.
+    pub fn query_top_k(&self, queries: &[DenseVector], k: usize) -> Result<Vec<MatchPair>> {
+        let start = Instant::now();
+        let engine = JoinEngine::with_config(ServingView(self), self.config.engine);
+        let pairs = engine.run_top_k(queries, k)?;
+        self.note_queries(queries.len(), pairs.len(), start);
+        Ok(pairs)
+    }
+
+    /// Forces the pending overlay / tombstones / dead slots into a fresh primary
+    /// structure now, whatever the threshold says. After a compact, the index is
+    /// identical to one built from its live vectors with [`ServingConfig::seed`].
+    pub fn compact(&mut self) -> Result<()> {
+        let dirty = (self.primary_ids.len() - self.id_to_slot.len()) + self.overlay.len();
+        if dirty == 0 {
+            return Ok(());
+        }
+        let entries = self.live_entries();
+        self.rebuild_from(entries)
+    }
+
+    fn note_queries(&self, queries: usize, hits: usize, start: Instant) {
+        self.counters
+            .queries
+            .fetch_add(queries as u64, Ordering::Relaxed);
+        self.counters.hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.counters
+            .query_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Live `(external id, vector)` pairs in ascending id order (primary slots are in
+    /// insertion order and overlay entries were assigned later ids).
+    fn live_entries(&self) -> Vec<(u64, DenseVector)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (slot, &id) in self.primary_ids.iter().enumerate() {
+            if self.id_to_slot.contains_key(&id) {
+                if let Some(v) = self.primary.vector(slot) {
+                    out.push((id, v.clone()));
+                }
+            }
+        }
+        out.extend(self.overlay.iter().cloned());
+        out
+    }
+
+    fn maybe_rebuild(&mut self) -> Result<()> {
+        let dead = self.primary_ids.len() - self.id_to_slot.len();
+        let dirty = dead + self.overlay.len();
+        if dirty == 0 {
+            return Ok(());
+        }
+        let live = self.len().max(1);
+        if dirty as f64 / live as f64 > self.config.rebuild_threshold {
+            let entries = self.live_entries();
+            return self.rebuild_from(entries);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the primary structure over `entries`, re-seeding from the configured
+    /// seed. With no live vectors left, non-brute structures cannot be built (their
+    /// constructors reject empty data), so pending state is kept and filtered at
+    /// query time instead.
+    fn rebuild_from(&mut self, entries: Vec<(u64, DenseVector)>) -> Result<()> {
+        if entries.is_empty() && !matches!(self.index_config, IndexConfig::Brute) {
+            return Ok(());
+        }
+        let ids: Vec<u64> = entries.iter().map(|(id, _)| *id).collect();
+        let data: Vec<DenseVector> = entries.into_iter().map(|(_, v)| v).collect();
+        self.primary = build_index(data, self.spec, self.index_config, self.config.seed)?;
+        self.id_to_slot = ids.iter().enumerate().map(|(s, &id)| (id, s)).collect();
+        self.primary_ids = ids;
+        self.overlay.clear();
+        self.tombstones.clear();
+        self.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A borrow of a [`ServingIndex`] that speaks [`MipsIndex`] / [`TopKMipsIndex`] with
+/// **external ids** in `data_index`, merging the primary structure with the overlay
+/// and suppressing tombstoned answers — the adapter [`ServingIndex::query`] feeds to
+/// the [`JoinEngine`].
+pub struct ServingView<'a>(pub &'a ServingIndex);
+
+impl ServingView<'_> {
+    fn merge_overlay(
+        &self,
+        query: &DenseVector,
+        mut best: Option<SearchResult>,
+    ) -> ips_core::Result<Option<SearchResult>> {
+        let spec = self.0.spec;
+        for (id, v) in &self.0.overlay {
+            let ip = v.dot(query)?;
+            if !spec.acceptable(ip) {
+                continue;
+            }
+            let better = best
+                .as_ref()
+                .map(|b| spec.variant.value(ip) > spec.variant.value(b.inner_product))
+                .unwrap_or(true);
+            if better {
+                best = Some(SearchResult {
+                    data_index: *id as usize,
+                    inner_product: ip,
+                });
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl MipsIndex for ServingView<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.0.spec
+    }
+
+    fn search(&self, query: &DenseVector) -> ips_core::Result<Option<SearchResult>> {
+        // An all-deleted serving index answers misses rather than erroring like a
+        // never-built index would: an empty live set is a legal serving state.
+        let primary = if self.0.id_to_slot.is_empty() {
+            None
+        } else {
+            self.0.primary.search(query)?.and_then(|hit| {
+                let id = self.0.primary_ids[hit.data_index];
+                (!self.0.tombstones.contains(&id)).then_some(SearchResult {
+                    data_index: id as usize,
+                    inner_product: hit.inner_product,
+                })
+            })
+        };
+        self.merge_overlay(query, primary)
+    }
+}
+
+impl TopKMipsIndex for ServingView<'_> {
+    fn search_top_k(&self, query: &DenseVector, k: usize) -> ips_core::Result<Vec<SearchResult>> {
+        let spec = self.0.spec;
+        let mut hits: Vec<SearchResult> = Vec::new();
+        if !self.0.id_to_slot.is_empty() {
+            for hit in self.0.primary.search_top_k(query, k)? {
+                let id = self.0.primary_ids[hit.data_index];
+                if !self.0.tombstones.contains(&id) {
+                    hits.push(SearchResult {
+                        data_index: id as usize,
+                        inner_product: hit.inner_product,
+                    });
+                }
+            }
+        }
+        for (id, v) in &self.0.overlay {
+            let ip = v.dot(query)?;
+            if spec.acceptable(ip) {
+                hits.push(SearchResult {
+                    data_index: *id as usize,
+                    inner_product: ip,
+                });
+            }
+        }
+        // Same ordering contract as `TopKMipsIndex`: best first, ties by ascending id.
+        hits.sort_by(|a, b| {
+            spec.variant
+                .value(b.inner_product)
+                .partial_cmp(&spec.variant.value(a.inner_product))
+                .expect("inner products are finite")
+                .then(a.data_index.cmp(&b.data_index))
+        });
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_core::problem::JoinVariant;
+    use ips_linalg::random::{random_ball_vector, random_unit_vector};
+
+    fn vectors(seed: u64, n: usize, dim: usize, scale: f64) -> Vec<DenseVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                random_ball_vector(&mut rng, dim, 1.0)
+                    .unwrap()
+                    .scaled(scale)
+            })
+            .collect()
+    }
+
+    fn spec() -> JoinSpec {
+        JoinSpec::new(0.7, 0.6, JoinVariant::Signed).unwrap()
+    }
+
+    #[test]
+    fn serving_lifecycle_across_families() {
+        let dim = 12;
+        let data = vectors(0x11, 80, dim, 0.2);
+        let mut rng = StdRng::seed_from_u64(0x12);
+        let query = random_unit_vector(&mut rng, dim).unwrap();
+        for index_config in [
+            IndexConfig::Brute,
+            IndexConfig::Alsh(AlshParams::default()),
+            IndexConfig::Symmetric(SymmetricParams::default()),
+            IndexConfig::Sketch {
+                config: MaxIpConfig {
+                    kappa: 2.0,
+                    copies: 11,
+                    rows: None,
+                },
+                leaf_size: 8,
+            },
+        ] {
+            let mut serving =
+                ServingIndex::build(data.clone(), spec(), index_config, ServingConfig::default())
+                    .unwrap();
+            assert_eq!(serving.family(), index_config.family());
+            assert_eq!(serving.len(), 80);
+            assert!(!serving.is_empty());
+            assert_eq!(serving.dim(), dim);
+            // Background is far below cs: no hit.
+            assert!(
+                serving
+                    .query(std::slice::from_ref(&query))
+                    .unwrap()
+                    .is_empty(),
+                "{:?}",
+                serving.family()
+            );
+            // Insert a strong partner: every family must now find it.
+            let id = serving.insert(query.scaled(0.9)).unwrap();
+            assert_eq!(id, 80);
+            let pairs = serving.query(std::slice::from_ref(&query)).unwrap();
+            assert_eq!(pairs.len(), 1, "{:?}", serving.family());
+            assert_eq!(pairs[0].data_index as u64, id);
+            assert!(pairs[0].inner_product >= 0.7 * 0.6 - 1e-9);
+            // Top-k returns it too, through the engine.
+            let top = serving
+                .query_top_k(std::slice::from_ref(&query), 3)
+                .unwrap();
+            assert!(top.iter().any(|p| p.data_index as u64 == id));
+            // Delete it: back to a miss, for every family (sketch via tombstone).
+            serving.delete(id).unwrap();
+            assert!(serving
+                .query(std::slice::from_ref(&query))
+                .unwrap()
+                .is_empty());
+            assert!(serving.delete(id).is_err(), "double delete must fail");
+            assert!(serving.delete(9999).is_err());
+            // Counters track all of it.
+            let stats = serving.stats();
+            assert_eq!(stats.queries, 4);
+            assert_eq!(stats.inserts, 1);
+            assert_eq!(stats.deletes, 1);
+            assert!(stats.hits >= 2);
+            assert!(stats.query_ns > 0);
+            assert!(stats.avg_query_ns() > 0);
+            assert_eq!(serving.len(), 80);
+            assert_eq!(serving.ids(), (0..80).collect::<Vec<u64>>());
+            // Dimension mismatches are rejected.
+            assert!(serving.insert(DenseVector::zeros(dim + 1)).is_err());
+        }
+    }
+
+    #[test]
+    fn compacted_index_matches_fresh_build() {
+        let dim = 10;
+        let data = vectors(0x21, 60, dim, 0.9);
+        let config = ServingConfig::default();
+        for index_config in [
+            IndexConfig::Brute,
+            IndexConfig::Alsh(AlshParams::default()),
+            IndexConfig::Sketch {
+                config: MaxIpConfig::default(),
+                leaf_size: 4,
+            },
+        ] {
+            let mut serving =
+                ServingIndex::build(data.clone(), spec(), index_config, config).unwrap();
+            // Delete some, insert some.
+            for id in [3u64, 17, 42] {
+                serving.delete(id).unwrap();
+            }
+            let extra = vectors(0x22, 5, dim, 0.9);
+            for v in extra.clone() {
+                serving.insert(v).unwrap();
+            }
+            serving.compact().unwrap();
+            // Fresh build over the same final vector sequence with the same seed.
+            let mut final_data: Vec<DenseVector> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| ![3usize, 17, 42].contains(i))
+                .map(|(_, v)| v.clone())
+                .collect();
+            final_data.extend(extra);
+            let fresh = ServingIndex::build(final_data, spec(), index_config, config).unwrap();
+            let queries = vectors(0x23, 12, dim, 1.0);
+            let a = serving.query(&queries).unwrap();
+            let b = fresh.query(&queries).unwrap();
+            // External ids differ (the mutated index kept its originals), but the
+            // answers — which vector, which inner product — are identical.
+            assert_eq!(a.len(), b.len(), "{:?}", serving.family());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.query_index, y.query_index);
+                assert_eq!(x.inner_product.to_bits(), y.inner_product.to_bits());
+                assert_eq!(
+                    serving.vector(x.data_index as u64).unwrap(),
+                    fresh.vector(y.data_index as u64).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_overlay_and_threshold_rebuild() {
+        let dim = 8;
+        let data = vectors(0x31, 40, dim, 0.2);
+        let config = ServingConfig {
+            rebuild_threshold: 0.25,
+            ..Default::default()
+        };
+        let mut serving = ServingIndex::build(
+            data,
+            spec(),
+            IndexConfig::Sketch {
+                config: MaxIpConfig::default(),
+                leaf_size: 4,
+            },
+            config,
+        )
+        .unwrap();
+        assert_eq!(serving.stats().rebuilds, 0);
+        // The overlay counts as dirty; with 40 built vectors the pending fraction
+        // crosses 25% at the 14th un-absorbed insert (14 / 54 > 0.25).
+        for _ in 0..16 {
+            let v = vectors(0x32, 1, dim, 0.2).pop().unwrap();
+            serving.insert(v).unwrap();
+        }
+        assert!(
+            serving.stats().rebuilds >= 1,
+            "threshold rebuild did not fire"
+        );
+        // After the rebuild the overlay is gone but every id still resolves.
+        assert_eq!(serving.len(), 56);
+        for id in serving.ids() {
+            serving.vector(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn deleting_everything_yields_misses_not_errors() {
+        let dim = 6;
+        let data = vectors(0x41, 5, dim, 0.9);
+        let mut rng = StdRng::seed_from_u64(0x42);
+        let query = random_unit_vector(&mut rng, dim).unwrap();
+        for index_config in [
+            IndexConfig::Brute,
+            IndexConfig::Alsh(AlshParams::default()),
+            IndexConfig::Sketch {
+                config: MaxIpConfig::default(),
+                leaf_size: 2,
+            },
+        ] {
+            let mut serving =
+                ServingIndex::build(data.clone(), spec(), index_config, ServingConfig::default())
+                    .unwrap();
+            for id in serving.ids() {
+                serving.delete(id).unwrap();
+            }
+            assert!(serving.is_empty());
+            // An empty serving state is legal to *serve* but not to *snapshot*:
+            // saving would write an unloadable (brute) or vector-resurrecting
+            // (sketch) file, so it must fail before touching the disk.
+            let path = std::env::temp_dir().join("ips-store-empty-save.snap");
+            let _ = std::fs::remove_file(&path);
+            assert!(serving.save(&path).is_err());
+            assert!(!path.exists(), "failed save must not leave a file behind");
+            assert!(serving
+                .query(std::slice::from_ref(&query))
+                .unwrap()
+                .is_empty());
+            assert!(serving
+                .query_top_k(std::slice::from_ref(&query), 2)
+                .unwrap()
+                .is_empty());
+            // Serving can resume: inserts keep allocating fresh ids.
+            let id = serving.insert(query.scaled(0.9)).unwrap();
+            assert_eq!(id, 5);
+            assert_eq!(
+                serving.query(std::slice::from_ref(&query)).unwrap().len(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_preserves_ids_and_results() {
+        let dim = 10;
+        let data = vectors(0x51, 50, dim, 0.9);
+        let dir = std::env::temp_dir().join("ips-store-serving-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alsh.snap");
+        let mut serving = ServingIndex::build(
+            data,
+            spec(),
+            IndexConfig::Alsh(AlshParams::default()),
+            ServingConfig::default(),
+        )
+        .unwrap();
+        serving.delete(7).unwrap();
+        let added = serving
+            .insert(vectors(0x52, 1, dim, 0.9).pop().unwrap())
+            .unwrap();
+        let bytes = serving.save(&path).unwrap();
+        assert!(bytes > 0);
+        let reloaded = ServingIndex::open(&path, ServingConfig::default()).unwrap();
+        assert_eq!(reloaded.len(), serving.len());
+        assert_eq!(reloaded.ids(), serving.ids());
+        assert!(reloaded.ids().contains(&added));
+        assert!(!reloaded.ids().contains(&7));
+        let queries = vectors(0x53, 10, dim, 1.0);
+        let a = serving.query(&queries).unwrap();
+        let b = reloaded.query(&queries).unwrap();
+        assert_eq!(a, b, "save → load must not change a single answer");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

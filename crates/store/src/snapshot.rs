@@ -1,0 +1,511 @@
+//! Versioned, checksummed on-disk snapshots of built indexes.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "IPSSNAP\0"
+//! 8       4     format version (u32 LE)
+//! 12      ...   body:
+//!                 1   index family tag (0 brute, 1 ALSH, 2 symmetric, 3 sketch)
+//!                 4   section count (u32 LE)
+//!                 per section:
+//!                   4   section id (u32 LE)
+//!                   8   payload length (u64 LE)
+//!                   ... payload ([`crate::persist::Persist`] encoding)
+//! end-8   8     FNV-1a 64 checksum of the body (u64 LE)
+//! ```
+//!
+//! Known sections are [`SECTION_IDS`] (the slot → external-id map plus the id
+//! allocator state of the serving layer) and [`SECTION_INDEX`] (the index structure
+//! itself). Unknown section ids are *skipped* on load, so later versions can append
+//! sections without breaking older readers; a missing required section, a truncated
+//! payload, a bad magic/version, or a checksum mismatch each fail loudly with a
+//! [`StoreError`].
+//!
+//! The payloads are written by the [`crate::persist::Persist`] impls — little-endian,
+//! floats as IEEE-754 bit patterns, hash tables in sorted bucket order — so a
+//! round-trip restores *bit-identical* behaviour: same sampled functions, same
+//! buckets, same query results, and re-saving a loaded snapshot reproduces the same
+//! bytes.
+
+use crate::error::{Result, StoreError};
+use crate::format::{fnv1a64, ByteReader, ByteWriter};
+use crate::persist::Persist;
+use ips_core::mips::{BruteForceMipsIndex, MipsIndex, SearchResult, SketchMipsAdapter};
+use ips_core::problem::JoinSpec;
+use ips_core::symmetric::SymmetricLshMips;
+use ips_core::topk::TopKMipsIndex;
+use ips_core::AlshMipsIndex;
+use ips_linalg::DenseVector;
+use std::path::Path;
+
+/// The 8-byte magic at offset 0 of every snapshot.
+pub const MAGIC: [u8; 8] = *b"IPSSNAP\0";
+/// The newest format version this build writes and reads.
+pub const VERSION: u32 = 1;
+/// Section id of the serving-layer id map (`Vec<u64>` of per-slot external ids
+/// followed by the next id to allocate).
+pub const SECTION_IDS: u32 = 1;
+/// Section id of the index structure payload.
+pub const SECTION_INDEX: u32 = 2;
+
+/// Which of the paper's index families a snapshot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFamily {
+    /// The exact quadratic scan ([`BruteForceMipsIndex`]).
+    Brute,
+    /// The Section 4.1 asymmetric-LSH index ([`AlshMipsIndex`]).
+    Alsh,
+    /// The Section 4.2 symmetric LSH ([`SymmetricLshMips`]).
+    Symmetric,
+    /// The Section 4.3 sketch structure ([`SketchMipsAdapter`]).
+    Sketch,
+}
+
+impl IndexFamily {
+    /// The family's on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            IndexFamily::Brute => 0,
+            IndexFamily::Alsh => 1,
+            IndexFamily::Symmetric => 2,
+            IndexFamily::Sketch => 3,
+        }
+    }
+
+    /// Decodes a tag byte.
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => IndexFamily::Brute,
+            1 => IndexFamily::Alsh,
+            2 => IndexFamily::Symmetric,
+            3 => IndexFamily::Sketch,
+            other => {
+                return Err(StoreError::Corrupt {
+                    context: "header",
+                    reason: format!("unknown index family tag {other}"),
+                })
+            }
+        })
+    }
+
+    /// The family's lower-case name, as used by the CLI (`algorithm=`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexFamily::Brute => "brute",
+            IndexFamily::Alsh => "alsh",
+            IndexFamily::Symmetric => "symmetric",
+            IndexFamily::Sketch => "sketch",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A built index of any of the four persistable families, behind one enum so
+/// snapshots and the serving layer are family-agnostic.
+pub enum AnyIndex {
+    /// The exact quadratic scan.
+    Brute(BruteForceMipsIndex),
+    /// The Section 4.1 asymmetric-LSH index.
+    Alsh(AlshMipsIndex),
+    /// The Section 4.2 symmetric LSH.
+    Symmetric(SymmetricLshMips),
+    /// The Section 4.3 sketch structure.
+    Sketch(SketchMipsAdapter),
+}
+
+impl AnyIndex {
+    /// Which family the index belongs to.
+    pub fn family(&self) -> IndexFamily {
+        match self {
+            AnyIndex::Brute(_) => IndexFamily::Brute,
+            AnyIndex::Alsh(_) => IndexFamily::Alsh,
+            AnyIndex::Symmetric(_) => IndexFamily::Symmetric,
+            AnyIndex::Sketch(_) => IndexFamily::Sketch,
+        }
+    }
+
+    /// Total number of slots the index addresses, live or tombstoned (the dynamic
+    /// LSH families never reuse a slot; brute and sketch have no tombstones, so
+    /// there it equals the vector count).
+    pub fn slots(&self) -> usize {
+        match self {
+            AnyIndex::Brute(i) => i.data().len(),
+            AnyIndex::Alsh(i) => i.slots(),
+            AnyIndex::Symmetric(i) => i.slots(),
+            AnyIndex::Sketch(i) => i.inner().len(),
+        }
+    }
+
+    /// Whether slot `id` holds a live vector.
+    pub fn is_live(&self, slot: usize) -> bool {
+        match self {
+            AnyIndex::Brute(i) => slot < i.data().len(),
+            AnyIndex::Alsh(i) => i.is_live(slot),
+            AnyIndex::Symmetric(i) => i.is_live(slot),
+            AnyIndex::Sketch(i) => slot < i.inner().len(),
+        }
+    }
+
+    /// The vector stored in a slot (live or tombstoned).
+    pub fn vector(&self, slot: usize) -> Option<&DenseVector> {
+        match self {
+            AnyIndex::Brute(i) => i.data().get(slot),
+            AnyIndex::Alsh(i) => i.data().get(slot),
+            AnyIndex::Symmetric(i) => i.data().get(slot),
+            AnyIndex::Sketch(i) => i.inner().data().get(slot),
+        }
+    }
+}
+
+impl MipsIndex for AnyIndex {
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Brute(i) => i.len(),
+            AnyIndex::Alsh(i) => i.len(),
+            AnyIndex::Symmetric(i) => i.len(),
+            AnyIndex::Sketch(i) => i.len(),
+        }
+    }
+
+    fn spec(&self) -> JoinSpec {
+        match self {
+            AnyIndex::Brute(i) => i.spec(),
+            AnyIndex::Alsh(i) => i.spec(),
+            AnyIndex::Symmetric(i) => i.spec(),
+            AnyIndex::Sketch(i) => i.spec(),
+        }
+    }
+
+    fn search(&self, query: &DenseVector) -> ips_core::Result<Option<SearchResult>> {
+        match self {
+            AnyIndex::Brute(i) => i.search(query),
+            AnyIndex::Alsh(i) => i.search(query),
+            AnyIndex::Symmetric(i) => i.search(query),
+            AnyIndex::Sketch(i) => i.search(query),
+        }
+    }
+
+    fn search_batch(&self, queries: &[DenseVector]) -> ips_core::Result<Vec<Option<SearchResult>>> {
+        match self {
+            // Forward explicitly so the brute-force data-major override survives the
+            // enum indirection.
+            AnyIndex::Brute(i) => i.search_batch(queries),
+            AnyIndex::Alsh(i) => i.search_batch(queries),
+            AnyIndex::Symmetric(i) => i.search_batch(queries),
+            AnyIndex::Sketch(i) => i.search_batch(queries),
+        }
+    }
+}
+
+impl TopKMipsIndex for AnyIndex {
+    fn search_top_k(&self, query: &DenseVector, k: usize) -> ips_core::Result<Vec<SearchResult>> {
+        match self {
+            AnyIndex::Brute(i) => i.search_top_k(query, k),
+            AnyIndex::Alsh(i) => i.search_top_k(query, k),
+            AnyIndex::Symmetric(i) => i.search_top_k(query, k),
+            AnyIndex::Sketch(i) => i.search_top_k(query, k),
+        }
+    }
+}
+
+/// A persistable unit: an [`AnyIndex`] plus the serving layer's external-id state.
+///
+/// `ids[slot]` is the stable external id the serving layer hands to clients for the
+/// vector in that slot; `next_id` is the next id [`crate::ServingIndex::insert`]
+/// will allocate. A snapshot fresh from `ips build` numbers ids `0..n`.
+pub struct Snapshot {
+    /// The index structure.
+    pub index: AnyIndex,
+    /// Per-slot external ids (`ids.len() == index.slots()`).
+    pub ids: Vec<u64>,
+    /// The next external id the serving layer will allocate.
+    pub next_id: u64,
+}
+
+impl Snapshot {
+    /// Wraps a freshly built index, numbering external ids `0..slots`.
+    pub fn new(index: AnyIndex) -> Self {
+        let slots = index.slots();
+        Self {
+            index,
+            ids: (0..slots as u64).collect(),
+            next_id: slots as u64,
+        }
+    }
+
+    /// Wraps an index together with explicit serving-layer id state.
+    ///
+    /// Returns an error when the id list does not cover the index's slots exactly,
+    /// contains duplicates, or already contains `next_id`.
+    pub fn with_ids(index: AnyIndex, ids: Vec<u64>, next_id: u64) -> Result<Self> {
+        if ids.len() != index.slots() {
+            return Err(StoreError::InvalidParameter {
+                name: "ids",
+                reason: format!("{} ids for {} slots", ids.len(), index.slots()),
+            });
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(StoreError::InvalidParameter {
+                name: "ids",
+                reason: "duplicate external id".into(),
+            });
+        }
+        if sorted.last().is_some_and(|&max| max >= next_id) {
+            return Err(StoreError::InvalidParameter {
+                name: "next_id",
+                reason: format!("next_id {next_id} is not above every assigned id"),
+            });
+        }
+        Ok(Self {
+            index,
+            ids,
+            next_id,
+        })
+    }
+
+    /// Encodes the snapshot into its on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode(&self.index, &self.ids, self.next_id)
+    }
+
+    /// Decodes a snapshot from its on-disk byte format, verifying magic, version and
+    /// checksum before touching any structure payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(StoreError::Corrupt {
+                context: "header",
+                reason: format!("{} bytes is too short for a snapshot", bytes.len()),
+            });
+        }
+        let mut r = ByteReader::new(bytes);
+        if r.take_bytes(MAGIC.len())? != MAGIC {
+            return Err(StoreError::Corrupt {
+                context: "header",
+                reason: "bad magic (not a snapshot file)".into(),
+            });
+        }
+        let version = r.take_u32()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let body = &bytes[MAGIC.len() + 4..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(StoreError::Corrupt {
+                context: "checksum",
+                reason: format!("stored {stored:#018x} != computed {computed:#018x}"),
+            });
+        }
+
+        let mut r = ByteReader::new(body);
+        let family = IndexFamily::from_tag(r.take_u8()?)?;
+        let sections = r.take_u32()?;
+        let mut ids_state: Option<(Vec<u64>, u64)> = None;
+        let mut index: Option<AnyIndex> = None;
+        for _ in 0..sections {
+            let id = r.take_u32()?;
+            let len = r.take_usize()?;
+            let payload = r.take_bytes(len)?;
+            let mut pr = ByteReader::new(payload);
+            match id {
+                SECTION_IDS => {
+                    let n = pr.take_usize()?;
+                    let mut ids = Vec::new();
+                    for _ in 0..n {
+                        ids.push(pr.take_u64()?);
+                    }
+                    let next_id = pr.take_u64()?;
+                    pr.expect_end("ids section")?;
+                    ids_state = Some((ids, next_id));
+                }
+                SECTION_INDEX => {
+                    let decoded = match family {
+                        IndexFamily::Brute => AnyIndex::Brute(BruteForceMipsIndex::read(&mut pr)?),
+                        IndexFamily::Alsh => AnyIndex::Alsh(AlshMipsIndex::read(&mut pr)?),
+                        IndexFamily::Symmetric => {
+                            AnyIndex::Symmetric(SymmetricLshMips::read(&mut pr)?)
+                        }
+                        IndexFamily::Sketch => AnyIndex::Sketch(SketchMipsAdapter::read(&mut pr)?),
+                    };
+                    pr.expect_end("index section")?;
+                    index = Some(decoded);
+                }
+                // Unknown sections are future extensions: skip them.
+                _ => {}
+            }
+        }
+        r.expect_end("body")?;
+        let index = index.ok_or(StoreError::Corrupt {
+            context: "body",
+            reason: "missing index section".into(),
+        })?;
+        let (ids, next_id) = ids_state.ok_or(StoreError::Corrupt {
+            context: "body",
+            reason: "missing ids section".into(),
+        })?;
+        Snapshot::with_ids(index, ids, next_id)
+    }
+
+    /// Writes the snapshot to a file, returning the number of bytes written.
+    pub fn save(&self, path: &Path) -> Result<u64> {
+        let bytes = self.to_bytes();
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Reads and decodes a snapshot file.
+    pub fn load(path: &Path) -> Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// Encodes an index plus serving-layer id state into the on-disk byte format without
+/// taking ownership — what [`Snapshot::to_bytes`] and the serving layer's `save` use.
+pub fn encode(index: &AnyIndex, ids: &[u64], next_id: u64) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    body.put_u8(index.family().tag());
+    body.put_u32(2); // section count
+
+    let mut id_payload = ByteWriter::new();
+    id_payload.put_usize(ids.len());
+    for &id in ids {
+        id_payload.put_u64(id);
+    }
+    id_payload.put_u64(next_id);
+    write_section(&mut body, SECTION_IDS, id_payload);
+
+    let mut payload = ByteWriter::new();
+    match index {
+        AnyIndex::Brute(i) => i.write(&mut payload),
+        AnyIndex::Alsh(i) => i.write(&mut payload),
+        AnyIndex::Symmetric(i) => i.write(&mut payload),
+        AnyIndex::Sketch(i) => i.write(&mut payload),
+    }
+    write_section(&mut body, SECTION_INDEX, payload);
+
+    let mut out = ByteWriter::new();
+    out.put_bytes(&MAGIC);
+    out.put_u32(VERSION);
+    out.put_bytes(body.as_bytes());
+    out.put_u64(fnv1a64(body.as_bytes()));
+    out.into_bytes()
+}
+
+fn write_section(body: &mut ByteWriter, id: u32, payload: ByteWriter) {
+    body.put_u32(id);
+    body.put_usize(payload.len());
+    body.put_bytes(payload.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ips_core::problem::JoinVariant;
+    use ips_linalg::random::random_ball_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut rng = StdRng::seed_from_u64(0x5A9);
+        let data: Vec<DenseVector> = (0..40)
+            .map(|_| random_ball_vector(&mut rng, 8, 1.0).unwrap())
+            .collect();
+        let spec = JoinSpec::new(0.4, 0.5, JoinVariant::Signed).unwrap();
+        Snapshot::new(AnyIndex::Brute(BruteForceMipsIndex::new(data, spec)))
+    }
+
+    #[test]
+    fn roundtrip_and_byte_stability() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.ids, snap.ids);
+        assert_eq!(loaded.next_id, snap.next_id);
+        assert_eq!(loaded.index.family(), IndexFamily::Brute);
+        assert_eq!(loaded.index.len(), snap.index.len());
+        // save(load(x)) is byte-identical: the encoding is deterministic.
+        assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let snap = sample_snapshot();
+        let bytes = snap.to_bytes();
+        // Not a snapshot at all.
+        assert!(Snapshot::from_bytes(b"nope").is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            Snapshot::from_bytes(&bad),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        // A flipped payload byte fails the checksum before any decoding.
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x01;
+        let err = match Snapshot::from_bytes(&bad) {
+            Err(e) => e,
+            Ok(_) => panic!("flipped payload byte must fail"),
+        };
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Truncation fails loudly too.
+        assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn id_state_is_validated() {
+        let snap = sample_snapshot();
+        let AnyIndex::Brute(index) = snap.index else {
+            unreachable!()
+        };
+        let n = index.data().len();
+        assert!(Snapshot::with_ids(AnyIndex::Brute(index), vec![0; n], n as u64).is_err());
+        let snap = sample_snapshot();
+        let AnyIndex::Brute(index) = snap.index else {
+            unreachable!()
+        };
+        assert!(
+            Snapshot::with_ids(AnyIndex::Brute(index), (0..n as u64).collect(), 1).is_err(),
+            "next_id below an assigned id"
+        );
+        let snap = sample_snapshot();
+        let AnyIndex::Brute(index) = snap.index else {
+            unreachable!()
+        };
+        assert!(Snapshot::with_ids(AnyIndex::Brute(index), vec![0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn family_tags_roundtrip() {
+        for family in [
+            IndexFamily::Brute,
+            IndexFamily::Alsh,
+            IndexFamily::Symmetric,
+            IndexFamily::Sketch,
+        ] {
+            assert_eq!(IndexFamily::from_tag(family.tag()).unwrap(), family);
+            assert_eq!(family.to_string(), family.name());
+        }
+        assert!(IndexFamily::from_tag(9).is_err());
+    }
+}

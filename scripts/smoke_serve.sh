@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the build → snapshot → serve data flow:
+#   1. generate a tiny dataset,
+#   2. `ips build` it into a snapshot,
+#   3. round-trip the snapshot through `ips query` twice (identical answers),
+#   4. drive a scripted `query` / `insert` / `stats` / `save` session through
+#      `ips serve` and assert on the protocol output,
+#   5. check the session's `save` produced a loadable snapshot that remembers
+#      the insert.
+# Used by CI after the release build; runnable locally as scripts/smoke_serve.sh.
+set -euo pipefail
+
+IPS="${IPS:-target/release/ips}"
+if [ ! -x "$IPS" ]; then
+    echo "building ips binary..."
+    cargo build --release -p ips-cli
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd_failed() { echo "SMOKE FAIL: $1" >&2; exit 1; }
+
+echo "== generate =="
+"$IPS" generate kind=planted n=300 queries=10 dim=16 planted-ip=0.85 planted=5 seed=7 \
+    "data=$workdir/data.csv" "query-file=$workdir/queries.csv"
+
+echo "== build =="
+build_out="$("$IPS" build "data=$workdir/data.csv" "snapshot=$workdir/index.snap" \
+    s=0.8 c=0.6 algorithm=alsh seed=3)"
+echo "$build_out"
+grep -q "built alsh snapshot over 300 vectors" <<<"$build_out" \
+    || cd_failed "build report wrong"
+[ -s "$workdir/index.snap" ] || cd_failed "snapshot file missing or empty"
+
+echo "== query round-trip =="
+"$IPS" query "snapshot=$workdir/index.snap" "queries=$workdir/queries.csv" limit=0 \
+    > "$workdir/q1.txt"
+"$IPS" query "snapshot=$workdir/index.snap" "queries=$workdir/queries.csv" limit=0 \
+    > "$workdir/q2.txt"
+cmp "$workdir/q1.txt" "$workdir/q2.txt" \
+    || cd_failed "snapshot round-trip is not deterministic"
+grep -q "alsh snapshot: 300 live vectors, 10 queries" "$workdir/q1.txt" \
+    || cd_failed "query report wrong: $(cat "$workdir/q1.txt")"
+pairs=$(sed -n 's/.* 10 queries, \([0-9]*\) pairs.*/\1/p' "$workdir/q1.txt")
+[ "$pairs" -ge 1 ] || cd_failed "expected at least one planted pair, got $pairs"
+
+echo "== serve session =="
+# Insert a strong partner for the first query vector, then find it.
+first_query="$(sed -n 1p "$workdir/queries.csv")"
+serve_out="$("$IPS" serve "snapshot=$workdir/index.snap" <<EOF
+query $first_query
+insert $first_query
+query $first_query
+stats
+save $workdir/session.snap
+delete 300
+bogus command
+quit
+EOF
+)"
+echo "$serve_out"
+grep -q "serving alsh index: 300 live vectors, dim 16" <<<"$serve_out" \
+    || cd_failed "serve banner wrong"
+grep -q "inserted 300" <<<"$serve_out" || cd_failed "insert not acknowledged"
+grep -q "hit 300 " <<<"$serve_out" || cd_failed "inserted vector not found"
+grep -q "stats family=alsh live=301 queries=2" <<<"$serve_out" \
+    || cd_failed "stats line wrong"
+grep -q "inserts=1" <<<"$serve_out" || cd_failed "insert counter wrong"
+grep -q "saved $workdir/session.snap" <<<"$serve_out" || cd_failed "save not acknowledged"
+grep -q "deleted 300" <<<"$serve_out" || cd_failed "delete not acknowledged"
+grep -q "error: usage error: unknown command" <<<"$serve_out" \
+    || cd_failed "protocol errors must be reported, not fatal"
+grep -q "^bye$" <<<"$serve_out" || cd_failed "quit not acknowledged"
+
+echo "== saved session snapshot reloads with the insert =="
+reload_out="$("$IPS" query "snapshot=$workdir/session.snap" \
+    "queries=$workdir/queries.csv" limit=0)"
+echo "$reload_out"
+grep -q "alsh snapshot: 301 live vectors" <<<"$reload_out" \
+    || cd_failed "session save lost the inserted vector"
+
+echo "SMOKE PASS"

@@ -1,0 +1,180 @@
+//! Property tests for the `ips-store` subsystem.
+//!
+//! Two load-bearing properties:
+//!
+//! 1. **Snapshot round-trips are lossless** for every index family, whatever the
+//!    dimensions, sizes and seeds: a saved-then-loaded index answers every query
+//!    bit-identically to the in-memory original, and re-encoding the loaded snapshot
+//!    reproduces the same bytes (the encoding is deterministic, which is what the
+//!    checksum protects).
+//! 2. **Insert/delete equivalence**: a serving index after an arbitrary mutation
+//!    sequence answers queries exactly like an index built fresh from the final
+//!    vector set with the same seed — same inner products (to the bit), same vectors.
+//!    External ids differ (the mutated index keeps its originals), so answers are
+//!    compared through the vectors they name.
+
+use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
+use ips_core::mips::{BruteForceMipsIndex, MipsIndex, SketchMipsAdapter};
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_core::symmetric::{SymmetricLshMips, SymmetricParams};
+use ips_linalg::random::random_ball_vector;
+use ips_linalg::DenseVector;
+use ips_sketch::linf_mips::MaxIpConfig;
+use ips_store::{AnyIndex, IndexConfig, ServingConfig, ServingIndex, Snapshot};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vectors(seed: u64, n: usize, dim: usize) -> Vec<DenseVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| random_ball_vector(&mut rng, dim, 1.0).unwrap().scaled(0.95))
+        .collect()
+}
+
+fn small_alsh() -> AlshParams {
+    AlshParams {
+        bits_per_table: 4,
+        tables: 8,
+        ..Default::default()
+    }
+}
+
+fn small_symmetric() -> SymmetricParams {
+    SymmetricParams {
+        bits_per_table: 4,
+        tables: 8,
+        ..Default::default()
+    }
+}
+
+fn small_sketch() -> MaxIpConfig {
+    MaxIpConfig {
+        kappa: 2.0,
+        copies: 3,
+        rows: Some(8),
+    }
+}
+
+/// Builds one index of each family over the same data (seeded), wrapped in
+/// [`AnyIndex`].
+fn build_families(seed: u64, data: &[DenseVector], spec: JoinSpec) -> Vec<AnyIndex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        AnyIndex::Brute(BruteForceMipsIndex::new(data.to_vec(), spec)),
+        AnyIndex::Alsh(AlshMipsIndex::build(&mut rng, data.to_vec(), spec, small_alsh()).unwrap()),
+        AnyIndex::Symmetric(
+            SymmetricLshMips::build(&mut rng, data.to_vec(), spec, small_symmetric()).unwrap(),
+        ),
+        AnyIndex::Sketch(
+            SketchMipsAdapter::build(&mut rng, data.to_vec(), spec, small_sketch(), 4).unwrap(),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Property 1: save → load → identical query results, for all four families,
+    // arbitrary dims/sizes/seeds — and byte-stable re-encoding.
+    #[test]
+    fn snapshot_roundtrip_is_lossless_for_every_family(
+        data_seed in any::<u64>(),
+        build_seed in any::<u64>(),
+        n in 4usize..40,
+        dim in 2usize..8,
+        s in 0.05f64..0.6,
+        c in 0.3f64..0.95,
+        signed in any::<bool>(),
+    ) {
+        let data = vectors(data_seed, n, dim);
+        let queries = vectors(data_seed ^ 0x9E3779B9, 8, dim);
+        let variant = if signed { JoinVariant::Signed } else { JoinVariant::Unsigned };
+        let spec = JoinSpec::new(s, c, variant).unwrap();
+        for index in build_families(build_seed, &data, spec) {
+            let family = index.family();
+            let snapshot = Snapshot::new(index);
+            let bytes = snapshot.to_bytes();
+            let loaded = Snapshot::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(loaded.index.family(), family);
+            // Bit-identical query behaviour (SearchResult compares the f64 exactly).
+            for q in &queries {
+                prop_assert_eq!(
+                    snapshot.index.search(q).unwrap(),
+                    loaded.index.search(q).unwrap(),
+                    "family {} diverged after reload", family
+                );
+            }
+            // Deterministic encoding: the loaded snapshot re-encodes byte-for-byte.
+            prop_assert_eq!(loaded.to_bytes(), bytes, "family {} bytes unstable", family);
+        }
+    }
+
+    // Property 2: a serving index after a random insert/delete sequence answers
+    // like one built fresh from the final vector set (same seed). For sketch and
+    // brute this holds after compaction; the dynamic LSH families are compacted
+    // too so all four share one oracle.
+    #[test]
+    fn mutated_serving_index_equals_fresh_build(
+        data_seed in any::<u64>(),
+        op_seed in any::<u64>(),
+        n in 6usize..24,
+        dim in 2usize..6,
+        ops in prop::collection::vec(any::<u32>(), 1..12),
+    ) {
+        let data = vectors(data_seed, n, dim);
+        let queries = vectors(data_seed ^ 0x51, 6, dim);
+        let spec = JoinSpec::new(0.2, 0.6, JoinVariant::Signed).unwrap();
+        let config = ServingConfig::default();
+        let mut op_rng = StdRng::seed_from_u64(op_seed);
+        for index_config in [
+            IndexConfig::Brute,
+            IndexConfig::Alsh(small_alsh()),
+            IndexConfig::Symmetric(small_symmetric()),
+            IndexConfig::Sketch { config: small_sketch(), leaf_size: 4 },
+        ] {
+            let mut serving =
+                ServingIndex::build(data.clone(), spec, index_config, config).unwrap();
+            // Track the live vector sequence (in external-id order) alongside.
+            let mut live: Vec<(u64, DenseVector)> =
+                data.iter().cloned().enumerate().map(|(i, v)| (i as u64, v)).collect();
+            for &op in &ops {
+                // Keep at least 2 vectors so non-brute rebuilds stay legal.
+                if op % 2 == 0 && live.len() > 2 {
+                    let victim = live[(op as usize / 2) % live.len()].0;
+                    serving.delete(victim).unwrap();
+                    live.retain(|(id, _)| *id != victim);
+                } else {
+                    let v = random_ball_vector(&mut op_rng, dim, 1.0).unwrap().scaled(0.95);
+                    let id = serving.insert(v.clone()).unwrap();
+                    live.push((id, v));
+                }
+            }
+            serving.compact().unwrap();
+            prop_assert_eq!(serving.len(), live.len());
+            let final_vectors: Vec<DenseVector> =
+                live.iter().map(|(_, v)| v.clone()).collect();
+            let fresh =
+                ServingIndex::build(final_vectors, spec, index_config, config).unwrap();
+            let a = serving.query(&queries).unwrap();
+            let b = fresh.query(&queries).unwrap();
+            prop_assert_eq!(a.len(), b.len(), "family {:?}", serving.family());
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.query_index, y.query_index);
+                prop_assert_eq!(x.inner_product.to_bits(), y.inner_product.to_bits(),
+                    "family {:?}", serving.family());
+                prop_assert_eq!(
+                    serving.vector(x.data_index as u64).unwrap(),
+                    fresh.vector(y.data_index as u64).unwrap()
+                );
+            }
+            // Top-k answers agree the same way.
+            let a = serving.query_top_k(&queries, 3).unwrap();
+            let b = fresh.query_top_k(&queries, 3).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.inner_product.to_bits(), y.inner_product.to_bits());
+            }
+        }
+    }
+}
