@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ips_core::asymmetric::AlshParams;
 use ips_core::brute::brute_force_join;
 use ips_core::engine::{EngineConfig, JoinEngine};
-use ips_core::join::{alsh_join, sketch_join};
+use ips_core::facade::{Join, Strategy};
 use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
@@ -44,31 +44,30 @@ fn bench_joins(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("alsh", n), &n, |b, _| {
             b.iter(|| {
-                alsh_join(
-                    &mut rng,
-                    inst.data(),
-                    inst.queries(),
-                    spec,
-                    AlshParams::default(),
-                )
-                .unwrap()
+                Join::data(inst.data())
+                    .queries(inst.queries())
+                    .spec(spec)
+                    .strategy(Strategy::Alsh)
+                    .run_with_rng(&mut rng)
+                    .unwrap()
+                    .matches
             })
         });
         group.bench_with_input(BenchmarkId::new("sketch", n), &n, |b, _| {
             b.iter(|| {
-                sketch_join(
-                    &mut rng,
-                    inst.data(),
-                    inst.queries(),
-                    spec,
-                    MaxIpConfig {
+                Join::data(inst.data())
+                    .queries(inst.queries())
+                    .spec(spec)
+                    .strategy(Strategy::Sketch)
+                    .sketch_config(MaxIpConfig {
                         kappa: 2.0,
                         copies: 7,
                         rows: None,
-                    },
-                    16,
-                )
-                .unwrap()
+                    })
+                    .sketch_leaf_size(16)
+                    .run_with_rng(&mut rng)
+                    .unwrap()
+                    .matches
             })
         });
     }
@@ -90,7 +89,18 @@ fn bench_alsh_amplification_ablation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("k_l", format!("{k}x{l}")),
             &params,
-            |b, p| b.iter(|| alsh_join(&mut rng, inst.data(), inst.queries(), spec, *p).unwrap()),
+            |b, p| {
+                b.iter(|| {
+                    Join::data(inst.data())
+                        .queries(inst.queries())
+                        .spec(spec)
+                        .strategy(Strategy::Alsh)
+                        .alsh_params(*p)
+                        .run_with_rng(&mut rng)
+                        .unwrap()
+                        .matches
+                })
+            },
         );
     }
     group.finish();

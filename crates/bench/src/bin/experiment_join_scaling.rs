@@ -10,10 +10,9 @@
 //! machine-dependent.
 
 use ips_bench::{fmt, render_table, JsonReporter, Timer};
-use ips_core::asymmetric::AlshParams;
 use ips_core::brute::brute_force_join;
 use ips_core::engine::{EngineConfig, JoinEngine};
-use ips_core::join::{alsh_join, sketch_join};
+use ips_core::facade::{Join, Strategy};
 use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
@@ -52,14 +51,13 @@ fn main() {
         );
 
         let t = Timer::start();
-        let alsh = alsh_join(
-            &mut rng,
-            inst.data(),
-            inst.queries(),
-            spec,
-            AlshParams::default(),
-        )
-        .unwrap();
+        let alsh = Join::data(inst.data())
+            .queries(inst.queries())
+            .spec(spec)
+            .strategy(Strategy::Alsh)
+            .run_with_rng(&mut rng)
+            .unwrap()
+            .matches;
         let t_alsh = t.elapsed_ms();
         json.record(
             "join_scaling",
@@ -69,19 +67,19 @@ fn main() {
         );
 
         let t = Timer::start();
-        let sketch = sketch_join(
-            &mut rng,
-            inst.data(),
-            inst.queries(),
-            spec,
-            MaxIpConfig {
+        let sketch = Join::data(inst.data())
+            .queries(inst.queries())
+            .spec(spec)
+            .strategy(Strategy::Sketch)
+            .sketch_config(MaxIpConfig {
                 kappa: 2.0,
                 copies: 9,
                 rows: None,
-            },
-            16,
-        )
-        .unwrap();
+            })
+            .sketch_leaf_size(16)
+            .run_with_rng(&mut rng)
+            .unwrap()
+            .matches;
         let t_sketch = t.elapsed_ms();
         json.record(
             "join_scaling",

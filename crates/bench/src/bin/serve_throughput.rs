@@ -21,7 +21,7 @@ use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::mips::MipsIndex;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
-use ips_store::{IndexConfig, ServingConfig, ServingIndex};
+use ips_store::{Index, ServingConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -52,15 +52,15 @@ fn main() {
         ..ServingConfig::default()
     };
 
-    // Build once and snapshot — the `ips build` step.
+    // Build once and snapshot — the `ips build` step, via the fluent facade.
     let build_timer = Timer::start();
-    let mut built = ServingIndex::build(
-        inst.data().to_vec(),
-        spec,
-        IndexConfig::Alsh(params),
-        serving_config,
-    )
-    .expect("build");
+    let mut built = Index::build(inst.data().to_vec())
+        .spec(spec)
+        .strategy(ips_core::facade::Strategy::Alsh)
+        .alsh_params(params)
+        .seed(serving_config.seed)
+        .serve()
+        .expect("build");
     let build_ns = build_timer.elapsed_ns();
     let dir = std::env::temp_dir().join("ips-serve-throughput");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -69,7 +69,10 @@ fn main() {
 
     // Path 1: load the snapshot once, answer the whole batch.
     let load_timer = Timer::start();
-    let serving = ServingIndex::open(&snapshot_path, serving_config).expect("open snapshot");
+    let serving = Index::open(&snapshot_path)
+        .seed(serving_config.seed)
+        .serve()
+        .expect("open snapshot");
     let load_ns = load_timer.elapsed_ns();
     let query_timer = Timer::start();
     let pairs = serving.query(inst.queries()).expect("serve batch");

@@ -20,8 +20,9 @@
 //!
 //! Every `experiment_*` / `figure*` / `table1` binary (and `serve_throughput`) accepts
 //! `--json <path>` and writes its measurements as machine-readable
-//! `{name, params, wall_ns, flops}` records via [`JsonReporter`], so benchmark
-//! trajectories can be recorded without scraping the text tables.
+//! `{name, params, wall_ns, flops, schema_version, timestamp}` records via
+//! [`JsonReporter`], so benchmark trajectories can be recorded without scraping the
+//! text tables and remain self-describing across PRs (see [`JSON_SCHEMA_VERSION`]).
 //!
 //! The Criterion benches under `benches/` measure the same code paths with statistical
 //! rigour; the binaries print the rows/series the paper reports so the shapes can be
@@ -111,9 +112,49 @@ pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
+/// The version of the `--json` record layout emitted by [`JsonReporter`].
+///
+/// Version history: **1** — `{name, params, wall_ns, flops}` (PR 3); **2** —
+/// adds `schema_version` and an RFC-3339 `timestamp` to every record, so
+/// `BENCH_*.json` trajectories collected across PRs are self-describing.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
+/// Formats a Unix timestamp (seconds since the epoch, UTC) as RFC 3339
+/// (`1970-01-01T00:00:00Z`). Hand-rolled from the proleptic-Gregorian
+/// civil-from-days conversion so the harness needs no date dependency.
+pub fn rfc3339_utc(unix_secs: u64) -> String {
+    let days = unix_secs / 86_400;
+    let rem = unix_secs % 86_400;
+    let (hour, minute, second) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // civil_from_days (Hinnant): day count since 1970-01-01 → (y, m, d).
+    let z = days as i64 + 719_468;
+    let era = z / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{hour:02}:{minute:02}:{second:02}Z")
+}
+
+/// The current time as an RFC 3339 UTC string (what [`JsonReporter::record`]
+/// stamps each record with).
+pub fn rfc3339_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    rfc3339_utc(secs)
+}
+
 /// One machine-readable measurement of an experiment binary: what was measured
-/// (`name` + `params`), how long it took (`wall_ns`), and the floating-point
-/// operation count when the experiment has a natural closed form (`0` otherwise).
+/// (`name` + `params`), how long it took (`wall_ns`), the floating-point
+/// operation count when the experiment has a natural closed form (`0` otherwise),
+/// and the self-describing metadata every record carries since layout version 2
+/// (`schema_version` + RFC-3339 `timestamp`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsonRecord {
     /// Which measurement this row belongs to (e.g. `join_scaling`).
@@ -125,6 +166,10 @@ pub struct JsonRecord {
     /// Estimated floating-point operations of the measured phase, `0.0` when no
     /// natural estimate exists.
     pub flops: f64,
+    /// The record-layout version ([`JSON_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// When the record was taken, RFC 3339 UTC (e.g. `2026-07-31T12:00:00Z`).
+    pub timestamp: String,
 }
 
 /// Collects [`JsonRecord`]s and writes them as a JSON array when the binary was
@@ -171,8 +216,22 @@ impl JsonReporter {
         self.path.is_some()
     }
 
-    /// Appends one measurement.
+    /// Appends one measurement, stamped with the current time and
+    /// [`JSON_SCHEMA_VERSION`].
     pub fn record(&mut self, name: &str, params: &[(&str, String)], wall_ns: u128, flops: f64) {
+        self.record_stamped(name, params, wall_ns, flops, rfc3339_now());
+    }
+
+    /// Appends one measurement with an explicit timestamp (the deterministic
+    /// variant [`JsonReporter::record`] delegates to; useful in tests).
+    pub fn record_stamped(
+        &mut self,
+        name: &str,
+        params: &[(&str, String)],
+        wall_ns: u128,
+        flops: f64,
+        timestamp: String,
+    ) {
         self.records.push(JsonRecord {
             name: name.to_string(),
             params: params
@@ -181,6 +240,8 @@ impl JsonReporter {
                 .collect(),
             wall_ns,
             flops,
+            schema_version: JSON_SCHEMA_VERSION,
+            timestamp,
         });
     }
 
@@ -205,13 +266,15 @@ impl JsonReporter {
                 out.push_str(&json_string(v));
             }
             out.push_str(&format!(
-                "}}, \"wall_ns\": {}, \"flops\": {}}}",
+                "}}, \"wall_ns\": {}, \"flops\": {}, \"schema_version\": {}, \"timestamp\": {}}}",
                 r.wall_ns,
                 if r.flops == 0.0 {
                     "0".to_string()
                 } else {
                     format!("{:e}", r.flops)
-                }
+                },
+                r.schema_version,
+                json_string(&r.timestamp),
             ));
             out.push_str(if i + 1 < self.records.len() {
                 ",\n"
@@ -317,7 +380,40 @@ mod tests {
         assert!(written.contains("\"wall_ns\": 123456"));
         assert!(written.contains("\"flops\": 1.5e9"));
         assert!(written.contains("odd \\\"name\\\"\\n"));
+        // Every record is self-describing: layout version + RFC-3339 timestamp.
+        assert_eq!(
+            written.matches("\"schema_version\": 2").count(),
+            2,
+            "{written}"
+        );
+        assert!(written.contains("\"timestamp\": \""), "{written}");
+        for r in reporter.records() {
+            assert_eq!(r.schema_version, JSON_SCHEMA_VERSION);
+            assert!(
+                r.timestamp.len() == 20 && r.timestamp.ends_with('Z'),
+                "not RFC 3339: {}",
+                r.timestamp
+            );
+        }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rfc3339_conversion_handles_known_dates() {
+        assert_eq!(rfc3339_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(rfc3339_utc(86_399), "1970-01-01T23:59:59Z");
+        // 2000-02-29 (leap day) and the following midnight.
+        assert_eq!(rfc3339_utc(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(rfc3339_utc(951_868_800), "2000-03-01T00:00:00Z");
+        // 2026-07-31T12:34:56Z (this PR's era), cross-checked externally.
+        assert_eq!(rfc3339_utc(1_785_501_296), "2026-07-31T12:34:56Z");
+        // A century (non-leap) boundary: 2100-03-01 directly follows 2100-02-28.
+        assert_eq!(rfc3339_utc(4_107_456_000), "2100-02-28T00:00:00Z");
+        assert_eq!(rfc3339_utc(4_107_542_400), "2100-03-01T00:00:00Z");
+        // An explicit stamp round-trips into the record.
+        let mut r = JsonReporter::new(None);
+        r.record_stamped("x", &[], 1, 0.0, rfc3339_utc(0));
+        assert_eq!(r.records()[0].timestamp, "1970-01-01T00:00:00Z");
     }
 
     #[test]

@@ -1,9 +1,16 @@
-//! Minimal `key=value` argument parsing.
+//! Minimal `key=value` argument splitting.
 //!
 //! The CLI deliberately avoids a third-party argument parser (the workspace's dependency
 //! policy allows only the crates listed in `DESIGN.md`); every subcommand takes
 //! positional-free `key=value` pairs, which keeps parsing trivial and the commands
 //! scriptable.
+//!
+//! This module owns only the *lexical* layer: splitting raw arguments into a key→value
+//! map and rejecting malformed or duplicated pairs. Everything typed — which keys a
+//! command accepts, their value domains, defaults and constraint-accurate error
+//! wording — lives in the declarative [`crate::schema`], which validates a
+//! [`ParsedArgs`] against a [`crate::schema::CommandSpec`] and hands the command a
+//! typed [`crate::schema::CommandArgs`] accessor.
 
 use crate::error::{CliError, Result};
 use std::collections::HashMap;
@@ -45,85 +52,8 @@ impl ParsedArgs {
         self.values.get(key).map(String::as_str)
     }
 
-    /// A required string value.
-    pub fn require(&self, key: &str) -> Result<&str> {
-        self.get(key).ok_or_else(|| CliError::Usage {
-            reason: format!("missing required argument `{key}=`"),
-        })
-    }
-
-    /// An optional string value with a default.
-    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
-        self.get(key).unwrap_or(default)
-    }
-
-    /// A required floating-point value.
-    pub fn require_f64(&self, key: &str) -> Result<f64> {
-        parse_f64(key, self.require(key)?)
-    }
-
-    /// An optional floating-point value with a default.
-    pub fn get_f64_or(&self, key: &str, default: f64) -> Result<f64> {
-        match self.get(key) {
-            Some(v) => parse_f64(key, v),
-            None => Ok(default),
-        }
-    }
-
-    /// An optional integer value with a default.
-    pub fn get_usize_or(&self, key: &str, default: usize) -> Result<usize> {
-        match self.get(key) {
-            Some(v) => v.parse().map_err(|_| CliError::Usage {
-                reason: format!("argument `{key}` must be a non-negative integer, got `{v}`"),
-            }),
-            None => Ok(default),
-        }
-    }
-
-    /// A required integer value.
-    pub fn require_usize(&self, key: &str) -> Result<usize> {
-        let v = self.require(key)?;
-        v.parse().map_err(|_| CliError::Usage {
-            reason: format!("argument `{key}` must be a non-negative integer, got `{v}`"),
-        })
-    }
-
-    /// An optional boolean with a default; accepts `true`/`false`/`1`/`0`.
-    pub fn get_bool_or(&self, key: &str, default: bool) -> Result<bool> {
-        match self.get(key) {
-            Some("true") | Some("1") => Ok(true),
-            Some("false") | Some("0") => Ok(false),
-            Some(v) => Err(CliError::Usage {
-                reason: format!("argument `{key}` must be true/false/1/0, got `{v}`"),
-            }),
-            None => Ok(default),
-        }
-    }
-
-    /// An optional *strictly positive* integer with a default: an explicit `0` is
-    /// rejected with an explanation instead of being silently clamped or
-    /// reinterpreted (catches `threads=0` / `chunk=0` confusion).
-    pub fn get_positive_usize_or(&self, key: &str, default: usize) -> Result<usize> {
-        let value = self.get_usize_or(key, default)?;
-        if value == 0 && self.get(key).is_some() {
-            return Err(CliError::Usage {
-                reason: format!("argument `{key}` must be at least 1, got 0"),
-            });
-        }
-        Ok(value)
-    }
-
-    /// An optional 64-bit seed with a default.
-    pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64> {
-        match self.get(key) {
-            Some(v) => v.parse().map_err(|_| CliError::Usage {
-                reason: format!("argument `{key}` must be a non-negative integer, got `{v}`"),
-            }),
-            None => Ok(default),
-        }
-    }
-
     /// Rejects any keys not in the allowed list — catches typos like `quereis=`.
+    /// (The schema layer calls this with a command's declared key set.)
     pub fn ensure_only(&self, allowed: &[&str]) -> Result<()> {
         for key in self.values.keys() {
             if !allowed.contains(&key.as_str()) {
@@ -139,12 +69,6 @@ impl ParsedArgs {
     }
 }
 
-fn parse_f64(key: &str, value: &str) -> Result<f64> {
-    value.parse().map_err(|_| CliError::Usage {
-        reason: format!("argument `{key}` must be a number, got `{value}`"),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,22 +77,11 @@ mod tests {
     fn parses_key_value_pairs() {
         let args = ParsedArgs::parse(&["data=points.csv", "s=0.5", "k=3"]).unwrap();
         assert_eq!(args.get("data"), Some("points.csv"));
-        assert_eq!(args.require("data").unwrap(), "points.csv");
-        assert_eq!(args.require_f64("s").unwrap(), 0.5);
-        assert_eq!(args.get_usize_or("k", 1).unwrap(), 3);
-        assert_eq!(args.get_usize_or("missing", 7).unwrap(), 7);
-        assert_eq!(args.get_or("algorithm", "brute"), "brute");
-        assert_eq!(args.get_f64_or("c", 1.0).unwrap(), 1.0);
-        assert_eq!(args.get_u64_or("seed", 42).unwrap(), 42);
-    }
-
-    #[test]
-    fn booleans_parse_and_reject_garbage() {
-        let args = ParsedArgs::parse(&["a=true", "b=0", "c=maybe"]).unwrap();
-        assert!(args.get_bool_or("a", false).unwrap());
-        assert!(!args.get_bool_or("b", true).unwrap());
-        assert!(args.get_bool_or("c", false).is_err());
-        assert!(args.get_bool_or("missing", true).unwrap());
+        assert_eq!(args.get("s"), Some("0.5"));
+        assert_eq!(args.get("missing"), None);
+        // Values are kept verbatim (typing happens in the schema layer).
+        let args = ParsedArgs::parse(&["x=a=b"]).unwrap();
+        assert_eq!(args.get("x"), Some("a=b"));
     }
 
     #[test]
@@ -176,28 +89,6 @@ mod tests {
         assert!(ParsedArgs::parse(&["noequals"]).is_err());
         assert!(ParsedArgs::parse(&["=value"]).is_err());
         assert!(ParsedArgs::parse(&["a=1", "a=2"]).is_err());
-        let args = ParsedArgs::parse(&["s=abc", "k=-1", "seed=x"]).unwrap();
-        assert!(args.require_f64("s").is_err());
-        assert!(args.get_usize_or("k", 1).is_err());
-        assert!(args.get_u64_or("seed", 0).is_err());
-        assert!(args.require("missing").is_err());
-        assert!(args.require_usize("missing").is_err());
-    }
-
-    #[test]
-    fn explicit_zeros_are_rejected_by_the_positive_parser() {
-        let args = ParsedArgs::parse(&["threads=0", "chunk=4"]).unwrap();
-        let err = args.get_positive_usize_or("threads", 2).unwrap_err();
-        assert!(err.to_string().contains("`threads`"));
-        assert!(err.to_string().contains("at least 1"));
-        assert_eq!(args.get_positive_usize_or("chunk", 1).unwrap(), 4);
-        // An *absent* key falls back to the default, even a zero default (the
-        // engine's internal 0 = one-per-CPU sentinel stays reachable as a default).
-        assert_eq!(args.get_positive_usize_or("missing", 0).unwrap(), 0);
-        assert!(ParsedArgs::parse(&["k=x"])
-            .unwrap()
-            .get_positive_usize_or("k", 1)
-            .is_err());
     }
 
     #[test]

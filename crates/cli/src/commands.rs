@@ -3,26 +3,31 @@
 //! Each command is an ordinary function from parsed arguments to a report value; the
 //! binary in `main.rs` only decides how to print the report. This keeps the whole CLI
 //! unit-testable without spawning processes or capturing stdout.
+//!
+//! Argument handling is entirely schema-driven: every command starts by binding the
+//! raw [`ParsedArgs`] against its [`crate::schema::CommandSpec`] (the same struct
+//! `ips help <cmd>` renders), and then executes through the workspace's typed
+//! facades — [`ips_core::facade::JoinBuilder`] for joins, [`ips_store::Index`] /
+//! [`ips_store::IndexBuilder`] for everything snapshot-backed.
 
 use crate::args::ParsedArgs;
 use crate::dataset::{read_vectors, write_vectors, DatasetSummary};
 use crate::error::{CliError, Result};
+use crate::schema::{self, CommandArgs};
 use ips_core::algebraic::algebraic_exact_join;
 use ips_core::asymmetric::AlshParams;
-use ips_core::brute::BorrowedBruteIndex;
-use ips_core::engine::{EngineConfig, JoinEngine};
-use ips_core::join::{alsh_engine, sketch_engine, symmetric_engine};
+use ips_core::engine::EngineConfig;
+use ips_core::facade::{Join, Strategy};
 use ips_core::mips::{BruteForceMipsIndex, SearchResult};
-use ips_core::planner::{JoinPlan, JoinPlanner, PlannerConfig};
+use ips_core::planner::JoinPlan;
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant, MatchPair};
-use ips_core::symmetric::SymmetricParams;
 use ips_core::topk::TopKMipsIndex;
 use ips_core::AlshMipsIndex;
 use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_datagen::sphere::unit_vectors;
 use ips_sketch::linf_mips::MaxIpConfig;
-use ips_store::{IndexConfig, ServingConfig, ServingIndex};
+use ips_store::{Index, ServingIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -63,6 +68,11 @@ pub struct JoinReport {
     /// The cost-based plan, present only under `algorithm=auto`; printed by
     /// the binary when `explain=true`.
     pub plan: Option<JoinPlan>,
+    /// Whether `explain=true` was given (the binary prints the plan iff so).
+    pub explain: bool,
+    /// The `limit=` presentation knob: pairs the binary prints before
+    /// truncating the listing.
+    pub limit: usize,
 }
 
 /// Report returned by `ips search`: for each query index, its top-`k` results.
@@ -74,46 +84,58 @@ pub struct SearchReport {
     pub results: Vec<Vec<SearchResult>>,
 }
 
-fn parse_variant(args: &ParsedArgs) -> Result<JoinVariant> {
-    match args.get_or("variant", "signed") {
+fn parse_variant(args: &CommandArgs<'_>) -> Result<JoinVariant> {
+    match args.str("variant") {
         "signed" => Ok(JoinVariant::Signed),
         "unsigned" => Ok(JoinVariant::Unsigned),
-        other => Err(CliError::Usage {
-            reason: format!("unknown variant `{other}`; expected signed or unsigned"),
-        }),
+        other => unreachable!("schema restricts variant to signed|unsigned, got `{other}`"),
     }
 }
 
-fn parse_spec(args: &ParsedArgs) -> Result<JoinSpec> {
-    let s = args.require_f64("s")?;
-    let c = args.get_f64_or("c", 1.0)?;
-    let variant = parse_variant(args)?;
-    JoinSpec::new(s, c, variant).map_err(CliError::from)
+fn parse_spec(args: &CommandArgs<'_>) -> Result<JoinSpec> {
+    JoinSpec::new(args.f64("s"), args.f64("c"), parse_variant(args)?).map_err(CliError::from)
+}
+
+fn alsh_params(args: &CommandArgs<'_>) -> AlshParams {
+    AlshParams {
+        bits_per_table: args.usize("bits"),
+        tables: args.usize("tables"),
+        ..AlshParams::default()
+    }
+}
+
+/// The `threads=` / `chunk=` schedule (validation already done by the schema:
+/// explicit zeros never get here, `auto` resolves to one worker per CPU).
+fn engine_config(args: &CommandArgs<'_>) -> EngineConfig {
+    EngineConfig {
+        threads: args.threads("threads"),
+        chunk_size: args.usize("chunk"),
+    }
+}
+
+/// The algorithm selection: `algorithm=` with `algo=` accepted as a shorthand
+/// (giving both is ambiguous and rejected); the schema supplies the default.
+fn chosen_algorithm(args: &CommandArgs<'_>) -> Result<String> {
+    match (args.given("algorithm"), args.given("algo")) {
+        (true, true) => Err(CliError::Usage {
+            reason: "give either `algorithm=` or `algo=`, not both".into(),
+        }),
+        (false, true) => Ok(args.opt_str("algo").expect("given").to_string()),
+        _ => Ok(args.str("algorithm").to_string()),
+    }
 }
 
 /// `ips generate` — synthesise a workload and write CSV files.
-pub fn cmd_generate(args: &ParsedArgs) -> Result<GenerateReport> {
-    args.ensure_only(&[
-        "kind",
-        "n",
-        "queries",
-        "dim",
-        "seed",
-        "data",
-        "query-file",
-        "planted-ip",
-        "planted",
-    ])?;
-    let kind = args.get_or("kind", "latent");
-    let n = args.require_usize("n")?;
-    let queries = args.get_usize_or("queries", n / 10 + 1)?;
-    let dim = args.get_usize_or("dim", 32)?;
-    let seed = args.get_u64_or("seed", 42)?;
-    let data_path = PathBuf::from(args.require("data")?);
-    let query_path = args.get("query-file").map(PathBuf::from);
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn cmd_generate(raw: &ParsedArgs) -> Result<GenerateReport> {
+    let args = schema::GENERATE.bind(raw)?;
+    let n = args.usize("n");
+    let queries = args.usize_or("queries", n / 10 + 1);
+    let dim = args.usize("dim");
+    let data_path = PathBuf::from(args.str("data"));
+    let query_path = args.opt_str("query-file").map(PathBuf::from);
+    let mut rng = StdRng::seed_from_u64(args.u64("seed"));
 
-    let (data, query_vectors) = match kind {
+    let (data, query_vectors) = match args.str("kind") {
         "latent" => {
             let model = LatentFactorModel::generate(
                 &mut rng,
@@ -134,8 +156,8 @@ pub fn cmd_generate(args: &ParsedArgs) -> Result<GenerateReport> {
                     queries,
                     dim,
                     background_scale: 0.1,
-                    planted_ip: args.get_f64_or("planted-ip", 0.8)?,
-                    planted: args.get_usize_or("planted", queries.min(n) / 2)?,
+                    planted_ip: args.f64("planted-ip"),
+                    planted: args.usize_or("planted", queries.min(n) / 2),
                 },
             )?;
             (instance.data().to_vec(), Some(instance.queries().to_vec()))
@@ -149,11 +171,7 @@ pub fn cmd_generate(args: &ParsedArgs) -> Result<GenerateReport> {
             };
             (data, q)
         }
-        other => {
-            return Err(CliError::Usage {
-                reason: format!("unknown kind `{other}`; expected latent, planted or sphere"),
-            })
-        }
+        other => unreachable!("schema restricts kind to latent|planted|sphere, got `{other}`"),
     };
 
     write_vectors(&data_path, &data)?;
@@ -177,141 +195,46 @@ pub fn cmd_generate(args: &ParsedArgs) -> Result<GenerateReport> {
 }
 
 /// `ips info` — summary statistics of a CSV vector file.
-pub fn cmd_info(args: &ParsedArgs) -> Result<DatasetSummary> {
-    args.ensure_only(&["data"])?;
-    let vectors = read_vectors(Path::new(args.require("data")?))?;
+pub fn cmd_info(raw: &ParsedArgs) -> Result<DatasetSummary> {
+    let args = schema::INFO.bind(raw)?;
+    let vectors = read_vectors(Path::new(args.str("data")))?;
     DatasetSummary::of(&vectors)
-}
-
-fn alsh_params(args: &ParsedArgs) -> Result<AlshParams> {
-    let defaults = AlshParams::default();
-    Ok(AlshParams {
-        bits_per_table: args.get_usize_or("bits", defaults.bits_per_table)?,
-        tables: args.get_usize_or("tables", defaults.tables)?,
-        ..defaults
-    })
-}
-
-fn run_join(
-    algorithm: &str,
-    rng: &mut StdRng,
-    data: &[ips_linalg::DenseVector],
-    queries: &[ips_linalg::DenseVector],
-    spec: JoinSpec,
-    params: AlshParams,
-    engine_config: EngineConfig,
-) -> Result<(Vec<MatchPair>, Option<JoinPlan>)> {
-    // Every index-backed algorithm goes through the one parallel JoinEngine
-    // driver; `matmul` keeps its own blockwise Gram-product path, and `auto`
-    // lets the cost-based planner choose among the engine-backed strategies.
-    match algorithm {
-        "auto" => {
-            let planner = JoinPlanner {
-                config: PlannerConfig {
-                    alsh: params,
-                    engine: engine_config,
-                    ..PlannerConfig::default()
-                },
-                ..JoinPlanner::default()
-            };
-            let plan = planner.plan(rng, data, queries, spec)?;
-            let pairs = plan.execute(rng, data, queries)?;
-            Ok((pairs, Some(plan)))
-        }
-        "brute" => {
-            // Borrowed index: the CSV reader already owns the vectors, no second copy.
-            let engine =
-                JoinEngine::with_config(BorrowedBruteIndex::new(data, spec), engine_config);
-            Ok((engine.run(queries)?, None))
-        }
-        "matmul" => Ok((algebraic_exact_join(data, queries, &spec, 64)?, None)),
-        "alsh" => Ok((
-            alsh_engine(rng, data, spec, params, engine_config)?.run(queries)?,
-            None,
-        )),
-        "symmetric" => Ok((
-            symmetric_engine(rng, data, spec, SymmetricParams::default(), engine_config)?
-                .run(queries)?,
-            None,
-        )),
-        "sketch" => Ok((
-            sketch_engine(rng, data, spec, MaxIpConfig::default(), 16, engine_config)?
-                .run(queries)?,
-            None,
-        )),
-        other => Err(CliError::Usage {
-            reason: format!(
-                "unknown algorithm `{other}`; expected auto, brute, matmul, alsh, symmetric or sketch"
-            ),
-        }),
-    }
-}
-
-/// Parses `threads=` / `chunk=` into an [`EngineConfig`], rejecting explicit zeros
-/// (public so the `serve` dispatch in `main.rs` shares the validation).
-pub fn engine_config(args: &ParsedArgs) -> Result<EngineConfig> {
-    let defaults = EngineConfig::default();
-    // `threads=0` / `chunk=0` used to be accepted and silently reinterpreted (0
-    // threads meant one-per-CPU, 0 chunk was clamped to 1); both are now errors.
-    // The one-per-CPU schedule is spelled `threads=auto` (and is the default).
-    let threads = match args.get("threads") {
-        Some("auto") => 0,
-        _ => args.get_positive_usize_or("threads", defaults.threads)?,
-    };
-    Ok(EngineConfig {
-        threads,
-        chunk_size: args.get_positive_usize_or("chunk", defaults.chunk_size)?,
-    })
-}
-
-/// The algorithm selection for `ips join`: `algorithm=` with `algo=` accepted
-/// as a shorthand (giving both is ambiguous and rejected).
-fn parse_algorithm(args: &ParsedArgs) -> Result<String> {
-    match (args.get("algorithm"), args.get("algo")) {
-        (Some(_), Some(_)) => Err(CliError::Usage {
-            reason: "give either `algorithm=` or `algo=`, not both".into(),
-        }),
-        (Some(a), None) | (None, Some(a)) => Ok(a.to_string()),
-        (None, None) => Ok("brute".to_string()),
-    }
 }
 
 /// `ips join` — run a `(cs, s)` join between two CSV files.
 ///
+/// Every strategy dispatches through the fluent [`Join`] facade of `ips-core`
+/// (the `matmul` baseline keeps its own blockwise Gram-product path);
 /// `algorithm=auto` (or `algo=auto`) hands the choice to the cost-based
-/// [`JoinPlanner`]; the resulting [`JoinPlan`] is attached to the report and
+/// planner, and the resulting [`JoinPlan`] is attached to the report and
 /// rendered by the binary when `explain=true` is given.
-pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
-    args.ensure_only(&[
-        "data",
-        "queries",
-        "s",
-        "c",
-        "variant",
-        "algorithm",
-        "algo",
-        "explain",
-        "seed",
-        "limit",
-        "bits",
-        "tables",
-        "threads",
-        "chunk",
-    ])?;
-    let data = read_vectors(Path::new(args.require("data")?))?;
-    let queries = read_vectors(Path::new(args.require("queries")?))?;
-    let spec = parse_spec(args)?;
-    let algorithm = parse_algorithm(args)?;
-    if args.get_bool_or("explain", false)? && algorithm != "auto" {
+pub fn cmd_join(raw: &ParsedArgs) -> Result<JoinReport> {
+    let args = schema::JOIN.bind(raw)?;
+    let data = read_vectors(Path::new(args.str("data")))?;
+    let queries = read_vectors(Path::new(args.str("queries")))?;
+    let spec = parse_spec(&args)?;
+    let algorithm = chosen_algorithm(&args)?;
+    if args.bool("explain") && algorithm != "auto" {
         return Err(CliError::Usage {
             reason: format!("explain= requires algo=auto (got algorithm `{algorithm}`)"),
         });
     }
-    let mut rng = StdRng::seed_from_u64(args.get_u64_or("seed", 42)?);
-    let params = alsh_params(args)?;
-    let config = engine_config(args)?;
     let start = Instant::now();
-    let (pairs, plan) = run_join(&algorithm, &mut rng, &data, &queries, spec, params, config)?;
+    let (pairs, plan) = match algorithm.as_str() {
+        "matmul" => (algebraic_exact_join(&data, &queries, &spec, 64)?, None),
+        name => {
+            let strategy: Strategy = name.parse().map_err(CliError::from)?;
+            let report = Join::data(&data)
+                .queries(&queries)
+                .spec(spec)
+                .strategy(strategy)
+                .alsh_params(alsh_params(&args))
+                .engine(engine_config(&args))
+                .seed(args.u64("seed"))
+                .run()?;
+            (report.matches, report.plan)
+        }
+    };
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     let (recall, valid) = evaluate_join(&data, &queries, &spec, &pairs)?;
     let algorithm = match &plan {
@@ -325,6 +248,8 @@ pub fn cmd_join(args: &ParsedArgs) -> Result<JoinReport> {
         valid,
         elapsed_ms,
         plan,
+        explain: args.bool("explain"),
+        limit: args.usize("limit"),
     })
 }
 
@@ -360,123 +285,51 @@ pub struct QueryReport {
     pub k: usize,
     /// Wall-clock time of the batch in milliseconds (excluding snapshot load).
     pub elapsed_ms: f64,
-}
-
-/// Resolves the `algorithm=`/`algo=` choice of `ips build` into a concrete
-/// [`IndexConfig`], consulting the PR-2 cost-based planner for `auto`.
-fn resolve_build_config(
-    algorithm: &str,
-    args: &ParsedArgs,
-    rng: &mut StdRng,
-    data: &[ips_linalg::DenseVector],
-    spec: JoinSpec,
-) -> Result<IndexConfig> {
-    let alsh = alsh_params(args)?;
-    let sketch = MaxIpConfig {
-        kappa: args.get_f64_or("kappa", MaxIpConfig::default().kappa)?,
-        copies: args.get_positive_usize_or("copies", MaxIpConfig::default().copies)?,
-        rows: None,
-    };
-    let leaf = args.get_positive_usize_or("leaf", 16)?;
-    Ok(match algorithm {
-        "brute" => IndexConfig::Brute,
-        "alsh" => IndexConfig::Alsh(alsh),
-        "symmetric" => IndexConfig::Symmetric(SymmetricParams::default()),
-        "sketch" => IndexConfig::Sketch {
-            config: sketch,
-            leaf_size: leaf,
-        },
-        "auto" => {
-            // The planner costs strategies against the query workload, so auto
-            // builds need a representative query file.
-            let queries = read_vectors(Path::new(args.get("queries").ok_or_else(|| {
-                CliError::Usage {
-                    reason: "algorithm=auto needs queries=<path> (a representative query \
-                             workload for the cost-based planner)"
-                        .into(),
-                }
-            })?))?;
-            let planner = JoinPlanner {
-                config: PlannerConfig {
-                    alsh,
-                    sketch,
-                    sketch_leaf_size: leaf,
-                    ..PlannerConfig::default()
-                },
-                ..JoinPlanner::default()
-            };
-            let plan = planner.plan(rng, data, &queries, spec)?;
-            match plan.choice {
-                ips_core::planner::Strategy::BruteForce => IndexConfig::Brute,
-                ips_core::planner::Strategy::Alsh => IndexConfig::Alsh(plan.alsh_params),
-                ips_core::planner::Strategy::Symmetric => {
-                    IndexConfig::Symmetric(plan.symmetric_params)
-                }
-                ips_core::planner::Strategy::Sketch => IndexConfig::Sketch {
-                    config: plan.sketch_config,
-                    leaf_size: plan.sketch_leaf_size,
-                },
-            }
-        }
-        other => {
-            return Err(CliError::Usage {
-                reason: format!(
-                    "unknown algorithm `{other}`; expected auto, brute, alsh, symmetric or sketch"
-                ),
-            })
-        }
-    })
+    /// The `limit=` presentation knob: pairs the binary prints before
+    /// truncating the listing.
+    pub limit: usize,
 }
 
 /// `ips build` — build an index over a CSV data file and write it as a snapshot.
 ///
-/// The strategy is picked manually (`algorithm=`) or by the PR-2 cost-based planner
-/// (`algorithm=auto queries=<path>`). The written snapshot round-trips losslessly:
-/// serving it answers queries bit-identically to the index built here.
-pub fn cmd_build(args: &ParsedArgs) -> Result<BuildReport> {
-    args.ensure_only(&[
-        "data",
-        "snapshot",
-        "queries",
-        "s",
-        "c",
-        "variant",
-        "algorithm",
-        "algo",
-        "seed",
-        "bits",
-        "tables",
-        "kappa",
-        "copies",
-        "leaf",
-    ])?;
-    let data = read_vectors(Path::new(args.require("data")?))?;
-    let snapshot_path = PathBuf::from(args.require("snapshot")?);
-    let spec = parse_spec(args)?;
-    let seed = args.get_u64_or("seed", 42)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let algorithm = parse_algorithm(args)?;
-    let algorithm =
-        if algorithm == "brute" && args.get("algorithm").is_none() && args.get("algo").is_none() {
-            // `ips join` defaults to brute; a snapshot is usually built to amortise an
-            // index, so `ips build` defaults to ALSH instead.
-            "alsh".to_string()
-        } else {
-            algorithm
-        };
+/// A thin layer over [`ips_store::Index::build`]: the strategy is picked manually
+/// (`algorithm=`, default `alsh` — a snapshot is usually built to amortise an
+/// index) or by the cost-based planner (`algorithm=auto queries=<path>`). The
+/// written snapshot round-trips losslessly: serving it answers queries
+/// bit-identically to the index built here.
+pub fn cmd_build(raw: &ParsedArgs) -> Result<BuildReport> {
+    let args = schema::BUILD.bind(raw)?;
+    let data = read_vectors(Path::new(args.str("data")))?;
+    let snapshot_path = PathBuf::from(args.str("snapshot"));
+    let spec = parse_spec(&args)?;
+    let algorithm = chosen_algorithm(&args)?;
+    let strategy: Strategy = algorithm.parse().map_err(CliError::from)?;
     let start = Instant::now();
-    let index_config = resolve_build_config(&algorithm, args, &mut rng, &data, spec)?;
-    let dim = data[0].dim();
-    let data_count = data.len();
-    let mut serving = ServingIndex::build(
-        data,
-        spec,
-        index_config,
-        ServingConfig {
-            seed,
-            ..ServingConfig::default()
-        },
-    )?;
+    let mut builder = Index::build(data)
+        .spec(spec)
+        .strategy(strategy)
+        .alsh_params(alsh_params(&args))
+        .sketch_config(MaxIpConfig {
+            kappa: args.f64("kappa"),
+            copies: args.usize("copies"),
+            rows: None,
+        })
+        .sketch_leaf_size(args.usize("leaf"))
+        .seed(args.u64("seed"));
+    // The query file is only the planner's workload sample: read it under
+    // `auto` alone, so non-auto builds neither require nor touch it (matching
+    // the pre-facade behaviour of the command).
+    if strategy == Strategy::Auto {
+        let path = args.opt_str("queries").ok_or_else(|| CliError::Usage {
+            reason: "algorithm=auto needs queries=<path> (a representative query \
+                     workload for the cost-based planner)"
+                .into(),
+        })?;
+        builder = builder.queries(read_vectors(Path::new(path))?);
+    }
+    let mut serving = builder.serve()?;
+    let data_count = serving.len();
+    let dim = serving.dim();
     let bytes = serving.save(&snapshot_path)?;
     Ok(BuildReport {
         snapshot_path,
@@ -492,17 +345,13 @@ pub fn cmd_build(args: &ParsedArgs) -> Result<BuildReport> {
 ///
 /// `k=0` (the default) runs the `(cs, s)` above-threshold search (at most one
 /// partner per query); `k>=1` returns up to `k` partners per query, best first.
-pub fn cmd_query(args: &ParsedArgs) -> Result<QueryReport> {
-    args.ensure_only(&["snapshot", "queries", "k", "threads", "chunk", "limit"])?;
-    let queries = read_vectors(Path::new(args.require("queries")?))?;
-    let k = args.get_usize_or("k", 0)?;
-    let serving = ServingIndex::open(
-        Path::new(args.require("snapshot")?),
-        ServingConfig {
-            engine: engine_config(args)?,
-            ..ServingConfig::default()
-        },
-    )?;
+pub fn cmd_query(raw: &ParsedArgs) -> Result<QueryReport> {
+    let args = schema::QUERY.bind(raw)?;
+    let queries = read_vectors(Path::new(args.str("queries")))?;
+    let k = args.usize("k");
+    let serving = Index::open(args.str("snapshot"))
+        .engine(engine_config(&args))
+        .serve()?;
     let start = Instant::now();
     let pairs = if k == 0 {
         serving.query(&queries)?
@@ -516,31 +365,39 @@ pub fn cmd_query(args: &ParsedArgs) -> Result<QueryReport> {
         query_count: queries.len(),
         k,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        limit: args.usize("limit"),
     })
 }
 
+/// `ips serve` — opens the snapshot a serve session runs over (the binary then
+/// drives [`crate::serve::serve_session`] on stdin/stdout).
+pub fn cmd_serve(raw: &ParsedArgs) -> Result<ServingIndex> {
+    let args = schema::SERVE.bind(raw)?;
+    Index::open(args.str("snapshot"))
+        .engine(engine_config(&args))
+        .rebuild_threshold(args.f64("rebuild-threshold"))
+        .seed(args.u64("seed"))
+        .serve()
+        .map_err(CliError::from)
+}
+
 /// `ips search` — build an index over the data file and answer top-`k` queries.
-pub fn cmd_search(args: &ParsedArgs) -> Result<SearchReport> {
-    args.ensure_only(&[
-        "data",
-        "queries",
-        "s",
-        "c",
-        "variant",
-        "algorithm",
-        "seed",
-        "k",
-        "bits",
-        "tables",
-    ])?;
-    let data = read_vectors(Path::new(args.require("data")?))?;
-    let queries = read_vectors(Path::new(args.require("queries")?))?;
-    let spec = parse_spec(args)?;
-    let k = args.get_usize_or("k", 1)?;
-    let algorithm = args.get_or("algorithm", "brute").to_string();
-    let mut rng = StdRng::seed_from_u64(args.get_u64_or("seed", 42)?);
-    let params = alsh_params(args)?;
+pub fn cmd_search(raw: &ParsedArgs) -> Result<SearchReport> {
+    let args = schema::SEARCH.bind(raw)?;
+    let data = read_vectors(Path::new(args.str("data")))?;
+    let queries = read_vectors(Path::new(args.str("queries")))?;
+    let spec = parse_spec(&args)?;
+    let k = args.usize("k");
+    let algorithm = args.str("algorithm").to_string();
+    let mut rng = StdRng::seed_from_u64(args.u64("seed"));
     let results = match algorithm.as_str() {
+        "alsh" => {
+            let index = AlshMipsIndex::build(&mut rng, data, spec, alsh_params(&args))?;
+            queries
+                .iter()
+                .map(|q| index.search_top_k(q, k))
+                .collect::<ips_core::Result<Vec<_>>>()?
+        }
         "brute" => {
             let index = BruteForceMipsIndex::new(data, spec);
             queries
@@ -548,18 +405,7 @@ pub fn cmd_search(args: &ParsedArgs) -> Result<SearchReport> {
                 .map(|q| index.search_top_k(q, k))
                 .collect::<ips_core::Result<Vec<_>>>()?
         }
-        "alsh" => {
-            let index = AlshMipsIndex::build(&mut rng, data, spec, params)?;
-            queries
-                .iter()
-                .map(|q| index.search_top_k(q, k))
-                .collect::<ips_core::Result<Vec<_>>>()?
-        }
-        other => {
-            return Err(CliError::Usage {
-                reason: format!("unknown algorithm `{other}`; expected brute or alsh"),
-            })
-        }
+        other => unreachable!("schema restricts algorithm to brute|alsh, got `{other}`"),
     };
     Ok(SearchReport { algorithm, results })
 }
@@ -809,13 +655,14 @@ mod tests {
         assert_eq!(top.k, 3);
         // Auto builds need a query workload for the planner; with one, the
         // planner picks brute on this small instance.
-        assert!(cmd_build(&args(&[
+        let err = cmd_build(&args(&[
             &format!("data={}", data.display()),
             &format!("snapshot={}", snapshot.display()),
             "s=0.8",
             "algo=auto",
         ]))
-        .is_err());
+        .unwrap_err();
+        assert!(err.to_string().contains("queries=<path>"), "{err}");
         let auto = cmd_build(&args(&[
             &format!("data={}", data.display()),
             &format!("snapshot={}", snapshot.display()),
@@ -826,6 +673,43 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(auto.family, "brute");
+    }
+
+    #[test]
+    fn serve_opens_the_snapshot_with_serving_knobs() {
+        let dir = temp_dir("serve-open");
+        let data = dir.join("data.csv");
+        let snapshot = dir.join("index.snap");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=50",
+            "queries=5",
+            "dim=8",
+            "seed=2",
+            &format!("data={}", data.display()),
+        ]))
+        .unwrap();
+        cmd_build(&args(&[
+            &format!("data={}", data.display()),
+            &format!("snapshot={}", snapshot.display()),
+            "s=0.8",
+            "c=0.6",
+        ]))
+        .unwrap();
+        let serving = cmd_serve(&args(&[
+            &format!("snapshot={}", snapshot.display()),
+            "threads=1",
+            "rebuild-threshold=0.5",
+        ]))
+        .unwrap();
+        assert_eq!(serving.len(), 50);
+        // Schema validation applies: an unknown key is rejected up front.
+        assert!(cmd_serve(&args(&[
+            &format!("snapshot={}", snapshot.display()),
+            "rebuild=0.5",
+        ]))
+        .map(|_| ())
+        .is_err());
     }
 
     #[test]

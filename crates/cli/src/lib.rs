@@ -20,10 +20,14 @@
 //!   `save`) over stdin/stdout;
 //! * `ips query` — one-shot query batch against a snapshot.
 //!
-//! The crate is a thin, testable layer: argument parsing lives in [`args`], CSV I/O in
-//! [`dataset`], the serve REPL in [`serve`], and each subcommand is an ordinary
-//! function in [`commands`] that returns its report as a value (the binary in
-//! `main.rs` only prints it).
+//! The crate is a thin, testable layer: raw `key=value` splitting lives in [`args`],
+//! the declarative command schema (argument types, defaults, generated help, the
+//! serve line protocol) in [`schema`], CSV I/O in [`dataset`], the serve REPL in
+//! [`serve`], and each subcommand is an ordinary function in [`commands`] that binds
+//! its arguments against the schema and returns its report as a value (the binary in
+//! `main.rs` only prints it). There are no hand-written usage strings anywhere:
+//! `ips help` and `ips help <command>` render from the same [`schema::CommandSpec`]
+//! structs that parse the commands.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,43 +36,8 @@ pub mod args;
 pub mod commands;
 pub mod dataset;
 pub mod error;
+pub mod schema;
 pub mod serve;
 
 pub use args::ParsedArgs;
 pub use error::{CliError, Result};
-
-/// The usage string printed by `ips help` and on argument errors.
-pub const USAGE: &str = "\
-ips — inner product similarity join toolbox (PODS 2016 reproduction)
-
-USAGE:
-    ips <command> [key=value ...]
-
-COMMANDS:
-    generate   kind=latent|planted|sphere n=<int> [queries=<int>] dim=<int> seed=<int>
-               data=<path> [query-file=<path>] [planted-ip=<float>] [planted=<int>]
-    info       data=<path>
-    join       data=<path> queries=<path> s=<float> [c=<float>] [variant=signed|unsigned]
-               [algorithm=auto|brute|matmul|alsh|symmetric|sketch] [seed=<int>] [limit=<int>]
-               [threads=auto|<int>] [chunk=<int>]
-               algo= is shorthand for algorithm=; algo=auto lets the cost-based
-               planner pick the strategy, and explain=true prints the chosen
-               plan with every strategy's estimated cost
-    search     data=<path> queries=<path> s=<float> [c=<float>] [k=<int>]
-               [algorithm=brute|alsh] [seed=<int>]
-    build      data=<path> snapshot=<path> s=<float> [c=<float>] [variant=signed|unsigned]
-               [algorithm=alsh|brute|symmetric|sketch|auto] [seed=<int>] [bits=<int>]
-               [tables=<int>] [kappa=<float>] [copies=<int>] [leaf=<int>]
-               algorithm=auto consults the cost-based planner and needs queries=<path>
-    serve      snapshot=<path> [threads=auto|<int>] [chunk=<int>]
-               [rebuild-threshold=<float>]   (compaction trigger, default 0.25 —
-               the (cs, s) join thresholds live in the snapshot, set at build time)
-               then speaks a line protocol on stdin/stdout: query <v>[;<v>...],
-               topk <k> <v>[;<v>...], insert <v>, delete <id>, stats, save <path>, quit
-    query      snapshot=<path> queries=<path> [k=<int>] [threads=auto|<int>]
-               [chunk=<int>] [limit=<int>]
-    help       print this message
-
-Vector files are plain CSV: one vector per line, coordinates separated by commas.
-threads= and chunk= must be at least 1 (threads=auto means one worker per CPU).
-";

@@ -1,17 +1,48 @@
 //! The `ips` binary: command dispatch and report printing for the `ips-cli` library.
+//!
+//! All usage text is generated from the declarative command schema in
+//! [`ips_cli::schema`] — the same structs that parse and validate each command's
+//! arguments — so `ips help` can never drift from what the commands accept.
 
 use ips_cli::args::ParsedArgs;
-use ips_cli::commands::{cmd_build, cmd_generate, cmd_info, cmd_join, cmd_query, cmd_search};
+use ips_cli::commands::{
+    cmd_build, cmd_generate, cmd_info, cmd_join, cmd_query, cmd_search, cmd_serve,
+};
+use ips_cli::schema;
 use ips_cli::serve::serve_session;
-use ips_cli::{CliError, USAGE};
+use ips_cli::CliError;
 use std::process::ExitCode;
+
+/// `ips help [<command>]`: the overview, or one command's generated usage.
+fn run_help(rest: &[String]) -> Result<(), CliError> {
+    match rest {
+        [] => println!("{}", schema::usage_overview()),
+        [name] => match schema::command(name) {
+            Some(spec) => println!("{}", spec.usage()),
+            None => {
+                return Err(CliError::Usage {
+                    reason: format!("unknown command `{name}`; run `ips help` for the list"),
+                })
+            }
+        },
+        more => {
+            return Err(CliError::Usage {
+                reason: format!("help takes at most one command name, got {}", more.len()),
+            })
+        }
+    }
+    Ok(())
+}
 
 fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
-        println!("{USAGE}");
+        println!("{}", schema::usage_overview());
         return Ok(());
     };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        return run_help(rest);
+    }
     let args = ParsedArgs::parse(rest)?;
     match command.as_str() {
         "generate" => {
@@ -36,7 +67,7 @@ fn run() -> Result<(), CliError> {
         }
         "join" => {
             let report = cmd_join(&args)?;
-            if args.get_bool_or("explain", false)? {
+            if report.explain {
                 if let Some(plan) = &report.plan {
                     print!("{}", plan.explain());
                 }
@@ -49,7 +80,7 @@ fn run() -> Result<(), CliError> {
                 report.valid,
                 report.elapsed_ms
             );
-            let limit = args.get_usize_or("limit", 20)?;
+            let limit = report.limit;
             for pair in report.pairs.iter().take(limit) {
                 println!(
                     "  query {:>6}  data {:>6}  inner product {:+.6}",
@@ -94,16 +125,7 @@ fn run() -> Result<(), CliError> {
             );
         }
         "serve" => {
-            args.ensure_only(&["snapshot", "threads", "chunk", "rebuild-threshold", "seed"])?;
-            let threshold = args.get_f64_or("rebuild-threshold", 0.25)?;
-            let mut serving = ips_store::ServingIndex::open(
-                std::path::Path::new(args.require("snapshot")?),
-                ips_store::ServingConfig {
-                    engine: ips_cli::commands::engine_config(&args)?,
-                    rebuild_threshold: threshold,
-                    seed: args.get_u64_or("seed", 42)?,
-                },
-            )?;
+            let mut serving = cmd_serve(&args)?;
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             serve_session(&mut serving, stdin.lock(), stdout.lock())?;
@@ -118,7 +140,7 @@ fn run() -> Result<(), CliError> {
                 report.pairs.len(),
                 report.elapsed_ms
             );
-            let limit = args.get_usize_or("limit", 20)?;
+            let limit = report.limit;
             for pair in report.pairs.iter().take(limit) {
                 println!(
                     "  query {:>6}  id {:>6}  inner product {:+.6}",
@@ -132,7 +154,6 @@ fn run() -> Result<(), CliError> {
                 );
             }
         }
-        "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {
             return Err(CliError::Usage {
                 reason: format!("unknown command `{other}`; run `ips help` for usage"),
@@ -148,7 +169,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             if matches!(e, CliError::Usage { .. }) {
-                eprintln!("\n{USAGE}");
+                eprintln!("\nrun `ips help` (or `ips help <command>`) for usage");
             }
             ExitCode::FAILURE
         }

@@ -55,15 +55,9 @@ fn parse_batch(text: &str) -> Result<Vec<DenseVector>> {
     text.split(';').map(|v| parse_vector(v.trim())).collect()
 }
 
-const HELP: &str = "\
-commands:
-  query <v>[;<v>...]    (cs, s) search; replies `hit <id> <ip>` or `miss` per vector
-  topk <k> <v>[;<v>...] top-k search; replies `hits <id>:<ip>,...` or `none` per vector
-  insert <v>            add a vector; replies `inserted <id>`
-  delete <id>           remove a vector; replies `deleted <id>`
-  stats                 per-index counters
-  save <path>           compact and write a snapshot
-  quit                  end the session";
+// The REPL's `help` reply is generated from the same declarative protocol table
+// (`schema::SERVE_PROTOCOL`) that `ips help serve` renders, so the two can
+// never drift; see `crate::schema::protocol_help`.
 
 /// Executes one protocol line, appending reply lines to `out`. Returns `false` when
 /// the session should end.
@@ -144,15 +138,22 @@ fn execute(serving: &mut ServingIndex, line: &str, out: &mut Vec<String>) -> Res
             let bytes = serving.save(std::path::Path::new(rest))?;
             out.push(format!("saved {rest} ({bytes} bytes)"));
         }
-        "help" => out.push(HELP.to_string()),
+        "help" => out.push(crate::schema::protocol_help()),
         "quit" | "exit" => {
             out.push("bye".to_string());
             return Ok(false);
         }
         other => {
+            let known: Vec<&str> = crate::schema::SERVE_PROTOCOL
+                .iter()
+                .map(|c| c.name)
+                .collect();
             return Err(CliError::Usage {
-                reason: format!("unknown command `{other}` (try `help`)"),
-            })
+                reason: format!(
+                    "unknown command `{other}` (try `help`; commands are {})",
+                    known.join(", ")
+                ),
+            });
         }
     }
     Ok(true)

@@ -68,7 +68,9 @@ impl MipsIndex for BorrowedBruteIndex<'_> {
 
 /// Multi-threaded exact join: the [`JoinEngine`] over a borrowed exact index, with
 /// the query set split across `threads` workers (one chunk each, mirroring the
-/// pre-engine behaviour of this baseline).
+/// pre-engine behaviour of this baseline). The builder spelling is
+/// `Join::data(d).queries(q).spec(s).strategy(Strategy::Brute).threads(n).run()`
+/// (see [`crate::facade`]; no randomness is involved either way).
 pub fn brute_force_join_parallel(
     data: &[DenseVector],
     queries: &[DenseVector],

@@ -17,7 +17,10 @@
 //!
 //! This is the seam future sharding and caching work plugs into: anything that can
 //! answer `search_batch` — a remote shard, a cached layer, a GPU kernel — joins through
-//! the same driver.
+//! the same driver. It is also the execution core every run of the fluent
+//! [`crate::facade::JoinBuilder`] ends in: whatever strategy the builder (or the
+//! planner behind [`crate::facade::Strategy::Auto`]) selects, the query set reaches the
+//! chosen index through `JoinEngine::run`.
 
 use crate::error::Result;
 use crate::mips::MipsIndex;

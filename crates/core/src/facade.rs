@@ -1,0 +1,517 @@
+//! The fluent join facade: one typed entry point over every join strategy.
+//!
+//! The workspace grew four join families (brute force, the Section 4.1 ALSH
+//! index, the Section 4.2 symmetric LSH, the Section 4.3 sketch structure) plus
+//! the cost-based planner, and with them nine positional free functions. This
+//! module is the single surface that replaces them for callers: build a
+//! [`JoinBuilder`] with [`Join::data`], describe the workload and the `(cs, s)`
+//! contract with fluent setters, and [`JoinBuilder::run`] it:
+//!
+//! ```
+//! use ips_core::facade::{Join, Strategy};
+//! use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let inst = PlantedInstance::generate(&mut rng, PlantedConfig {
+//!     data: 300, queries: 24, dim: 24,
+//!     background_scale: 0.1, planted_ip: 0.85, planted: 4,
+//! }).unwrap();
+//!
+//! let report = Join::data(inst.data())
+//!     .queries(inst.queries())
+//!     .threshold(0.8)
+//!     .approximation(0.6)
+//!     .strategy(Strategy::Auto)
+//!     .threads(2)
+//!     .seed(7)
+//!     .run()
+//!     .unwrap();
+//! println!("{} ran in {} ns, {} pairs", report.strategy, report.wall_ns,
+//!          report.matches.len());
+//! assert!(report.plan.is_some()); // Strategy::Auto attaches the planner's decision
+//! ```
+//!
+//! # Determinism contract
+//!
+//! [`JoinBuilder::run`] seeds a [`rand::rngs::StdRng`] from [`JoinBuilder::seed`]
+//! and dispatches through exactly the same engine-backed entry points the legacy
+//! free functions use ([`crate::join::alsh_engine`] and friends), so its output
+//! is **bit-identical** to the legacy call with the same parameters and a
+//! same-seeded RNG — the property `tests/tests/proptest_facade.rs` pins for all
+//! four fixed strategies and [`Strategy::Auto`]. Callers that thread their own
+//! RNG (the legacy shims themselves do) use [`JoinBuilder::run_with_rng`].
+//!
+//! The legacy free functions (`alsh_join`, `sketch_join`, `auto_join`, …) still
+//! exist as thin shims over this builder; see `MIGRATION.md` at the repository
+//! root for the mapping.
+
+use crate::asymmetric::AlshParams;
+use crate::brute::BorrowedBruteIndex;
+use crate::engine::{EngineConfig, JoinEngine};
+use crate::error::{CoreError, Result};
+use crate::planner::{self, CostModel, JoinPlan, JoinPlanner, PlannerConfig, WorkloadStats};
+use crate::problem::{JoinSpec, JoinVariant, MatchPair};
+use crate::symmetric::SymmetricParams;
+use ips_linalg::DenseVector;
+use ips_sketch::linf_mips::MaxIpConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which join strategy a [`JoinBuilder`] dispatches — the four fixed families
+/// plus [`Strategy::Auto`], which consults the cost-based [`JoinPlanner`].
+///
+/// This is the *selection* type of the facade; the planner's
+/// [`planner::Strategy`] is the *decision* type (always concrete). Conversions
+/// go both ways via [`From`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Let the cost-based planner pick the cheapest eligible strategy.
+    #[default]
+    Auto,
+    /// The exact data-major quadratic scan ([`crate::brute`]).
+    Brute,
+    /// The Section 4.1 asymmetric-LSH index ([`crate::asymmetric`]).
+    Alsh,
+    /// The Section 4.2 symmetric LSH ([`crate::symmetric`]).
+    Symmetric,
+    /// The Section 4.3 linear-sketch structure (`ips-sketch`).
+    Sketch,
+}
+
+impl Strategy {
+    /// Every selectable strategy, `Auto` first.
+    pub const ALL: [Strategy; 5] = [
+        Strategy::Auto,
+        Strategy::Brute,
+        Strategy::Alsh,
+        Strategy::Symmetric,
+        Strategy::Sketch,
+    ];
+
+    /// The name used by the CLI (`algorithm=`) and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Brute => "brute",
+            Strategy::Alsh => "alsh",
+            Strategy::Symmetric => "symmetric",
+            Strategy::Sketch => "sketch",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "auto" => Ok(Strategy::Auto),
+            "brute" => Ok(Strategy::Brute),
+            "alsh" => Ok(Strategy::Alsh),
+            "symmetric" => Ok(Strategy::Symmetric),
+            "sketch" => Ok(Strategy::Sketch),
+            other => Err(CoreError::InvalidParameter {
+                name: "strategy",
+                reason: format!(
+                    "unknown strategy `{other}`; expected auto, brute, alsh, symmetric or sketch"
+                ),
+            }),
+        }
+    }
+}
+
+impl From<planner::Strategy> for Strategy {
+    fn from(s: planner::Strategy) -> Self {
+        match s {
+            planner::Strategy::BruteForce => Strategy::Brute,
+            planner::Strategy::Alsh => Strategy::Alsh,
+            planner::Strategy::Symmetric => Strategy::Symmetric,
+            planner::Strategy::Sketch => Strategy::Sketch,
+        }
+    }
+}
+
+/// What a [`JoinBuilder::run`] produced: the matches plus everything a caller
+/// needs to report on the run without re-deriving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinReport {
+    /// The reported pairs; every one clears the relaxed threshold `cs`
+    /// (the validity half of Definition 1, by construction).
+    pub matches: Vec<MatchPair>,
+    /// The concrete strategy that ran — for [`Strategy::Auto`] this is the
+    /// planner's choice, otherwise the requested strategy itself.
+    pub strategy: planner::Strategy,
+    /// The cost-based plan, present only under [`Strategy::Auto`].
+    pub plan: Option<JoinPlan>,
+    /// The sampled workload statistics the plan was based on, present only
+    /// under [`Strategy::Auto`] (manual strategies never sample the workload —
+    /// that keeps them bit-identical to the legacy entry points).
+    pub stats: Option<WorkloadStats>,
+    /// End-to-end wall-clock nanoseconds of the dispatch (planning included
+    /// under [`Strategy::Auto`]).
+    pub wall_ns: u128,
+}
+
+/// Entry point of the fluent facade: [`Join::data`] starts a [`JoinBuilder`].
+#[derive(Debug, Clone, Copy)]
+pub struct Join;
+
+impl Join {
+    /// Starts a builder over the data set `P` of the join.
+    pub fn data(data: &[DenseVector]) -> JoinBuilder<'_> {
+        JoinBuilder {
+            data,
+            queries: &[],
+            threshold: None,
+            approximation: 1.0,
+            variant: JoinVariant::Signed,
+            strategy: Strategy::Auto,
+            alsh: AlshParams::default(),
+            symmetric: SymmetricParams::default(),
+            sketch: MaxIpConfig::default(),
+            sketch_leaf_size: 16,
+            engine: EngineConfig::default(),
+            cost_model: CostModel::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// The fluent join configuration; see the [module docs](self) for the contract
+/// and an end-to-end example.
+///
+/// Defaults: `strategy` [`Strategy::Auto`], `approximation` 1.0 (exact),
+/// `variant` [`JoinVariant::Signed`], per-family parameters at their
+/// [`Default`]s, `seed` 42, engine schedule [`EngineConfig::default`]
+/// (one worker per CPU, chunks of 32). Only the promise threshold `s` has no
+/// default — [`JoinBuilder::run`] rejects a builder where neither
+/// [`JoinBuilder::threshold`] nor [`JoinBuilder::spec`] was called.
+#[derive(Debug, Clone)]
+#[must_use = "a JoinBuilder does nothing until `run` (or `run_with_rng`) is called"]
+pub struct JoinBuilder<'a> {
+    data: &'a [DenseVector],
+    queries: &'a [DenseVector],
+    threshold: Option<f64>,
+    approximation: f64,
+    variant: JoinVariant,
+    strategy: Strategy,
+    alsh: AlshParams,
+    symmetric: SymmetricParams,
+    sketch: MaxIpConfig,
+    sketch_leaf_size: usize,
+    engine: EngineConfig,
+    cost_model: CostModel,
+    seed: u64,
+}
+
+impl<'a> JoinBuilder<'a> {
+    /// The query set `Q` (default: empty, which joins to an empty result).
+    pub fn queries(mut self, queries: &'a [DenseVector]) -> Self {
+        self.queries = queries;
+        self
+    }
+
+    /// The promise threshold `s > 0` of Definition 1. Required (unless
+    /// [`JoinBuilder::spec`] supplies a whole spec).
+    pub fn threshold(mut self, s: f64) -> Self {
+        self.threshold = Some(s);
+        self
+    }
+
+    /// The approximation factor `c ∈ (0, 1]`; reported pairs clear `cs`
+    /// (default 1.0 — exact).
+    pub fn approximation(mut self, c: f64) -> Self {
+        self.approximation = c;
+        self
+    }
+
+    /// Signed or unsigned inner-product semantics (default signed).
+    pub fn variant(mut self, variant: JoinVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets threshold, approximation and variant from an existing validated
+    /// [`JoinSpec`] in one call.
+    pub fn spec(mut self, spec: JoinSpec) -> Self {
+        self.threshold = Some(spec.threshold);
+        self.approximation = spec.approximation;
+        self.variant = spec.variant;
+        self
+    }
+
+    /// Which strategy to dispatch (default [`Strategy::Auto`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// ALSH parameters used by [`Strategy::Alsh`] (and as the planner's ALSH
+    /// candidate under [`Strategy::Auto`]).
+    pub fn alsh_params(mut self, params: AlshParams) -> Self {
+        self.alsh = params;
+        self
+    }
+
+    /// Symmetric-LSH parameters used by [`Strategy::Symmetric`].
+    pub fn symmetric_params(mut self, params: SymmetricParams) -> Self {
+        self.symmetric = params;
+        self
+    }
+
+    /// Sketch configuration used by [`Strategy::Sketch`].
+    pub fn sketch_config(mut self, config: MaxIpConfig) -> Self {
+        self.sketch = config;
+        self
+    }
+
+    /// Leaf size of the sketch recovery tree (default 16).
+    pub fn sketch_leaf_size(mut self, leaf_size: usize) -> Self {
+        self.sketch_leaf_size = leaf_size;
+        self
+    }
+
+    /// Worker threads of the [`JoinEngine`] (`0` = one per available CPU,
+    /// the default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.engine.threads = threads;
+        self
+    }
+
+    /// Queries per batched engine work unit (default 32).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.engine.chunk_size = chunk_size;
+        self
+    }
+
+    /// The whole engine schedule in one call.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The planner's calibrated cost constants (only consulted under
+    /// [`Strategy::Auto`]).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Seed of the [`StdRng`] that [`JoinBuilder::run`] dispatches with
+    /// (default 42). Ignored by [`JoinBuilder::run_with_rng`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The validated `(cs, s)` spec this builder describes.
+    pub fn build_spec(&self) -> Result<JoinSpec> {
+        let threshold = self.threshold.ok_or_else(|| CoreError::InvalidParameter {
+            name: "threshold",
+            reason: "JoinBuilder needs a promise threshold: call .threshold(s) or .spec(spec)"
+                .to_string(),
+        })?;
+        JoinSpec::new(threshold, self.approximation, self.variant)
+    }
+
+    /// Runs the join with a fresh [`StdRng`] seeded from [`JoinBuilder::seed`].
+    pub fn run(self) -> Result<JoinReport> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_with_rng(&mut rng)
+    }
+
+    /// Runs the join drawing randomness from the caller's RNG — the
+    /// entry point the legacy free functions shim through, and the one to use
+    /// when bit-identical replay against such a function matters.
+    pub fn run_with_rng<R: Rng + ?Sized>(self, rng: &mut R) -> Result<JoinReport> {
+        let spec = self.build_spec()?;
+        let start = std::time::Instant::now();
+        let (matches, strategy, plan) = match self.strategy {
+            Strategy::Auto => {
+                let planner = JoinPlanner {
+                    config: PlannerConfig::with_params(
+                        self.alsh,
+                        self.symmetric,
+                        self.sketch,
+                        self.sketch_leaf_size,
+                        self.engine,
+                    ),
+                    model: self.cost_model,
+                };
+                let plan = planner.plan(rng, self.data, self.queries, spec)?;
+                let matches = plan.execute(rng, self.data, self.queries)?;
+                (matches, plan.choice, Some(plan))
+            }
+            Strategy::Brute => {
+                let engine =
+                    JoinEngine::with_config(BorrowedBruteIndex::new(self.data, spec), self.engine);
+                (
+                    engine.run(self.queries)?,
+                    planner::Strategy::BruteForce,
+                    None,
+                )
+            }
+            Strategy::Alsh => (
+                crate::join::alsh_engine(rng, self.data, spec, self.alsh, self.engine)?
+                    .run(self.queries)?,
+                planner::Strategy::Alsh,
+                None,
+            ),
+            Strategy::Symmetric => (
+                crate::join::symmetric_engine(rng, self.data, spec, self.symmetric, self.engine)?
+                    .run(self.queries)?,
+                planner::Strategy::Symmetric,
+                None,
+            ),
+            Strategy::Sketch => (
+                crate::join::sketch_engine(
+                    rng,
+                    self.data,
+                    spec,
+                    self.sketch,
+                    self.sketch_leaf_size,
+                    self.engine,
+                )?
+                .run(self.queries)?,
+                planner::Strategy::Sketch,
+                None,
+            ),
+        };
+        let wall_ns = start.elapsed().as_nanos();
+        let stats = plan.as_ref().map(|p| p.stats.clone());
+        Ok(JoinReport {
+            matches,
+            strategy,
+            plan,
+            stats,
+            wall_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::evaluate_join;
+    use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+
+    fn instance(seed: u64) -> PlantedInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PlantedInstance::generate(
+            &mut rng,
+            PlantedConfig {
+                data: 200,
+                queries: 20,
+                dim: 16,
+                background_scale: 0.05,
+                planted_ip: 0.85,
+                planted: 5,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_a_threshold() {
+        let data = [DenseVector::from(&[0.5, 0.5][..])];
+        let err = Join::data(&data).run().unwrap_err();
+        assert!(err.to_string().contains("threshold"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_spec_values() {
+        let data = [DenseVector::from(&[0.5, 0.5][..])];
+        assert!(Join::data(&data).threshold(-1.0).run().is_err());
+        assert!(Join::data(&data)
+            .threshold(0.5)
+            .approximation(1.5)
+            .run()
+            .is_err());
+    }
+
+    #[test]
+    fn auto_attaches_plan_and_stats_and_is_valid() {
+        let inst = instance(0xFACE);
+        let report = Join::data(inst.data())
+            .queries(inst.queries())
+            .threshold(0.8)
+            .approximation(0.6)
+            .run()
+            .unwrap();
+        let plan = report.plan.as_ref().expect("auto attaches a plan");
+        assert_eq!(plan.choice, report.strategy);
+        assert_eq!(report.stats.as_ref().unwrap(), &plan.stats);
+        let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+        let (_, valid) =
+            evaluate_join(inst.data(), inst.queries(), &spec, &report.matches).unwrap();
+        assert!(valid);
+    }
+
+    #[test]
+    fn manual_strategies_attach_no_plan() {
+        let inst = instance(0xBEEF);
+        for strategy in [Strategy::Brute, Strategy::Alsh, Strategy::Sketch] {
+            let report = Join::data(inst.data())
+                .queries(inst.queries())
+                .threshold(0.8)
+                .approximation(0.6)
+                .strategy(strategy)
+                .run()
+                .unwrap();
+            assert!(report.plan.is_none(), "{strategy} carried a plan");
+            assert!(report.stats.is_none());
+            assert_eq!(Strategy::from(report.strategy), strategy);
+        }
+    }
+
+    #[test]
+    fn run_is_reproducible_for_a_fixed_seed() {
+        let inst = instance(0x5EED);
+        let go = || {
+            Join::data(inst.data())
+                .queries(inst.queries())
+                .threshold(0.8)
+                .approximation(0.6)
+                .strategy(Strategy::Alsh)
+                .seed(9)
+                .run()
+                .unwrap()
+                .matches
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(s.name().parse::<Strategy>().unwrap(), s);
+            assert_eq!(format!("{s}"), s.name());
+        }
+        assert!("nope".parse::<Strategy>().is_err());
+        // The planner's concrete strategies map onto the facade's.
+        for p in planner::Strategy::ALL {
+            assert_eq!(Strategy::from(p).name(), p.name());
+        }
+    }
+
+    #[test]
+    fn empty_queries_join_to_empty_for_every_strategy() {
+        let inst = instance(0xE);
+        for strategy in Strategy::ALL {
+            let report = Join::data(inst.data())
+                .threshold(0.8)
+                .approximation(0.6)
+                .strategy(strategy)
+                .run()
+                .unwrap();
+            assert!(report.matches.is_empty(), "{strategy}");
+        }
+    }
+}

@@ -24,6 +24,12 @@
 //! estimates each strategy's cost on the workload and dispatches the winner
 //! through these same entry points.
 //!
+//! **These free functions are the legacy surface.** New code should prefer the
+//! fluent [`crate::facade::JoinBuilder`] (`Join::data(d).queries(q)…run()`),
+//! which unifies all of them behind one typed entry point; every `*_join`
+//! function here is now a thin shim over that builder and remains
+//! bit-identical to its pre-facade behaviour (see `MIGRATION.md`).
+//!
 //! # Contract
 //!
 //! Every entry point honours the validity half of Definition 1 by construction —
@@ -37,6 +43,7 @@
 use crate::asymmetric::{AlshMipsIndex, AlshParams};
 use crate::engine::{EngineConfig, JoinEngine};
 use crate::error::Result;
+use crate::facade::{Join, Strategy};
 use crate::mips::{MipsIndex, SketchMipsAdapter};
 use crate::problem::{JoinSpec, MatchPair};
 use crate::symmetric::{SymmetricLshMips, SymmetricParams};
@@ -45,6 +52,9 @@ use ips_sketch::linf_mips::MaxIpConfig;
 use rand::Rng;
 
 /// Runs a `(cs, s)` join through an already-built [`MipsIndex`].
+///
+/// Legacy shim: equivalent to `JoinEngine::new(index).run(queries)`, which is
+/// also the execution core every [`crate::facade::JoinBuilder`] run ends in.
 pub fn index_join<I: MipsIndex + Sync>(
     index: &I,
     queries: &[DenseVector],
@@ -66,6 +76,9 @@ pub fn alsh_engine<R: Rng + ?Sized>(
 
 /// The Section 4.1 join: builds an [`AlshMipsIndex`] over `data` and queries it with
 /// every element of `queries`.
+///
+/// Legacy shim over [`crate::facade::JoinBuilder`] (bit-identical given the
+/// same RNG state; proptested in `tests/tests/proptest_facade.rs`).
 pub fn alsh_join<R: Rng + ?Sized>(
     rng: &mut R,
     data: &[DenseVector],
@@ -73,7 +86,13 @@ pub fn alsh_join<R: Rng + ?Sized>(
     spec: JoinSpec,
     params: AlshParams,
 ) -> Result<Vec<MatchPair>> {
-    alsh_engine(rng, data, spec, params, EngineConfig::default())?.run(queries)
+    Ok(Join::data(data)
+        .queries(queries)
+        .spec(spec)
+        .strategy(Strategy::Alsh)
+        .alsh_params(params)
+        .run_with_rng(rng)?
+        .matches)
 }
 
 /// Builds the Section 4.2 symmetric-LSH index over `data` and wraps it in an engine.
@@ -89,6 +108,9 @@ pub fn symmetric_engine<R: Rng + ?Sized>(
 }
 
 /// The Section 4.2 join: symmetric LSH over a shared unit-ball domain.
+///
+/// Legacy shim over [`crate::facade::JoinBuilder`] (bit-identical given the
+/// same RNG state; proptested in `tests/tests/proptest_facade.rs`).
 pub fn symmetric_join<R: Rng + ?Sized>(
     rng: &mut R,
     data: &[DenseVector],
@@ -96,7 +118,13 @@ pub fn symmetric_join<R: Rng + ?Sized>(
     spec: JoinSpec,
     params: SymmetricParams,
 ) -> Result<Vec<MatchPair>> {
-    symmetric_engine(rng, data, spec, params, EngineConfig::default())?.run(queries)
+    Ok(Join::data(data)
+        .queries(queries)
+        .spec(spec)
+        .strategy(Strategy::Symmetric)
+        .symmetric_params(params)
+        .run_with_rng(rng)?
+        .matches)
 }
 
 /// Builds the Section 4.3 sketch structure over `data` and wraps it in an engine.
@@ -115,6 +143,9 @@ pub fn sketch_engine<R: Rng + ?Sized>(
 /// The Section 4.3 join: the unsigned `(cs, s)` join computed through the linear-sketch
 /// MIPS structure of `ips-sketch`. The spec's variant is ignored — the sketch structure
 /// is inherently unsigned (it estimates `‖Aq‖_∞`).
+///
+/// Legacy shim over [`crate::facade::JoinBuilder`] (bit-identical given the
+/// same RNG state; proptested in `tests/tests/proptest_facade.rs`).
 pub fn sketch_join<R: Rng + ?Sized>(
     rng: &mut R,
     data: &[DenseVector],
@@ -123,7 +154,14 @@ pub fn sketch_join<R: Rng + ?Sized>(
     config: MaxIpConfig,
     leaf_size: usize,
 ) -> Result<Vec<MatchPair>> {
-    sketch_engine(rng, data, spec, config, leaf_size, EngineConfig::default())?.run(queries)
+    Ok(Join::data(data)
+        .queries(queries)
+        .spec(spec)
+        .strategy(Strategy::Sketch)
+        .sketch_config(config)
+        .sketch_leaf_size(leaf_size)
+        .run_with_rng(rng)?
+        .matches)
 }
 
 #[cfg(test)]

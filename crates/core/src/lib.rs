@@ -20,7 +20,9 @@
 //!   provides the unified parallel, chunk-batched [`JoinEngine`] every join entry
 //!   point runs through; [`planner`] adds the cost-based [`JoinPlanner`] that picks
 //!   the strategy from workload statistics ([`auto_join`]), since no single strategy
-//!   dominates — the paper's central message, operationalised.
+//!   dominates — the paper's central message, operationalised; [`facade`] puts one
+//!   fluent, typed [`JoinBuilder`] (`Join::data(d).queries(q)…run()`) in front of
+//!   all of it — the entry point new code should use.
 //! * **Lower bounds (Sections 2–3)** — [`lower_bounds`] contains the hard sequence
 //!   constructions of Theorem 3, the grid partition and mass-accounting argument of
 //!   Lemma 4 (Figure 1), and the closed-form gap bounds; [`theory`] classifies parameter
@@ -33,13 +35,13 @@
 //!
 //! # Quickstart
 //!
-//! The core workflow — generate a workload, pick a `(cs, s)` spec, let the planner
-//! run the join, and check the result against the exact scan (this is the runnable
-//! version of the README quickstart):
+//! The core workflow — generate a workload, describe the `(cs, s)` join with the
+//! fluent builder, let the planner pick the strategy, and check the result against
+//! the exact scan (this is the runnable version of the README quickstart):
 //!
 //! ```
 //! use ips_core::brute::brute_force_join;
-//! use ips_core::planner::auto_join_with_plan;
+//! use ips_core::facade::{Join, Strategy};
 //! use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
 //! use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -50,19 +52,26 @@
 //!     data: 300, queries: 24, dim: 24,
 //!     background_scale: 0.1, planted_ip: 0.85, planted: 4,
 //! }).unwrap();
-//! // 2. the (cs, s) spec of Definition 1: report pairs above cs = 0.48,
-//! //    promise answers for queries with a partner above s = 0.8.
-//! let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
-//! // 3. the adaptive join: the planner samples the workload, costs every
-//! //    strategy, and dispatches the winner through the JoinEngine.
-//! let (pairs, plan) =
-//!     auto_join_with_plan(&mut rng, instance.data(), instance.queries(), spec).unwrap();
-//! println!("{}", plan.explain());
+//! // 2–3. the (cs, s) contract of Definition 1 (report pairs above cs = 0.48,
+//! //    promise answers above s = 0.8) and the adaptive dispatch, in one fluent
+//! //    chain: Strategy::Auto samples the workload, costs every strategy, and
+//! //    runs the winner through the JoinEngine.
+//! let report = Join::data(instance.data())
+//!     .queries(instance.queries())
+//!     .threshold(0.8)
+//!     .approximation(0.6)
+//!     .strategy(Strategy::Auto)
+//!     .seed(42)
+//!     .run()
+//!     .unwrap();
+//! println!("{}", report.plan.as_ref().unwrap().explain());
 //! // 4. validity holds whatever was chosen; the exact join bounds the answer set.
-//! let (_, valid) = evaluate_join(instance.data(), instance.queries(), &spec, &pairs).unwrap();
+//! let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+//! let (_, valid) =
+//!     evaluate_join(instance.data(), instance.queries(), &spec, &report.matches).unwrap();
 //! assert!(valid);
 //! let exact = brute_force_join(instance.data(), instance.queries(), &spec).unwrap();
-//! assert!(pairs.len() <= exact.len());
+//! assert!(report.matches.len() <= exact.len());
 //! ```
 
 #![warn(missing_docs)]
@@ -73,6 +82,7 @@ pub mod asymmetric;
 pub mod brute;
 pub mod engine;
 pub mod error;
+pub mod facade;
 pub mod join;
 pub mod lower_bounds;
 pub mod mips;
@@ -85,8 +95,9 @@ pub mod topk;
 pub use asymmetric::AlshMipsIndex;
 pub use engine::{EngineConfig, JoinEngine};
 pub use error::{CoreError, Result};
+pub use facade::{Join, JoinBuilder, JoinReport, Strategy};
 pub use mips::{MipsIndex, SearchResult, SketchMipsAdapter};
-pub use planner::{auto_join, auto_join_with_plan, CostModel, JoinPlan, JoinPlanner, Strategy};
+pub use planner::{auto_join, auto_join_with_plan, CostModel, JoinPlan, JoinPlanner};
 pub use problem::{JoinSpec, JoinVariant, MatchPair};
 pub use symmetric::SymmetricLshMips;
 pub use topk::{top_k_join, top_k_recall, TopKMipsIndex};

@@ -315,6 +315,29 @@ impl Default for PlannerConfig {
     }
 }
 
+impl PlannerConfig {
+    /// Default sampling with explicit per-strategy parameters — the one
+    /// assembly both fluent builders ([`crate::facade::JoinBuilder`] and
+    /// `ips_store`'s `IndexBuilder`) use, so their planner configuration
+    /// cannot drift.
+    pub fn with_params(
+        alsh: AlshParams,
+        symmetric: SymmetricParams,
+        sketch: MaxIpConfig,
+        sketch_leaf_size: usize,
+        engine: EngineConfig,
+    ) -> Self {
+        Self {
+            alsh,
+            symmetric,
+            sketch,
+            sketch_leaf_size,
+            engine,
+            ..Self::default()
+        }
+    }
+}
+
 /// The cost-based join planner: statistics in, [`JoinPlan`] out.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JoinPlanner {
@@ -688,15 +711,23 @@ pub fn auto_join<R: Rng + ?Sized>(
 
 /// Like [`auto_join`], but also returns the [`JoinPlan`] so the caller can
 /// inspect (or [`JoinPlan::explain`]) the decision.
+///
+/// Legacy shim over [`crate::facade::JoinBuilder`] with
+/// [`crate::facade::Strategy::Auto`] (bit-identical given the same RNG state;
+/// proptested in `tests/tests/proptest_facade.rs`).
 pub fn auto_join_with_plan<R: Rng + ?Sized>(
     rng: &mut R,
     data: &[DenseVector],
     queries: &[DenseVector],
     spec: JoinSpec,
 ) -> Result<(Vec<MatchPair>, JoinPlan)> {
-    let plan = JoinPlanner::default().plan(rng, data, queries, spec)?;
-    let pairs = plan.execute(rng, data, queries)?;
-    Ok((pairs, plan))
+    let report = crate::facade::Join::data(data)
+        .queries(queries)
+        .spec(spec)
+        .strategy(crate::facade::Strategy::Auto)
+        .run_with_rng(rng)?;
+    let plan = report.plan.expect("Strategy::Auto always attaches a plan");
+    Ok((report.matches, plan))
 }
 
 #[cfg(test)]

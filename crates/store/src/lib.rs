@@ -22,9 +22,12 @@
 //!   [`ips_core::JoinEngine`], and keeps per-index query/hit/latency counters.
 //!   [`ServingRegistry`] routes between several loaded indexes by name.
 //!
-//! The `ips` CLI exposes the full data flow: `ips build` (dataset → snapshot file),
-//! `ips serve` (line-protocol REPL over a snapshot), `ips query` (one-shot batch
-//! against a snapshot).
+//! Both halves are configured through one fluent facade, [`builder::IndexBuilder`]
+//! (`Index::build(data).spec(s).strategy(…).serve()` /
+//! `Index::open(path).threads(n).serve()`), the persistent sibling of
+//! `ips_core::facade::JoinBuilder`; the `ips` CLI exposes the full data flow
+//! through it: `ips build` (dataset → snapshot file), `ips serve` (line-protocol
+//! REPL over a snapshot), `ips query` (one-shot batch against a snapshot).
 //!
 //! ```
 //! use ips_core::problem::{JoinSpec, JoinVariant};
@@ -59,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builder;
 pub mod error;
 pub mod format;
 pub mod persist;
@@ -66,6 +70,7 @@ pub mod registry;
 pub mod serving;
 pub mod snapshot;
 
+pub use builder::{Index, IndexBuilder};
 pub use error::{Result, StoreError};
 pub use persist::Persist;
 pub use registry::ServingRegistry;

@@ -50,6 +50,22 @@ impl ServingRegistry {
         Ok(())
     }
 
+    /// Serves a configured [`crate::builder::IndexBuilder`] and registers the
+    /// result under `name` — the fluent spelling of [`ServingRegistry::open`]
+    /// (and the only registration path that can also *build*):
+    ///
+    /// ```no_run
+    /// # use ips_store::{Index, ServingRegistry};
+    /// let mut registry = ServingRegistry::new();
+    /// registry.serve("tenant-a", Index::open("/srv/a.snap").threads(4))?;
+    /// # ips_store::Result::Ok(())
+    /// ```
+    pub fn serve(&mut self, name: &str, builder: crate::builder::IndexBuilder) -> Result<()> {
+        let index = builder.serve()?;
+        self.indexes.insert(name.to_string(), index);
+        Ok(())
+    }
+
     /// The index registered under `name`.
     pub fn get(&self, name: &str) -> Result<&ServingIndex> {
         self.indexes
@@ -103,6 +119,31 @@ mod tests {
             .collect();
         let spec = JoinSpec::new(0.4, 0.5, JoinVariant::Signed).unwrap();
         ServingIndex::build(data, spec, IndexConfig::Brute, ServingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serve_registers_through_the_builder() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<_> = (0..12)
+            .map(|_| random_ball_vector(&mut rng, 4, 1.0).unwrap())
+            .collect();
+        let spec = JoinSpec::new(0.4, 0.5, JoinVariant::Signed).unwrap();
+        let mut registry = ServingRegistry::new();
+        registry
+            .serve(
+                "built",
+                crate::builder::Index::build(data)
+                    .spec(spec)
+                    .strategy(ips_core::facade::Strategy::Brute),
+            )
+            .unwrap();
+        assert_eq!(registry.names(), vec!["built"]);
+        assert_eq!(registry.get("built").unwrap().len(), 12);
+        // A failing builder (missing spec) leaves the registry untouched.
+        let empty =
+            crate::builder::Index::build(vec![random_ball_vector(&mut rng, 4, 1.0).unwrap()]);
+        assert!(registry.serve("bad", empty).is_err());
+        assert_eq!(registry.len(), 1);
     }
 
     #[test]

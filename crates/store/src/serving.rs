@@ -28,6 +28,13 @@
 //! Queries run through the existing [`JoinEngine`] (same chunking, work stealing and
 //! result assembly as every join in the workspace) via [`ServingIndex::query`] /
 //! [`ServingIndex::query_top_k`], and results carry external ids.
+//!
+//! Construction and loading are usually spelled through the fluent
+//! [`crate::builder::Index`] facade (`Index::build(data).spec(s).strategy(…).serve()` /
+//! `Index::open(path).serve()`), which resolves a strategy — including the
+//! planner-consulting `Auto` — into the [`IndexConfig`] + [`ServingConfig`] pair the
+//! constructors below take; the direct constructors stay public for callers that
+//! already hold those configs.
 
 use crate::error::{Result, StoreError};
 use crate::snapshot::{AnyIndex, IndexFamily, Snapshot};

@@ -16,7 +16,7 @@
 
 use ips_core::algebraic::{algebraic_exact_join, amplified_sign_join};
 use ips_core::asymmetric::AlshParams;
-use ips_core::join::alsh_join;
+use ips_core::facade::{Join, Strategy};
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_linalg::random::random_sign_vector;
 use ips_linalg::{DenseVector, SignVector};
@@ -102,18 +102,18 @@ fn main() {
     let scaled_queries: Vec<DenseVector> = dense_queries.iter().map(|v| v.scaled(scale)).collect();
     let scaled_spec = JoinSpec::new(s / dim as f64, 0.5, JoinVariant::Unsigned).unwrap();
     let t = Instant::now();
-    let alsh = alsh_join(
-        &mut rng,
-        &scaled_data,
-        &scaled_queries,
-        scaled_spec,
-        AlshParams {
+    let alsh = Join::data(&scaled_data)
+        .queries(&scaled_queries)
+        .spec(scaled_spec)
+        .strategy(Strategy::Alsh)
+        .alsh_params(AlshParams {
             bits_per_table: 8,
             tables: 48,
             ..Default::default()
-        },
-    )
-    .unwrap();
+        })
+        .run_with_rng(&mut rng)
+        .unwrap()
+        .matches;
     println!(
         "Section 4.1 ALSH join   : {:>3} pairs, planted recall {:.2}, {:>7.1} ms",
         alsh.len(),

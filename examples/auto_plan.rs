@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p ips-examples --example auto_plan`.
 
-use ips_core::planner::JoinPlanner;
+use ips_core::facade::{Join, Strategy};
 use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
 use ips_datagen::adversarial::{planner_suite, AdversarialScale};
 use ips_examples::{example_rng, f3, section};
@@ -25,7 +25,6 @@ fn main() {
         dim: 24,
     };
     let suite = planner_suite(&mut rng, scale).expect("suite generates");
-    let planner = JoinPlanner::default();
 
     for w in &suite {
         section(w.name);
@@ -36,18 +35,27 @@ fn main() {
         };
         let spec =
             JoinSpec::new(w.threshold, w.approximation, variant).expect("suite specs are valid");
-        let plan = planner
-            .plan(&mut rng, &w.data, &w.queries, spec)
-            .expect("planning runs");
-        print!("{}", plan.explain());
-        let pairs = plan
-            .execute(&mut rng, &w.data, &w.queries)
-            .expect("execution runs");
+        // One fluent call plans AND executes — the library-level spelling of
+        // `ips join algo=auto explain=true`.
+        let report = Join::data(&w.data)
+            .queries(&w.queries)
+            .spec(spec)
+            .strategy(Strategy::Auto)
+            .run_with_rng(&mut rng)
+            .expect("planning and execution run");
+        print!(
+            "{}",
+            report
+                .plan
+                .as_ref()
+                .expect("auto attaches a plan")
+                .explain()
+        );
         let (recall, valid) =
-            evaluate_join(&w.data, &w.queries, &spec, &pairs).expect("evaluation runs");
+            evaluate_join(&w.data, &w.queries, &spec, &report.matches).expect("evaluation runs");
         println!(
             "executed: {} pairs, recall {} vs ground truth, valid {valid}",
-            pairs.len(),
+            report.matches.len(),
             f3(recall),
         );
     }

@@ -1,25 +1,28 @@
 //! Quickstart: build a `(cs, s)` inner product search index and run a join.
 //!
-//! This example walks through the core workflow of the library in ~50 lines:
+//! This example walks through the core workflow of the library in ~60 lines,
+//! using the fluent facades (`Join` from ips-core, `Index` from ips-store):
 //!
 //! 1. generate a synthetic data set (unit-ball vectors) and some queries;
 //! 2. pick a `(cs, s)` specification (Definition 1 of the paper);
 //! 3. build the Section 4.1 asymmetric-LSH MIPS index and answer a single query;
-//! 4. run the same spec as a join over all queries through the parallel
-//!    [`JoinEngine`] and compare with the exact brute-force join;
-//! 5. hand the whole decision to the cost-based planner (`auto_join`) and
-//!    print its reasoning — what `ips join algo=auto explain=true` shows.
+//! 4. run the same spec as a join over all queries with the `Join` builder and
+//!    compare with the exact brute-force join;
+//! 5. hand the whole decision to the cost-based planner (`Strategy::Auto`) and
+//!    print its reasoning — what `ips join algo=auto explain=true` shows;
+//! 6. persist the index with the `Index` builder and serve the snapshot — the
+//!    library-level `ips build` → `ips query` flow.
 //!
 //! Run with `cargo run --release -p ips-examples --example quickstart`.
 
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::brute_force_join;
-use ips_core::engine::{EngineConfig, JoinEngine};
+use ips_core::facade::{Join, Strategy};
 use ips_core::mips::MipsIndex;
-use ips_core::planner::auto_join_with_plan;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_examples::{example_rng, f3, section};
+use ips_store::Index;
 
 fn main() {
     let mut rng = example_rng(42);
@@ -79,10 +82,16 @@ fn main() {
     }
 
     section("4. the full join, approximate vs exact");
-    // The engine borrows the index (any `&MipsIndex` is itself an index) and
-    // fans the query set out over all cores in batched chunks.
-    let engine = JoinEngine::with_config(&index, EngineConfig::default());
-    let approx = engine.run(instance.queries()).expect("join runs");
+    // The fluent builder is the one entry point over every join strategy: the
+    // same spec, an explicit strategy, and a seed for reproducibility.
+    let approx = Join::data(instance.data())
+        .queries(instance.queries())
+        .spec(spec)
+        .strategy(Strategy::Alsh)
+        .seed(42)
+        .run()
+        .expect("join runs")
+        .matches;
     let exact = brute_force_join(instance.data(), instance.queries(), &spec).expect("join runs");
     let reported: Vec<(usize, usize)> = approx
         .iter()
@@ -96,15 +105,45 @@ fn main() {
     );
 
     section("5. the adaptive join (cost-based planner)");
-    // auto_join samples the workload, predicts each strategy's cost and
+    // Strategy::Auto samples the workload, predicts each strategy's cost and
     // dispatches the winner — the CLI's `join algo=auto explain=true`.
-    let (auto_pairs, plan) =
-        auto_join_with_plan(&mut rng, instance.data(), instance.queries(), spec)
-            .expect("planning runs");
+    let report = Join::data(instance.data())
+        .queries(instance.queries())
+        .spec(spec)
+        .strategy(Strategy::Auto)
+        .run_with_rng(&mut rng)
+        .expect("planning runs");
+    let plan = report.plan.as_ref().expect("auto attaches a plan");
     print!("{}", plan.explain());
     println!(
-        "auto join ({}) answered {} queries",
+        "auto join ({}) answered {} queries in {:.1} ms",
         plan.choice,
-        auto_pairs.len()
+        report.matches.len(),
+        report.wall_ns as f64 / 1e6,
     );
+
+    section("6. persist and serve (the ips build → ips query flow)");
+    // The Index builder is the persistent sibling of the Join builder: build
+    // once, snapshot to disk, reopen and serve arbitrarily many batches.
+    let mut built = Index::build(instance.data().to_vec())
+        .spec(spec)
+        .strategy(Strategy::Alsh)
+        .seed(42)
+        .serve()
+        .expect("index builds");
+    let dir = std::env::temp_dir().join("ips-quickstart");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot = dir.join("quickstart.snap");
+    let bytes = built.save(&snapshot).expect("snapshot saves");
+    let serving = Index::open(&snapshot).serve().expect("snapshot reopens");
+    let served = serving.query(instance.queries()).expect("batch serves");
+    println!(
+        "saved {} snapshot ({bytes} bytes), reopened with {} live vectors; \
+         served {} answers — bit-identical to the pre-save index",
+        serving.family(),
+        serving.len(),
+        served.len(),
+    );
+    assert_eq!(served, built.query(instance.queries()).expect("query runs"));
+    std::fs::remove_file(&snapshot).ok();
 }

@@ -16,7 +16,7 @@
 
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::brute_force_join;
-use ips_core::join::index_join;
+use ips_core::engine::JoinEngine;
 use ips_core::mips::MipsIndex;
 use ips_core::problem::{JoinSpec, JoinVariant};
 use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
@@ -106,7 +106,11 @@ fn main() {
 
     section("the batch join");
     let exact = brute_force_join(model.items(), model.users(), &spec).expect("join runs");
-    let approx = index_join(&alsh, model.users()).expect("join runs");
+    // The engine borrows the prebuilt index — the builder-era spelling of the
+    // legacy `index_join(&alsh, users)` shim.
+    let approx = JoinEngine::new(&alsh)
+        .run(model.users())
+        .expect("join runs");
     println!(
         "exact join: {} users above s; ALSH join reported {} users (all above cs by construction)",
         exact.len(),

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the build → snapshot → serve data flow:
-#   1. generate a tiny dataset,
-#   2. `ips build` it into a snapshot,
-#   3. round-trip the snapshot through `ips query` twice (identical answers),
-#   4. drive a scripted `query` / `insert` / `stats` / `save` session through
+#   1. check the schema-generated `ips help` (overview + every subcommand),
+#   2. generate a tiny dataset,
+#   3. `ips build` it into a snapshot,
+#   4. round-trip the snapshot through `ips query` twice (identical answers),
+#   5. drive a scripted `query` / `insert` / `stats` / `save` session through
 #      `ips serve` and assert on the protocol output,
-#   5. check the session's `save` produced a loadable snapshot that remembers
+#   6. check the session's `save` produced a loadable snapshot that remembers
 #      the insert.
 # Used by CI after the release build; runnable locally as scripts/smoke_serve.sh.
 set -euo pipefail
@@ -20,6 +21,27 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 cd_failed() { echo "SMOKE FAIL: $1" >&2; exit 1; }
 
+echo "== help (generated from the command schema) =="
+commands="generate info join search build serve query help"
+overview="$("$IPS" help)"
+for cmd in $commands; do
+    grep -q "  $cmd" <<<"$overview" || cd_failed "overview missing \`$cmd\`"
+    usage="$("$IPS" help "$cmd")"
+    grep -q "usage: ips $cmd" <<<"$usage" \
+        || cd_failed "\`ips help $cmd\` missing its usage line"
+done
+# Spot-check the schema drives the help: a real key with type + default,
+# and the serve protocol section rendered from the same table as the REPL.
+join_help="$("$IPS" help join)"
+grep -q "threads=<auto|int≥1>" <<<"$join_help" \
+    || cd_failed "join help missing schema-typed threads= row"
+serve_help="$("$IPS" help serve)"
+grep -q "topk <k> <v>\[;<v>...\]" <<<"$serve_help" \
+    || cd_failed "serve help missing the line protocol"
+if "$IPS" help nonsense >/dev/null 2>&1; then
+    cd_failed "help for unknown command must fail"
+fi
+
 echo "== generate =="
 "$IPS" generate kind=planted n=300 queries=10 dim=16 planted-ip=0.85 planted=5 seed=7 \
     "data=$workdir/data.csv" "query-file=$workdir/queries.csv"
@@ -33,10 +55,12 @@ grep -q "built alsh snapshot over 300 vectors" <<<"$build_out" \
 [ -s "$workdir/index.snap" ] || cd_failed "snapshot file missing or empty"
 
 echo "== query round-trip =="
+# The report line ends in wall-clock ms; strip it before comparing — the
+# determinism claim is about the answers, not the timing.
 "$IPS" query "snapshot=$workdir/index.snap" "queries=$workdir/queries.csv" limit=0 \
-    > "$workdir/q1.txt"
+    | sed 's/, [0-9.]* ms$//' > "$workdir/q1.txt"
 "$IPS" query "snapshot=$workdir/index.snap" "queries=$workdir/queries.csv" limit=0 \
-    > "$workdir/q2.txt"
+    | sed 's/, [0-9.]* ms$//' > "$workdir/q2.txt"
 cmp "$workdir/q1.txt" "$workdir/q2.txt" \
     || cd_failed "snapshot round-trip is not deterministic"
 grep -q "alsh snapshot: 300 live vectors, 10 queries" "$workdir/q1.txt" \

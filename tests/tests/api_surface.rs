@@ -1,0 +1,158 @@
+//! Public-API surface snapshot: pins the facade's exported item list so a PR
+//! that renames, drops or widens the typed entry points fails a test instead
+//! of silently breaking downstream callers.
+//!
+//! Two layers of pinning:
+//!
+//! * **compile-time** — the `use` lists and signature assertions below stop
+//!   compiling when an item disappears or changes shape;
+//! * **snapshot** — the facade *source files* are scanned for top-level `pub`
+//!   items and compared against a literal expectation, so *additions* to the
+//!   deliberately-small surface fail here too (append consciously, with the
+//!   matching MIGRATION.md note).
+
+use ips_core::facade::{Join, JoinBuilder, JoinReport, Strategy};
+use ips_linalg::DenseVector;
+use ips_store::{Index, IndexBuilder};
+
+/// The top-level `pub` type items `ips_core::facade` exports, sorted.
+const CORE_FACADE_SURFACE: &[&str] = &["Join", "JoinBuilder", "JoinReport", "Strategy"];
+
+/// The top-level `pub` type items `ips_store::builder` exports, sorted.
+const STORE_FACADE_SURFACE: &[&str] = &["Index", "IndexBuilder"];
+
+/// Top-level (column-0) `pub struct` / `pub enum` / `pub fn` / `pub trait`
+/// names of a module source, sorted — the actual snapshot the literal lists
+/// above are compared against, so a *new* export fails this test instead of
+/// shipping silently.
+fn top_level_pub_items(source: &str) -> Vec<String> {
+    let mut items: Vec<String> = source
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("pub ")?; // column 0 only
+            let rest = rest
+                .strip_prefix("struct ")
+                .or_else(|| rest.strip_prefix("enum "))
+                .or_else(|| rest.strip_prefix("fn "))
+                .or_else(|| rest.strip_prefix("trait "))?;
+            Some(
+                rest.chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect(),
+            )
+        })
+        .collect();
+    items.sort_unstable();
+    items
+}
+
+#[test]
+fn core_facade_surface_is_pinned() {
+    // Entry-point shape: Join::data takes a slice and returns the builder.
+    let _entry: fn(&[DenseVector]) -> JoinBuilder<'_> = Join::data;
+    // Terminal shape: run consumes the builder and yields a JoinReport.
+    fn _run_shape(b: JoinBuilder<'_>) -> ips_core::Result<JoinReport> {
+        b.run()
+    }
+    // The selector covers exactly Auto + the four families; adding a variant
+    // breaks this match (and must come with planner + CLI schema support).
+    for s in Strategy::ALL {
+        match s {
+            Strategy::Auto
+            | Strategy::Brute
+            | Strategy::Alsh
+            | Strategy::Symmetric
+            | Strategy::Sketch => {}
+        }
+    }
+    assert_eq!(Strategy::ALL.len(), 5);
+    // The crate root re-exports the same four names.
+    let _: ips_core::Strategy = ips_core::facade::Strategy::Auto;
+    // Source-scan snapshot: an item *added* to the facade fails here.
+    assert_eq!(
+        top_level_pub_items(include_str!("../../crates/core/src/facade.rs")),
+        CORE_FACADE_SURFACE
+    );
+}
+
+#[test]
+fn core_facade_report_fields_are_pinned() {
+    // Destructuring pins the exact field set of JoinReport: a new or renamed
+    // field fails to compile here before it surprises a caller.
+    let data = [DenseVector::from(&[0.5, 0.5][..])];
+    let report = Join::data(&data)
+        .queries(&data)
+        .threshold(0.4)
+        .strategy(Strategy::Brute)
+        .run()
+        .unwrap();
+    let JoinReport {
+        matches,
+        strategy,
+        plan,
+        stats,
+        wall_ns,
+    } = report;
+    assert_eq!(matches.len(), 1);
+    assert_eq!(strategy, ips_core::planner::Strategy::BruteForce);
+    assert!(plan.is_none() && stats.is_none());
+    let _: u128 = wall_ns;
+}
+
+#[test]
+fn store_facade_surface_is_pinned() {
+    // Both entry points end in the same terminal.
+    let _build: fn(Vec<DenseVector>) -> IndexBuilder = Index::build;
+    let _open: fn(std::path::PathBuf) -> IndexBuilder = Index::open::<std::path::PathBuf>;
+    let _serve: fn(IndexBuilder) -> ips_store::Result<ips_store::ServingIndex> =
+        IndexBuilder::serve;
+    // The builder speaks the core facade's Strategy vocabulary, not its own.
+    let _ = Index::build(vec![DenseVector::from(&[1.0][..])]).strategy(Strategy::Alsh);
+    // Source-scan snapshot: an item *added* to the builder module fails here.
+    assert_eq!(
+        top_level_pub_items(include_str!("../../crates/store/src/builder.rs")),
+        STORE_FACADE_SURFACE
+    );
+}
+
+#[test]
+fn builder_setters_are_pinned() {
+    // One chain through every JoinBuilder setter (compile-time surface pin).
+    let data = [DenseVector::from(&[0.5, 0.5][..])];
+    let report = Join::data(&data)
+        .queries(&data)
+        .threshold(0.2)
+        .approximation(0.9)
+        .variant(ips_core::JoinVariant::Signed)
+        .spec(ips_core::JoinSpec::new(0.2, 0.9, ips_core::JoinVariant::Signed).unwrap())
+        .strategy(Strategy::Brute)
+        .alsh_params(ips_core::asymmetric::AlshParams::default())
+        .symmetric_params(ips_core::symmetric::SymmetricParams::default())
+        .sketch_config(ips_sketch::linf_mips::MaxIpConfig::default())
+        .sketch_leaf_size(8)
+        .threads(1)
+        .chunk_size(4)
+        .engine(ips_core::EngineConfig::serial())
+        .cost_model(ips_core::CostModel::default())
+        .seed(1)
+        .run()
+        .unwrap();
+    assert!(!report.matches.is_empty());
+    // ...and every IndexBuilder setter.
+    let serving = Index::build(vec![DenseVector::from(&[0.9, 0.0][..])])
+        .spec(ips_core::JoinSpec::new(0.5, 0.8, ips_core::JoinVariant::Signed).unwrap())
+        .strategy(Strategy::Brute)
+        .queries(vec![])
+        .alsh_params(ips_core::asymmetric::AlshParams::default())
+        .symmetric_params(ips_core::symmetric::SymmetricParams::default())
+        .sketch_config(ips_sketch::linf_mips::MaxIpConfig::default())
+        .sketch_leaf_size(8)
+        .threads(1)
+        .chunk_size(4)
+        .engine(ips_core::EngineConfig::serial())
+        .rebuild_threshold(0.5)
+        .seed(1)
+        .serve()
+        .unwrap();
+    assert_eq!(serving.len(), 1);
+}

@@ -5,7 +5,7 @@
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::brute::{brute_force_join, brute_force_join_parallel};
 use ips_core::engine::{EngineConfig, JoinEngine};
-use ips_core::join::{alsh_join, sketch_join};
+use ips_core::facade::{Join, Strategy};
 use ips_core::mips::BruteForceMipsIndex;
 use ips_core::problem::{evaluate_join, negate_queries, JoinSpec, JoinVariant};
 use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
@@ -36,27 +36,27 @@ fn planted_pairs_are_found_by_every_join() {
     let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Unsigned).unwrap();
 
     let exact = brute_force_join(inst.data(), inst.queries(), &spec).unwrap();
-    let alsh = alsh_join(
-        &mut rng,
-        inst.data(),
-        inst.queries(),
-        spec,
-        AlshParams::default(),
-    )
-    .unwrap();
-    let sketch = sketch_join(
-        &mut rng,
-        inst.data(),
-        inst.queries(),
-        spec,
-        MaxIpConfig {
+    let alsh = Join::data(inst.data())
+        .queries(inst.queries())
+        .spec(spec)
+        .strategy(Strategy::Alsh)
+        .alsh_params(AlshParams::default())
+        .run_with_rng(&mut rng)
+        .unwrap()
+        .matches;
+    let sketch = Join::data(inst.data())
+        .queries(inst.queries())
+        .spec(spec)
+        .strategy(Strategy::Sketch)
+        .sketch_config(MaxIpConfig {
             kappa: 2.0,
             copies: 11,
             rows: None,
-        },
-        8,
-    )
-    .unwrap();
+        })
+        .sketch_leaf_size(8)
+        .run_with_rng(&mut rng)
+        .unwrap()
+        .matches;
 
     // Exact join finds every planted query.
     let exact_recall = inst.recall(

@@ -1,6 +1,11 @@
 //! Property-based integration tests: every join implementation, whatever its recall,
 //! must produce *valid* output under Definition 1 (no reported pair below `cs`), and
 //! the exact algorithms must agree with each other on arbitrary inputs.
+//!
+//! The legacy free functions exercised here (`alsh_join`, …) are thin shims over
+//! the fluent `ips_core::facade::JoinBuilder`; `proptest_facade.rs` pins the shim
+//! ≡ builder bit-identity, so validity proved against the shim covers the builder
+//! path and vice versa.
 
 use ips_core::algebraic::algebraic_exact_join;
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
