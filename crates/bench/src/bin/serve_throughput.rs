@@ -15,6 +15,14 @@
 //! The acceptance bar for the subsystem is serve ≥ 5× rebuild-per-query; the measured
 //! ratio here is orders of magnitude beyond that, and the snapshot load itself is
 //! reported separately so the break-even point (a handful of queries) can be read off.
+//!
+//! A third mode compares **sharded vs unsharded serving**: the same workload behind a
+//! 4-shard [`ips_store::ShardedServingIndex`] (hash-of-id partitions, per-shard read
+//! locks, exact merge) against the single [`ips_store::ServingIndex`]. The answers are
+//! asserted bit-identical (ALSH decomposes under the shared structure seed); the
+//! wall-clock columns show what the merge layer costs — on a single-CPU container the
+//! sharded path pays a small merge overhead, and on multicore hardware the per-shard
+//! engines are where the parallel headroom lives.
 
 use ips_bench::{fmt, render_table, JsonReporter, Timer};
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
@@ -140,11 +148,66 @@ fn main() {
         )
     );
 
+    // Mode 3: sharded vs unsharded serving over the same data and seed.
+    let shards = 4;
+    let sharded_build_timer = Timer::start();
+    let sharded = Index::build(inst.data().to_vec())
+        .spec(spec)
+        .strategy(ips_core::facade::Strategy::Alsh)
+        .alsh_params(params)
+        .seed(serving_config.seed)
+        .shards(shards)
+        .serve_sharded()
+        .expect("sharded build");
+    let sharded_build_ns = sharded_build_timer.elapsed_ns();
+    let sharded_timer = Timer::start();
+    let sharded_pairs = sharded.query(inst.queries()).expect("sharded batch");
+    let sharded_batch_ns = sharded_timer.elapsed_ns();
+    let sharded_per_query_ns = sharded_batch_ns / query_count as u128;
+    assert_eq!(
+        sharded_pairs, pairs,
+        "sharded ALSH must answer bit-identically to unsharded under one seed"
+    );
+    println!(
+        "\n== sharded vs unsharded serving ({shards} shards, shard sizes {:?}) ==\n",
+        sharded.shard_lens()
+    );
+    println!(
+        "{}",
+        render_table(
+            &["path", "build ms", "ns / query", "queries / s"],
+            &[
+                vec![
+                    "unsharded serve".to_string(),
+                    fmt(build_ns as f64 / 1e6, 1),
+                    serve_per_query_ns.to_string(),
+                    fmt(serve_qps, 0),
+                ],
+                vec![
+                    format!("sharded serve ({shards} shards)"),
+                    fmt(sharded_build_ns as f64 / 1e6, 1),
+                    sharded_per_query_ns.to_string(),
+                    fmt(1e9 / sharded_per_query_ns.max(1) as f64, 0),
+                ],
+            ]
+        )
+    );
+    println!(
+        "sharded answers verified bit-identical to unsharded ({} pairs); relative cost {}x",
+        sharded_pairs.len(),
+        fmt(
+            sharded_per_query_ns as f64 / serve_per_query_ns.max(1) as f64,
+            2
+        ),
+    );
+
     for (name, ns, flops) in [
         ("serve_build", build_ns, 0.0),
         ("serve_load", load_ns, 0.0),
         ("serve_query", serve_per_query_ns, 0.0),
         ("rebuild_query", rebuild_per_query_ns, 0.0),
+        ("sharded_build", sharded_build_ns, 0.0),
+        ("sharded_query", sharded_per_query_ns, 0.0),
     ] {
         json.record(
             "serve_throughput",
@@ -152,6 +215,14 @@ fn main() {
                 ("path", name.to_string()),
                 ("n", n.to_string()),
                 ("dim", dim.to_string()),
+                (
+                    "shards",
+                    if name.starts_with("sharded") {
+                        shards.to_string()
+                    } else {
+                        "1".to_string()
+                    },
+                ),
                 ("speedup", fmt(speedup, 1)),
             ],
             ns,

@@ -27,7 +27,7 @@ use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_datagen::sphere::unit_vectors;
 use ips_sketch::linf_mips::MaxIpConfig;
-use ips_store::{Index, ServingIndex};
+use ips_store::{Index, ShardedServingIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -264,6 +264,8 @@ pub struct BuildReport {
     pub data_count: usize,
     /// Dimension of the vectors.
     pub dim: usize,
+    /// Number of shards the index was partitioned into (`shards=`).
+    pub shards: usize,
     /// Size of the snapshot file in bytes.
     pub bytes: u64,
     /// Wall-clock build+save time in milliseconds.
@@ -277,6 +279,8 @@ pub struct QueryReport {
     pub family: String,
     /// Number of live vectors in the snapshot.
     pub live: usize,
+    /// Number of shards the loaded index has (after any `shards=` re-partition).
+    pub shards: usize,
     /// The reported pairs (`data_index` holds the serving layer's external ids).
     pub pairs: Vec<MatchPair>,
     /// Number of query vectors asked.
@@ -327,15 +331,14 @@ pub fn cmd_build(raw: &ParsedArgs) -> Result<BuildReport> {
         })?;
         builder = builder.queries(read_vectors(Path::new(path))?);
     }
-    let mut serving = builder.serve()?;
-    let data_count = serving.len();
-    let dim = serving.dim();
+    let serving = builder.shards(args.usize("shards")).serve_sharded()?;
     let bytes = serving.save(&snapshot_path)?;
     Ok(BuildReport {
         snapshot_path,
         family: serving.family().name().to_string(),
-        data_count,
-        dim,
+        data_count: serving.len(),
+        dim: serving.dim(),
+        shards: serving.shard_count(),
         bytes,
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
     })
@@ -349,9 +352,13 @@ pub fn cmd_query(raw: &ParsedArgs) -> Result<QueryReport> {
     let args = schema::QUERY.bind(raw)?;
     let queries = read_vectors(Path::new(args.str("queries")))?;
     let k = args.usize("k");
-    let serving = Index::open(args.str("snapshot"))
+    let mut builder = Index::open(args.str("snapshot"))
         .engine(engine_config(&args))
-        .serve()?;
+        .seed(args.u64("seed"));
+    if args.given("shards") {
+        builder = builder.shards(args.usize("shards"));
+    }
+    let serving = builder.serve_sharded()?;
     let start = Instant::now();
     let pairs = if k == 0 {
         serving.query(&queries)?
@@ -361,6 +368,7 @@ pub fn cmd_query(raw: &ParsedArgs) -> Result<QueryReport> {
     Ok(QueryReport {
         family: serving.family().name().to_string(),
         live: serving.len(),
+        shards: serving.shard_count(),
         pairs,
         query_count: queries.len(),
         k,
@@ -370,15 +378,18 @@ pub fn cmd_query(raw: &ParsedArgs) -> Result<QueryReport> {
 }
 
 /// `ips serve` — opens the snapshot a serve session runs over (the binary then
-/// drives [`crate::serve::serve_session`] on stdin/stdout).
-pub fn cmd_serve(raw: &ParsedArgs) -> Result<ServingIndex> {
+/// drives [`crate::serve::serve_session`] on stdin/stdout). Both snapshot layouts
+/// load; `shards=` re-partitions the live vectors first.
+pub fn cmd_serve(raw: &ParsedArgs) -> Result<ShardedServingIndex> {
     let args = schema::SERVE.bind(raw)?;
-    Index::open(args.str("snapshot"))
+    let mut builder = Index::open(args.str("snapshot"))
         .engine(engine_config(&args))
         .rebuild_threshold(args.f64("rebuild-threshold"))
-        .seed(args.u64("seed"))
-        .serve()
-        .map_err(CliError::from)
+        .seed(args.u64("seed"));
+    if args.given("shards") {
+        builder = builder.shards(args.usize("shards"));
+    }
+    builder.serve_sharded().map_err(CliError::from)
 }
 
 /// `ips search` — build an index over the data file and answer top-`k` queries.
@@ -673,6 +684,81 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(auto.family, "brute");
+    }
+
+    #[test]
+    fn sharded_build_matches_single_shard_and_reshards_on_open() {
+        let dir = temp_dir("sharded-cli");
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        let one = dir.join("one.snap");
+        let four = dir.join("four.snap");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=240",
+            "queries=14",
+            "dim=16",
+            "planted-ip=0.85",
+            "planted=6",
+            "seed=13",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        let common = [
+            format!("data={}", data.display()),
+            "s=0.8".to_string(),
+            "c=0.6".to_string(),
+            "seed=5".to_string(),
+        ];
+        let mut one_args: Vec<String> = common.to_vec();
+        one_args.push(format!("snapshot={}", one.display()));
+        let mut four_args: Vec<String> = common.to_vec();
+        four_args.push(format!("snapshot={}", four.display()));
+        four_args.push("shards=4".to_string());
+        let built_one = cmd_build(&args(
+            &one_args.iter().map(String::as_str).collect::<Vec<_>>(),
+        ))
+        .unwrap();
+        let built_four = cmd_build(&args(
+            &four_args.iter().map(String::as_str).collect::<Vec<_>>(),
+        ))
+        .unwrap();
+        assert_eq!(built_one.shards, 1);
+        assert_eq!(built_four.shards, 4);
+        assert_eq!(built_four.family, "alsh");
+        // Same seed, same data: the sharded snapshot answers bit-identically to
+        // the single-shard one (ALSH decomposes under a shared seed).
+        let q1 = cmd_query(&args(&[
+            &format!("snapshot={}", one.display()),
+            &format!("queries={}", queries.display()),
+        ]))
+        .unwrap();
+        let q4 = cmd_query(&args(&[
+            &format!("snapshot={}", four.display()),
+            &format!("queries={}", queries.display()),
+        ]))
+        .unwrap();
+        assert_eq!(q1.shards, 1);
+        assert_eq!(q4.shards, 4);
+        assert_eq!(q1.pairs, q4.pairs);
+        assert!(!q4.pairs.is_empty(), "planted pairs must be found");
+        // shards= on query re-partitions a loaded snapshot; passing the original
+        // build seed makes the rebuilt structures — and therefore the answers —
+        // exactly the ones the snapshot serves.
+        let resharded = cmd_query(&args(&[
+            &format!("snapshot={}", four.display()),
+            &format!("queries={}", queries.display()),
+            "shards=2",
+            "seed=5",
+        ]))
+        .unwrap();
+        assert_eq!(resharded.shards, 2);
+        assert_eq!(resharded.pairs, q4.pairs);
+        // Serve accepts the multi-shard snapshot and reports its shard count.
+        let serving = cmd_serve(&args(&[&format!("snapshot={}", four.display())])).unwrap();
+        assert_eq!(serving.shard_count(), 4);
+        assert_eq!(serving.len(), 240);
     }
 
     #[test]

@@ -115,20 +115,21 @@ fn run() -> Result<(), CliError> {
         "build" => {
             let report = cmd_build(&args)?;
             println!(
-                "built {} snapshot over {} vectors (dim {}): {} ({} bytes, {:.1} ms)",
+                "built {} snapshot over {} vectors (dim {}, {} shard(s)): {} ({} bytes, {:.1} ms)",
                 report.family,
                 report.data_count,
                 report.dim,
+                report.shards,
                 report.snapshot_path.display(),
                 report.bytes,
                 report.elapsed_ms
             );
         }
         "serve" => {
-            let mut serving = cmd_serve(&args)?;
+            let serving = cmd_serve(&args)?;
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_session(&mut serving, stdin.lock(), stdout.lock())?;
+            serve_session(&serving, stdin.lock(), stdout.lock())?;
         }
         "query" => {
             let report = cmd_query(&args)?;

@@ -231,6 +231,19 @@ const LIMIT: ArgSpec = ArgSpec::defaulted(
     "20",
     "pairs printed before truncating the listing",
 );
+const SHARDS_BUILD: ArgSpec = ArgSpec::defaulted(
+    "shards",
+    ArgKind::PositiveUsize,
+    "1",
+    "index shards (hash-of-id partitions; 1 writes the classic single-shard snapshot)",
+);
+const SHARDS_OPEN: ArgSpec = ArgSpec::optional(
+    "shards",
+    ArgKind::PositiveUsize,
+    "re-partition the snapshot across this many shards (default: keep the stored \
+     layout; re-partitioning rebuilds the structures re-seeded from seed=, so pass \
+     the original build seed to preserve answers exactly)",
+);
 
 /// `ips generate`.
 pub const GENERATE: CommandSpec = CommandSpec {
@@ -387,8 +400,13 @@ pub const BUILD: CommandSpec = CommandSpec {
             "16",
             "sketch recovery-tree leaf size",
         ),
+        SHARDS_BUILD,
     ],
-    notes: &["algorithm=auto consults the cost-based planner and needs queries=<path>."],
+    notes: &[
+        "algorithm=auto consults the cost-based planner and needs queries=<path>.",
+        "shards=N partitions the index by a hash of the vector id; every shard shares the \
+         build seed, so brute/alsh/symmetric answers are bit-identical whatever N is.",
+    ],
 };
 
 /// `ips serve`.
@@ -406,6 +424,7 @@ pub const SERVE: CommandSpec = CommandSpec {
             "compaction trigger: rebuild when (tombstoned+overlaid)/live exceeds this",
         ),
         SEED,
+        SHARDS_OPEN,
     ],
     notes: &[
         "The (cs, s) join thresholds live in the snapshot, set at build time.",
@@ -429,8 +448,10 @@ pub const QUERY: CommandSpec = CommandSpec {
         THREADS,
         CHUNK,
         LIMIT,
+        SEED,
+        SHARDS_OPEN,
     ],
-    notes: &[],
+    notes: &["seed= only matters together with shards= (it seeds the re-partition rebuild)."],
 };
 
 /// `ips help`.

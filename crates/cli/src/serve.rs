@@ -13,6 +13,7 @@
 //! delete <id>                           deleted <id>
 //! stats                                 stats family=… live=… queries=… hits=…
 //!                                         inserts=… deletes=… rebuilds=… avg_query_ns=…
+//!                                         shards=… shard_live=…,…  (per-shard counts)
 //! save <path>                           saved <path> (<bytes> bytes)
 //! help                                  command summary
 //! quit | exit                           bye (EOF works too)
@@ -20,11 +21,11 @@
 //!
 //! Vectors are comma-separated coordinates (the CSV line format of the data files);
 //! `;` separates the vectors of one batch, which is answered through the
-//! [`ips_core::JoinEngine`] in a single [`ServingIndex::query`] call.
+//! [`ips_core::JoinEngine`] in a single [`ShardedServingIndex::query`] call.
 
 use crate::error::{CliError, Result};
 use ips_linalg::DenseVector;
-use ips_store::ServingIndex;
+use ips_store::ShardedServingIndex;
 use std::io::{BufRead, Write};
 
 /// Parses one `a,b,c` coordinate list.
@@ -60,8 +61,10 @@ fn parse_batch(text: &str) -> Result<Vec<DenseVector>> {
 // never drift; see `crate::schema::protocol_help`.
 
 /// Executes one protocol line, appending reply lines to `out`. Returns `false` when
-/// the session should end.
-fn execute(serving: &mut ServingIndex, line: &str, out: &mut Vec<String>) -> Result<bool> {
+/// the session should end. The serving index is shared (`&`): its shard locks
+/// provide the interior mutability, which is also why a long-lived process could
+/// serve the same index from several sessions at once.
+fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> Result<bool> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(true);
@@ -117,8 +120,13 @@ fn execute(serving: &mut ServingIndex, line: &str, out: &mut Vec<String>) -> Res
         }
         "stats" => {
             let stats = serving.stats();
+            let shard_live: Vec<String> = serving
+                .shard_lens()
+                .iter()
+                .map(|live| live.to_string())
+                .collect();
             out.push(format!(
-                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={}",
+                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={}",
                 serving.family(),
                 serving.len(),
                 stats.queries,
@@ -127,6 +135,8 @@ fn execute(serving: &mut ServingIndex, line: &str, out: &mut Vec<String>) -> Res
                 stats.deletes,
                 stats.rebuilds,
                 stats.avg_query_ns(),
+                serving.shard_count(),
+                shard_live.join(","),
             ));
         }
         "save" => {
@@ -163,16 +173,17 @@ fn execute(serving: &mut ServingIndex, line: &str, out: &mut Vec<String>) -> Res
 /// `quit`, writing replies to `output`. Errors in individual commands are reported
 /// as `error: …` lines and the session continues; only I/O failures end it early.
 pub fn serve_session<R: BufRead, W: Write>(
-    serving: &mut ServingIndex,
+    serving: &ShardedServingIndex,
     input: R,
     mut output: W,
 ) -> Result<()> {
     writeln!(
         output,
-        "serving {} index: {} live vectors, dim {} (try `help`)",
+        "serving {} index: {} live vectors, dim {}, {} shard(s) (try `help`)",
         serving.family(),
         serving.len(),
-        serving.dim()
+        serving.dim(),
+        serving.shard_count()
     )?;
     for line in input.lines() {
         let line = line?;
@@ -197,22 +208,35 @@ pub fn serve_session<R: BufRead, W: Write>(
 mod tests {
     use super::*;
     use ips_core::problem::{JoinSpec, JoinVariant};
-    use ips_store::{IndexConfig, ServingConfig};
+    use ips_store::{IndexConfig, ServingConfig, ShardedConfig};
 
-    fn serving() -> ServingIndex {
+    fn serving_with_shards(shards: usize) -> ShardedServingIndex {
         let data = vec![
             DenseVector::from(&[0.9, 0.0][..]),
             DenseVector::from(&[0.0, 0.8][..]),
         ];
         let spec = JoinSpec::new(0.5, 0.8, JoinVariant::Signed).unwrap();
-        ServingIndex::build(data, spec, IndexConfig::Brute, ServingConfig::default()).unwrap()
+        ShardedServingIndex::build(
+            data,
+            spec,
+            IndexConfig::Brute,
+            ShardedConfig {
+                shards,
+                serving: ServingConfig::default(),
+            },
+        )
+        .unwrap()
+    }
+
+    fn run_sharded(session: &str, shards: usize) -> String {
+        let index = serving_with_shards(shards);
+        let mut out = Vec::new();
+        serve_session(&index, session.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
     }
 
     fn run(session: &str) -> String {
-        let mut index = serving();
-        let mut out = Vec::new();
-        serve_session(&mut index, session.as_bytes(), &mut out).unwrap();
-        String::from_utf8(out).unwrap()
+        run_sharded(session, 1)
     }
 
     #[test]
@@ -259,9 +283,43 @@ mod tests {
         let out = run(&script);
         assert!(out.contains("inserted 2"));
         assert!(out.contains("saved "), "{out}");
-        let reloaded = ServingIndex::open(&path, ServingConfig::default()).unwrap();
+        // A one-shard session writes the classic single-shard format.
+        let reloaded = ips_store::ServingIndex::open(&path, ServingConfig::default()).unwrap();
         assert_eq!(reloaded.len(), 3);
         assert_eq!(reloaded.ids(), vec![0, 1, 2]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_session_reports_per_shard_counts_and_same_answers() {
+        let session = "query 1.0,0.0\ninsert 0.7,0.7\nquery 0.7,0.7\nstats\n";
+        let sharded = run_sharded(session, 3);
+        assert!(
+            sharded.starts_with("serving brute index: 2 live vectors, dim 2, 3 shard(s)"),
+            "{sharded}"
+        );
+        assert!(sharded.contains("shards=3"), "{sharded}");
+        // Three comma-separated per-shard live counts that sum to the live total.
+        let shard_live = sharded
+            .lines()
+            .find(|l| l.starts_with("stats "))
+            .and_then(|l| l.split("shard_live=").nth(1))
+            .expect("stats line carries shard_live=");
+        let counts: Vec<usize> = shard_live
+            .split(',')
+            .map(|c| c.trim().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        // The answers match the single-shard session line for line (brute
+        // decomposes exactly; only the banner and stats tail differ).
+        let unsharded = run(session);
+        let answer_lines = |out: &str| {
+            out.lines()
+                .filter(|l| l.starts_with("hit ") || *l == "miss" || l.starts_with("inserted "))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(answer_lines(&sharded), answer_lines(&unsharded));
     }
 }

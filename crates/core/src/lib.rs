@@ -18,7 +18,10 @@
 //!   these indexes and out of the Section 4.3 sketch structure (adapted from
 //!   `ips-sketch`); [`mips`] gives a common trait over all MIPS indexes; [`engine`]
 //!   provides the unified parallel, chunk-batched [`JoinEngine`] every join entry
-//!   point runs through; [`planner`] adds the cost-based [`JoinPlanner`] that picks
+//!   point runs through; [`shard`] is the exact merge layer the sharded serving
+//!   index of `ips-store` reassembles per-shard answers with (per-shard bests and
+//!   top-`k` heaps merged bit-identically to one unsharded search);
+//!   [`planner`] adds the cost-based [`JoinPlanner`] that picks
 //!   the strategy from workload statistics ([`auto_join`]), since no single strategy
 //!   dominates — the paper's central message, operationalised; [`facade`] puts one
 //!   fluent, typed [`JoinBuilder`] (`Join::data(d).queries(q)…run()`) in front of
@@ -88,6 +91,7 @@ pub mod lower_bounds;
 pub mod mips;
 pub mod planner;
 pub mod problem;
+pub mod shard;
 pub mod symmetric;
 pub mod theory;
 pub mod topk;

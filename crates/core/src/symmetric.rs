@@ -379,31 +379,32 @@ impl SymmetricLshMips {
     pub fn data(&self) -> &[DenseVector] {
         &self.data
     }
-}
 
-impl MipsIndex for SymmetricLshMips {
-    fn len(&self) -> usize {
-        self.live_count
-    }
-
-    fn spec(&self) -> JoinSpec {
-        self.spec
-    }
-
-    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
-        // Step 1 (paper): check whether the query itself is an input vector; the hash
-        // guarantees do not cover the diagonal, so it is handled exactly.
-        let encoding = self.map.encode(query)?;
-        if let Some(&i) = self.exact_lookup.get(&encoding).and_then(|ids| ids.last()) {
-            let ip = self.data[i].dot(query)?;
-            if self.spec.satisfies_promise(ip) {
-                return Ok(Some(SearchResult {
-                    data_index: i,
-                    inner_product: ip,
-                }));
-            }
+    /// Step 1 of the two-step search, exposed on its own: the diagonal probe.
+    ///
+    /// Looks the query's encoding up in the exact-match table and returns the *last*
+    /// live slot sharing it (the one a fresh build would answer with), scored exactly
+    /// — **unfiltered**, so a sharded merge layer can apply the promise check across
+    /// the union of shards exactly as [`MipsIndex::search`] applies it to one index.
+    pub fn exact_probe(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
+        match self
+            .exact_lookup
+            .get(&self.map.encode(query)?)
+            .and_then(|ids| ids.last())
+        {
+            Some(&i) => Ok(Some(SearchResult {
+                data_index: i,
+                inner_product: self.data[i].dot(query)?,
+            })),
+            None => Ok(None),
         }
-        // Step 2: symmetric LSH lookup plus exact re-scoring.
+    }
+
+    /// Step 2 of the two-step search, exposed on its own: the best LSH candidate by
+    /// exact re-scoring (strict `>`, so ties keep the lowest slot) — **unfiltered**
+    /// by the relaxed threshold, for the same sharded-merge reason as
+    /// [`SymmetricLshMips::exact_probe`].
+    pub fn candidate_best(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
         let mapped = self.map.map(query)?;
         let candidates = self.index.query_candidates(&mapped)?;
         let mut best: Option<SearchResult> = None;
@@ -421,7 +422,31 @@ impl MipsIndex for SymmetricLshMips {
                 });
             }
         }
-        Ok(best.filter(|b| self.spec.acceptable(b.inner_product)))
+        Ok(best)
+    }
+}
+
+impl MipsIndex for SymmetricLshMips {
+    fn len(&self) -> usize {
+        self.live_count
+    }
+
+    fn spec(&self) -> JoinSpec {
+        self.spec
+    }
+
+    fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
+        // Step 1 (paper): check whether the query itself is an input vector; the hash
+        // guarantees do not cover the diagonal, so it is handled exactly.
+        if let Some(hit) = self.exact_probe(query)? {
+            if self.spec.satisfies_promise(hit.inner_product) {
+                return Ok(Some(hit));
+            }
+        }
+        // Step 2: symmetric LSH lookup plus exact re-scoring.
+        Ok(self
+            .candidate_best(query)?
+            .filter(|b| self.spec.acceptable(b.inner_product)))
     }
 }
 

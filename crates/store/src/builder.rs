@@ -43,6 +43,7 @@
 
 use crate::error::{Result, StoreError};
 use crate::serving::{IndexConfig, ServingConfig, ServingIndex};
+use crate::sharded::{ShardedConfig, ShardedServingIndex};
 use ips_core::asymmetric::AlshParams;
 use ips_core::engine::EngineConfig;
 use ips_core::facade::Strategy;
@@ -92,7 +93,8 @@ enum Source {
 /// Defaults: `strategy` [`Strategy::Alsh`] (an index worth persisting, matching
 /// `ips build`), per-family parameters at their [`Default`]s, engine schedule
 /// [`EngineConfig::default`], rebuild threshold and seed from
-/// [`ServingConfig::default`].
+/// [`ServingConfig::default`], `shards` unset (build → one shard, open → the
+/// file's stored layout; see [`IndexBuilder::serve_sharded`]).
 #[derive(Debug, Clone)]
 #[must_use = "an IndexBuilder does nothing until `serve` is called"]
 pub struct IndexBuilder {
@@ -107,6 +109,7 @@ pub struct IndexBuilder {
     engine: EngineConfig,
     rebuild_threshold: f64,
     seed: u64,
+    shards: Option<usize>,
 }
 
 impl IndexBuilder {
@@ -124,6 +127,7 @@ impl IndexBuilder {
             engine: serving.engine,
             rebuild_threshold: serving.rebuild_threshold,
             seed: serving.seed,
+            shards: None,
         }
     }
 
@@ -209,6 +213,18 @@ impl IndexBuilder {
         self
     }
 
+    /// Number of shards for [`IndexBuilder::serve_sharded`] (at least 1). When
+    /// building from data the default is 1; when opening a snapshot the default is
+    /// to *keep the file's stored layout* — setting a count re-partitions the live
+    /// vectors across that many shards (rebuilding the structures, re-seeded from
+    /// [`IndexBuilder::seed`]). Every shard derives its structure from the same
+    /// seed, which is what keeps sharded answers bit-identical to unsharded ones
+    /// for the candidate-decomposable families (see [`crate::sharded`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// The serving-time configuration this builder describes.
     fn serving_config(&self) -> ServingConfig {
         ServingConfig {
@@ -264,31 +280,90 @@ impl IndexBuilder {
     }
 
     /// Terminal call: builds (or loads) the index and wraps it for serving.
+    ///
+    /// This is the *unsharded* terminal; it rejects a [`IndexBuilder::shards`]
+    /// count other than 1 (use [`IndexBuilder::serve_sharded`], which also accepts
+    /// multi-shard snapshot files).
     pub fn serve(mut self) -> Result<ServingIndex> {
+        if let Some(shards) = self.shards {
+            if shards != 1 {
+                return Err(StoreError::InvalidParameter {
+                    name: "shards",
+                    reason: format!(
+                        "serve() builds an unsharded index; use serve_sharded() for \
+                         shards = {shards}"
+                    ),
+                });
+            }
+        }
         let config = self.serving_config();
         let source = std::mem::replace(&mut self.source, Source::Snapshot(PathBuf::new()));
         match source {
             Source::Snapshot(path) => {
-                if self.spec.is_some() {
-                    return Err(StoreError::InvalidParameter {
-                        name: "spec",
-                        reason: "a snapshot carries its own (cs, s) spec, set at build time; \
-                                 .spec() only applies when building from data"
-                            .into(),
-                    });
-                }
+                self.reject_spec_on_snapshot()?;
                 ServingIndex::open(&path, config)
             }
             Source::Data(data) => {
-                let spec = self.spec.ok_or_else(|| StoreError::InvalidParameter {
-                    name: "spec",
-                    reason: "building an index from data needs a (cs, s) spec: call .spec(...)"
-                        .into(),
-                })?;
+                let spec = self.require_spec()?;
                 let index_config = self.resolve_index_config(&data, spec)?;
                 ServingIndex::build(data, spec, index_config, config)
             }
         }
+    }
+
+    /// Terminal call: builds (or loads) a [`ShardedServingIndex`].
+    ///
+    /// Building from data partitions the vectors across [`IndexBuilder::shards`]
+    /// shards (default 1). Opening a snapshot accepts both file layouts and keeps
+    /// the stored shard count unless [`IndexBuilder::shards`] asks for a
+    /// re-partition.
+    pub fn serve_sharded(mut self) -> Result<ShardedServingIndex> {
+        let serving = self.serving_config();
+        let source = std::mem::replace(&mut self.source, Source::Snapshot(PathBuf::new()));
+        match source {
+            Source::Snapshot(path) => {
+                self.reject_spec_on_snapshot()?;
+                match self.shards {
+                    None => ShardedServingIndex::open(&path, serving),
+                    Some(shards) => ShardedServingIndex::open_resharded(
+                        &path,
+                        ShardedConfig { shards, serving },
+                    ),
+                }
+            }
+            Source::Data(data) => {
+                let spec = self.require_spec()?;
+                let index_config = self.resolve_index_config(&data, spec)?;
+                ShardedServingIndex::build(
+                    data,
+                    spec,
+                    index_config,
+                    ShardedConfig {
+                        shards: self.shards.unwrap_or(1),
+                        serving,
+                    },
+                )
+            }
+        }
+    }
+
+    fn reject_spec_on_snapshot(&self) -> Result<()> {
+        if self.spec.is_some() {
+            return Err(StoreError::InvalidParameter {
+                name: "spec",
+                reason: "a snapshot carries its own (cs, s) spec, set at build time; \
+                         .spec() only applies when building from data"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn require_spec(&self) -> Result<JoinSpec> {
+        self.spec.ok_or_else(|| StoreError::InvalidParameter {
+            name: "spec",
+            reason: "building an index from data needs a (cs, s) spec: call .spec(...)".into(),
+        })
     }
 }
 
@@ -414,6 +489,76 @@ mod tests {
             reopened.query(inst.queries()).unwrap(),
             built.query(inst.queries()).unwrap()
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_terminal_builds_reshards_and_matches_unsharded() {
+        let inst = workload();
+        // serve() is the unsharded terminal: a shard count != 1 is redirected.
+        let err = Index::build(inst.data().to_vec())
+            .spec(spec())
+            .shards(4)
+            .serve()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("serve_sharded"), "{err}");
+        // ...but shards(1) is the same thing and allowed.
+        assert!(Index::build(inst.data().to_vec())
+            .spec(spec())
+            .shards(1)
+            .serve()
+            .is_ok());
+
+        let unsharded = Index::build(inst.data().to_vec())
+            .spec(spec())
+            .strategy(Strategy::Alsh)
+            .seed(7)
+            .serve()
+            .unwrap();
+        let sharded = Index::build(inst.data().to_vec())
+            .spec(spec())
+            .strategy(Strategy::Alsh)
+            .seed(7)
+            .shards(4)
+            .serve_sharded()
+            .unwrap();
+        assert_eq!(sharded.shard_count(), 4);
+        // Same seed everywhere → identical hash functions → bit-equal answers.
+        assert_eq!(
+            sharded.query(inst.queries()).unwrap(),
+            unsharded.query(inst.queries()).unwrap()
+        );
+
+        // Round-trip through a multi-shard file, preserving and resharding.
+        let dir = std::env::temp_dir().join("ips-store-builder-sharded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("four.snap");
+        sharded.save(&path).unwrap();
+        let preserved = Index::open(&path).serve_sharded().unwrap();
+        assert_eq!(preserved.shard_count(), 4);
+        // Resharding rebuilds the structures from the live set, so the original
+        // build seed must ride along for the answers to be preserved exactly.
+        let resharded = Index::open(&path)
+            .seed(7)
+            .shards(2)
+            .serve_sharded()
+            .unwrap();
+        assert_eq!(resharded.shard_count(), 2);
+        assert_eq!(
+            preserved.query(inst.queries()).unwrap(),
+            resharded.query(inst.queries()).unwrap()
+        );
+        // The unsharded terminal cannot load a multi-shard file...
+        let err = Index::open(&path).serve().map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("multi-shard"), "{err}");
+        // ...and a snapshot still owns its spec under the sharded terminal too.
+        let err = Index::open(&path)
+            .spec(spec())
+            .serve_sharded()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("spec"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -20,7 +20,12 @@
 //!   rebuild for the sketch structure; see [`serving`]), answers batched
 //!   above-threshold and top-`k` queries through the existing
 //!   [`ips_core::JoinEngine`], and keeps per-index query/hit/latency counters.
-//!   [`ServingRegistry`] routes between several loaded indexes by name.
+//!   [`ShardedServingIndex`] scales that to `N` hash-partitioned shards behind
+//!   per-shard `RwLock`s — concurrent batched reads, mutations routed to the
+//!   owning shard, per-shard answers merged exactly through [`ips_core::shard`]
+//!   (bit-identical to the unsharded index for the candidate-decomposable
+//!   families; see [`sharded`]) — and [`ServingRegistry`] routes between several
+//!   loaded (sharded) indexes by name.
 //!
 //! Both halves are configured through one fluent facade, [`builder::IndexBuilder`]
 //! (`Index::build(data).spec(s).strategy(…).serve()` /
@@ -68,6 +73,7 @@ pub mod format;
 pub mod persist;
 pub mod registry;
 pub mod serving;
+pub mod sharded;
 pub mod snapshot;
 
 pub use builder::{Index, IndexBuilder};
@@ -75,4 +81,5 @@ pub use error::{Result, StoreError};
 pub use persist::Persist;
 pub use registry::ServingRegistry;
 pub use serving::{IndexConfig, ServingConfig, ServingIndex, ServingStats, ServingView};
+pub use sharded::{shard_of, ShardedConfig, ShardedServingIndex, ShardedView};
 pub use snapshot::{AnyIndex, IndexFamily, Snapshot};

@@ -130,14 +130,52 @@ impl ServingStats {
     }
 }
 
+/// The relaxed-atomic counter block behind [`ServingStats`]: shared between
+/// [`ServingIndex`] and the sharded layer so metric bumps never need a write lock
+/// — queries hold shard *read* locks and still tick these.
 #[derive(Default)]
-struct Counters {
+pub(crate) struct Counters {
     queries: AtomicU64,
     hits: AtomicU64,
     query_ns: AtomicU64,
     inserts: AtomicU64,
     deletes: AtomicU64,
     rebuilds: AtomicU64,
+}
+
+impl Counters {
+    /// A counter block pre-loaded with another index's query/hit/latency history —
+    /// what the one-shard `ServingIndex → ShardedServingIndex` conversion uses so
+    /// wrapping a warm index does not zero its query metrics. Mutation counters
+    /// stay zero here: those keep living (and arriving pre-accumulated) in the
+    /// wrapped shard itself.
+    pub(crate) fn with_query_history(stats: &ServingStats) -> Self {
+        let counters = Self::default();
+        counters.queries.store(stats.queries, Ordering::Relaxed);
+        counters.hits.store(stats.hits, Ordering::Relaxed);
+        counters.query_ns.store(stats.query_ns, Ordering::Relaxed);
+        counters
+    }
+
+    /// A point-in-time copy.
+    pub(crate) fn snapshot(&self) -> ServingStats {
+        ServingStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            query_ns: self.query_ns.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ticks the query/hit/latency counters for one answered batch.
+    pub(crate) fn note_queries(&self, queries: usize, hits: usize, start: Instant) {
+        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        self.hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.query_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 /// A loaded, mutable, query-serving index with stable external ids.
@@ -159,7 +197,7 @@ pub struct ServingIndex {
     counters: Counters,
 }
 
-fn build_index(
+pub(crate) fn build_index(
     data: Vec<DenseVector>,
     spec: JoinSpec,
     index_config: IndexConfig,
@@ -272,6 +310,16 @@ impl ServingIndex {
     /// unloadable (brute) or resurrect tombstoned vectors (sketch). The error is
     /// returned before anything is written; insert at least one vector first.
     pub fn save(&mut self, path: &Path) -> Result<u64> {
+        let bytes = self.snapshot_bytes()?;
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Compacts pending state and encodes the index as single-shard snapshot bytes —
+    /// what [`ServingIndex::save`] writes, exposed so the sharded serving layer can
+    /// embed per-shard snapshots inside one multi-shard file. The same
+    /// no-live-vectors restriction applies (see [`ServingIndex::save`]).
+    pub fn snapshot_bytes(&mut self) -> Result<Vec<u8>> {
         if self.is_empty() {
             return Err(StoreError::InvalidParameter {
                 name: "serving",
@@ -280,9 +328,11 @@ impl ServingIndex {
             });
         }
         self.compact()?;
-        let bytes = crate::snapshot::encode(&self.primary, &self.primary_ids, self.next_id);
-        std::fs::write(path, &bytes)?;
-        Ok(bytes.len() as u64)
+        Ok(crate::snapshot::encode(
+            &self.primary,
+            &self.primary_ids,
+            self.next_id,
+        ))
     }
 
     /// The index family being served.
@@ -333,27 +383,89 @@ impl ServingIndex {
             .ok_or(StoreError::UnknownId { id })
     }
 
+    /// The family configuration this index was built with (what a rebuild re-builds).
+    pub(crate) fn index_config(&self) -> IndexConfig {
+        self.index_config
+    }
+
+    /// The serving configuration (engine schedule, rebuild threshold, seed).
+    pub(crate) fn serving_config(&self) -> ServingConfig {
+        self.config
+    }
+
+    /// The next external id the internal allocator would hand out.
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The two halves of the symmetric-LSH two-step search, translated to external
+    /// ids and left unfiltered — what the sharded merge layer
+    /// ([`ips_core::shard::merge_two_step`]) needs from each shard. Only meaningful
+    /// for a symmetric-family index (the caller dispatches on the family).
+    pub(crate) fn search_parts_symmetric(
+        &self,
+        query: &DenseVector,
+    ) -> Result<ips_core::shard::ShardParts> {
+        let AnyIndex::Symmetric(index) = &self.primary else {
+            return Err(StoreError::InvalidParameter {
+                name: "family",
+                reason: format!(
+                    "two-step search parts are a symmetric-LSH notion, index is {}",
+                    self.family()
+                ),
+            });
+        };
+        let translate = |hit: SearchResult| SearchResult {
+            data_index: self.primary_ids[hit.data_index] as usize,
+            inner_product: hit.inner_product,
+        };
+        Ok(ips_core::shard::ShardParts {
+            exact: index.exact_probe(query)?.map(translate),
+            best: index.candidate_best(query)?.map(translate),
+        })
+    }
+
     /// A point-in-time copy of the per-index counters.
     pub fn stats(&self) -> ServingStats {
-        ServingStats {
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            query_ns: self.counters.query_ns.load(Ordering::Relaxed),
-            inserts: self.counters.inserts.load(Ordering::Relaxed),
-            deletes: self.counters.deletes.load(Ordering::Relaxed),
-            rebuilds: self.counters.rebuilds.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Inserts a vector, returning its stable external id.
     pub fn insert(&mut self, v: DenseVector) -> Result<u64> {
+        let id = self.next_id;
+        self.insert_with_id(id, v)?;
+        Ok(id)
+    }
+
+    /// Inserts a vector under a caller-assigned external id — the mutation-routing
+    /// entry point of the sharded serving layer, whose ids come from a global
+    /// allocator and so are assigned *outside* any one shard.
+    ///
+    /// The id must be fresh: an id that is currently live, pending in the overlay,
+    /// tombstoned, or occupying a (possibly deleted) primary slot is rejected —
+    /// reusing ids would break the stable-external-id contract. The internal
+    /// allocator is advanced past `id`, so a later [`ServingIndex::insert`] can
+    /// never collide with it.
+    pub fn insert_with_id(&mut self, id: u64, v: DenseVector) -> Result<()> {
         if v.dim() != self.dim {
             return Err(StoreError::InvalidParameter {
                 name: "v",
                 reason: format!("dimension {} != index dimension {}", v.dim(), self.dim),
             });
         }
-        let id = self.next_id;
+        // Ids at or above the allocator are fresh by construction; below it, the id
+        // may have been used before (even a tombstoned LSH slot still owns its id),
+        // so every holder of old ids is consulted.
+        if id < self.next_id
+            && (self.primary_ids.contains(&id)
+                || self.tombstones.contains(&id)
+                || self.overlay.iter().any(|(oid, _)| *oid == id))
+        {
+            return Err(StoreError::InvalidParameter {
+                name: "id",
+                reason: format!("external id {id} is already in use"),
+            });
+        }
         match &mut self.primary {
             AnyIndex::Alsh(index) => {
                 let slot = index.insert(v)?;
@@ -370,16 +482,17 @@ impl ServingIndex {
             AnyIndex::Brute(_) => {
                 let mut entries = self.live_entries();
                 entries.push((id, v));
+                entries.sort_unstable_by_key(|(id, _)| *id);
                 self.rebuild_from(entries)?;
             }
             AnyIndex::Sketch(_) => {
                 self.overlay.push((id, v));
             }
         }
-        self.next_id = id + 1;
+        self.next_id = self.next_id.max(id + 1);
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
         self.maybe_rebuild()?;
-        Ok(id)
+        Ok(())
     }
 
     /// Deletes the vector behind a live external id.
@@ -453,17 +566,14 @@ impl ServingIndex {
     }
 
     fn note_queries(&self, queries: usize, hits: usize, start: Instant) {
-        self.counters
-            .queries
-            .fetch_add(queries as u64, Ordering::Relaxed);
-        self.counters.hits.fetch_add(hits as u64, Ordering::Relaxed);
-        self.counters
-            .query_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.counters.note_queries(queries, hits, start);
     }
 
-    /// Live `(external id, vector)` pairs in ascending id order (primary slots are in
-    /// insertion order and overlay entries were assigned later ids).
+    /// Live `(external id, vector)` pairs in **ascending id order** — the canonical
+    /// rebuild order, so a compacted index matches a fresh build from the same live
+    /// set however the inserts arrived. (A sequential index inserts in ascending id
+    /// order anyway; the sort matters when the sharded layer routed out-of-order
+    /// ids into this shard.)
     fn live_entries(&self) -> Vec<(u64, DenseVector)> {
         let mut out = Vec::with_capacity(self.len());
         for (slot, &id) in self.primary_ids.iter().enumerate() {
@@ -474,6 +584,7 @@ impl ServingIndex {
             }
         }
         out.extend(self.overlay.iter().cloned());
+        out.sort_unstable_by_key(|(id, _)| *id);
         out
     }
 

@@ -23,6 +23,15 @@
 //! payload, a bad magic/version, or a checksum mismatch each fail loudly with a
 //! [`StoreError`].
 //!
+//! # Format (version 2, multi-shard)
+//!
+//! Same magic and envelope with version 2; the body is one [`SECTION_SHARD`] per
+//! shard — each payload a complete version-1 snapshot (empty payload = empty shard)
+//! — plus a [`SECTION_NEXT_ID`] carrying the sharded layer's global id allocator.
+//! Version-1 files keep loading unchanged ([`from_bytes_any`] accepts both layouts);
+//! a one-shard index still *writes* version 1, so its files remain interchangeable
+//! with plain [`crate::ServingIndex`] snapshots.
+//!
 //! The payloads are written by the [`crate::persist::Persist`] impls — little-endian,
 //! floats as IEEE-754 bit patterns, hash tables in sorted bucket order — so a
 //! round-trip restores *bit-identical* behaviour: same sampled functions, same
@@ -42,13 +51,28 @@ use std::path::Path;
 
 /// The 8-byte magic at offset 0 of every snapshot.
 pub const MAGIC: [u8; 8] = *b"IPSSNAP\0";
-/// The newest format version this build writes and reads.
+/// The single-shard format version (the only version up to PR 4; still written
+/// whenever an index has exactly one shard, so those files stay interchangeable
+/// with every earlier reader).
 pub const VERSION: u32 = 1;
+/// The multi-shard container version: the body is one [`SECTION_SHARD`] per shard,
+/// each payload a complete version-1 snapshot (or empty, for a shard that holds no
+/// vectors). Written by the sharded serving layer for indexes with two or more
+/// shards; version-1 files keep loading unchanged.
+pub const VERSION_SHARDED: u32 = 2;
 /// Section id of the serving-layer id map (`Vec<u64>` of per-slot external ids
 /// followed by the next id to allocate).
 pub const SECTION_IDS: u32 = 1;
 /// Section id of the index structure payload.
 pub const SECTION_INDEX: u32 = 2;
+/// Section id of one shard inside a [`VERSION_SHARDED`] container; payload is a full
+/// version-1 snapshot (empty payload = empty shard). Shards appear in shard order.
+pub const SECTION_SHARD: u32 = 3;
+/// Section id of the global id allocator inside a [`VERSION_SHARDED`] container
+/// (a single `u64`): the next external id the sharded serving layer will hand out.
+/// Carried separately from the per-shard allocators so a shard that happens to be
+/// empty at save time cannot regress the allocator — external ids are never reused.
+pub const SECTION_NEXT_ID: u32 = 4;
 
 /// Which of the paper's index families a snapshot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,39 +301,27 @@ impl Snapshot {
         encode(&self.index, &self.ids, self.next_id)
     }
 
-    /// Decodes a snapshot from its on-disk byte format, verifying magic, version and
-    /// checksum before touching any structure payload.
+    /// Decodes a single-shard snapshot from its on-disk byte format, verifying magic,
+    /// version and checksum before touching any structure payload. A multi-shard
+    /// ([`VERSION_SHARDED`]) file is rejected with a pointer to the sharded loader;
+    /// use [`from_bytes_any`] to accept both layouts.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < MAGIC.len() + 4 + 8 {
-            return Err(StoreError::Corrupt {
-                context: "header",
-                reason: format!("{} bytes is too short for a snapshot", bytes.len()),
+        let (version, body) = verify_envelope(bytes)?;
+        if version == VERSION_SHARDED {
+            return Err(StoreError::InvalidParameter {
+                name: "snapshot",
+                reason: "this is a multi-shard snapshot; serve it through the sharded \
+                         layer (`Index::open(..)` auto-detects, or use \
+                         `ShardedServingIndex::open`)"
+                    .into(),
             });
         }
-        let mut r = ByteReader::new(bytes);
-        if r.take_bytes(MAGIC.len())? != MAGIC {
-            return Err(StoreError::Corrupt {
-                context: "header",
-                reason: "bad magic (not a snapshot file)".into(),
-            });
-        }
-        let version = r.take_u32()?;
-        if version != VERSION {
-            return Err(StoreError::UnsupportedVersion {
-                found: version,
-                supported: VERSION,
-            });
-        }
-        let body = &bytes[MAGIC.len() + 4..bytes.len() - 8];
-        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
-        let computed = fnv1a64(body);
-        if stored != computed {
-            return Err(StoreError::Corrupt {
-                context: "checksum",
-                reason: format!("stored {stored:#018x} != computed {computed:#018x}"),
-            });
-        }
+        Self::from_v1_body(body)
+    }
 
+    /// Decodes the body of a version-1 snapshot (everything between the version field
+    /// and the checksum), already envelope-verified.
+    fn from_v1_body(body: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(body);
         let family = IndexFamily::from_tag(r.take_u8()?)?;
         let sections = r.take_u32()?;
@@ -408,6 +420,131 @@ fn write_section(body: &mut ByteWriter, id: u32, payload: ByteWriter) {
     body.put_u32(id);
     body.put_usize(payload.len());
     body.put_bytes(payload.as_bytes());
+}
+
+/// Verifies the common envelope of any snapshot file — length, magic, checksum, and
+/// a known version — and returns `(version, body)` with the body span between the
+/// version field and the trailing checksum.
+fn verify_envelope(bytes: &[u8]) -> Result<(u32, &[u8])> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(StoreError::Corrupt {
+            context: "header",
+            reason: format!("{} bytes is too short for a snapshot", bytes.len()),
+        });
+    }
+    let mut r = ByteReader::new(bytes);
+    if r.take_bytes(MAGIC.len())? != MAGIC {
+        return Err(StoreError::Corrupt {
+            context: "header",
+            reason: "bad magic (not a snapshot file)".into(),
+        });
+    }
+    let version = r.take_u32()?;
+    if version != VERSION && version != VERSION_SHARDED {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: VERSION_SHARDED,
+        });
+    }
+    let body = &bytes[MAGIC.len() + 4..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(StoreError::Corrupt {
+            context: "checksum",
+            reason: format!("stored {stored:#018x} != computed {computed:#018x}"),
+        });
+    }
+    Ok((version, body))
+}
+
+/// A decoded snapshot file of either layout: the single-shard format every reader
+/// since PR 3 understands, or the multi-shard container (one entry per shard, `None`
+/// for a shard with no vectors).
+pub enum LoadedSnapshot {
+    /// A [`VERSION`] (single-shard) file (boxed: a [`Snapshot`] is hundreds of
+    /// bytes inline, the sharded variant a few pointers).
+    Single(Box<Snapshot>),
+    /// A [`VERSION_SHARDED`] container.
+    Sharded {
+        /// Per-shard snapshots, in shard order (`None` = the shard held no vectors).
+        shards: Vec<Option<Snapshot>>,
+        /// The global id allocator ([`SECTION_NEXT_ID`]).
+        next_id: u64,
+    },
+}
+
+/// Decodes a snapshot file of either layout — what shard-aware loaders
+/// ([`crate::ShardedServingIndex::open`], the `Index::open` builder) call, so old
+/// single-shard files keep loading wherever a sharded index is accepted.
+pub fn from_bytes_any(bytes: &[u8]) -> Result<LoadedSnapshot> {
+    let (version, body) = verify_envelope(bytes)?;
+    if version == VERSION {
+        return Ok(LoadedSnapshot::Single(Box::new(Snapshot::from_v1_body(
+            body,
+        )?)));
+    }
+    let mut r = ByteReader::new(body);
+    let sections = r.take_u32()?;
+    let mut shards = Vec::new();
+    let mut next_id: Option<u64> = None;
+    for _ in 0..sections {
+        let id = r.take_u32()?;
+        let len = r.take_usize()?;
+        let payload = r.take_bytes(len)?;
+        match id {
+            SECTION_SHARD => shards.push(if payload.is_empty() {
+                None
+            } else {
+                Some(Snapshot::from_bytes(payload)?)
+            }),
+            SECTION_NEXT_ID => {
+                let mut pr = ByteReader::new(payload);
+                next_id = Some(pr.take_u64()?);
+                pr.expect_end("next-id section")?;
+            }
+            // Unknown sections are future extensions: skip them.
+            _ => {}
+        }
+    }
+    r.expect_end("sharded body")?;
+    if shards.is_empty() {
+        return Err(StoreError::Corrupt {
+            context: "sharded body",
+            reason: "no shard sections".into(),
+        });
+    }
+    let next_id = next_id.ok_or(StoreError::Corrupt {
+        context: "sharded body",
+        reason: "missing next-id section".into(),
+    })?;
+    Ok(LoadedSnapshot::Sharded { shards, next_id })
+}
+
+/// Reads and decodes a snapshot file of either layout.
+pub fn load_any(path: &Path) -> Result<LoadedSnapshot> {
+    from_bytes_any(&std::fs::read(path)?)
+}
+
+/// Encodes per-shard single-shard snapshot byte blobs (empty = empty shard) plus the
+/// global id allocator into one [`VERSION_SHARDED`] container, in shard order.
+pub fn encode_sharded(shards: &[Vec<u8>], next_id: u64) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    body.put_u32(shards.len() as u32 + 1); // one section per shard + the allocator
+    for shard in shards {
+        let mut payload = ByteWriter::new();
+        payload.put_bytes(shard);
+        write_section(&mut body, SECTION_SHARD, payload);
+    }
+    let mut alloc = ByteWriter::new();
+    alloc.put_u64(next_id);
+    write_section(&mut body, SECTION_NEXT_ID, alloc);
+    let mut out = ByteWriter::new();
+    out.put_bytes(&MAGIC);
+    out.put_u32(VERSION_SHARDED);
+    out.put_bytes(body.as_bytes());
+    out.put_u64(fnv1a64(body.as_bytes()));
+    out.into_bytes()
 }
 
 #[cfg(test)]

@@ -7,7 +7,12 @@
 #   5. drive a scripted `query` / `insert` / `stats` / `save` session through
 #      `ips serve` and assert on the protocol output,
 #   6. check the session's `save` produced a loadable snapshot that remembers
-#      the insert.
+#      the insert,
+#   7. rebuild the same dataset with shards=4 and assert the sharded snapshot
+#      answers byte-identically to the single-shard one (ALSH decomposes under
+#      the shared build seed), then drive a sharded serve session: insert →
+#      found, stats reports shards=4 with per-shard live counts, save → the
+#      multi-shard file reloads with the insert intact.
 # Used by CI after the release build; runnable locally as scripts/smoke_serve.sh.
 set -euo pipefail
 
@@ -102,5 +107,47 @@ reload_out="$("$IPS" query "snapshot=$workdir/session.snap" \
 echo "$reload_out"
 grep -q "alsh snapshot: 301 live vectors" <<<"$reload_out" \
     || cd_failed "session save lost the inserted vector"
+
+echo "== sharded build: shards=4 answers byte-identically to shards=1 =="
+build4_out="$("$IPS" build "data=$workdir/data.csv" "snapshot=$workdir/index4.snap" \
+    s=0.8 c=0.6 algorithm=alsh seed=3 shards=4)"
+echo "$build4_out"
+grep -q "built alsh snapshot over 300 vectors (dim 16, 4 shard(s))" <<<"$build4_out" \
+    || cd_failed "sharded build report wrong"
+"$IPS" query "snapshot=$workdir/index4.snap" "queries=$workdir/queries.csv" limit=0 \
+    | sed 's/, [0-9.]* ms$//' > "$workdir/q4.txt"
+cmp "$workdir/q1.txt" "$workdir/q4.txt" \
+    || cd_failed "shards=4 answers differ from shards=1 (exact merge broken)"
+
+echo "== sharded serve session =="
+serve4_out="$("$IPS" serve "snapshot=$workdir/index4.snap" <<EOF
+query $first_query
+insert $first_query
+query $first_query
+stats
+save $workdir/session4.snap
+quit
+EOF
+)"
+echo "$serve4_out"
+grep -q "serving alsh index: 300 live vectors, dim 16, 4 shard(s)" <<<"$serve4_out" \
+    || cd_failed "sharded serve banner wrong"
+grep -q "inserted 300" <<<"$serve4_out" || cd_failed "sharded insert not acknowledged"
+grep -q "hit 300 " <<<"$serve4_out" || cd_failed "sharded inserted vector not found"
+grep -q "shards=4" <<<"$serve4_out" || cd_failed "stats missing shard count"
+shard_live="$(sed -n 's/.*shard_live=\([0-9,]*\).*/\1/p' <<<"$serve4_out")"
+[ "$(tr ',' '\n' <<<"$shard_live" | wc -l)" -eq 4 ] \
+    || cd_failed "stats must list 4 per-shard live counts, got \`$shard_live\`"
+[ "$(tr ',' '\n' <<<"$shard_live" | awk '{sum += $1} END {print sum}')" -eq 301 ] \
+    || cd_failed "per-shard live counts must sum to 301, got \`$shard_live\`"
+grep -q "saved $workdir/session4.snap" <<<"$serve4_out" \
+    || cd_failed "sharded save not acknowledged"
+
+echo "== saved sharded snapshot reloads with the insert =="
+reload4_out="$("$IPS" query "snapshot=$workdir/session4.snap" \
+    "queries=$workdir/queries.csv" limit=0)"
+echo "$reload4_out"
+grep -q "alsh snapshot: 301 live vectors" <<<"$reload4_out" \
+    || cd_failed "sharded session save lost the inserted vector"
 
 echo "SMOKE PASS"

@@ -106,6 +106,9 @@ fn store_facade_surface_is_pinned() {
     let _open: fn(std::path::PathBuf) -> IndexBuilder = Index::open::<std::path::PathBuf>;
     let _serve: fn(IndexBuilder) -> ips_store::Result<ips_store::ServingIndex> =
         IndexBuilder::serve;
+    // ...and the sharded terminal alongside it (PR 5).
+    let _serve_sharded: fn(IndexBuilder) -> ips_store::Result<ips_store::ShardedServingIndex> =
+        IndexBuilder::serve_sharded;
     // The builder speaks the core facade's Strategy vocabulary, not its own.
     let _ = Index::build(vec![DenseVector::from(&[1.0][..])]).strategy(Strategy::Alsh);
     // Source-scan snapshot: an item *added* to the builder module fails here.
@@ -155,4 +158,13 @@ fn builder_setters_are_pinned() {
         .serve()
         .unwrap();
     assert_eq!(serving.len(), 1);
+    // The shards setter routes to the sharded terminal.
+    let sharded = Index::build(vec![DenseVector::from(&[0.9, 0.0][..])])
+        .spec(ips_core::JoinSpec::new(0.5, 0.8, ips_core::JoinVariant::Signed).unwrap())
+        .strategy(Strategy::Brute)
+        .shards(2)
+        .serve_sharded()
+        .unwrap();
+    assert_eq!(sharded.shard_count(), 2);
+    assert_eq!(sharded.len(), 1);
 }

@@ -1,6 +1,6 @@
 //! Property tests for the `ips-store` subsystem.
 //!
-//! Two load-bearing properties:
+//! Four load-bearing properties:
 //!
 //! 1. **Snapshot round-trips are lossless** for every index family, whatever the
 //!    dimensions, sizes and seeds: a saved-then-loaded index answers every query
@@ -12,6 +12,17 @@
 //!    vector set with the same seed — same inner products (to the bit), same vectors.
 //!    External ids differ (the mutated index keeps its originals), so answers are
 //!    compared through the vectors they name.
+//! 3. **Sharding is invisible** (the PR-5 exact-merge contract): under one seed, a
+//!    `ShardedServingIndex` answers above-threshold and top-`k` queries
+//!    bit-identically to the unsharded `ServingIndex` — for every shard count for
+//!    the candidate-decomposable families (brute / ALSH / symmetric, whose per-shard
+//!    candidate sets partition the unsharded ones when the hash functions are
+//!    shared), and at one shard for all four families including sketch (whose
+//!    recovery tree is a global structure: with more shards the merged answer is a
+//!    different, deterministic approximation — pinned separately).
+//! 4. **Sharded insert/delete equivalence**: property 2 lifted to the sharded layer
+//!    — mutate + compact ≡ a fresh sharded build from the surviving
+//!    `(id, vector)` set, and a multi-shard sketch index is build-deterministic.
 
 use ips_core::asymmetric::{AlshMipsIndex, AlshParams};
 use ips_core::mips::{BruteForceMipsIndex, MipsIndex, SketchMipsAdapter};
@@ -20,7 +31,10 @@ use ips_core::symmetric::{SymmetricLshMips, SymmetricParams};
 use ips_linalg::random::random_ball_vector;
 use ips_linalg::DenseVector;
 use ips_sketch::linf_mips::MaxIpConfig;
-use ips_store::{AnyIndex, IndexConfig, ServingConfig, ServingIndex, Snapshot};
+use ips_store::{
+    AnyIndex, IndexConfig, ServingConfig, ServingIndex, ShardedConfig, ShardedServingIndex,
+    Snapshot,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -175,6 +189,124 @@ proptest! {
             for (x, y) in a.iter().zip(b.iter()) {
                 prop_assert_eq!(x.inner_product.to_bits(), y.inner_product.to_bits());
             }
+        }
+    }
+
+    // Property 3: sharding is invisible under one seed — above-threshold and top-k
+    // answers of the sharded index are bit-identical to the unsharded one (MatchPair
+    // equality compares the f64 exactly): at every shard count for the
+    // candidate-decomposable families, at one shard for all four; a multi-shard
+    // sketch index is pinned to determinism + validity (its recovery tree is a
+    // global structure, so N > 1 walks differently by design).
+    #[test]
+    fn sharded_answers_match_unsharded_under_one_seed(
+        data_seed in any::<u64>(),
+        n in 8usize..40,
+        dim in 2usize..7,
+        shards in 2usize..6,
+        k in 1usize..4,
+    ) {
+        let data = vectors(data_seed, n, dim);
+        let queries = vectors(data_seed ^ 0xF00D, 6, dim);
+        let spec = JoinSpec::new(0.2, 0.6, JoinVariant::Signed).unwrap();
+        let serving = ServingConfig::default();
+        for index_config in [
+            IndexConfig::Brute,
+            IndexConfig::Alsh(small_alsh()),
+            IndexConfig::Symmetric(small_symmetric()),
+            IndexConfig::Sketch { config: small_sketch(), leaf_size: 4 },
+        ] {
+            let unsharded =
+                ServingIndex::build(data.clone(), spec, index_config, serving).unwrap();
+            let expected = unsharded.query(&queries).unwrap();
+            let expected_top = unsharded.query_top_k(&queries, k).unwrap();
+            let one = ShardedServingIndex::build(
+                data.clone(), spec, index_config, ShardedConfig { shards: 1, serving },
+            ).unwrap();
+            prop_assert_eq!(&one.query(&queries).unwrap(), &expected,
+                "family {:?} shards=1", index_config);
+            prop_assert_eq!(&one.query_top_k(&queries, k).unwrap(), &expected_top,
+                "family {:?} shards=1 top-k", index_config);
+            let many = ShardedServingIndex::build(
+                data.clone(), spec, index_config, ShardedConfig { shards, serving },
+            ).unwrap();
+            if matches!(index_config, IndexConfig::Sketch { .. }) {
+                // Deterministic: an identical build answers bit-identically...
+                let again = ShardedServingIndex::build(
+                    data.clone(), spec, index_config, ShardedConfig { shards, serving },
+                ).unwrap();
+                let pairs = many.query(&queries).unwrap();
+                prop_assert_eq!(&pairs, &again.query(&queries).unwrap());
+                // ...and every reported pair is valid (clears the relaxed cs).
+                for p in &pairs {
+                    prop_assert!(spec.acceptable(p.inner_product));
+                }
+            } else {
+                prop_assert_eq!(&many.query(&queries).unwrap(), &expected,
+                    "family {:?} shards={}", index_config, shards);
+                prop_assert_eq!(&many.query_top_k(&queries, k).unwrap(), &expected_top,
+                    "family {:?} shards={} top-k", index_config, shards);
+            }
+        }
+    }
+
+    // Property 4: the serving determinism invariant lifted to the sharded layer —
+    // an arbitrary insert/delete sequence, compacted, is bit-identical to a fresh
+    // sharded build from the surviving (id, vector) set. Unlike property 2 the
+    // external ids agree on both sides, so whole MatchPair lists are compared.
+    #[test]
+    fn mutated_sharded_index_equals_fresh_sharded_build(
+        data_seed in any::<u64>(),
+        op_seed in any::<u64>(),
+        n in 6usize..20,
+        dim in 2usize..6,
+        shards in 2usize..5,
+        ops in prop::collection::vec(any::<u32>(), 1..10),
+    ) {
+        let data = vectors(data_seed, n, dim);
+        let queries = vectors(data_seed ^ 0x51, 6, dim);
+        let spec = JoinSpec::new(0.2, 0.6, JoinVariant::Signed).unwrap();
+        let config = ShardedConfig { shards, serving: ServingConfig::default() };
+        let mut op_rng = StdRng::seed_from_u64(op_seed);
+        for index_config in [
+            IndexConfig::Brute,
+            IndexConfig::Alsh(small_alsh()),
+            IndexConfig::Symmetric(small_symmetric()),
+            IndexConfig::Sketch { config: small_sketch(), leaf_size: 4 },
+        ] {
+            let sharded =
+                ShardedServingIndex::build(data.clone(), spec, index_config, config).unwrap();
+            let mut live: Vec<(u64, DenseVector)> =
+                data.iter().cloned().enumerate().map(|(i, v)| (i as u64, v)).collect();
+            let mut inserted = 0u64;
+            for &op in &ops {
+                if op % 2 == 0 && live.len() > 2 {
+                    let victim = live[(op as usize / 2) % live.len()].0;
+                    sharded.delete(victim).unwrap();
+                    live.retain(|(id, _)| *id != victim);
+                } else {
+                    let v = random_ball_vector(&mut op_rng, dim, 1.0).unwrap().scaled(0.95);
+                    let id = sharded.insert(v.clone()).unwrap();
+                    prop_assert_eq!(id, n as u64 + inserted, "allocator is sequential");
+                    inserted += 1;
+                    live.push((id, v));
+                }
+            }
+            sharded.compact().unwrap();
+            prop_assert_eq!(sharded.len(), live.len());
+            let fresh = ShardedServingIndex::from_entries(
+                live.clone(), n as u64 + inserted, spec, index_config, config,
+            ).unwrap();
+            prop_assert_eq!(
+                sharded.query(&queries).unwrap(),
+                fresh.query(&queries).unwrap(),
+                "family {:?} shards={}", index_config, shards
+            );
+            prop_assert_eq!(
+                sharded.query_top_k(&queries, 3).unwrap(),
+                fresh.query_top_k(&queries, 3).unwrap(),
+                "family {:?} shards={} top-k", index_config, shards
+            );
         }
     }
 }
