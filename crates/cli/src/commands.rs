@@ -104,6 +104,15 @@ fn alsh_params(args: &CommandArgs<'_>) -> AlshParams {
     }
 }
 
+/// The `dtype=` / `quantized=` scoring-kernel selection (the schema restricts
+/// `dtype` to f64|f32, so the parse cannot fail on schema-validated input).
+fn scoring_options(args: &CommandArgs<'_>) -> Result<ips_core::ScoringOptions> {
+    Ok(ips_core::ScoringOptions {
+        dtype: args.str("dtype").parse().map_err(CliError::from)?,
+        quantized: args.bool("quantized"),
+    })
+}
+
 /// The `threads=` / `chunk=` schedule (validation already done by the schema:
 /// explicit zeros never get here, `auto` resolves to one worker per CPU).
 fn engine_config(args: &CommandArgs<'_>) -> EngineConfig {
@@ -230,6 +239,7 @@ pub fn cmd_join(raw: &ParsedArgs) -> Result<JoinReport> {
                 .strategy(strategy)
                 .alsh_params(alsh_params(&args))
                 .engine(engine_config(&args))
+                .scoring(scoring_options(&args)?)
                 .seed(args.u64("seed"))
                 .run()?;
             (report.matches, report.plan)
@@ -308,6 +318,7 @@ pub fn cmd_build(raw: &ParsedArgs) -> Result<BuildReport> {
     let spec = parse_spec(&args)?;
     let algorithm = chosen_algorithm(&args)?;
     let strategy: Strategy = algorithm.parse().map_err(CliError::from)?;
+    let scoring = scoring_options(&args)?;
     let start = Instant::now();
     let mut builder = Index::build(data)
         .spec(spec)
@@ -319,6 +330,8 @@ pub fn cmd_build(raw: &ParsedArgs) -> Result<BuildReport> {
             rows: None,
         })
         .sketch_leaf_size(args.usize("leaf"))
+        .dtype(scoring.dtype)
+        .quantized(scoring.quantized)
         .seed(args.u64("seed"));
     // The query file is only the planner's workload sample: read it under
     // `auto` alone, so non-auto builds neither require nor touch it (matching
@@ -830,6 +843,77 @@ mod tests {
         let err = cmd_query(&args(&["snapshot=x", "queries=y", "limt=3"])).unwrap_err();
         assert!(err.to_string().contains("unknown argument `limt`"));
         assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn kernel_knobs_parse_and_preserve_answers() {
+        let dir = temp_dir("kernels");
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=160",
+            "queries=10",
+            "dim=16",
+            "planted-ip=0.85",
+            "planted=5",
+            "seed=21",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        let run = |extra: &[&str]| {
+            let mut argv = vec![
+                format!("data={}", data.display()),
+                format!("queries={}", queries.display()),
+                "s=0.8".to_string(),
+                "c=0.6".to_string(),
+                "algorithm=brute".to_string(),
+            ];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            cmd_join(&args(&argv.iter().map(String::as_str).collect::<Vec<_>>())).unwrap()
+        };
+        let plain = run(&[]);
+        // Quantized scoring rescores survivors exactly: identical pairs.
+        let quant = run(&["quantized=true"]);
+        assert_eq!(plain.pairs, quant.pairs);
+        // f32 scoring stays valid (winners are exactly rescored).
+        let f32_run = run(&["dtype=f32"]);
+        assert!(f32_run.valid);
+        // Bad dtype values are rejected by the schema.
+        assert!(cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.8",
+            "dtype=f16",
+        ]))
+        .is_err());
+        // The build command accepts the same knobs and the snapshot answers
+        // identically to a default-path build.
+        let snap_plain = dir.join("plain.snap");
+        let snap_quant = dir.join("quant.snap");
+        for (snap, extra) in [(&snap_plain, None), (&snap_quant, Some("quantized=true"))] {
+            let mut argv = vec![
+                format!("data={}", data.display()),
+                format!("snapshot={}", snap.display()),
+                "s=0.8".to_string(),
+                "c=0.6".to_string(),
+                "seed=5".to_string(),
+            ];
+            if let Some(e) = extra {
+                argv.push(e.to_string());
+            }
+            cmd_build(&args(&argv.iter().map(String::as_str).collect::<Vec<_>>())).unwrap();
+        }
+        let q = |snap: &PathBuf| {
+            cmd_query(&args(&[
+                &format!("snapshot={}", snap.display()),
+                &format!("queries={}", queries.display()),
+            ]))
+            .unwrap()
+            .pairs
+        };
+        assert_eq!(q(&snap_plain), q(&snap_quant));
     }
 
     #[test]

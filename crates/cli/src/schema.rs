@@ -237,6 +237,18 @@ const SHARDS_BUILD: ArgSpec = ArgSpec::defaulted(
     "1",
     "index shards (hash-of-id partitions; 1 writes the classic single-shard snapshot)",
 );
+const DTYPE: ArgSpec = ArgSpec::defaulted(
+    "dtype",
+    ArgKind::Choice(&["f64", "f32"]),
+    "f64",
+    "scoring-kernel float width (f32 scores in single precision, rescoring winners exactly)",
+);
+const QUANTIZED: ArgSpec = ArgSpec::defaulted(
+    "quantized",
+    ArgKind::Bool,
+    "false",
+    "score candidates in i8 fixed point and exactly rescore survivors (same answers, cheaper scan)",
+);
 const SHARDS_OPEN: ArgSpec = ArgSpec::optional(
     "shards",
     ArgKind::PositiveUsize,
@@ -330,8 +342,13 @@ pub const JOIN: CommandSpec = CommandSpec {
         TABLES,
         THREADS,
         CHUNK,
+        DTYPE,
+        QUANTIZED,
     ],
-    notes: &["algo=auto lets the cost-based planner pick the strategy; explain=true prints the chosen plan with every strategy's estimated cost."],
+    notes: &[
+        "algo=auto lets the cost-based planner pick the strategy; explain=true prints the chosen plan with every strategy's estimated cost.",
+        "quantized=true never changes the reported pairs (survivors are rescored exactly); dtype=f32 may resolve near-ties differently but every reported pair still clears cs.",
+    ],
 };
 
 /// `ips search`.
@@ -401,6 +418,8 @@ pub const BUILD: CommandSpec = CommandSpec {
             "sketch recovery-tree leaf size",
         ),
         SHARDS_BUILD,
+        DTYPE,
+        QUANTIZED,
     ],
     notes: &[
         "algorithm=auto consults the cost-based planner and needs queries=<path>.",

@@ -67,6 +67,10 @@ pub struct AlshMipsIndex {
     index: LshIndex<SimpleAlshFamily>,
     spec: JoinSpec,
     params: AlshParams,
+    /// Quantized mirror of `data` for the cheap candidate-scoring kernel
+    /// ([`AlshMipsIndex::set_scoring`]); cleared by insert/delete, which fall
+    /// back to exact scoring (correctness never depends on this tile).
+    quant: Option<ips_linalg::QuantTile>,
 }
 
 impl AlshMipsIndex {
@@ -122,7 +126,27 @@ impl AlshMipsIndex {
             index,
             spec,
             params,
+            quant: None,
         })
+    }
+
+    /// Applies a scoring-kernel selection: `quantized=true` packs the data
+    /// into an `i8` tile so candidate scoring runs through the cheap
+    /// prune-and-exact-rescore kernel (identical results — see
+    /// [`crate::kernel`]). `dtype` does not apply to LSH candidate scoring
+    /// (the candidate sets are small; the win is in the integer kernel), so
+    /// only the `quantized` knob has an effect here.
+    ///
+    /// A subsequent [`AlshMipsIndex::insert`] or [`AlshMipsIndex::delete`]
+    /// clears the tile and falls back to exact scoring; call this again after
+    /// a batch of mutations to re-enable the cheap kernel.
+    pub fn set_scoring(&mut self, options: crate::kernel::ScoringOptions) -> Result<()> {
+        self.quant = if options.quantized {
+            Some(ips_linalg::QuantTile::from_vectors(&self.data)?)
+        } else {
+            None
+        };
+        Ok(())
     }
 
     /// Inserts a new data vector, hashing it into every table with the functions
@@ -150,6 +174,9 @@ impl AlshMipsIndex {
         self.data.push(v);
         self.live.push(true);
         self.live_count += 1;
+        // The quantized tile no longer mirrors the data; drop it so scoring
+        // falls back to the exact path (see `set_scoring`).
+        self.quant = None;
         Ok(id)
     }
 
@@ -167,6 +194,7 @@ impl AlshMipsIndex {
         self.index.remove(id as u32, &self.data[id])?;
         self.live[id] = false;
         self.live_count -= 1;
+        self.quant = None;
         Ok(())
     }
 
@@ -236,6 +264,7 @@ impl AlshMipsIndex {
             index,
             spec,
             params,
+            quant: None,
         })
     }
 
@@ -281,6 +310,12 @@ impl AlshMipsIndex {
     pub fn data(&self) -> &[DenseVector] {
         &self.data
     }
+
+    /// The quantized tile when the cheap candidate kernel is enabled
+    /// ([`AlshMipsIndex::set_scoring`]) and no mutation has invalidated it.
+    pub(crate) fn quant_tile(&self) -> Option<&ips_linalg::QuantTile> {
+        self.quant.as_ref()
+    }
 }
 
 impl MipsIndex for AlshMipsIndex {
@@ -295,21 +330,31 @@ impl MipsIndex for AlshMipsIndex {
     fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
         let candidates = self.index.query_candidates(query)?;
         let limit = self.params.rescore_limit.unwrap_or(usize::MAX);
-        let mut best: Option<SearchResult> = None;
-        for &i in candidates.iter().take(limit) {
-            let ip = self.data[i].dot(query)?;
-            let value = self.spec.variant.value(ip);
-            let better = best
-                .as_ref()
-                .map(|b| value > self.spec.variant.value(b.inner_product))
-                .unwrap_or(true);
-            if better {
-                best = Some(SearchResult {
-                    data_index: i,
-                    inner_product: ip,
-                });
+        let limited = &candidates[..candidates.len().min(limit)];
+        let best = if let Some(quant) = &self.quant {
+            // Cheap integer scoring + conservative pruning + exact rescoring:
+            // identical result to the exact loop below (see `crate::kernel`).
+            crate::kernel::best_among_candidates_quantized(
+                &self.data, quant, limited, query, &self.spec,
+            )?
+        } else {
+            let mut best: Option<SearchResult> = None;
+            for &i in limited {
+                let ip = self.data[i].dot(query)?;
+                let value = self.spec.variant.value(ip);
+                let better = best
+                    .as_ref()
+                    .map(|b| value > self.spec.variant.value(b.inner_product))
+                    .unwrap_or(true);
+                if better {
+                    best = Some(SearchResult {
+                        data_index: i,
+                        inner_product: ip,
+                    });
+                }
             }
-        }
+            best
+        };
         // Only answers clearing the relaxed threshold cs are reported (Definition 1).
         Ok(best.filter(|b| self.spec.acceptable(b.inner_product)))
     }

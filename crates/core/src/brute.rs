@@ -39,12 +39,34 @@ pub fn brute_force_join(
 pub struct BorrowedBruteIndex<'a> {
     data: &'a [DenseVector],
     spec: JoinSpec,
+    kernel: Option<crate::kernel::PreparedKernel>,
 }
 
 impl<'a> BorrowedBruteIndex<'a> {
     /// Wraps the data set (no copy, no preprocessing).
     pub fn new(data: &'a [DenseVector], spec: JoinSpec) -> Self {
-        Self { data, spec }
+        Self {
+            data,
+            spec,
+            kernel: None,
+        }
+    }
+
+    /// Wraps the data set with a scoring-kernel selection: non-default
+    /// options pack the data into the `f32` / quantized tiles once, so every
+    /// batch scores through the cheap kernel. Default options are exactly
+    /// [`BorrowedBruteIndex::new`].
+    pub fn with_options(
+        data: &'a [DenseVector],
+        spec: JoinSpec,
+        options: crate::kernel::ScoringOptions,
+    ) -> Result<Self> {
+        let kernel = if options.is_default() {
+            None
+        } else {
+            Some(crate::kernel::PreparedKernel::prepare(data, options)?)
+        };
+        Ok(Self { data, spec, kernel })
     }
 }
 
@@ -62,7 +84,10 @@ impl MipsIndex for BorrowedBruteIndex<'_> {
     }
 
     fn search_batch(&self, queries: &[DenseVector]) -> Result<Vec<Option<SearchResult>>> {
-        data_major_batch(self.data, queries, &self.spec)
+        match &self.kernel {
+            Some(prepared) => crate::kernel::scored_batch(self.data, prepared, queries, &self.spec),
+            None => data_major_batch(self.data, queries, &self.spec),
+        }
     }
 }
 

@@ -50,6 +50,7 @@ use crate::asymmetric::AlshParams;
 use crate::brute::BorrowedBruteIndex;
 use crate::engine::{EngineConfig, JoinEngine};
 use crate::error::{CoreError, Result};
+use crate::kernel::{Dtype, ScoringOptions};
 use crate::planner::{self, CostModel, JoinPlan, JoinPlanner, PlannerConfig, WorkloadStats};
 use crate::problem::{JoinSpec, JoinVariant, MatchPair};
 use crate::symmetric::SymmetricParams;
@@ -179,6 +180,7 @@ impl Join {
             sketch_leaf_size: 16,
             engine: EngineConfig::default(),
             cost_model: CostModel::default(),
+            scoring: ScoringOptions::default(),
             seed: 42,
         }
     }
@@ -208,6 +210,7 @@ pub struct JoinBuilder<'a> {
     sketch_leaf_size: usize,
     engine: EngineConfig,
     cost_model: CostModel,
+    scoring: ScoringOptions,
     seed: u64,
 }
 
@@ -304,6 +307,38 @@ impl<'a> JoinBuilder<'a> {
         self
     }
 
+    /// Floating-point width of the brute-force candidate-scoring kernel
+    /// (default [`Dtype::F64`], which is bit-identical to the legacy path).
+    ///
+    /// `Dtype::F32` scores each query against an `f32` tile of the data and
+    /// exactly rescores the winner in `f64`, so every reported pair still
+    /// clears the relaxed threshold `cs`; only near-ties (within `f32`
+    /// rounding of each other) may resolve differently. Ignored when
+    /// [`JoinBuilder::quantized`] is on — the quantized kernel is both cheaper
+    /// and exact.
+    pub fn dtype(mut self, dtype: Dtype) -> Self {
+        self.scoring.dtype = dtype;
+        self
+    }
+
+    /// Opt into the `i8` fixed-point candidate-scoring kernel with exact
+    /// `f64` rescoring of the survivors (default off).
+    ///
+    /// The quantized pass is conservative — every true maximiser survives the
+    /// prune and ties break identically under the exact rescore — so the final
+    /// match set is **identical** to the pure `f64` path (a property
+    /// `tests/tests/proptest_kernels.rs` pins for all four families).
+    pub fn quantized(mut self, quantized: bool) -> Self {
+        self.scoring.quantized = quantized;
+        self
+    }
+
+    /// Both reduced-precision knobs in one call.
+    pub fn scoring(mut self, scoring: ScoringOptions) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
     /// Seed of the [`StdRng`] that [`JoinBuilder::run`] dispatches with
     /// (default 42). Ignored by [`JoinBuilder::run_with_rng`].
     pub fn seed(mut self, seed: u64) -> Self {
@@ -335,14 +370,16 @@ impl<'a> JoinBuilder<'a> {
         let start = std::time::Instant::now();
         let (matches, strategy, plan) = match self.strategy {
             Strategy::Auto => {
+                let mut config = PlannerConfig::with_params(
+                    self.alsh,
+                    self.symmetric,
+                    self.sketch,
+                    self.sketch_leaf_size,
+                    self.engine,
+                );
+                config.scoring = self.scoring;
                 let planner = JoinPlanner {
-                    config: PlannerConfig::with_params(
-                        self.alsh,
-                        self.symmetric,
-                        self.sketch,
-                        self.sketch_leaf_size,
-                        self.engine,
-                    ),
+                    config,
                     model: self.cost_model,
                 };
                 let plan = planner.plan(rng, self.data, self.queries, spec)?;
@@ -350,8 +387,10 @@ impl<'a> JoinBuilder<'a> {
                 (matches, plan.choice, Some(plan))
             }
             Strategy::Brute => {
-                let engine =
-                    JoinEngine::with_config(BorrowedBruteIndex::new(self.data, spec), self.engine);
+                let engine = JoinEngine::with_config(
+                    BorrowedBruteIndex::with_options(self.data, spec, self.scoring)?,
+                    self.engine,
+                );
                 (
                     engine.run(self.queries)?,
                     planner::Strategy::BruteForce,
@@ -359,14 +398,28 @@ impl<'a> JoinBuilder<'a> {
                 )
             }
             Strategy::Alsh => (
-                crate::join::alsh_engine(rng, self.data, spec, self.alsh, self.engine)?
-                    .run(self.queries)?,
+                crate::join::alsh_engine_scored(
+                    rng,
+                    self.data,
+                    spec,
+                    self.alsh,
+                    self.engine,
+                    self.scoring,
+                )?
+                .run(self.queries)?,
                 planner::Strategy::Alsh,
                 None,
             ),
             Strategy::Symmetric => (
-                crate::join::symmetric_engine(rng, self.data, spec, self.symmetric, self.engine)?
-                    .run(self.queries)?,
+                crate::join::symmetric_engine_scored(
+                    rng,
+                    self.data,
+                    spec,
+                    self.symmetric,
+                    self.engine,
+                    self.scoring,
+                )?
+                .run(self.queries)?,
                 planner::Strategy::Symmetric,
                 None,
             ),
@@ -499,6 +552,44 @@ mod tests {
         for p in planner::Strategy::ALL {
             assert_eq!(Strategy::from(p).name(), p.name());
         }
+    }
+
+    #[test]
+    fn quantized_scoring_matches_the_default_path_for_every_strategy() {
+        let inst = instance(0xC0DE);
+        for strategy in Strategy::ALL {
+            let go = |quantized: bool| {
+                Join::data(inst.data())
+                    .queries(inst.queries())
+                    .threshold(0.8)
+                    .approximation(0.6)
+                    .strategy(strategy)
+                    .quantized(quantized)
+                    .seed(3)
+                    .run()
+                    .unwrap()
+                    .matches
+            };
+            assert_eq!(go(false), go(true), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn f32_scoring_reports_valid_pairs() {
+        let inst = instance(0xF32);
+        let report = Join::data(inst.data())
+            .queries(inst.queries())
+            .threshold(0.8)
+            .approximation(0.6)
+            .strategy(Strategy::Brute)
+            .dtype(Dtype::F32)
+            .run()
+            .unwrap();
+        let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+        let (_, valid) =
+            evaluate_join(inst.data(), inst.queries(), &spec, &report.matches).unwrap();
+        assert!(valid);
+        assert!(!report.matches.is_empty());
     }
 
     #[test]

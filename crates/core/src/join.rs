@@ -70,7 +70,29 @@ pub fn alsh_engine<R: Rng + ?Sized>(
     params: AlshParams,
     config: EngineConfig,
 ) -> Result<JoinEngine<AlshMipsIndex>> {
-    let index = AlshMipsIndex::build(rng, data.to_vec(), spec, params)?;
+    alsh_engine_scored(
+        rng,
+        data,
+        spec,
+        params,
+        config,
+        crate::kernel::ScoringOptions::default(),
+    )
+}
+
+/// [`alsh_engine`] with a scoring-kernel selection: `quantized=true` enables
+/// the cheap candidate-scoring kernel (identical results — see
+/// [`crate::kernel`]). The default options are exactly [`alsh_engine`].
+pub fn alsh_engine_scored<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    spec: JoinSpec,
+    params: AlshParams,
+    config: EngineConfig,
+    scoring: crate::kernel::ScoringOptions,
+) -> Result<JoinEngine<AlshMipsIndex>> {
+    let mut index = AlshMipsIndex::build(rng, data.to_vec(), spec, params)?;
+    index.set_scoring(scoring)?;
     Ok(JoinEngine::with_config(index, config))
 }
 
@@ -103,7 +125,29 @@ pub fn symmetric_engine<R: Rng + ?Sized>(
     params: SymmetricParams,
     config: EngineConfig,
 ) -> Result<JoinEngine<SymmetricLshMips>> {
-    let index = SymmetricLshMips::build(rng, data.to_vec(), spec, params)?;
+    symmetric_engine_scored(
+        rng,
+        data,
+        spec,
+        params,
+        config,
+        crate::kernel::ScoringOptions::default(),
+    )
+}
+
+/// [`symmetric_engine`] with a scoring-kernel selection: `quantized=true`
+/// enables the cheap candidate-scoring kernel (identical results — see
+/// [`crate::kernel`]). The default options are exactly [`symmetric_engine`].
+pub fn symmetric_engine_scored<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &[DenseVector],
+    spec: JoinSpec,
+    params: SymmetricParams,
+    config: EngineConfig,
+    scoring: crate::kernel::ScoringOptions,
+) -> Result<JoinEngine<SymmetricLshMips>> {
+    let mut index = SymmetricLshMips::build(rng, data.to_vec(), spec, params)?;
+    index.set_scoring(scoring)?;
     Ok(JoinEngine::with_config(index, config))
 }
 

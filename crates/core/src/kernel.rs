@@ -1,0 +1,512 @@
+//! Scoring-kernel selection: the `dtype` / `quantized` knobs and the tiled
+//! batch kernels behind them.
+//!
+//! Every join family bottoms out in dense inner products, and this module is
+//! where the workspace decides *which* inner-product kernel runs:
+//!
+//! * **`dtype=f64`, `quantized=false`** (the default) — the exact per-query
+//!   `f64` path, bit-identical to what the engine has always produced.
+//! * **`dtype=f32`** — data is packed once into a contiguous
+//!   [`FloatTile`] and scored with the autovectorized `f32` kernels from
+//!   [`ips_linalg::tile`]. The per-query *winner* is re-scored exactly in
+//!   `f64` before it is reported, so the validity contract (reported pairs
+//!   clear `cs`) holds exactly; only near-ties between candidates can differ
+//!   from the `f64` ranking, which costs recall, never validity.
+//! * **`quantized=true`** — data is packed into an `i8` fixed-point
+//!   [`QuantTile`]. Candidates are scored with the cheap widening integer
+//!   kernel, *conservatively pruned* using the tile's rigorous error bound,
+//!   and every survivor is re-scored exactly in `f64`. Because the pruning
+//!   rule can never eliminate a true maximiser (see the argument below), the
+//!   final match set is **identical** to the pure-`f64` path — not merely
+//!   valid, but the same answer.
+//!
+//! When both knobs are set, quantized scoring takes precedence: it is the
+//! cheaper kernel *and* the one with the exactness guarantee.
+//!
+//! The conservative-pruning argument, in one paragraph: for each candidate
+//! `i` the quantized kernel yields `approx_i` with a rigorous bound
+//! `|value_i − approx_value_i| ≤ bound_i` (the bound transfers to unsigned
+//! values since `||a| − |b|| ≤ |a − b|`). Let `t = max_j (approx_value_j −
+//! bound_j)` — a certified lower bound on the true maximum. Any candidate
+//! with `approx_value_i + bound_i < t` has `value_i < t ≤ max value` and
+//! cannot be the argmax, so pruning it is safe; every true maximiser
+//! survives. Survivors are re-scored exactly in ascending index order with
+//! the same strict-`>` update as the full scan, which reproduces the
+//! earliest-argmax tie-break of the exact loop — hence identical results.
+
+use crate::error::{CoreError, Result};
+use crate::mips::SearchResult;
+use crate::problem::JoinSpec;
+use ips_linalg::{DenseVector, FloatTile, QuantTile, QuantVector};
+use serde::{Deserialize, Serialize};
+
+/// Floating-point width of the batched scoring kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dtype {
+    /// Exact double precision — the default; results are bit-identical to the
+    /// pre-kernel-pass engine.
+    #[default]
+    F64,
+    /// Single precision tiles: half the memory traffic and twice the SIMD
+    /// width, with the per-query winner exactly re-scored in `f64`.
+    F32,
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Dtype::F64 => "f64",
+            Dtype::F32 => "f32",
+        })
+    }
+}
+
+impl std::str::FromStr for Dtype {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "f64" => Ok(Dtype::F64),
+            "f32" => Ok(Dtype::F32),
+            other => Err(CoreError::InvalidParameter {
+                name: "dtype",
+                reason: format!("unknown dtype `{other}`; expected f64 or f32"),
+            }),
+        }
+    }
+}
+
+/// The scoring-kernel knobs surfaced through `JoinBuilder`, `IndexBuilder`
+/// and the CLI (`dtype=`, `quantized=`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoringOptions {
+    /// Floating-point width of the brute / batched scoring kernel.
+    pub dtype: Dtype,
+    /// Score candidates with the `i8` fixed-point kernel and exactly re-score
+    /// the conservatively pruned survivors in `f64`.
+    pub quantized: bool,
+}
+
+impl ScoringOptions {
+    /// `true` for the default configuration (`f64`, unquantized) whose results
+    /// must stay bit-identical to the pre-kernel-pass engine.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// Data packed for the reduced-precision kernels selected by a
+/// [`ScoringOptions`]: an `f32` tile, an `i8` quantized tile, or neither
+/// (the default exact path needs no preprocessing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedKernel {
+    options: ScoringOptions,
+    f32_tile: Option<FloatTile>,
+    quant: Option<QuantTile>,
+}
+
+impl PreparedKernel {
+    /// Packs `data` into the tile(s) the options call for. The default
+    /// options prepare nothing (the exact path scores `DenseVector`s
+    /// directly).
+    pub fn prepare(data: &[DenseVector], options: ScoringOptions) -> Result<Self> {
+        let quant = if options.quantized {
+            Some(QuantTile::from_vectors(data)?)
+        } else {
+            None
+        };
+        let f32_tile = if options.dtype == Dtype::F32 && !options.quantized {
+            Some(FloatTile::from_vectors(data)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            options,
+            f32_tile,
+            quant,
+        })
+    }
+
+    /// The options this kernel was prepared for.
+    pub fn options(&self) -> ScoringOptions {
+        self.options
+    }
+
+    /// The quantized tile, when `quantized=true`.
+    pub fn quant_tile(&self) -> Option<&QuantTile> {
+        self.quant.as_ref()
+    }
+}
+
+/// The batched brute scan under the prepared kernel: same answer shape as
+/// [`crate::mips::data_major_batch`], dispatched by [`ScoringOptions`].
+///
+/// The default options delegate to the exact `f64` scan (bit-identical);
+/// `quantized` runs the prune-and-rescore kernel whose final matches are
+/// *identical* to the exact scan (see the module docs for the argument);
+/// `f32` runs the tiled single-precision argmax with the winner exactly
+/// re-scored, which preserves validity exactly and differs from `f64` only
+/// on near-ties.
+pub(crate) fn scored_batch(
+    data: &[DenseVector],
+    prepared: &PreparedKernel,
+    queries: &[DenseVector],
+    spec: &JoinSpec,
+) -> Result<Vec<Option<SearchResult>>> {
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    if data.is_empty() {
+        return Err(CoreError::EmptyDataSet);
+    }
+    match (&prepared.quant, &prepared.f32_tile) {
+        (Some(quant), _) => queries
+            .iter()
+            .map(|q| quantized_best(data, quant, q, spec))
+            .collect(),
+        (None, Some(tile)) => queries
+            .iter()
+            .map(|q| f32_best(data, tile, q, spec))
+            .collect(),
+        (None, None) => crate::mips::data_major_batch(data, queries, spec),
+    }
+}
+
+/// One query against the `f32` tile: single-precision argmax, exact `f64`
+/// re-score of the winner, promise filter — mirroring the exact scan's
+/// strict-`>` earliest-argmax rule at `f32` precision.
+fn f32_best(
+    data: &[DenseVector],
+    tile: &FloatTile,
+    query: &DenseVector,
+    spec: &JoinSpec,
+) -> Result<Option<SearchResult>> {
+    if query.dim() != tile.dim() {
+        // Score through the checked path to fail exactly as the f64 scan would.
+        data[0].dot(query)?;
+    }
+    let q32: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+    let mut best: Option<(usize, f32)> = None;
+    for (i, row) in tile.iter_rows().enumerate() {
+        let value = match spec.variant {
+            crate::problem::JoinVariant::Signed => ips_linalg::tile::dot_f32(row, &q32),
+            crate::problem::JoinVariant::Unsigned => ips_linalg::tile::dot_f32(row, &q32).abs(),
+        };
+        if best.map(|(_, b)| value > b).unwrap_or(true) {
+            best = Some((i, value));
+        }
+    }
+    let Some((winner, _)) = best else {
+        return Ok(None);
+    };
+    let ip = data[winner].dot(query)?;
+    Ok(Some(SearchResult {
+        data_index: winner,
+        inner_product: ip,
+    })
+    .filter(|b| spec.satisfies_promise(b.inner_product)))
+}
+
+/// One query against the quantized tile: approximate scores with rigorous
+/// bounds, conservative argmax pruning, exact re-score of every survivor.
+/// Identical final answer to the exact `f64` scan (module docs).
+fn quantized_best(
+    data: &[DenseVector],
+    quant: &QuantTile,
+    query: &DenseVector,
+    spec: &JoinSpec,
+) -> Result<Option<SearchResult>> {
+    if query.dim() != quant.dim() {
+        data[0].dot(query)?;
+    }
+    let qv = QuantVector::from_vector(query);
+    let mut best: Option<SearchResult> = None;
+    let consider = |i: usize, best: &mut Option<SearchResult>| -> Result<()> {
+        let ip = data[i].dot(query)?;
+        let value = spec.variant.value(ip);
+        let better = best
+            .as_ref()
+            .map(|b| value > spec.variant.value(b.inner_product))
+            .unwrap_or(true);
+        if better {
+            *best = Some(SearchResult {
+                data_index: i,
+                inner_product: ip,
+            });
+        }
+        Ok(())
+    };
+    // Certified lower bound on the true maximum value.
+    let mut floor = f64::NEG_INFINITY;
+    let mut approx = Vec::with_capacity(quant.rows());
+    for i in 0..quant.rows() {
+        let a = spec.variant.value(quant.approx_dot(i, &qv));
+        let b = quant.error_bound(i, &qv);
+        floor = floor.max(a - b);
+        approx.push((a, b));
+    }
+    for (i, &(a, b)) in approx.iter().enumerate() {
+        // Keep iff the optimistic value could still reach the floor: every
+        // true maximiser satisfies a + b >= value >= floor.
+        if a + b >= floor {
+            consider(i, &mut best)?;
+        }
+    }
+    Ok(best.filter(|b| spec.satisfies_promise(b.inner_product)))
+}
+
+/// The best result among an ordered candidate list, scored through the
+/// quantized prune-and-rescore kernel: identical to exactly scoring every
+/// candidate in order with the strict-`>` update (no promise or
+/// acceptability filter — callers apply their own, as the exact loops do).
+pub(crate) fn best_among_candidates_quantized(
+    data: &[DenseVector],
+    quant: &QuantTile,
+    candidates: &[usize],
+    query: &DenseVector,
+    spec: &JoinSpec,
+) -> Result<Option<SearchResult>> {
+    if let Some(&first) = candidates.first() {
+        if query.dim() != quant.dim() {
+            data[first].dot(query)?;
+        }
+    }
+    let qv = QuantVector::from_vector(query);
+    let mut floor = f64::NEG_INFINITY;
+    let mut approx = Vec::with_capacity(candidates.len());
+    for &i in candidates {
+        let a = spec.variant.value(quant.approx_dot(i, &qv));
+        let b = quant.error_bound(i, &qv);
+        floor = floor.max(a - b);
+        approx.push((a, b));
+    }
+    let mut best: Option<SearchResult> = None;
+    for (&i, &(a, b)) in candidates.iter().zip(approx.iter()) {
+        if a + b < floor {
+            continue;
+        }
+        let ip = data[i].dot(query)?;
+        let value = spec.variant.value(ip);
+        let better = best
+            .as_ref()
+            .map(|bst| value > spec.variant.value(bst.inner_product))
+            .unwrap_or(true);
+        if better {
+            best = Some(SearchResult {
+                data_index: i,
+                inner_product: ip,
+            });
+        }
+    }
+    Ok(best)
+}
+
+/// Top-`k` over a candidate list through the quantized kernel: candidates
+/// are conservatively pruned against the `k`-th largest *pessimistic* value,
+/// survivors are exactly re-scored, and the same finalize rule (retain
+/// acceptable, sort by value then index, truncate) runs on the survivors.
+///
+/// Every member of the exact top-`k` list survives the prune: its true value
+/// is at least the `k`-th largest true value, which is at least the `k`-th
+/// largest pessimistic value (pessimistic ≤ true pointwise), and its
+/// optimistic value is at least its true value.
+pub(crate) fn top_k_candidates_quantized(
+    data: &[DenseVector],
+    quant: &QuantTile,
+    candidates: &[usize],
+    query: &DenseVector,
+    spec: &JoinSpec,
+    k: usize,
+) -> Result<Vec<usize>> {
+    if candidates.len() <= k {
+        return Ok(candidates.to_vec());
+    }
+    if let Some(&first) = candidates.first() {
+        if query.dim() != quant.dim() {
+            data[first].dot(query)?;
+        }
+    }
+    let qv = QuantVector::from_vector(query);
+    let mut approx = Vec::with_capacity(candidates.len());
+    let mut pessimistic = Vec::with_capacity(candidates.len());
+    for &i in candidates {
+        let a = spec.variant.value(quant.approx_dot(i, &qv));
+        let b = quant.error_bound(i, &qv);
+        approx.push((a, b));
+        pessimistic.push(a - b);
+    }
+    pessimistic.sort_by(|x, y| y.partial_cmp(x).expect("bounds are finite"));
+    let floor = pessimistic[k - 1];
+    Ok(candidates
+        .iter()
+        .zip(approx.iter())
+        .filter(|(_, &(a, b))| a + b >= floor)
+        .map(|(&i, _)| i)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mips::data_major_batch;
+    use crate::problem::JoinVariant;
+    use ips_linalg::random::random_ball_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::str::FromStr;
+
+    fn vectors(rng: &mut StdRng, count: usize, dim: usize) -> Vec<DenseVector> {
+        (0..count)
+            .map(|_| random_ball_vector(rng, dim, 1.0).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn dtype_parse_and_display_roundtrip() {
+        assert_eq!(Dtype::from_str("f64").unwrap(), Dtype::F64);
+        assert_eq!(Dtype::from_str("f32").unwrap(), Dtype::F32);
+        assert!(Dtype::from_str("f16").is_err());
+        assert_eq!(Dtype::F64.to_string(), "f64");
+        assert_eq!(Dtype::F32.to_string(), "f32");
+        assert!(ScoringOptions::default().is_default());
+        assert!(!ScoringOptions {
+            quantized: true,
+            ..Default::default()
+        }
+        .is_default());
+    }
+
+    #[test]
+    fn default_options_prepare_nothing_and_delegate_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(0xD7);
+        let data = vectors(&mut rng, 40, 16);
+        let queries = vectors(&mut rng, 9, 16);
+        let spec = JoinSpec::new(0.1, 0.8, JoinVariant::Signed).unwrap();
+        let prepared = PreparedKernel::prepare(&data, ScoringOptions::default()).unwrap();
+        assert!(prepared.quant_tile().is_none());
+        let exact = data_major_batch(&data, &queries, &spec).unwrap();
+        let kernel = scored_batch(&data, &prepared, &queries, &spec).unwrap();
+        assert_eq!(exact.len(), kernel.len());
+        for (e, k) in exact.iter().zip(kernel.iter()) {
+            match (e, k) {
+                (None, None) => {}
+                (Some(e), Some(k)) => {
+                    assert_eq!(e.data_index, k.data_index);
+                    assert_eq!(e.inner_product.to_bits(), k.inner_product.to_bits());
+                }
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batch_is_identical_to_exact_for_both_variants() {
+        let mut rng = StdRng::seed_from_u64(0xABCD);
+        for variant in [JoinVariant::Signed, JoinVariant::Unsigned] {
+            let data = vectors(&mut rng, 120, 24);
+            let queries = vectors(&mut rng, 25, 24);
+            let spec = JoinSpec::new(0.05, 0.9, variant).unwrap();
+            let options = ScoringOptions {
+                quantized: true,
+                ..Default::default()
+            };
+            let prepared = PreparedKernel::prepare(&data, options).unwrap();
+            let exact = data_major_batch(&data, &queries, &spec).unwrap();
+            let quant = scored_batch(&data, &prepared, &queries, &spec).unwrap();
+            assert_eq!(exact, quant);
+        }
+    }
+
+    #[test]
+    fn f32_batch_winners_are_valid_and_exactly_scored() {
+        let mut rng = StdRng::seed_from_u64(0xF32);
+        let data = vectors(&mut rng, 80, 16);
+        let queries = vectors(&mut rng, 20, 16);
+        let spec = JoinSpec::new(0.05, 0.8, JoinVariant::Signed).unwrap();
+        let options = ScoringOptions {
+            dtype: Dtype::F32,
+            quantized: false,
+        };
+        let prepared = PreparedKernel::prepare(&data, options).unwrap();
+        let hits = scored_batch(&data, &prepared, &queries, &spec).unwrap();
+        for (j, hit) in hits.iter().enumerate() {
+            if let Some(h) = hit {
+                let true_ip = data[h.data_index].dot(&queries[j]).unwrap();
+                assert_eq!(true_ip.to_bits(), h.inner_product.to_bits());
+                assert!(spec.satisfies_promise(h.inner_product));
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_kernels_match_plain_rescoring() {
+        let mut rng = StdRng::seed_from_u64(0xCA2D);
+        let data = vectors(&mut rng, 100, 12);
+        let quant = QuantTile::from_vectors(&data).unwrap();
+        let query = random_ball_vector(&mut rng, 12, 1.0).unwrap();
+        let spec = JoinSpec::new(0.05, 0.9, JoinVariant::Signed).unwrap();
+        let candidates: Vec<usize> = (0..100).step_by(3).collect();
+
+        // Exact reference: strict-> loop over the candidates in order.
+        let mut reference: Option<SearchResult> = None;
+        for &i in &candidates {
+            let ip = data[i].dot(&query).unwrap();
+            let better = reference
+                .as_ref()
+                .map(|b| spec.variant.value(ip) > spec.variant.value(b.inner_product))
+                .unwrap_or(true);
+            if better {
+                reference = Some(SearchResult {
+                    data_index: i,
+                    inner_product: ip,
+                });
+            }
+        }
+        let got =
+            best_among_candidates_quantized(&data, &quant, &candidates, &query, &spec).unwrap();
+        assert_eq!(reference, got);
+        assert_eq!(
+            best_among_candidates_quantized(&data, &quant, &[], &query, &spec).unwrap(),
+            None
+        );
+
+        // The top-k prune keeps a superset of the exact top-k indices.
+        let k = 7;
+        let survivors =
+            top_k_candidates_quantized(&data, &quant, &candidates, &query, &spec, k).unwrap();
+        let mut scored: Vec<(f64, usize)> = candidates
+            .iter()
+            .map(|&i| (spec.variant.value(data[i].dot(&query).unwrap()), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, i) in scored.iter().take(k) {
+            assert!(survivors.contains(&i), "exact top-k member {i} was pruned");
+        }
+        // Small candidate lists skip pruning entirely.
+        let few: Vec<usize> = (0..5).collect();
+        assert_eq!(
+            top_k_candidates_quantized(&data, &quant, &few, &query, &spec, 5).unwrap(),
+            few
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_fails_like_the_exact_path() {
+        let data = vec![DenseVector::from(&[1.0, 0.0][..])];
+        let queries = vec![DenseVector::from(&[1.0, 0.0, 0.0][..])];
+        let spec = JoinSpec::new(0.1, 0.9, JoinVariant::Signed).unwrap();
+        for options in [
+            ScoringOptions {
+                dtype: Dtype::F32,
+                quantized: false,
+            },
+            ScoringOptions {
+                quantized: true,
+                ..Default::default()
+            },
+        ] {
+            let prepared = PreparedKernel::prepare(&data, options).unwrap();
+            assert!(scored_batch(&data, &prepared, &queries, &spec).is_err());
+        }
+    }
+}

@@ -87,6 +87,7 @@ pub mod engine;
 pub mod error;
 pub mod facade;
 pub mod join;
+pub mod kernel;
 pub mod lower_bounds;
 pub mod mips;
 pub mod planner;
@@ -100,6 +101,7 @@ pub use asymmetric::AlshMipsIndex;
 pub use engine::{EngineConfig, JoinEngine};
 pub use error::{CoreError, Result};
 pub use facade::{Join, JoinBuilder, JoinReport, Strategy};
+pub use kernel::{Dtype, PreparedKernel, ScoringOptions};
 pub use mips::{MipsIndex, SearchResult, SketchMipsAdapter};
 pub use planner::{auto_join, auto_join_with_plan, CostModel, JoinPlan, JoinPlanner};
 pub use problem::{JoinSpec, JoinVariant, MatchPair};

@@ -92,12 +92,45 @@ impl<I: MipsIndex + ?Sized> MipsIndex for &I {
 pub struct BruteForceMipsIndex {
     data: Vec<DenseVector>,
     spec: JoinSpec,
+    kernel: Option<crate::kernel::PreparedKernel>,
 }
 
 impl BruteForceMipsIndex {
     /// Builds the index (which just stores the data).
     pub fn new(data: Vec<DenseVector>, spec: JoinSpec) -> Self {
-        Self { data, spec }
+        Self {
+            data,
+            spec,
+            kernel: None,
+        }
+    }
+
+    /// Builds the index with a scoring-kernel selection (`dtype` /
+    /// `quantized`). The default options add no preprocessing and keep batch
+    /// results bit-identical to [`BruteForceMipsIndex::new`].
+    pub fn with_options(
+        data: Vec<DenseVector>,
+        spec: JoinSpec,
+        options: crate::kernel::ScoringOptions,
+    ) -> Result<Self> {
+        let kernel = if options.is_default() {
+            None
+        } else {
+            Some(crate::kernel::PreparedKernel::prepare(&data, options)?)
+        };
+        Ok(Self { data, spec, kernel })
+    }
+
+    /// Re-prepares the scoring kernel in place — what long-lived serving
+    /// wrappers call after a rebuild. The default options drop any prepared
+    /// kernel and restore the bit-identical `f64` path.
+    pub fn set_scoring(&mut self, options: crate::kernel::ScoringOptions) -> Result<()> {
+        self.kernel = if options.is_default() {
+            None
+        } else {
+            Some(crate::kernel::PreparedKernel::prepare(&self.data, options)?)
+        };
+        Ok(())
     }
 
     /// Access to the underlying data vectors.
@@ -124,9 +157,16 @@ impl MipsIndex for BruteForceMipsIndex {
     /// Data-major scan: each data vector is loaded once and scored against the whole
     /// batch, instead of streaming the full data set past every query. Same results as
     /// the serial loop (strict `>` keeps the earliest argmax either way), much friendlier
-    /// to the cache for wide batches.
+    /// to the cache for wide batches. A non-default scoring kernel
+    /// ([`BruteForceMipsIndex::with_options`]) dispatches through the tiled
+    /// `f32` / quantized paths instead.
     fn search_batch(&self, queries: &[DenseVector]) -> Result<Vec<Option<SearchResult>>> {
-        data_major_batch(&self.data, queries, &self.spec)
+        match &self.kernel {
+            Some(prepared) => {
+                crate::kernel::scored_batch(&self.data, prepared, queries, &self.spec)
+            }
+            None => data_major_batch(&self.data, queries, &self.spec),
+        }
     }
 }
 
@@ -150,7 +190,15 @@ pub(crate) fn data_major_batch(
     let mut best: Vec<Option<SearchResult>> = vec![None; queries.len()];
     for (i, p) in data.iter().enumerate() {
         for (j, q) in queries.iter().enumerate() {
-            let ip = p.dot(q)?;
+            // Hot loop: skip the checked dot's length test and error
+            // allocation when the dimensions agree (`dot_unchecked_len` is
+            // bit-identical to `dot`); fall back to the checked path so a
+            // mismatched batch fails exactly as the serial loop would.
+            let ip = if p.dim() == q.dim() {
+                p.dot_unchecked_len(q)
+            } else {
+                p.dot(q)?
+            };
             let value = spec.variant.value(ip);
             let better = best[j]
                 .as_ref()

@@ -39,7 +39,7 @@ use crate::asymmetric::AlshParams;
 use crate::brute::BorrowedBruteIndex;
 use crate::engine::{EngineConfig, JoinEngine};
 use crate::error::{CoreError, Result};
-use crate::join::{alsh_engine, sketch_engine, symmetric_engine};
+use crate::join::{alsh_engine_scored, sketch_engine, symmetric_engine_scored};
 use crate::problem::{JoinSpec, MatchPair};
 use crate::symmetric::{SymmetricParams, SymmetricSphereMap};
 use ips_linalg::DenseVector;
@@ -229,6 +229,13 @@ fn sample_indices<R: Rng + ?Sized>(rng: &mut R, len: usize, count: usize) -> Vec
 pub struct CostModel {
     /// ns per flop of the data-major brute-force kernel.
     pub brute_ns_per_flop: f64,
+    /// ns per flop of the tiled `f32` brute kernel (`dtype=f32`), measured by
+    /// the `kernel_throughput` bench bin in `ips-bench`.
+    pub brute_f32_ns_per_flop: f64,
+    /// ns per flop of the `i8` quantized brute kernel (`quantized=true`,
+    /// including the exact rescoring of pruned survivors), measured by
+    /// `kernel_throughput`.
+    pub brute_quantized_ns_per_flop: f64,
     /// ns per flop of ALSH hashing + candidate re-scoring.
     pub alsh_ns_per_flop: f64,
     /// ns per flop of the symmetric map + hashing + re-scoring.
@@ -245,10 +252,17 @@ impl Default for CostModel {
         // planner is needed — flop counts alone would flip to an index far
         // too early.
         Self {
-            brute_ns_per_flop: 0.405,
-            alsh_ns_per_flop: 3.111,
-            symmetric_ns_per_flop: 0.769,
-            sketch_ns_per_flop: 0.250,
+            brute_ns_per_flop: 0.397,
+            // Reduced-precision brute kernels: the calibrated f64 constant
+            // scaled by the dim=32 kernel ratios the kernel_throughput bench
+            // measures (f32 0.1221 / f64 0.1865 ns/flop, quantized 0.1638 /
+            // f64 0.1865 — see BENCH_BASELINE.json), so the planner's relative
+            // costs track the measured kernel speedups.
+            brute_f32_ns_per_flop: 0.260,
+            brute_quantized_ns_per_flop: 0.349,
+            alsh_ns_per_flop: 3.657,
+            symmetric_ns_per_flop: 0.835,
+            sketch_ns_per_flop: 0.279,
         }
     }
 }
@@ -261,6 +275,20 @@ impl CostModel {
             Strategy::Alsh => self.alsh_ns_per_flop,
             Strategy::Symmetric => self.symmetric_ns_per_flop,
             Strategy::Sketch => self.sketch_ns_per_flop,
+        }
+    }
+
+    /// The brute-force constant under a scoring-kernel selection: the
+    /// quantized kernel when `quantized=true` (it takes precedence, matching
+    /// [`crate::kernel`]'s dispatch), else the `f32` tile kernel for
+    /// `dtype=f32`, else the default `f64` scan.
+    pub fn brute_ns_per_flop_for(&self, scoring: crate::kernel::ScoringOptions) -> f64 {
+        if scoring.quantized {
+            self.brute_quantized_ns_per_flop
+        } else if scoring.dtype == crate::kernel::Dtype::F32 {
+            self.brute_f32_ns_per_flop
+        } else {
+            self.brute_ns_per_flop
         }
     }
 }
@@ -299,6 +327,10 @@ pub struct PlannerConfig {
     pub symmetric: SymmetricParams,
     /// Engine schedule every dispatched strategy runs under.
     pub engine: EngineConfig,
+    /// Scoring-kernel selection (`dtype` / `quantized`) the dispatched
+    /// strategy runs with; the brute estimate is costed with the matching
+    /// per-dtype constant so `algo=auto` can pick the cheap path.
+    pub scoring: crate::kernel::ScoringOptions,
 }
 
 impl Default for PlannerConfig {
@@ -311,6 +343,7 @@ impl Default for PlannerConfig {
             sketch_leaf_size: 16,
             symmetric: SymmetricParams::default(),
             engine: EngineConfig::default(),
+            scoring: crate::kernel::ScoringOptions::default(),
         }
     }
 }
@@ -369,6 +402,8 @@ pub struct JoinPlan {
     pub symmetric_params: SymmetricParams,
     /// The engine schedule the join runs under.
     pub engine: EngineConfig,
+    /// The scoring-kernel selection the dispatched strategy runs with.
+    pub scoring: crate::kernel::ScoringOptions,
 }
 
 impl JoinPlanner {
@@ -409,14 +444,24 @@ impl JoinPlanner {
 
         let mut estimates = Vec::with_capacity(Strategy::ALL.len());
 
-        // Brute force: the n·m·d data-major scan. Always eligible.
+        // Brute force: the n·m·d data-major scan, costed with the constant of
+        // whichever kernel the scoring options select. Always eligible.
         let brute_flops = nf * mf * df;
-        estimates.push(self.estimate(
-            Strategy::BruteForce,
-            brute_flops,
-            true,
-            format!("n·m·d scan ({n}×{m}×{d})"),
-        ));
+        let brute_ns = self.model.brute_ns_per_flop_for(self.config.scoring);
+        let kernel_tag = if self.config.scoring.quantized {
+            " [quantized kernel]"
+        } else if self.config.scoring.dtype == crate::kernel::Dtype::F32 {
+            " [f32 kernel]"
+        } else {
+            ""
+        };
+        estimates.push(StrategyEstimate {
+            strategy: Strategy::BruteForce,
+            flops: brute_flops,
+            cost_ns: brute_flops * brute_ns,
+            eligible: true,
+            note: format!("n·m·d scan ({n}×{m}×{d}){kernel_tag}"),
+        });
 
         // ALSH: hash everything into L tables of k bits over the mapped
         // (d+2)-dimensional sphere, then re-score the predicted candidates.
@@ -542,6 +587,7 @@ impl JoinPlanner {
             sketch_leaf_size: self.config.sketch_leaf_size,
             symmetric_params: self.config.symmetric,
             engine: self.config.engine,
+            scoring: self.config.scoring,
         }
     }
 
@@ -589,17 +635,29 @@ impl JoinPlan {
         queries: &[DenseVector],
     ) -> Result<Vec<MatchPair>> {
         match self.choice {
-            Strategy::BruteForce => {
-                JoinEngine::with_config(BorrowedBruteIndex::new(data, self.spec), self.engine)
-                    .run(queries)
-            }
-            Strategy::Alsh => {
-                alsh_engine(rng, data, self.spec, self.alsh_params, self.engine)?.run(queries)
-            }
-            Strategy::Symmetric => {
-                symmetric_engine(rng, data, self.spec, self.symmetric_params, self.engine)?
-                    .run(queries)
-            }
+            Strategy::BruteForce => JoinEngine::with_config(
+                BorrowedBruteIndex::with_options(data, self.spec, self.scoring)?,
+                self.engine,
+            )
+            .run(queries),
+            Strategy::Alsh => alsh_engine_scored(
+                rng,
+                data,
+                self.spec,
+                self.alsh_params,
+                self.engine,
+                self.scoring,
+            )?
+            .run(queries),
+            Strategy::Symmetric => symmetric_engine_scored(
+                rng,
+                data,
+                self.spec,
+                self.symmetric_params,
+                self.engine,
+                self.scoring,
+            )?
+            .run(queries),
             Strategy::Sketch => sketch_engine(
                 rng,
                 data,

@@ -163,6 +163,10 @@ pub struct SymmetricLshMips {
     exact_lookup: HashMap<Vec<u8>, Vec<usize>>,
     spec: JoinSpec,
     params: SymmetricParams,
+    /// Quantized mirror of `data` for the cheap candidate-scoring kernel
+    /// ([`SymmetricLshMips::set_scoring`]); cleared by insert/delete, which
+    /// fall back to exact scoring (correctness never depends on this tile).
+    quant: Option<ips_linalg::QuantTile>,
 }
 
 impl SymmetricLshMips {
@@ -212,7 +216,25 @@ impl SymmetricLshMips {
             exact_lookup,
             spec,
             params,
+            quant: None,
         })
+    }
+
+    /// Applies a scoring-kernel selection: `quantized=true` packs the data
+    /// into an `i8` tile so [`SymmetricLshMips::candidate_best`] runs through
+    /// the cheap prune-and-exact-rescore kernel (identical results — see
+    /// [`crate::kernel`]). The diagonal probe stays exact either way.
+    ///
+    /// A subsequent [`SymmetricLshMips::insert`] or
+    /// [`SymmetricLshMips::delete`] clears the tile and falls back to exact
+    /// scoring; call this again after a batch of mutations.
+    pub fn set_scoring(&mut self, options: crate::kernel::ScoringOptions) -> Result<()> {
+        self.quant = if options.quantized {
+            Some(ips_linalg::QuantTile::from_vectors(&self.data)?)
+        } else {
+            None
+        };
+        Ok(())
     }
 
     /// Inserts a new data vector (unit ball), hashing its sphere image into every
@@ -236,6 +258,9 @@ impl SymmetricLshMips {
         self.data.push(v);
         self.live.push(true);
         self.live_count += 1;
+        // The quantized tile no longer mirrors the data; drop it so scoring
+        // falls back to the exact path (see `set_scoring`).
+        self.quant = None;
         Ok(id)
     }
 
@@ -259,6 +284,7 @@ impl SymmetricLshMips {
         }
         self.live[id] = false;
         self.live_count -= 1;
+        self.quant = None;
         Ok(())
     }
 
@@ -270,6 +296,12 @@ impl SymmetricLshMips {
     /// Total number of slots ever allocated, live or tombstoned.
     pub fn slots(&self) -> usize {
         self.data.len()
+    }
+
+    /// The quantized tile when the cheap candidate kernel is enabled
+    /// ([`SymmetricLshMips::set_scoring`]) and no mutation has invalidated it.
+    pub(crate) fn quant_tile(&self) -> Option<&ips_linalg::QuantTile> {
+        self.quant.as_ref()
     }
 
     /// The tuning parameters the index was built with.
@@ -342,6 +374,7 @@ impl SymmetricLshMips {
             exact_lookup,
             spec,
             params,
+            quant: None,
         })
     }
 
@@ -407,6 +440,17 @@ impl SymmetricLshMips {
     pub fn candidate_best(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
         let mapped = self.map.map(query)?;
         let candidates = self.index.query_candidates(&mapped)?;
+        if let Some(quant) = &self.quant {
+            // Cheap integer scoring + conservative pruning + exact rescoring:
+            // identical result to the exact loop below (see `crate::kernel`).
+            return crate::kernel::best_among_candidates_quantized(
+                &self.data,
+                quant,
+                &candidates,
+                query,
+                &self.spec,
+            );
+        }
         let mut best: Option<SearchResult> = None;
         for i in candidates {
             let ip = self.data[i].dot(query)?;

@@ -80,14 +80,40 @@ impl TopKMipsIndex for BruteForceMipsIndex {
 impl TopKMipsIndex for AlshMipsIndex {
     fn search_top_k(&self, query: &DenseVector, k: usize) -> Result<Vec<SearchResult>> {
         let candidates = self.candidate_indices(query)?;
-        rescore_candidates(self.data(), &candidates, query, &self.spec(), k)
+        let spec = self.spec();
+        if let (Some(quant), true) = (self.quant_tile(), k > 0) {
+            // Conservative quantized pruning keeps every exact top-k member
+            // (see `crate::kernel`), so finalizing the survivors is identical.
+            let survivors = crate::kernel::top_k_candidates_quantized(
+                self.data(),
+                quant,
+                &candidates,
+                query,
+                &spec,
+                k,
+            )?;
+            return rescore_candidates(self.data(), &survivors, query, &spec, k);
+        }
+        rescore_candidates(self.data(), &candidates, query, &spec, k)
     }
 }
 
 impl TopKMipsIndex for SymmetricLshMips {
     fn search_top_k(&self, query: &DenseVector, k: usize) -> Result<Vec<SearchResult>> {
         let candidates = self.candidate_indices(query)?;
-        rescore_candidates(self.data(), &candidates, query, &self.spec(), k)
+        let spec = self.spec();
+        if let (Some(quant), true) = (self.quant_tile(), k > 0) {
+            let survivors = crate::kernel::top_k_candidates_quantized(
+                self.data(),
+                quant,
+                &candidates,
+                query,
+                &spec,
+                k,
+            )?;
+            return rescore_candidates(self.data(), &survivors, query, &spec, k);
+        }
+        rescore_candidates(self.data(), &candidates, query, &spec, k)
     }
 }
 

@@ -30,6 +30,9 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// The SIMD-friendly kernel layer ([`tile`]) must stay autovectorized safe
+// Rust: no intrinsics or raw-pointer tricks may creep into the hot loops.
+#![deny(unsafe_code)]
 
 pub mod binary;
 pub mod chebyshev;
@@ -40,10 +43,12 @@ pub mod ops;
 pub mod projection;
 pub mod random;
 pub mod sign;
+pub mod tile;
 pub mod vector;
 
 pub use binary::BinaryVector;
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use sign::SignVector;
+pub use tile::{FloatTile, QuantTile, QuantVector};
 pub use vector::DenseVector;

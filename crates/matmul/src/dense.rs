@@ -145,10 +145,7 @@ fn blocked_shifted(
                     if aik == 0.0 {
                         continue;
                     }
-                    let b_row = b.row(p);
-                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += aik * bv;
-                    }
+                    ips_linalg::tile::axpy_slices(out_row, aik, b.row(p));
                 }
             }
             pp = p_hi;

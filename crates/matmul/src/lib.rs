@@ -27,15 +27,20 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// The micro-kernels must stay autovectorized safe Rust: no intrinsics or
+// raw-pointer tricks in the hot loops.
+#![deny(unsafe_code)]
 
 pub mod dense;
 pub mod error;
 pub mod join;
+pub mod micro;
 pub mod strassen;
 pub mod valiant;
 
 pub use dense::{gram_matrix, multiply_blocked, multiply_naive, multiply_parallel};
 pub use error::{MatmulError, Result};
 pub use join::{matmul_exact_join, matmul_exact_join_parallel, AlgebraicPair};
+pub use micro::gram_f32;
 pub use strassen::strassen_multiply;
 pub use valiant::{amplified_unsigned_join, AmplifiedJoinConfig, AmplifiedJoinReport};

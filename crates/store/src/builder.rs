@@ -109,6 +109,7 @@ pub struct IndexBuilder {
     engine: EngineConfig,
     rebuild_threshold: f64,
     seed: u64,
+    scoring: ips_core::ScoringOptions,
     shards: Option<usize>,
 }
 
@@ -127,6 +128,7 @@ impl IndexBuilder {
             engine: serving.engine,
             rebuild_threshold: serving.rebuild_threshold,
             seed: serving.seed,
+            scoring: serving.scoring,
             shards: None,
         }
     }
@@ -213,6 +215,23 @@ impl IndexBuilder {
         self
     }
 
+    /// Floating-point width of the serving scoring kernel (default
+    /// [`ips_core::Dtype::F64`], bit-identical to the pre-kernel layer); see
+    /// [`ServingConfig::scoring`]. Ignored when [`IndexBuilder::quantized`] is
+    /// on.
+    pub fn dtype(mut self, dtype: ips_core::Dtype) -> Self {
+        self.scoring.dtype = dtype;
+        self
+    }
+
+    /// Opt into `i8` fixed-point candidate scoring with exact `f64` rescoring
+    /// of the survivors (default off); answers are identical to the default
+    /// path, the scan is just cheaper. See [`ServingConfig::scoring`].
+    pub fn quantized(mut self, quantized: bool) -> Self {
+        self.scoring.quantized = quantized;
+        self
+    }
+
     /// Number of shards for [`IndexBuilder::serve_sharded`] (at least 1). When
     /// building from data the default is 1; when opening a snapshot the default is
     /// to *keep the file's stored layout* — setting a count re-partitions the live
@@ -231,6 +250,7 @@ impl IndexBuilder {
             engine: self.engine,
             rebuild_threshold: self.rebuild_threshold,
             seed: self.seed,
+            scoring: self.scoring,
         }
     }
 
@@ -254,14 +274,16 @@ impl IndexBuilder {
                             .into(),
                     });
                 };
+                let mut config = PlannerConfig::with_params(
+                    self.alsh,
+                    self.symmetric,
+                    self.sketch,
+                    self.sketch_leaf_size,
+                    self.engine,
+                );
+                config.scoring = self.scoring;
                 let planner = JoinPlanner {
-                    config: PlannerConfig::with_params(
-                        self.alsh,
-                        self.symmetric,
-                        self.sketch,
-                        self.sketch_leaf_size,
-                        self.engine,
-                    ),
+                    config,
                     ..JoinPlanner::default()
                 };
                 let mut rng = StdRng::seed_from_u64(self.seed);
@@ -560,6 +582,64 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("spec"), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quantized_serving_answers_match_the_default_path() {
+        let inst = workload();
+        for strategy in [
+            Strategy::Brute,
+            Strategy::Alsh,
+            Strategy::Symmetric,
+            Strategy::Sketch,
+        ] {
+            let build = |quantized: bool| {
+                Index::build(inst.data().to_vec())
+                    .spec(spec())
+                    .strategy(strategy)
+                    .seed(11)
+                    .quantized(quantized)
+                    .serve()
+                    .unwrap()
+            };
+            let plain = build(false);
+            let mut quant = build(true);
+            assert_eq!(
+                plain.query(inst.queries()).unwrap(),
+                quant.query(inst.queries()).unwrap(),
+                "{strategy}"
+            );
+            // Mutations re-prepare the quantized tile; answers stay identical
+            // to a default-path index holding the same live set.
+            let extra = inst.queries()[0].scaled(0.9);
+            let mut plain = build(false);
+            plain.insert(extra.clone()).unwrap();
+            quant.insert(extra).unwrap();
+            assert_eq!(
+                plain.query(inst.queries()).unwrap(),
+                quant.query(inst.queries()).unwrap(),
+                "{strategy} after insert"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_serving_reports_valid_pairs() {
+        let inst = workload();
+        let serving = Index::build(inst.data().to_vec())
+            .spec(spec())
+            .strategy(Strategy::Brute)
+            .dtype(ips_core::Dtype::F32)
+            .serve()
+            .unwrap();
+        let pairs = serving.query(inst.queries()).unwrap();
+        assert!(!pairs.is_empty());
+        for p in &pairs {
+            let v = serving.vector(p.data_index as u64).unwrap();
+            let exact = v.dot(&inst.queries()[p.query_index]).unwrap();
+            assert_eq!(exact.to_bits(), p.inner_product.to_bits());
+            assert!(spec().satisfies_promise(exact));
+        }
     }
 
     #[test]

@@ -94,6 +94,13 @@ pub struct ServingConfig {
     pub rebuild_threshold: f64,
     /// Seed for every build and rebuild, making maintenance reproducible.
     pub seed: u64,
+    /// Scoring-kernel selection (`dtype` / `quantized`) applied to the primary
+    /// structure after every build, rebuild and mutation. The default keeps
+    /// serving bit-identical to the pre-kernel layer; `quantized` scores
+    /// candidates in `i8` fixed point and exactly rescores survivors, so
+    /// answers stay identical while the scan gets cheaper. Sketch-family
+    /// primaries ignore it (they already rescore their one candidate exactly).
+    pub scoring: ips_core::ScoringOptions,
 }
 
 impl Default for ServingConfig {
@@ -102,6 +109,7 @@ impl Default for ServingConfig {
             engine: EngineConfig::default(),
             rebuild_threshold: 0.25,
             seed: 0x1B5_5E4E,
+            scoring: ips_core::ScoringOptions::default(),
         }
     }
 }
@@ -279,7 +287,7 @@ impl ServingIndex {
         }
         let index_config = extract_index_config(&primary);
         let spec = primary.spec();
-        Ok(Self {
+        let mut serving = Self {
             primary,
             primary_ids,
             id_to_slot,
@@ -291,7 +299,9 @@ impl ServingIndex {
             index_config,
             config,
             counters: Counters::default(),
-        })
+        };
+        serving.apply_scoring()?;
+        Ok(serving)
     }
 
     /// Loads a snapshot file and wraps it for serving.
@@ -492,6 +502,9 @@ impl ServingIndex {
         self.next_id = self.next_id.max(id + 1);
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
         self.maybe_rebuild()?;
+        // Dynamic LSH mutations drop their quantized tile (it no longer covers
+        // the new slot set); re-prepare it so serving keeps the cheap path.
+        self.apply_scoring()?;
         Ok(())
     }
 
@@ -527,6 +540,7 @@ impl ServingIndex {
         }
         self.counters.deletes.fetch_add(1, Ordering::Relaxed);
         self.maybe_rebuild()?;
+        self.apply_scoring()?;
         Ok(())
     }
 
@@ -618,6 +632,27 @@ impl ServingIndex {
         self.overlay.clear();
         self.tombstones.clear();
         self.counters.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.apply_scoring()?;
+        Ok(())
+    }
+
+    /// Re-applies [`ServingConfig::scoring`] to the primary structure. Free for
+    /// the default options (every family's default is "no prepared kernel", the
+    /// state a fresh build is already in); otherwise re-prepares the reduced-
+    /// precision tiles over the current slot set.
+    fn apply_scoring(&mut self) -> Result<()> {
+        let scoring = self.config.scoring;
+        if scoring.is_default() {
+            return Ok(());
+        }
+        match &mut self.primary {
+            AnyIndex::Brute(index) => index.set_scoring(scoring)?,
+            AnyIndex::Alsh(index) => index.set_scoring(scoring)?,
+            AnyIndex::Symmetric(index) => index.set_scoring(scoring)?,
+            // The sketch adapter already rescores its single recovered
+            // candidate exactly; there is no batched scoring loop to replace.
+            AnyIndex::Sketch(_) => {}
+        }
         Ok(())
     }
 }
