@@ -27,7 +27,7 @@ use ips_datagen::latent::{LatentFactorConfig, LatentFactorModel};
 use ips_datagen::planted::{PlantedConfig, PlantedInstance};
 use ips_datagen::sphere::unit_vectors;
 use ips_sketch::linf_mips::MaxIpConfig;
-use ips_store::{Index, ShardedServingIndex};
+use ips_store::{CoalesceConfig, Index, ShardedServingIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -390,10 +390,28 @@ pub fn cmd_query(raw: &ParsedArgs) -> Result<QueryReport> {
     })
 }
 
+/// Everything `ips serve` needs to run a session: the opened index plus the
+/// transport and coalescing knobs bound from the schema. The binary decides
+/// from [`ServeSetup::listen`] whether to run a stdin/stdout session or the
+/// TCP front-end ([`crate::net::serve_tcp`]).
+pub struct ServeSetup {
+    /// The opened, possibly re-partitioned serving index.
+    pub serving: ShardedServingIndex,
+    /// TCP address to listen on; `None` means a stdin/stdout session.
+    pub listen: Option<String>,
+    /// Bounded worker-pool size for the TCP front-end.
+    pub workers: usize,
+    /// Per-connection read timeout in seconds (`0` = wait forever).
+    pub timeout_secs: usize,
+    /// Cross-connection query-coalescing knobs for the TCP front-end.
+    pub coalesce: CoalesceConfig,
+}
+
 /// `ips serve` — opens the snapshot a serve session runs over (the binary then
-/// drives [`crate::serve::serve_session`] on stdin/stdout). Both snapshot layouts
+/// drives [`crate::serve::serve_session`] on stdin/stdout, or
+/// [`crate::net::serve_tcp`] when `listen=` is given). Both snapshot layouts
 /// load; `shards=` re-partitions the live vectors first.
-pub fn cmd_serve(raw: &ParsedArgs) -> Result<ShardedServingIndex> {
+pub fn cmd_serve(raw: &ParsedArgs) -> Result<ServeSetup> {
     let args = schema::SERVE.bind(raw)?;
     let mut builder = Index::open(args.str("snapshot"))
         .engine(engine_config(&args))
@@ -402,7 +420,17 @@ pub fn cmd_serve(raw: &ParsedArgs) -> Result<ShardedServingIndex> {
     if args.given("shards") {
         builder = builder.shards(args.usize("shards"));
     }
-    builder.serve_sharded().map_err(CliError::from)
+    let serving = builder.serve_sharded()?;
+    Ok(ServeSetup {
+        serving,
+        listen: args.opt_str("listen").map(str::to_string),
+        workers: args.usize("workers"),
+        timeout_secs: args.usize("timeout"),
+        coalesce: CoalesceConfig {
+            window_micros: args.usize("coalesce-window") as u64,
+            max_batch: args.usize("coalesce-max"),
+        },
+    })
 }
 
 /// `ips search` — build an index over the data file and answer top-`k` queries.
@@ -768,10 +796,12 @@ mod tests {
         .unwrap();
         assert_eq!(resharded.shards, 2);
         assert_eq!(resharded.pairs, q4.pairs);
-        // Serve accepts the multi-shard snapshot and reports its shard count.
-        let serving = cmd_serve(&args(&[&format!("snapshot={}", four.display())])).unwrap();
-        assert_eq!(serving.shard_count(), 4);
-        assert_eq!(serving.len(), 240);
+        // Serve accepts the multi-shard snapshot and reports its shard count;
+        // with no listen= the setup asks for a stdin/stdout session.
+        let setup = cmd_serve(&args(&[&format!("snapshot={}", four.display())])).unwrap();
+        assert_eq!(setup.serving.shard_count(), 4);
+        assert_eq!(setup.serving.len(), 240);
+        assert_eq!(setup.listen, None);
     }
 
     #[test]
@@ -795,13 +825,23 @@ mod tests {
             "c=0.6",
         ]))
         .unwrap();
-        let serving = cmd_serve(&args(&[
+        let setup = cmd_serve(&args(&[
             &format!("snapshot={}", snapshot.display()),
             "threads=1",
             "rebuild-threshold=0.5",
+            "listen=127.0.0.1:0",
+            "workers=2",
+            "timeout=5",
+            "coalesce-window=150",
+            "coalesce-max=8",
         ]))
         .unwrap();
-        assert_eq!(serving.len(), 50);
+        assert_eq!(setup.serving.len(), 50);
+        assert_eq!(setup.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(setup.workers, 2);
+        assert_eq!(setup.timeout_secs, 5);
+        assert_eq!(setup.coalesce.window_micros, 150);
+        assert_eq!(setup.coalesce.max_batch, 8);
         // Schema validation applies: an unknown key is rejected up front.
         assert!(cmd_serve(&args(&[
             &format!("snapshot={}", snapshot.display()),

@@ -15,15 +15,17 @@
 //!   query file;
 //! * `ips build` — build an index once and persist it as an `ips-store` snapshot
 //!   (strategy picked manually or by the cost-based planner);
-//! * `ips serve` — load a snapshot into a long-lived serving process and answer a
-//!   line-protocol session (`query` / `topk` / `insert` / `delete` / `stats` /
-//!   `save`) over stdin/stdout;
+//! * `ips serve` — load a snapshot into a long-lived serving process and answer
+//!   line-protocol sessions (`query` / `topk` / `insert` / `delete` / `stats` /
+//!   `save` / `shutdown`) over stdin/stdout, or — with `listen=host:port` — over
+//!   TCP with a bounded worker pool and cross-connection query coalescing;
 //! * `ips query` — one-shot query batch against a snapshot.
 //!
 //! The crate is a thin, testable layer: raw `key=value` splitting lives in [`args`],
 //! the declarative command schema (argument types, defaults, generated help, the
 //! serve line protocol) in [`schema`], CSV I/O in [`dataset`], the serve REPL in
-//! [`serve`], and each subcommand is an ordinary function in [`commands`] that binds
+//! [`serve`] (with the TCP front-end in [`net`]), and each subcommand is an ordinary
+//! function in [`commands`] that binds
 //! its arguments against the schema and returns its report as a value (the binary in
 //! `main.rs` only prints it). There are no hand-written usage strings anywhere:
 //! `ips help` and `ips help <command>` render from the same [`schema::CommandSpec`]
@@ -36,6 +38,7 @@ pub mod args;
 pub mod commands;
 pub mod dataset;
 pub mod error;
+pub mod net;
 pub mod schema;
 pub mod serve;
 

@@ -8,9 +8,11 @@ use ips_cli::args::ParsedArgs;
 use ips_cli::commands::{
     cmd_build, cmd_generate, cmd_info, cmd_join, cmd_query, cmd_search, cmd_serve,
 };
+use ips_cli::net::{serve_tcp, NetConfig};
 use ips_cli::schema;
 use ips_cli::serve::serve_session;
 use ips_cli::CliError;
+use ips_store::Coalescer;
 use std::process::ExitCode;
 
 /// `ips help [<command>]`: the overview, or one command's generated usage.
@@ -126,10 +128,36 @@ fn run() -> Result<(), CliError> {
             );
         }
         "serve" => {
-            let serving = cmd_serve(&args)?;
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            serve_session(&serving, stdin.lock(), stdout.lock())?;
+            let setup = cmd_serve(&args)?;
+            match setup.listen {
+                Some(addr) => {
+                    let coalescer = std::sync::Arc::new(Coalescer::new(
+                        std::sync::Arc::new(setup.serving),
+                        setup.coalesce,
+                    ));
+                    let config = NetConfig {
+                        addr,
+                        workers: setup.workers,
+                        read_timeout: (setup.timeout_secs > 0)
+                            .then(|| std::time::Duration::from_secs(setup.timeout_secs as u64)),
+                        ..NetConfig::default()
+                    };
+                    let server = serve_tcp(coalescer, config)?;
+                    println!(
+                        "listening on {} (workers={}, coalesce window={}us max={}); send `shutdown` to stop",
+                        server.local_addr(),
+                        setup.workers,
+                        setup.coalesce.window_micros,
+                        setup.coalesce.max_batch,
+                    );
+                    server.join()?;
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    let stdout = std::io::stdout();
+                    serve_session(&setup.serving, stdin.lock(), stdout.lock())?;
+                }
+            }
         }
         "query" => {
             let report = cmd_query(&args)?;

@@ -431,7 +431,7 @@ pub const BUILD: CommandSpec = CommandSpec {
 /// `ips serve`.
 pub const SERVE: CommandSpec = CommandSpec {
     name: "serve",
-    summary: "load a snapshot and answer a line-protocol session on stdin/stdout",
+    summary: "load a snapshot and answer line-protocol sessions on stdin/stdout or TCP",
     args: &[
         ArgSpec::required("snapshot", ArgKind::Path, "snapshot file to serve"),
         THREADS,
@@ -444,10 +444,43 @@ pub const SERVE: CommandSpec = CommandSpec {
         ),
         SEED,
         SHARDS_OPEN,
+        ArgSpec::optional(
+            "listen",
+            ArgKind::Str,
+            "TCP address to listen on (e.g. 127.0.0.1:7878; default: a stdin/stdout session)",
+        ),
+        ArgSpec::defaulted(
+            "workers",
+            ArgKind::PositiveUsize,
+            "4",
+            "maximum concurrent TCP connections (listen= only)",
+        ),
+        ArgSpec::defaulted(
+            "timeout",
+            ArgKind::Usize,
+            "30",
+            "per-connection read timeout in seconds (0 = never; listen= only)",
+        ),
+        ArgSpec::defaulted(
+            "coalesce-window",
+            ArgKind::Usize,
+            "200",
+            "microseconds concurrent query/topk requests wait to merge into one \
+             engine pass (0 disables coalescing; listen= only)",
+        ),
+        ArgSpec::defaulted(
+            "coalesce-max",
+            ArgKind::PositiveUsize,
+            "32",
+            "maximum query vectors merged into one coalesced engine pass",
+        ),
     ],
     notes: &[
         "The (cs, s) join thresholds live in the snapshot, set at build time.",
         "The session then speaks the line protocol below.",
+        "listen= serves the same protocol over TCP: every connection gets its own \
+         session, concurrent query/topk requests coalesce into batched engine passes, \
+         and the `shutdown` command stops the whole server.",
     ],
 };
 
@@ -541,6 +574,11 @@ pub const SERVE_PROTOCOL: &[ProtocolCommand] = &[
         name: "help",
         usage: "help",
         reply: "this command summary",
+    },
+    ProtocolCommand {
+        name: "shutdown",
+        usage: "shutdown",
+        reply: "end the session and, when served over TCP, stop the whole server",
     },
     ProtocolCommand {
         name: "quit",

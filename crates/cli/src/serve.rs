@@ -14,18 +14,27 @@
 //! stats                                 stats family=… live=… queries=… hits=…
 //!                                         inserts=… deletes=… rebuilds=… avg_query_ns=…
 //!                                         shards=… shard_live=…,…  (per-shard counts)
+//!                                         connections=… coalesced_batches=…
 //! save <path>                           saved <path> (<bytes> bytes)
 //! help                                  command summary
+//! shutdown                              bye (over TCP, also stops the whole server)
 //! quit | exit                           bye (EOF works too)
 //! ```
 //!
 //! Vectors are comma-separated coordinates (the CSV line format of the data files);
 //! `;` separates the vectors of one batch, which is answered through the
 //! [`ips_core::JoinEngine`] in a single [`ShardedServingIndex::query`] call.
+//!
+//! The same session loop also backs the TCP front-end ([`crate::net`]): each
+//! connection runs [`serve_session_with`] over its stream with a
+//! [`SessionOptions`] that bounds line length (malformed or hostile input fails
+//! that connection alone) and routes `query`/`topk` through the shared
+//! [`Coalescer`], merging concurrent single-query requests into batched engine
+//! passes.
 
 use crate::error::{CliError, Result};
 use ips_linalg::DenseVector;
-use ips_store::ShardedServingIndex;
+use ips_store::{Coalescer, ShardedServingIndex};
 use std::io::{BufRead, Write};
 
 /// Parses one `a,b,c` coordinate list.
@@ -60,22 +69,145 @@ fn parse_batch(text: &str) -> Result<Vec<DenseVector>> {
 // (`schema::SERVE_PROTOCOL`) that `ips help serve` renders, so the two can
 // never drift; see `crate::schema::protocol_help`.
 
-/// Executes one protocol line, appending reply lines to `out`. Returns `false` when
-/// the session should end. The serving index is shared (`&`): its shard locks
-/// provide the interior mutability, which is also why a long-lived process could
-/// serve the same index from several sessions at once.
-fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> Result<bool> {
+/// Per-session tuning of [`serve_session_with`]. [`Default`] reproduces the
+/// classic stdin REPL behaviour: no coalescing (the REPL is one client — there
+/// is nothing to merge with) and a line cap generous enough that no legitimate
+/// scripted session ever hits it.
+pub struct SessionOptions<'a> {
+    /// Route `query`/`topk` through this shared batcher instead of calling the
+    /// index directly — the TCP front-end passes the server-wide [`Coalescer`]
+    /// here so concurrent connections merge into one engine pass.
+    pub coalescer: Option<&'a Coalescer>,
+    /// Longest accepted protocol line in bytes; a longer line is answered with
+    /// an `error:` reply and ends the session (a client that overruns the cap
+    /// is not speaking the protocol, and resynchronising inside its stream
+    /// would mean buffering it unboundedly — the exact attack the cap stops).
+    pub max_line_bytes: usize,
+}
+
+impl Default for SessionOptions<'_> {
+    fn default() -> Self {
+        Self {
+            coalescer: None,
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Why a session ended — the TCP front-end acts on the difference
+/// ([`SessionEnd::Shutdown`] stops the whole server, not just the connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// EOF, `quit`/`exit`, or an over-long line: only this session ends.
+    Closed,
+    /// The `shutdown` admin command: the server should stop accepting and
+    /// drain.
+    Shutdown,
+}
+
+/// What one executed line means for the session.
+enum Flow {
+    Continue,
+    End(SessionEnd),
+}
+
+/// One read off the session input.
+enum LineRead {
+    Eof,
+    Line(Vec<u8>),
+    Overlong,
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes without ever buffering
+/// more than `cap` bytes of an attacker-controlled stream (the reason this is
+/// not `BufRead::read_until`, which buffers the whole line first). A trailing
+/// `\r` is stripped, matching `BufRead::lines`.
+fn read_line_capped<R: BufRead>(input: &mut R, cap: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            if buf.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            break;
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > cap {
+                    input.consume(pos + 1);
+                    return Ok(LineRead::Overlong);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                input.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > cap {
+                    input.consume(n);
+                    return Ok(LineRead::Overlong);
+                }
+                buf.extend_from_slice(available);
+                input.consume(n);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(LineRead::Line(buf))
+}
+
+/// Answers a parsed `query` batch — through the coalescer when the session has
+/// one (bit-identical either way; see `ips_store::coalesce`), directly
+/// otherwise.
+fn run_query(
+    serving: &ShardedServingIndex,
+    coalescer: Option<&Coalescer>,
+    queries: Vec<DenseVector>,
+) -> Result<Vec<ips_core::problem::MatchPair>> {
+    Ok(match coalescer {
+        Some(c) => c.query(queries)?,
+        None => serving.query(&queries)?,
+    })
+}
+
+/// Answers a parsed `topk` batch, mirroring [`run_query`].
+fn run_top_k(
+    serving: &ShardedServingIndex,
+    coalescer: Option<&Coalescer>,
+    queries: Vec<DenseVector>,
+    k: usize,
+) -> Result<Vec<ips_core::problem::MatchPair>> {
+    Ok(match coalescer {
+        Some(c) => c.query_top_k(queries, k)?,
+        None => serving.query_top_k(&queries, k)?,
+    })
+}
+
+/// Executes one protocol line, appending reply lines to `out`. The serving
+/// index is shared (`&`): its shard locks provide the interior mutability,
+/// which is what lets the TCP front-end serve the same index from many
+/// sessions at once.
+fn execute(
+    serving: &ShardedServingIndex,
+    coalescer: Option<&Coalescer>,
+    line: &str,
+    out: &mut Vec<String>,
+) -> Result<Flow> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
-        return Ok(true);
+        return Ok(Flow::Continue);
     }
     let (command, rest) = line.split_once(' ').unwrap_or((line, ""));
     let rest = rest.trim();
     match command {
         "query" => {
             let queries = parse_batch(rest)?;
-            let pairs = serving.query(&queries)?;
-            let mut by_query = vec![None; queries.len()];
+            let n = queries.len();
+            let pairs = run_query(serving, coalescer, queries)?;
+            let mut by_query = vec![None; n];
             for p in pairs {
                 by_query[p.query_index] = Some(p);
             }
@@ -94,8 +226,9 @@ fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> 
                 reason: format!("`{k}` is not a k"),
             })?;
             let queries = parse_batch(batch)?;
-            let pairs = serving.query_top_k(&queries, k)?;
-            let mut by_query: Vec<Vec<String>> = vec![Vec::new(); queries.len()];
+            let n = queries.len();
+            let pairs = run_top_k(serving, coalescer, queries, k)?;
+            let mut by_query: Vec<Vec<String>> = vec![Vec::new(); n];
             for p in pairs {
                 by_query[p.query_index].push(format!("{}:{:+.6}", p.data_index, p.inner_product));
             }
@@ -126,7 +259,7 @@ fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> 
                 .map(|live| live.to_string())
                 .collect();
             out.push(format!(
-                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={}",
+                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={} connections={} coalesced_batches={}",
                 serving.family(),
                 serving.len(),
                 stats.queries,
@@ -137,6 +270,8 @@ fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> 
                 stats.avg_query_ns(),
                 serving.shard_count(),
                 shard_live.join(","),
+                stats.connections,
+                stats.coalesced_batches,
             ));
         }
         "save" => {
@@ -149,9 +284,13 @@ fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> 
             out.push(format!("saved {rest} ({bytes} bytes)"));
         }
         "help" => out.push(crate::schema::protocol_help()),
+        "shutdown" => {
+            out.push("bye".to_string());
+            return Ok(Flow::End(SessionEnd::Shutdown));
+        }
         "quit" | "exit" => {
             out.push("bye".to_string());
-            return Ok(false);
+            return Ok(Flow::End(SessionEnd::Closed));
         }
         other => {
             let known: Vec<&str> = crate::schema::SERVE_PROTOCOL
@@ -166,17 +305,23 @@ fn execute(serving: &ShardedServingIndex, line: &str, out: &mut Vec<String>) -> 
             });
         }
     }
-    Ok(true)
+    Ok(Flow::Continue)
 }
 
-/// Drives a whole serve session: reads protocol lines from `input` until EOF or
-/// `quit`, writing replies to `output`. Errors in individual commands are reported
-/// as `error: …` lines and the session continues; only I/O failures end it early.
-pub fn serve_session<R: BufRead, W: Write>(
+/// Drives a whole serve session: reads protocol lines from `input` until EOF,
+/// `quit` or `shutdown`, writing replies to `output`. Errors in individual
+/// commands are reported as `error: …` lines and the session continues; a line
+/// that is not valid UTF-8 is an `error:` line too (the framing is intact, the
+/// session keeps going); a line longer than
+/// [`SessionOptions::max_line_bytes`] ends the session after an `error:`
+/// reply. Only I/O failures — including a connection read timeout — end it
+/// early with an `Err`.
+pub fn serve_session_with<R: BufRead, W: Write>(
     serving: &ShardedServingIndex,
-    input: R,
+    options: &SessionOptions<'_>,
+    mut input: R,
     mut output: W,
-) -> Result<()> {
+) -> Result<SessionEnd> {
     writeln!(
         output,
         "serving {} index: {} live vectors, dim {}, {} shard(s) (try `help`)",
@@ -185,30 +330,62 @@ pub fn serve_session<R: BufRead, W: Write>(
         serving.dim(),
         serving.shard_count()
     )?;
-    for line in input.lines() {
-        let line = line?;
+    output.flush()?;
+    loop {
+        let line = match read_line_capped(&mut input, options.max_line_bytes)? {
+            LineRead::Eof => return Ok(SessionEnd::Closed),
+            LineRead::Overlong => {
+                writeln!(
+                    output,
+                    "error: line exceeds {} bytes; closing session",
+                    options.max_line_bytes
+                )?;
+                output.flush()?;
+                return Ok(SessionEnd::Closed);
+            }
+            LineRead::Line(bytes) => match String::from_utf8(bytes) {
+                Ok(line) => line,
+                Err(_) => {
+                    writeln!(output, "error: line is not valid UTF-8")?;
+                    output.flush()?;
+                    continue;
+                }
+            },
+        };
         let mut replies = Vec::new();
-        match execute(serving, &line, &mut replies) {
-            Ok(keep_going) => {
+        match execute(serving, options.coalescer, &line, &mut replies) {
+            Ok(flow) => {
                 for reply in replies {
                     writeln!(output, "{reply}")?;
                 }
-                if !keep_going {
-                    break;
+                if let Flow::End(end) = flow {
+                    output.flush()?;
+                    return Ok(end);
                 }
             }
             Err(e) => writeln!(output, "error: {e}")?,
         }
         output.flush()?;
     }
-    Ok(())
+}
+
+/// The classic stdin/stdout session: [`serve_session_with`] under
+/// [`SessionOptions::default`] (no coalescing, generous line cap — behaviour
+/// unchanged from before the TCP front-end existed).
+pub fn serve_session<R: BufRead, W: Write>(
+    serving: &ShardedServingIndex,
+    input: R,
+    output: W,
+) -> Result<()> {
+    serve_session_with(serving, &SessionOptions::default(), input, output).map(|_| ())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ips_core::problem::{JoinSpec, JoinVariant};
-    use ips_store::{IndexConfig, ServingConfig, ShardedConfig};
+    use ips_store::{CoalesceConfig, IndexConfig, ServingConfig, ShardedConfig};
+    use std::sync::Arc;
 
     fn serving_with_shards(shards: usize) -> ShardedServingIndex {
         let data = vec![
@@ -256,6 +433,8 @@ mod tests {
         assert_eq!(lines[8], "hit 0 +0.630000");
         assert!(lines[9].starts_with("stats family=brute live=2 queries=6 hits=5"));
         assert!(lines[9].contains("inserts=1 deletes=1"));
+        // A stdin session never accepted a connection nor coalesced anything.
+        assert!(lines[9].ends_with("connections=0 coalesced_batches=0"));
         // quit ends the session: the trailing query is never answered.
         assert_eq!(*lines.last().unwrap(), "bye");
     }
@@ -306,8 +485,11 @@ mod tests {
             .and_then(|l| l.split("shard_live=").nth(1))
             .expect("stats line carries shard_live=");
         let counts: Vec<usize> = shard_live
+            .split_whitespace()
+            .next()
+            .expect("shard_live= counts precede the counter keys")
             .split(',')
-            .map(|c| c.trim().parse().unwrap())
+            .map(|c| c.parse().unwrap())
             .collect();
         assert_eq!(counts.len(), 3);
         assert_eq!(counts.iter().sum::<usize>(), 3);
@@ -321,5 +503,74 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(answer_lines(&sharded), answer_lines(&unsharded));
+    }
+
+    #[test]
+    fn shutdown_ends_the_session_with_the_shutdown_marker() {
+        let index = serving_with_shards(1);
+        let mut out = Vec::new();
+        let end = serve_session_with(
+            &index,
+            &SessionOptions::default(),
+            "query 1,0\nshutdown\nquery 1,0\n".as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(end, SessionEnd::Shutdown);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.ends_with("bye\n"), "{text}");
+        // The trailing query after shutdown is never answered.
+        assert_eq!(text.matches("hit ").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn overlong_lines_end_the_session_and_non_utf8_lines_do_not() {
+        let index = serving_with_shards(1);
+        // Non-UTF-8 bytes: an error reply, then the session keeps answering.
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"query 1,0\n");
+        input.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        input.extend_from_slice(b"query 1,0\n");
+        let mut out = Vec::new();
+        let end = serve_session_with(
+            &index,
+            &SessionOptions::default(),
+            input.as_slice(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(end, SessionEnd::Closed);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("error: line is not valid UTF-8"), "{text}");
+        assert_eq!(text.matches("hit 0 ").count(), 2, "{text}");
+
+        // An over-long line errors and closes (no unbounded buffering).
+        let options = SessionOptions {
+            max_line_bytes: 16,
+            ..SessionOptions::default()
+        };
+        let long = format!("query {}\nquery 1,0\n", "1,0,".repeat(64));
+        let mut out = Vec::new();
+        let end = serve_session_with(&index, &options, long.as_bytes(), &mut out).unwrap();
+        assert_eq!(end, SessionEnd::Closed);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("error: line exceeds 16 bytes"), "{text}");
+        assert!(!text.contains("hit "), "{text}");
+    }
+
+    #[test]
+    fn coalesced_session_answers_match_the_direct_path() {
+        let session = "query 1.0,0.0;0.0,1.0\ntopk 2 1.0,0.0\nquery 0.1,0.1\n";
+        let direct = run(session);
+        let index = Arc::new(serving_with_shards(1));
+        let coalescer = ips_store::Coalescer::new(Arc::clone(&index), CoalesceConfig::default());
+        let options = SessionOptions {
+            coalescer: Some(&coalescer),
+            ..SessionOptions::default()
+        };
+        let mut out = Vec::new();
+        serve_session_with(&index, &options, session.as_bytes(), &mut out).unwrap();
+        let coalesced = String::from_utf8(out).unwrap();
+        assert_eq!(coalesced, direct, "coalesced answers must be bit-identical");
     }
 }

@@ -68,6 +68,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod builder;
+pub mod coalesce;
 pub mod error;
 pub mod format;
 pub mod persist;
@@ -77,6 +78,7 @@ pub mod sharded;
 pub mod snapshot;
 
 pub use builder::{Index, IndexBuilder};
+pub use coalesce::{CoalesceConfig, Coalescer};
 pub use error::{Result, StoreError};
 pub use persist::Persist;
 pub use registry::ServingRegistry;

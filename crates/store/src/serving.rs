@@ -129,6 +129,11 @@ pub struct ServingStats {
     pub deletes: u64,
     /// Primary-structure rebuilds performed.
     pub rebuilds: u64,
+    /// Network connections accepted (0 unless served over TCP).
+    pub connections: u64,
+    /// Multi-request engine passes formed by the query coalescer (0 unless
+    /// coalescing is enabled and concurrent requests actually merged).
+    pub coalesced_batches: u64,
 }
 
 impl ServingStats {
@@ -149,6 +154,8 @@ pub(crate) struct Counters {
     inserts: AtomicU64,
     deletes: AtomicU64,
     rebuilds: AtomicU64,
+    connections: AtomicU64,
+    coalesced_batches: AtomicU64,
 }
 
 impl Counters {
@@ -174,6 +181,8 @@ impl Counters {
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -183,6 +192,17 @@ impl Counters {
         self.hits.fetch_add(hits as u64, Ordering::Relaxed);
         self.query_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Ticks the accepted-connection counter (one accepted TCP session).
+    pub(crate) fn note_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ticks the coalesced-batch counter (one engine pass that merged two or
+    /// more concurrent requests).
+    pub(crate) fn note_coalesced_batch(&self) {
+        self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -430,6 +430,19 @@ impl ShardedServingIndex {
         total
     }
 
+    /// Ticks the accepted-connection counter — called by the network serving
+    /// front-end once per accepted TCP session, so `stats` can report
+    /// `connections=` without the server owning its own counter block.
+    pub fn note_connection(&self) {
+        self.counters.note_connection();
+    }
+
+    /// Ticks the coalesced-batch counter — called by the query coalescer when an
+    /// engine pass merged two or more concurrent requests.
+    pub(crate) fn note_coalesced_batch(&self) {
+        self.counters.note_coalesced_batch();
+    }
+
     /// Per-shard `(live vectors, counters)` rows, in shard order — what `ips serve`
     /// prints so a skewed shard is visible.
     pub fn shard_stats(&self) -> Vec<(usize, ServingStats)> {

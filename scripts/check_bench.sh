@@ -174,6 +174,7 @@ self_test() {
     cat > "$base" <<'EOF'
 [
   {"name": "serve_throughput", "params": {"path": "serve_build", "n": "10000", "speedup": "9000.0"}, "wall_ns": 400000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
+  {"name": "serve_throughput", "params": {"path": "tcp_coalesced", "n": "10000", "dim": "32", "shards": "4", "clients": "4"}, "wall_ns": 60000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "join_scaling", "params": {"algo": "alsh", "n": "1000"}, "wall_ns": 50000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "join_scaling", "params": {"algo": "alsh", "n": "8000"}, "wall_ns": 900000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "kernel_throughput", "params": {"kernel": "f32", "dim": "32", "n": "2000", "m": "200", "reps": "2", "speedup": "1.53"}, "wall_ns": 3000000, "flops": 5.12e7, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"}
@@ -186,6 +187,11 @@ EOF
     sed 's/"wall_ns": 50000000/"wall_ns": 100000000/' "$base" > "$cur"
     if compare "$base" "$cur" > /dev/null 2>&1; then
         die "self-test: a 2x slowdown must fail the gate"
+    fi
+    # A 2x slowdown on the multi-client TCP serving record fails too.
+    sed 's/"wall_ns": 60000000/"wall_ns": 120000000/' "$base" > "$cur"
+    if compare "$base" "$cur" > /dev/null 2>&1; then
+        die "self-test: a tcp serve_throughput slowdown must fail the gate"
     fi
     # A 2x slowdown on a gated kernel record fails too.
     sed 's/"wall_ns": 3000000/"wall_ns": 6000000/' "$base" > "$cur"

@@ -12,7 +12,11 @@
 #      answers byte-identically to the single-shard one (ALSH decomposes under
 #      the shared build seed), then drive a sharded serve session: insert →
 #      found, stats reports shards=4 with per-shard live counts, save → the
-#      multi-shard file reloads with the insert intact.
+#      multi-shard file reloads with the insert intact,
+#   8. start `ips serve listen=127.0.0.1:0` as a real TCP server, replay the
+#      same session over a bash /dev/tcp client, assert the reply bytes are
+#      identical to the stdin transport, and stop the server with the
+#      `shutdown` protocol command.
 # Used by CI after the release build; runnable locally as scripts/smoke_serve.sh.
 set -euo pipefail
 
@@ -149,5 +153,51 @@ reload4_out="$("$IPS" query "snapshot=$workdir/session4.snap" \
 echo "$reload4_out"
 grep -q "alsh snapshot: 301 live vectors" <<<"$reload4_out" \
     || cd_failed "sharded session save lost the inserted vector"
+
+echo "== TCP serve: byte-identical to the stdin transport =="
+# One deterministic session script (no stats — its timing fields differ run to
+# run), replayed over stdin and over a TCP connection: same reply bytes.
+cat > "$workdir/tcp_script.txt" <<EOF
+query $first_query
+topk 2 $first_query
+insert $first_query
+query $first_query
+delete 300
+quit
+EOF
+"$IPS" serve "snapshot=$workdir/index4.snap" \
+    < "$workdir/tcp_script.txt" > "$workdir/stdin_replies.txt"
+
+"$IPS" serve "snapshot=$workdir/index4.snap" listen=127.0.0.1:0 workers=2 \
+    > "$workdir/tcp_server.log" 2>&1 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' \
+        "$workdir/tcp_server.log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || cd_failed "TCP server never reported its listening port"
+grep -q "coalesce window=" "$workdir/tcp_server.log" \
+    || cd_failed "listening line must report the coalescing knobs"
+
+# The whole session through one bash /dev/tcp connection; the server closes
+# the socket after `quit`, ending the read.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+cat "$workdir/tcp_script.txt" >&3
+cat <&3 > "$workdir/tcp_replies.txt"
+exec 3<&- 3>&-
+cmp "$workdir/stdin_replies.txt" "$workdir/tcp_replies.txt" \
+    || cd_failed "TCP replies differ from the stdin transport"
+
+# `shutdown` from a second connection stops the whole server.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'shutdown\n' >&3
+shutdown_replies="$(cat <&3)"
+exec 3<&- 3>&-
+grep -q "^bye$" <<<"$shutdown_replies" || cd_failed "shutdown not acknowledged"
+wait "$server_pid" || cd_failed "server exited non-zero after shutdown"
 
 echo "SMOKE PASS"

@@ -1,0 +1,225 @@
+//! Fault injection against the live TCP serving front-end.
+//!
+//! Each test starts a real [`ips_cli::net::serve_tcp`] listener on an
+//! ephemeral port and misbehaves at it the way broken or hostile clients do:
+//! malformed commands, oversized lines, bytes that are not UTF-8, abrupt
+//! mid-command disconnects, and slow-loris connections that hold a worker
+//! without ever sending a line. In every case the damage must stay inside the
+//! offending connection — other sessions keep getting byte-exact answers, new
+//! connections are accepted, and the shared index is never poisoned.
+
+use ips_cli::net::{serve_tcp, NetConfig, NetServer};
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_linalg::DenseVector;
+use ips_store::{
+    CoalesceConfig, Coalescer, IndexConfig, ServingConfig, ShardedConfig, ShardedServingIndex,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The session line cap used when a test is not exercising it.
+const MAX_LINE: usize = 1 << 20;
+
+/// Starts a server over a tiny brute index; coalescing is off so every fault
+/// path is exercised without batching in the way.
+fn server(max_line_bytes: usize, read_timeout: Option<Duration>) -> (NetServer, Arc<Coalescer>) {
+    let data = vec![
+        DenseVector::from(&[0.9, 0.0][..]),
+        DenseVector::from(&[0.0, 0.8][..]),
+    ];
+    let spec = JoinSpec::new(0.5, 0.8, JoinVariant::Signed).unwrap();
+    let serving = ShardedServingIndex::build(
+        data,
+        spec,
+        IndexConfig::Brute,
+        ShardedConfig {
+            shards: 2,
+            serving: ServingConfig::default(),
+        },
+    )
+    .unwrap();
+    let coalescer = Arc::new(Coalescer::new(
+        Arc::new(serving),
+        CoalesceConfig {
+            window_micros: 0,
+            ..CoalesceConfig::default()
+        },
+    ));
+    let config = NetConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        read_timeout,
+        max_line_bytes,
+    };
+    let net = serve_tcp(Arc::clone(&coalescer), config).unwrap();
+    (net, coalescer)
+}
+
+/// A test client with the banner already consumed.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &NetServer) -> Self {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A generous safety net so a server-side bug fails the test instead of
+        // hanging it.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let mut client = Client { stream, reader };
+        let banner = client.recv().expect("banner");
+        assert!(banner.starts_with("serving brute index:"), "{banner}");
+        client
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn send(&mut self, line: &str) {
+        self.send_bytes(format!("{line}\n").as_bytes());
+    }
+
+    /// One reply line, or `None` once the server has closed the connection.
+    fn recv(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line).unwrap() {
+            0 => None,
+            _ => Some(line.trim_end_matches('\n').to_string()),
+        }
+    }
+}
+
+/// The index still answers — directly and over a fresh connection — after a
+/// fault. Run at the end of every test: a poisoned shard lock would panic the
+/// direct query, a wedged accept loop would hang the fresh connection.
+fn assert_still_serving(server: &NetServer, coalescer: &Coalescer) {
+    let probe = vec![DenseVector::from(&[1.0, 0.0][..])];
+    let direct = coalescer.index().query(&probe).unwrap();
+    assert_eq!(direct.len(), 1, "direct query still answers: {direct:?}");
+
+    let mut fresh = Client::connect(server);
+    fresh.send("query 1.0,0.0");
+    assert_eq!(fresh.recv().as_deref(), Some("hit 0 +0.900000"));
+    fresh.send("quit");
+    assert_eq!(fresh.recv().as_deref(), Some("bye"));
+}
+
+#[test]
+fn malformed_commands_error_inline_and_the_session_keeps_serving() {
+    let (server, coalescer) = server(MAX_LINE, None);
+    let mut client = Client::connect(&server);
+
+    for (bad, expected) in [
+        ("bogus", "error: usage error: unknown command `bogus`"),
+        ("query nope", "error: usage error: `nope` is not a number"),
+        ("delete x", "error: usage error: `x` is not an id"),
+        (
+            "delete 99",
+            "error: store error: unknown or deleted vector id 99",
+        ),
+        ("topk", "error: usage error: topk needs"),
+    ] {
+        client.send(bad);
+        let reply = client.recv().expect("an error reply, not a hangup");
+        assert!(reply.starts_with(expected), "{bad:?} -> {reply}");
+    }
+
+    client.send("query 1.0,0.0");
+    assert_eq!(client.recv().as_deref(), Some("hit 0 +0.900000"));
+    client.send("quit");
+    assert_eq!(client.recv().as_deref(), Some("bye"));
+
+    assert_still_serving(&server, &coalescer);
+    server.stop();
+    server.join().unwrap();
+}
+
+#[test]
+fn oversized_line_closes_only_the_offending_connection() {
+    let (server, coalescer) = server(64, None);
+    let mut bystander = Client::connect(&server);
+    let mut attacker = Client::connect(&server);
+
+    attacker.send(&format!("query {}", "1.0,".repeat(100)));
+    assert_eq!(
+        attacker.recv().as_deref(),
+        Some("error: line exceeds 64 bytes; closing session")
+    );
+    assert_eq!(attacker.recv(), None, "the attacker is hung up on");
+
+    // The bystander connection never notices.
+    bystander.send("query 0.0,1.0");
+    assert_eq!(bystander.recv().as_deref(), Some("hit 1 +0.800000"));
+    bystander.send("quit");
+    assert_eq!(bystander.recv().as_deref(), Some("bye"));
+
+    assert_still_serving(&server, &coalescer);
+    server.stop();
+    server.join().unwrap();
+}
+
+#[test]
+fn non_utf8_bytes_error_inline_and_the_session_continues() {
+    let (server, coalescer) = server(MAX_LINE, None);
+    let mut client = Client::connect(&server);
+
+    client.send_bytes(b"\xff\xfe\xfd\n");
+    assert_eq!(
+        client.recv().as_deref(),
+        Some("error: line is not valid UTF-8")
+    );
+    client.send("query 1.0,0.0");
+    assert_eq!(client.recv().as_deref(), Some("hit 0 +0.900000"));
+    client.send("quit");
+    assert_eq!(client.recv().as_deref(), Some("bye"));
+
+    assert_still_serving(&server, &coalescer);
+    server.stop();
+    server.join().unwrap();
+}
+
+#[test]
+fn abrupt_disconnect_mid_command_does_not_poison_the_server() {
+    let (server, coalescer) = server(MAX_LINE, None);
+
+    // Half a command, then vanish — once without the newline, once right
+    // after a write burst.
+    for partial in [&b"query 0.9,0"[..], &b"insert 0.1,0.2\nquery 0."[..]] {
+        let mut client = Client::connect(&server);
+        client.send_bytes(partial);
+        client.stream.shutdown(Shutdown::Both).unwrap();
+        drop(client);
+    }
+
+    assert_still_serving(&server, &coalescer);
+    server.stop();
+    server.join().unwrap();
+}
+
+#[test]
+fn slow_loris_connection_is_cut_by_the_read_timeout() {
+    let (server, coalescer) = server(MAX_LINE, Some(Duration::from_millis(200)));
+
+    // Connects, reads the banner, then never sends a complete line.
+    let mut loris = Client::connect(&server);
+    loris.send_bytes(b"que");
+    let reply = loris.recv().expect("a final error line before the hangup");
+    assert!(
+        reply.starts_with("error: ") && reply.ends_with("; closing connection"),
+        "{reply}"
+    );
+    assert_eq!(loris.recv(), None, "the loris is hung up on");
+
+    // The freed worker immediately serves honest clients.
+    assert_still_serving(&server, &coalescer);
+    server.stop();
+    server.join().unwrap();
+}
