@@ -404,7 +404,7 @@ fn main() {
     let mut serial_latencies = Vec::new();
     let mut concurrent_latencies = Vec::new();
     let mut coalesced_latencies = Vec::new();
-    let before_batches = index.stats().coalesced_batches;
+    let before = index.stats();
     for _ in 0..trials {
         let (wall, lat) = run_config(1, off);
         serial_wall_ns = serial_wall_ns.min(wall);
@@ -416,7 +416,29 @@ fn main() {
         coalesced_wall_ns = coalesced_wall_ns.min(wall);
         coalesced_latencies.extend(lat);
     }
-    let coalesced_batches = index.stats().coalesced_batches - before_batches;
+    let after = index.stats();
+    let coalesced_batches = after.coalesced_batches - before.coalesced_batches;
+    // Every server has been joined, so the counters are quiescent and the
+    // query delta is exact: three measured configurations per trial, each
+    // sweeping all `query_count` queries `repeats` times (the coalescer
+    // counts query vectors, not batches, so merging changes nothing here).
+    // `hits` is only bounded, not pinned — the tearing model in
+    // `ips_store::serving` guarantees a snapshot never shows more hits than
+    // queries, which is the strongest claim that survives concurrency.
+    assert_eq!(
+        after.queries - before.queries,
+        (3 * trials * query_count * repeats) as u64,
+        "measured sweeps must push exactly their queries through the engine"
+    );
+    assert!(
+        after.hits <= after.queries,
+        "hit counter can never outrun the query counter"
+    );
+    assert_eq!(
+        after.connections - before.connections,
+        (trials * (1 + 2 * clients)) as u64,
+        "each trial accepts one serial and two groups of concurrent clients"
+    );
 
     let total_requests = (query_count * repeats) as f64;
     let serial_qps = total_requests * 1e9 / serial_wall_ns.max(1) as f64;

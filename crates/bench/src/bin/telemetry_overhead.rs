@@ -1,0 +1,150 @@
+//! Telemetry overhead: serving throughput with the default (no-op) trace sink
+//! vs an attached [`ips_obs::TraceCapture`] — the acceptance measurement for
+//! the observability layer.
+//!
+//! The `ips-obs` design claim is that telemetry is free when nobody is
+//! looking: the serving hot path always runs through the sink plumbing
+//! (`ShardedServingIndex::query_with_sink`), and the only difference between
+//! "trace off" and "trace on" is whether the extra sink does anything. This
+//! binary pins that claim with numbers:
+//!
+//! 1. **untraced** — `query(..)`, i.e. the built-in [`ips_obs::Telemetry`]
+//!    histograms alone (what every production query pays);
+//! 2. **traced** — `query_with_sink(..)` with a [`ips_obs::TraceCapture`]
+//!    attached, the exact configuration the protocol's `trace on` produces.
+//!
+//! Both paths sweep the same planted batch; the answers are asserted
+//! identical, the walls are best-of-`trials`, and the acceptance bar is
+//! traced within **5%** of untraced. Both records land in the `--json` report
+//! (and from there in `BENCH_BASELINE.json`), so a PR that makes the sink
+//! plumbing expensive fails `scripts/check_bench.sh` even if it never toggles
+//! tracing.
+
+use ips_bench::{fmt, render_table, JsonReporter, Timer};
+use ips_core::problem::{JoinSpec, JoinVariant};
+use ips_datagen::planted::{PlantedConfig, PlantedInstance};
+use ips_obs::TraceCapture;
+use ips_store::Index;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut json = JsonReporter::from_env_args();
+    let mut rng = StdRng::seed_from_u64(0x0B5E7);
+    let n = 10_000;
+    let query_count = 64;
+    let dim = 32;
+    let shards = 4;
+    println!(
+        "== telemetry_overhead: untraced vs traced serving (brute, n={n}, {shards} shards) ==\n"
+    );
+
+    let inst = PlantedInstance::generate(
+        &mut rng,
+        PlantedConfig {
+            data: n,
+            queries: query_count,
+            dim,
+            background_scale: 0.05,
+            planted_ip: 0.85,
+            planted: 16,
+        },
+    )
+    .expect("valid config");
+    let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+    let index = Index::build(inst.data().to_vec())
+        .spec(spec)
+        .strategy(ips_core::facade::Strategy::Brute)
+        .seed(0xB11D)
+        .shards(shards)
+        .serve_sharded()
+        .expect("sharded build");
+    let queries = inst.queries();
+
+    // Warm the caches once, untimed, and fix the answer oracle.
+    let oracle = index.query(queries).expect("warm-up batch");
+
+    // Interleaved best-of-`trials`: each trial times `reps` full sweeps of
+    // both configurations back to back, so slow scheduler intervals hit both
+    // paths alike and the minima are comparable.
+    let reps = 8;
+    let trials = 5;
+    let mut untraced_ns = u128::MAX;
+    let mut traced_ns = u128::MAX;
+    let capture = TraceCapture::new();
+    for _ in 0..trials {
+        let timer = Timer::start();
+        let mut pairs = Vec::new();
+        for _ in 0..reps {
+            pairs = index.query(queries).expect("untraced batch");
+        }
+        untraced_ns = untraced_ns.min(timer.elapsed_ns());
+        assert_eq!(pairs, oracle, "untraced answers drifted");
+
+        let timer = Timer::start();
+        for _ in 0..reps {
+            pairs = index
+                .query_with_sink(queries, &capture)
+                .expect("traced batch");
+        }
+        traced_ns = traced_ns.min(timer.elapsed_ns());
+        assert_eq!(pairs, oracle, "tracing must not change a single answer");
+    }
+    assert!(
+        capture.stage(ips_obs::Stage::Engine) > 0,
+        "the capture really was attached"
+    );
+
+    let sweeps = (reps * query_count) as f64;
+    let untraced_qps = sweeps * 1e9 / untraced_ns.max(1) as f64;
+    let traced_qps = sweeps * 1e9 / traced_ns.max(1) as f64;
+    let overhead_pct = (traced_ns as f64 - untraced_ns as f64) * 100.0 / untraced_ns.max(1) as f64;
+    println!(
+        "{}",
+        render_table(
+            &["path", "wall ms", "ns / query", "queries / s"],
+            &[
+                vec![
+                    "untraced (default sink)".to_string(),
+                    fmt(untraced_ns as f64 / 1e6, 2),
+                    (untraced_ns / (reps * query_count) as u128).to_string(),
+                    fmt(untraced_qps, 0),
+                ],
+                vec![
+                    "traced (TraceCapture attached)".to_string(),
+                    fmt(traced_ns as f64 / 1e6, 2),
+                    (traced_ns / (reps * query_count) as u128).to_string(),
+                    fmt(traced_qps, 0),
+                ],
+            ]
+        )
+    );
+    println!(
+        "tracing overhead: {}% ({})",
+        fmt(overhead_pct, 2),
+        if traced_ns * 100 <= untraced_ns * 105 {
+            "PASS: traced within 5% of untraced"
+        } else {
+            "FAIL: tracing costs more than the 5% acceptance bar"
+        }
+    );
+
+    // `overhead` rides in the volatile `speedup` param slot so the regression
+    // gate strips it from the record key (see scripts/check_bench.sh).
+    for (path, ns) in [("untraced", untraced_ns), ("traced", traced_ns)] {
+        json.record(
+            "telemetry_overhead",
+            &[
+                ("path", path.to_string()),
+                ("n", n.to_string()),
+                ("dim", dim.to_string()),
+                ("shards", shards.to_string()),
+                ("reps", reps.to_string()),
+                ("speedup", fmt(overhead_pct, 2)),
+            ],
+            ns,
+            0.0,
+        );
+    }
+    json.finish().expect("write --json report");
+}

@@ -416,7 +416,8 @@ pub fn cmd_serve(raw: &ParsedArgs) -> Result<ServeSetup> {
     let mut builder = Index::open(args.str("snapshot"))
         .engine(engine_config(&args))
         .rebuild_threshold(args.f64("rebuild-threshold"))
-        .seed(args.u64("seed"));
+        .seed(args.u64("seed"))
+        .slow_log_micros(args.usize("slow-log-micros") as u64);
     if args.given("shards") {
         builder = builder.shards(args.usize("shards"));
     }

@@ -474,6 +474,13 @@ pub const SERVE: CommandSpec = CommandSpec {
             "32",
             "maximum query vectors merged into one coalesced engine pass",
         ),
+        ArgSpec::defaulted(
+            "slow-log-micros",
+            ArgKind::Usize,
+            "0",
+            "log a structured stderr line for any query batch at least this many \
+             microseconds of wall time (0 disables)",
+        ),
     ],
     notes: &[
         "The (cs, s) join thresholds live in the snapshot, set at build time.",
@@ -563,7 +570,17 @@ pub const SERVE_PROTOCOL: &[ProtocolCommand] = &[
     ProtocolCommand {
         name: "stats",
         usage: "stats",
-        reply: "per-index counters",
+        reply: "per-index counters and query-latency percentiles",
+    },
+    ProtocolCommand {
+        name: "metrics",
+        usage: "metrics",
+        reply: "Prometheus text exposition, terminated by a `# EOF` line",
+    },
+    ProtocolCommand {
+        name: "trace",
+        usage: "trace on|off",
+        reply: "per-stage tracing: each query/topk emits a `trace ...` breakdown line",
     },
     ProtocolCommand {
         name: "save",

@@ -15,6 +15,15 @@
 //!                                         inserts=… deletes=… rebuilds=… avg_query_ns=…
 //!                                         shards=… shard_live=…,…  (per-shard counts)
 //!                                         connections=… coalesced_batches=…
+//!                                         p50_query_ns=… p90_query_ns=… p99_query_ns=…
+//! metrics                               Prometheus text exposition, terminated
+//!                                         by a `# EOF` line (the multi-line
+//!                                         reply's framing marker)
+//! trace on|off                          per-session per-stage tracing: each
+//!                                         subsequent query/topk emits a
+//!                                         `trace parse=… … demux=…` breakdown
+//!                                         line before its answers (traced
+//!                                         requests bypass the coalescer)
 //! save <path>                           saved <path> (<bytes> bytes)
 //! help                                  command summary
 //! shutdown                              bye (over TCP, also stops the whole server)
@@ -34,8 +43,10 @@
 
 use crate::error::{CliError, Result};
 use ips_linalg::DenseVector;
+use ips_obs::{Observable, Stage, TraceCapture, TraceSink};
 use ips_store::{Coalescer, ShardedServingIndex};
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// Parses one `a,b,c` coordinate list.
 fn parse_vector(text: &str) -> Result<DenseVector> {
@@ -161,12 +172,22 @@ fn read_line_capped<R: BufRead>(input: &mut R, cap: usize) -> std::io::Result<Li
 
 /// Answers a parsed `query` batch — through the coalescer when the session has
 /// one (bit-identical either way; see `ips_store::coalesce`), directly
-/// otherwise.
+/// otherwise. A traced session bypasses the coalescer (the capture must cover
+/// exactly this request's stages, not a merged batch's) and appends a
+/// per-stage `trace` breakdown line; answers are bit-identical either way.
 fn run_query(
     serving: &ShardedServingIndex,
     coalescer: Option<&Coalescer>,
+    trace: Option<(u64, &mut Vec<String>)>,
     queries: Vec<DenseVector>,
 ) -> Result<Vec<ips_core::problem::MatchPair>> {
+    if let Some((parse_ns, out)) = trace {
+        let capture = TraceCapture::new();
+        capture.stage_ns(Stage::Parse, parse_ns);
+        let pairs = serving.query_with_sink(&queries, &capture)?;
+        out.push(trace_line(&capture, queries.len()));
+        return Ok(pairs);
+    }
     Ok(match coalescer {
         Some(c) => c.query(queries)?,
         None => serving.query(&queries)?,
@@ -177,13 +198,36 @@ fn run_query(
 fn run_top_k(
     serving: &ShardedServingIndex,
     coalescer: Option<&Coalescer>,
+    trace: Option<(u64, &mut Vec<String>)>,
     queries: Vec<DenseVector>,
     k: usize,
 ) -> Result<Vec<ips_core::problem::MatchPair>> {
+    if let Some((parse_ns, out)) = trace {
+        let capture = TraceCapture::new();
+        capture.stage_ns(Stage::Parse, parse_ns);
+        let pairs = serving.query_top_k_with_sink(&queries, k, &capture)?;
+        out.push(trace_line(&capture, queries.len()));
+        return Ok(pairs);
+    }
     Ok(match coalescer {
         Some(c) => c.query_top_k(queries, k)?,
         None => serving.query_top_k(&queries, k)?,
     })
+}
+
+/// Renders one captured per-stage breakdown, every stage always present in
+/// pipeline order (a stage that did not run reports 0 — `coalesce_wait` is
+/// always 0 here because traced requests bypass the coalescer).
+fn trace_line(capture: &TraceCapture, queries: usize) -> String {
+    let mut line = String::from("trace");
+    for stage in Stage::ALL {
+        line.push_str(&format!(" {}={}", stage.name(), capture.stage(stage)));
+    }
+    line.push_str(&format!(
+        " queries={queries} batch={}",
+        capture.observable(Observable::BatchSize)
+    ));
+    line
 }
 
 /// Executes one protocol line, appending reply lines to `out`. The serving
@@ -193,6 +237,7 @@ fn run_top_k(
 fn execute(
     serving: &ShardedServingIndex,
     coalescer: Option<&Coalescer>,
+    trace: &mut bool,
     line: &str,
     out: &mut Vec<String>,
 ) -> Result<Flow> {
@@ -204,9 +249,12 @@ fn execute(
     let rest = rest.trim();
     match command {
         "query" => {
+            let parse_start = Instant::now();
             let queries = parse_batch(rest)?;
+            let parse_ns = parse_start.elapsed().as_nanos() as u64;
             let n = queries.len();
-            let pairs = run_query(serving, coalescer, queries)?;
+            let trace = trace.then_some((parse_ns, &mut *out));
+            let pairs = run_query(serving, coalescer, trace, queries)?;
             let mut by_query = vec![None; n];
             for p in pairs {
                 by_query[p.query_index] = Some(p);
@@ -225,9 +273,12 @@ fn execute(
             let k: usize = k.parse().map_err(|_| CliError::Usage {
                 reason: format!("`{k}` is not a k"),
             })?;
+            let parse_start = Instant::now();
             let queries = parse_batch(batch)?;
+            let parse_ns = parse_start.elapsed().as_nanos() as u64;
             let n = queries.len();
-            let pairs = run_top_k(serving, coalescer, queries, k)?;
+            let trace = trace.then_some((parse_ns, &mut *out));
+            let pairs = run_top_k(serving, coalescer, trace, queries, k)?;
             let mut by_query: Vec<Vec<String>> = vec![Vec::new(); n];
             for p in pairs {
                 by_query[p.query_index].push(format!("{}:{:+.6}", p.data_index, p.inner_product));
@@ -258,8 +309,9 @@ fn execute(
                 .iter()
                 .map(|live| live.to_string())
                 .collect();
+            let latency = serving.telemetry().query_latency().snapshot();
             out.push(format!(
-                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={} connections={} coalesced_batches={}",
+                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={} connections={} coalesced_batches={} p50_query_ns={} p90_query_ns={} p99_query_ns={}",
                 serving.family(),
                 serving.len(),
                 stats.queries,
@@ -272,8 +324,33 @@ fn execute(
                 shard_live.join(","),
                 stats.connections,
                 stats.coalesced_batches,
+                latency.percentile(50),
+                latency.percentile(90),
+                latency.percentile(99),
             ));
         }
+        "metrics" => {
+            // The exposition ends with its own `# EOF\n` framing line; the
+            // session loop re-appends the final newline per reply, so strip
+            // one here to keep the output byte-stable.
+            let text = serving.prometheus_metrics();
+            out.push(text.trim_end_matches('\n').to_string());
+        }
+        "trace" => match rest {
+            "on" => {
+                *trace = true;
+                out.push("trace on".to_string());
+            }
+            "off" => {
+                *trace = false;
+                out.push("trace off".to_string());
+            }
+            _ => {
+                return Err(CliError::Usage {
+                    reason: "trace needs `trace on` or `trace off`".into(),
+                })
+            }
+        },
         "save" => {
             if rest.is_empty() {
                 return Err(CliError::Usage {
@@ -331,6 +408,7 @@ pub fn serve_session_with<R: BufRead, W: Write>(
         serving.shard_count()
     )?;
     output.flush()?;
+    let mut trace = false;
     loop {
         let line = match read_line_capped(&mut input, options.max_line_bytes)? {
             LineRead::Eof => return Ok(SessionEnd::Closed),
@@ -353,7 +431,7 @@ pub fn serve_session_with<R: BufRead, W: Write>(
             },
         };
         let mut replies = Vec::new();
-        match execute(serving, options.coalescer, &line, &mut replies) {
+        match execute(serving, options.coalescer, &mut trace, &line, &mut replies) {
             Ok(flow) => {
                 for reply in replies {
                     writeln!(output, "{reply}")?;
@@ -434,7 +512,16 @@ mod tests {
         assert!(lines[9].starts_with("stats family=brute live=2 queries=6 hits=5"));
         assert!(lines[9].contains("inserts=1 deletes=1"));
         // A stdin session never accepted a connection nor coalesced anything.
-        assert!(lines[9].ends_with("connections=0 coalesced_batches=0"));
+        assert!(lines[9].contains("connections=0 coalesced_batches=0"));
+        // Four query batches ran, so the latency percentiles are live.
+        assert!(lines[9].contains(" p50_query_ns="), "{}", lines[9]);
+        let p99 = lines[9]
+            .split("p99_query_ns=")
+            .nth(1)
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        assert!(p99 > 0);
         // quit ends the session: the trailing query is never answered.
         assert_eq!(*lines.last().unwrap(), "bye");
     }

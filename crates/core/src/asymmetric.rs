@@ -71,6 +71,9 @@ pub struct AlshMipsIndex {
     /// ([`AlshMipsIndex::set_scoring`]); cleared by insert/delete, which fall
     /// back to exact scoring (correctness never depends on this tile).
     quant: Option<ips_linalg::QuantTile>,
+    /// Lifetime tallies of the quantized candidate kernel's activity
+    /// (scored/pruned/rescored) — the serving telemetry reads deltas of this.
+    kernel_counters: crate::kernel::KernelCounters,
 }
 
 impl AlshMipsIndex {
@@ -127,6 +130,7 @@ impl AlshMipsIndex {
             spec,
             params,
             quant: None,
+            kernel_counters: crate::kernel::KernelCounters::new(),
         })
     }
 
@@ -265,6 +269,7 @@ impl AlshMipsIndex {
             spec,
             params,
             quant: None,
+            kernel_counters: crate::kernel::KernelCounters::new(),
         })
     }
 
@@ -316,6 +321,16 @@ impl AlshMipsIndex {
     pub(crate) fn quant_tile(&self) -> Option<&ips_linalg::QuantTile> {
         self.quant.as_ref()
     }
+
+    /// The quantized kernel's activity tallies (zero while exact scoring runs).
+    pub fn kernel_activity(&self) -> crate::kernel::KernelActivity {
+        self.kernel_counters.activity()
+    }
+
+    /// The counters the quantized candidate kernel ticks into.
+    pub(crate) fn kernel_counters(&self) -> &crate::kernel::KernelCounters {
+        &self.kernel_counters
+    }
 }
 
 impl MipsIndex for AlshMipsIndex {
@@ -335,7 +350,12 @@ impl MipsIndex for AlshMipsIndex {
             // Cheap integer scoring + conservative pruning + exact rescoring:
             // identical result to the exact loop below (see `crate::kernel`).
             crate::kernel::best_among_candidates_quantized(
-                &self.data, quant, limited, query, &self.spec,
+                &self.data,
+                quant,
+                limited,
+                query,
+                &self.spec,
+                &self.kernel_counters,
             )?
         } else {
             let mut best: Option<SearchResult> = None;

@@ -39,6 +39,8 @@ use crate::mips::SearchResult;
 use crate::problem::JoinSpec;
 use ips_linalg::{DenseVector, FloatTile, QuantTile, QuantVector};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Floating-point width of the batched scoring kernel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,14 +97,122 @@ impl ScoringOptions {
     }
 }
 
+/// Lifetime activity tallies of the reduced-precision scoring paths, recorded
+/// with relaxed atomics so concurrent engine workers can tick them lock-free.
+///
+/// The exact `f64` default path records nothing here — its zero-overhead
+/// contract stays literal. `scored` counts candidates examined by a
+/// reduced-precision kernel, `pruned` those eliminated by the conservative
+/// bound without an exact dot product, `rescored` those re-scored exactly,
+/// and `rescore_ns` the wall time of the prune-and-rescore passes.
+#[derive(Debug, Default)]
+pub struct KernelCounters {
+    scored: AtomicU64,
+    pruned: AtomicU64,
+    rescored: AtomicU64,
+    rescore_ns: AtomicU64,
+}
+
+impl KernelCounters {
+    /// Fresh counters, all zero.
+    pub const fn new() -> Self {
+        Self {
+            scored: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            rescored: AtomicU64::new(0),
+            rescore_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn note(&self, scored: u64, pruned: u64, rescored: u64, rescore_ns: u64) {
+        self.scored.fetch_add(scored, Ordering::Relaxed);
+        self.pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.rescored.fetch_add(rescored, Ordering::Relaxed);
+        self.rescore_ns.fetch_add(rescore_ns, Ordering::Relaxed);
+    }
+
+    /// A copy of the current tallies. Each field is read independently, so
+    /// under concurrent recording the copy can mix in-flight queries; exact
+    /// only at quiescent points (the same model as the serving counters).
+    pub fn activity(&self) -> KernelActivity {
+        KernelActivity {
+            scored: self.scored.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            rescored: self.rescored.load(Ordering::Relaxed),
+            rescore_ns: self.rescore_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for KernelCounters {
+    /// Clones carry the tallies forward but diverge afterwards (each clone
+    /// owns its own atomics) — matching value semantics of the owning index.
+    fn clone(&self) -> Self {
+        let a = self.activity();
+        Self {
+            scored: AtomicU64::new(a.scored),
+            pruned: AtomicU64::new(a.pruned),
+            rescored: AtomicU64::new(a.rescored),
+            rescore_ns: AtomicU64::new(a.rescore_ns),
+        }
+    }
+}
+
+/// A plain-value copy of [`KernelCounters`] tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelActivity {
+    /// Candidates examined by a reduced-precision kernel.
+    pub scored: u64,
+    /// Candidates eliminated by the conservative bound, never exactly scored.
+    pub pruned: u64,
+    /// Candidates re-scored exactly in `f64`.
+    pub rescored: u64,
+    /// Wall time of the prune-and-rescore passes.
+    pub rescore_ns: u64,
+}
+
+impl KernelActivity {
+    /// Field-wise sum — aggregates activity across kernels or shards.
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            scored: self.scored.saturating_add(other.scored),
+            pruned: self.pruned.saturating_add(other.pruned),
+            rescored: self.rescored.saturating_add(other.rescored),
+            rescore_ns: self.rescore_ns.saturating_add(other.rescore_ns),
+        }
+    }
+
+    /// Field-wise difference against an earlier copy (saturating, so a torn
+    /// concurrent read cannot underflow).
+    pub fn delta_since(self, earlier: Self) -> Self {
+        Self {
+            scored: self.scored.saturating_sub(earlier.scored),
+            pruned: self.pruned.saturating_sub(earlier.pruned),
+            rescored: self.rescored.saturating_sub(earlier.rescored),
+            rescore_ns: self.rescore_ns.saturating_sub(earlier.rescore_ns),
+        }
+    }
+}
+
 /// Data packed for the reduced-precision kernels selected by a
 /// [`ScoringOptions`]: an `f32` tile, an `i8` quantized tile, or neither
 /// (the default exact path needs no preprocessing).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PreparedKernel {
     options: ScoringOptions,
     f32_tile: Option<FloatTile>,
     quant: Option<QuantTile>,
+    counters: KernelCounters,
+}
+
+/// Equality ignores the activity counters: two kernels prepared the same way
+/// are the same kernel regardless of how much traffic each has served.
+impl PartialEq for PreparedKernel {
+    fn eq(&self, other: &Self) -> bool {
+        self.options == other.options
+            && self.f32_tile == other.f32_tile
+            && self.quant == other.quant
+    }
 }
 
 impl PreparedKernel {
@@ -124,6 +234,7 @@ impl PreparedKernel {
             options,
             f32_tile,
             quant,
+            counters: KernelCounters::new(),
         })
     }
 
@@ -135,6 +246,11 @@ impl PreparedKernel {
     /// The quantized tile, when `quantized=true`.
     pub fn quant_tile(&self) -> Option<&QuantTile> {
         self.quant.as_ref()
+    }
+
+    /// Lifetime scoring activity of this kernel (zero on the exact path).
+    pub fn activity(&self) -> KernelActivity {
+        self.counters.activity()
     }
 }
 
@@ -162,11 +278,11 @@ pub(crate) fn scored_batch(
     match (&prepared.quant, &prepared.f32_tile) {
         (Some(quant), _) => queries
             .iter()
-            .map(|q| quantized_best(data, quant, q, spec))
+            .map(|q| quantized_best(data, quant, q, spec, &prepared.counters))
             .collect(),
         (None, Some(tile)) => queries
             .iter()
-            .map(|q| f32_best(data, tile, q, spec))
+            .map(|q| f32_best(data, tile, q, spec, &prepared.counters))
             .collect(),
         (None, None) => crate::mips::data_major_batch(data, queries, spec),
     }
@@ -180,6 +296,7 @@ fn f32_best(
     tile: &FloatTile,
     query: &DenseVector,
     spec: &JoinSpec,
+    counters: &KernelCounters,
 ) -> Result<Option<SearchResult>> {
     if query.dim() != tile.dim() {
         // Score through the checked path to fail exactly as the f64 scan would.
@@ -197,8 +314,10 @@ fn f32_best(
         }
     }
     let Some((winner, _)) = best else {
+        counters.note(tile.rows() as u64, 0, 0, 0);
         return Ok(None);
     };
+    counters.note(tile.rows() as u64, 0, 1, 0);
     let ip = data[winner].dot(query)?;
     Ok(Some(SearchResult {
         data_index: winner,
@@ -215,6 +334,7 @@ fn quantized_best(
     quant: &QuantTile,
     query: &DenseVector,
     spec: &JoinSpec,
+    counters: &KernelCounters,
 ) -> Result<Option<SearchResult>> {
     if query.dim() != quant.dim() {
         data[0].dot(query)?;
@@ -245,13 +365,22 @@ fn quantized_best(
         floor = floor.max(a - b);
         approx.push((a, b));
     }
+    let rescore_start = Instant::now();
+    let mut rescored = 0u64;
     for (i, &(a, b)) in approx.iter().enumerate() {
         // Keep iff the optimistic value could still reach the floor: every
         // true maximiser satisfies a + b >= value >= floor.
         if a + b >= floor {
+            rescored += 1;
             consider(i, &mut best)?;
         }
     }
+    counters.note(
+        quant.rows() as u64,
+        (quant.rows() as u64).saturating_sub(rescored),
+        rescored,
+        rescore_start.elapsed().as_nanos() as u64,
+    );
     Ok(best.filter(|b| spec.satisfies_promise(b.inner_product)))
 }
 
@@ -265,6 +394,7 @@ pub(crate) fn best_among_candidates_quantized(
     candidates: &[usize],
     query: &DenseVector,
     spec: &JoinSpec,
+    counters: &KernelCounters,
 ) -> Result<Option<SearchResult>> {
     if let Some(&first) = candidates.first() {
         if query.dim() != quant.dim() {
@@ -280,11 +410,14 @@ pub(crate) fn best_among_candidates_quantized(
         floor = floor.max(a - b);
         approx.push((a, b));
     }
+    let rescore_start = Instant::now();
+    let mut rescored = 0u64;
     let mut best: Option<SearchResult> = None;
     for (&i, &(a, b)) in candidates.iter().zip(approx.iter()) {
         if a + b < floor {
             continue;
         }
+        rescored += 1;
         let ip = data[i].dot(query)?;
         let value = spec.variant.value(ip);
         let better = best
@@ -298,6 +431,12 @@ pub(crate) fn best_among_candidates_quantized(
             });
         }
     }
+    counters.note(
+        candidates.len() as u64,
+        (candidates.len() as u64).saturating_sub(rescored),
+        rescored,
+        rescore_start.elapsed().as_nanos() as u64,
+    );
     Ok(best)
 }
 
@@ -317,6 +456,7 @@ pub(crate) fn top_k_candidates_quantized(
     query: &DenseVector,
     spec: &JoinSpec,
     k: usize,
+    counters: &KernelCounters,
 ) -> Result<Vec<usize>> {
     if candidates.len() <= k {
         return Ok(candidates.to_vec());
@@ -337,12 +477,22 @@ pub(crate) fn top_k_candidates_quantized(
     }
     pessimistic.sort_by(|x, y| y.partial_cmp(x).expect("bounds are finite"));
     let floor = pessimistic[k - 1];
-    Ok(candidates
+    let survivors: Vec<usize> = candidates
         .iter()
         .zip(approx.iter())
         .filter(|(_, &(a, b))| a + b >= floor)
         .map(|(&i, _)| i)
-        .collect())
+        .collect();
+    // The caller exactly re-scores every survivor (`rescore_candidates`), so
+    // the survivor count is the rescored count; its wall time is not on this
+    // side of the call and stays out of `rescore_ns`.
+    counters.note(
+        candidates.len() as u64,
+        (candidates.len() as u64).saturating_sub(survivors.len() as u64),
+        survivors.len() as u64,
+        0,
+    );
+    Ok(survivors)
 }
 
 #[cfg(test)]
@@ -462,18 +612,24 @@ mod tests {
                 });
             }
         }
+        let counters = KernelCounters::new();
         let got =
-            best_among_candidates_quantized(&data, &quant, &candidates, &query, &spec).unwrap();
+            best_among_candidates_quantized(&data, &quant, &candidates, &query, &spec, &counters)
+                .unwrap();
         assert_eq!(reference, got);
+        let activity = counters.activity();
+        assert_eq!(activity.scored, candidates.len() as u64);
+        assert_eq!(activity.pruned + activity.rescored, activity.scored);
         assert_eq!(
-            best_among_candidates_quantized(&data, &quant, &[], &query, &spec).unwrap(),
+            best_among_candidates_quantized(&data, &quant, &[], &query, &spec, &counters).unwrap(),
             None
         );
 
         // The top-k prune keeps a superset of the exact top-k indices.
         let k = 7;
         let survivors =
-            top_k_candidates_quantized(&data, &quant, &candidates, &query, &spec, k).unwrap();
+            top_k_candidates_quantized(&data, &quant, &candidates, &query, &spec, k, &counters)
+                .unwrap();
         let mut scored: Vec<(f64, usize)> = candidates
             .iter()
             .map(|&i| (spec.variant.value(data[i].dot(&query).unwrap()), i))
@@ -485,9 +641,58 @@ mod tests {
         // Small candidate lists skip pruning entirely.
         let few: Vec<usize> = (0..5).collect();
         assert_eq!(
-            top_k_candidates_quantized(&data, &quant, &few, &query, &spec, 5).unwrap(),
+            top_k_candidates_quantized(&data, &quant, &few, &query, &spec, 5, &counters).unwrap(),
             few
         );
+    }
+
+    #[test]
+    fn kernel_activity_counts_the_quantized_scan_and_ignores_the_exact_path() {
+        let mut rng = StdRng::seed_from_u64(0xAC7);
+        let data = vectors(&mut rng, 60, 12);
+        let queries = vectors(&mut rng, 8, 12);
+        let spec = JoinSpec::new(0.05, 0.9, JoinVariant::Signed).unwrap();
+
+        let exact = PreparedKernel::prepare(&data, ScoringOptions::default()).unwrap();
+        scored_batch(&data, &exact, &queries, &spec).unwrap();
+        assert_eq!(exact.activity(), KernelActivity::default());
+
+        let quant = PreparedKernel::prepare(
+            &data,
+            ScoringOptions {
+                quantized: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        scored_batch(&data, &quant, &queries, &spec).unwrap();
+        let a = quant.activity();
+        assert_eq!(a.scored, (data.len() * queries.len()) as u64);
+        assert_eq!(a.pruned + a.rescored, a.scored);
+        assert!(
+            a.rescored >= queries.len() as u64,
+            "each query rescores its floor witness"
+        );
+
+        // Counters never participate in kernel equality, and clones diverge.
+        let fresh = PreparedKernel::prepare(
+            &data,
+            ScoringOptions {
+                quantized: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(quant, fresh);
+        let cloned = quant.clone();
+        scored_batch(&data, &cloned, &queries, &spec).unwrap();
+        assert_eq!(quant.activity(), a, "the original's tallies are untouched");
+        assert_eq!(cloned.activity().scored, 2 * a.scored);
+
+        // Activity arithmetic: merge and delta are field-wise.
+        let merged = a.merged(a);
+        assert_eq!(merged.scored, 2 * a.scored);
+        assert_eq!(merged.delta_since(a), a);
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub use asymmetric::AlshMipsIndex;
 pub use engine::{EngineConfig, JoinEngine};
 pub use error::{CoreError, Result};
 pub use facade::{Join, JoinBuilder, JoinReport, Strategy};
-pub use kernel::{Dtype, PreparedKernel, ScoringOptions};
+pub use kernel::{Dtype, KernelActivity, KernelCounters, PreparedKernel, ScoringOptions};
 pub use mips::{MipsIndex, SearchResult, SketchMipsAdapter};
 pub use planner::{auto_join, auto_join_with_plan, CostModel, JoinPlan, JoinPlanner};
 pub use problem::{JoinSpec, JoinVariant, MatchPair};

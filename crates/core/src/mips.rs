@@ -137,6 +137,15 @@ impl BruteForceMipsIndex {
     pub fn data(&self) -> &[DenseVector] {
         &self.data
     }
+
+    /// The prepared kernel's activity tallies — zero on the default exact
+    /// path, which has no prepared kernel and records nothing.
+    pub fn kernel_activity(&self) -> crate::kernel::KernelActivity {
+        self.kernel
+            .as_ref()
+            .map(crate::kernel::PreparedKernel::activity)
+            .unwrap_or_default()
+    }
 }
 
 impl MipsIndex for BruteForceMipsIndex {

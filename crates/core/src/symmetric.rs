@@ -167,6 +167,9 @@ pub struct SymmetricLshMips {
     /// ([`SymmetricLshMips::set_scoring`]); cleared by insert/delete, which
     /// fall back to exact scoring (correctness never depends on this tile).
     quant: Option<ips_linalg::QuantTile>,
+    /// Lifetime tallies of the quantized candidate kernel's activity
+    /// (scored/pruned/rescored) — the serving telemetry reads deltas of this.
+    kernel_counters: crate::kernel::KernelCounters,
 }
 
 impl SymmetricLshMips {
@@ -217,6 +220,7 @@ impl SymmetricLshMips {
             spec,
             params,
             quant: None,
+            kernel_counters: crate::kernel::KernelCounters::new(),
         })
     }
 
@@ -304,6 +308,16 @@ impl SymmetricLshMips {
         self.quant.as_ref()
     }
 
+    /// The quantized kernel's activity tallies (zero while exact scoring runs).
+    pub fn kernel_activity(&self) -> crate::kernel::KernelActivity {
+        self.kernel_counters.activity()
+    }
+
+    /// The counters the quantized candidate kernel ticks into.
+    pub(crate) fn kernel_counters(&self) -> &crate::kernel::KernelCounters {
+        &self.kernel_counters
+    }
+
     /// The tuning parameters the index was built with.
     pub fn params(&self) -> SymmetricParams {
         self.params
@@ -375,6 +389,7 @@ impl SymmetricLshMips {
             spec,
             params,
             quant: None,
+            kernel_counters: crate::kernel::KernelCounters::new(),
         })
     }
 
@@ -449,6 +464,7 @@ impl SymmetricLshMips {
                 &candidates,
                 query,
                 &self.spec,
+                &self.kernel_counters,
             );
         }
         let mut best: Option<SearchResult> = None;

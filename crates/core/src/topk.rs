@@ -91,6 +91,7 @@ impl TopKMipsIndex for AlshMipsIndex {
                 query,
                 &spec,
                 k,
+                self.kernel_counters(),
             )?;
             return rescore_candidates(self.data(), &survivors, query, &spec, k);
         }
@@ -110,6 +111,7 @@ impl TopKMipsIndex for SymmetricLshMips {
                 query,
                 &spec,
                 k,
+                self.kernel_counters(),
             )?;
             return rescore_candidates(self.data(), &survivors, query, &spec, k);
         }

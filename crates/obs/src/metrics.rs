@@ -1,0 +1,294 @@
+//! Atomic counters, gauges, and log2-bucketed histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets in a [`Histogram`] — one per possible bit position
+/// of a `u64` value, so recording never clamps or loses a sample.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket a value lands in: bucket 0 holds `{0, 1}`, bucket `i >= 1`
+/// holds `[2^i, 2^(i+1) - 1]` — i.e. `floor(log2(max(value, 1)))`.
+pub fn bucket_index(value: u64) -> usize {
+    (63 - (value | 1).leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold (`u64::MAX` for the last bucket).
+/// This is the value percentile extraction reports, making percentiles
+/// deterministic and always an over- (never under-) estimate.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (index + 1)) - 1
+    }
+}
+
+/// Lock-free log2-bucketed histogram.
+///
+/// Recording is three relaxed `fetch_add`s (bucket, count, sum); there is no
+/// lock and no allocation, so the hot path can record unconditionally.
+/// `count`/`sum` and the buckets can tear relative to each other under
+/// concurrent recording — a [`snapshot`](Histogram::snapshot) is only exact
+/// at quiescent points, which is all the exposition surface needs.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`] for the layout).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub const fn empty() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// A snapshot as if every value in `values` had been recorded — test and
+    /// merge-law convenience.
+    pub fn from_values(values: &[u64]) -> Self {
+        let mut snap = Self::empty();
+        for &v in values {
+            snap.buckets[bucket_index(v)] += 1;
+            snap.count += 1;
+            snap.sum = snap.sum.saturating_add(v);
+        }
+        snap
+    }
+
+    /// Bucket-wise sum of two snapshots. Associative and commutative (it is
+    /// addition per coordinate), so shard snapshots can be folded in any
+    /// order and equal the single-recorder histogram.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&other.buckets))
+        {
+            *out = a.saturating_add(*b);
+        }
+        Self {
+            buckets,
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+        }
+    }
+
+    /// Deterministic percentile estimate: the upper bound of the bucket
+    /// containing the sample of rank `ceil(p/100 * count)` (1-based).
+    /// Returns 0 for an empty snapshot; `p` is clamped to `0..=100`.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.min(100);
+        let rank = ((p * self.count).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(bucket);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        // count > 0 guarantees some bucket is non-empty; only a torn
+        // concurrent snapshot can fall through. Report the largest bound.
+        u64::MAX
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_floor_log2_with_zero_in_bucket_zero() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(9), 1023);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+        // Every value lands in the bucket whose range contains it.
+        for v in [0u64, 1, 2, 7, 8, 100, 4096, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v >= 1u64 << i);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_pinned_on_a_hand_built_distribution() {
+        // 90 samples of 100 (bucket 6, upper bound 127) and 10 of 10_000
+        // (bucket 13, upper bound 16383): p50/p90 sit in the low bucket,
+        // p99 in the high one.
+        let mut values = vec![100u64; 90];
+        values.extend(std::iter::repeat_n(10_000u64, 10));
+        let snap = HistogramSnapshot::from_values(&values);
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.percentile(50), 127);
+        assert_eq!(snap.percentile(90), 127);
+        assert_eq!(snap.percentile(99), 16_383);
+        assert_eq!(snap.percentile(100), 16_383);
+        assert_eq!(
+            snap.percentile(0),
+            127,
+            "p0 reports the first sample's bucket"
+        );
+        assert_eq!(HistogramSnapshot::empty().percentile(99), 0);
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_from_values() {
+        let hist = Histogram::new();
+        let values = [0u64, 1, 5, 5, 300, 1 << 20];
+        for &v in &values {
+            hist.record(v);
+        }
+        assert_eq!(hist.snapshot(), HistogramSnapshot::from_values(&values));
+        assert_eq!(hist.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn merge_is_the_concatenation_of_samples() {
+        let a = HistogramSnapshot::from_values(&[1, 2, 3]);
+        let b = HistogramSnapshot::from_values(&[100, 200]);
+        let all = HistogramSnapshot::from_values(&[1, 2, 3, 100, 200]);
+        assert_eq!(a.merge(&b), all);
+        assert_eq!(b.merge(&a), all, "merge is commutative");
+        assert_eq!(a.merge(&HistogramSnapshot::empty()), a, "empty is identity");
+    }
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(17);
+        assert_eq!(g.get(), 17);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+}

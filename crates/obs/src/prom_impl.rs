@@ -1,0 +1,175 @@
+//! Prometheus text exposition rendering.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// Builds a Prometheus text exposition.
+///
+/// Ordering is exactly the caller's call order and every number renders
+/// through the same integer formatter, so two writers fed the same state
+/// produce byte-identical output — the property the stdin/TCP `metrics`
+/// command relies on. [`finish`](PromWriter::finish) terminates the
+/// exposition with `# EOF` (OpenMetrics style), which doubles as the framing
+/// marker for the line protocol.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out.push_str(name);
+        self.render_labels(labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    fn render_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (key, val)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{key}=\"{val}\"");
+        }
+        self.out.push('}');
+    }
+
+    /// Writes a single-sample counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.sample(name, &[], value);
+    }
+
+    /// Writes a single-sample gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// Opens a gauge family so several labeled samples can follow via
+    /// [`gauge_sample`](PromWriter::gauge_sample).
+    pub fn gauge_family(&mut self, name: &str, help: &str) {
+        self.header(name, help, "gauge");
+    }
+
+    /// One labeled sample of a family opened with
+    /// [`gauge_family`](PromWriter::gauge_family).
+    pub fn gauge_sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample(name, labels, value);
+    }
+
+    /// Opens a histogram family so several labeled series can follow via
+    /// [`histogram_series`](PromWriter::histogram_series).
+    pub fn histogram_family(&mut self, name: &str, help: &str) {
+        self.header(name, help, "histogram");
+    }
+
+    /// One labeled series of a histogram family: cumulative `_bucket` samples
+    /// with integer `le` bounds up to the highest non-empty bucket, then
+    /// `le="+Inf"`, `_sum`, and `_count`.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let highest = (0..HISTOGRAM_BUCKETS)
+            .rev()
+            .find(|&i| snap.buckets[i] > 0)
+            .map_or(0, |i| (i + 1).min(HISTOGRAM_BUCKETS - 1));
+        let mut cumulative = 0u64;
+        for i in 0..=highest {
+            cumulative = cumulative.saturating_add(snap.buckets[i]);
+            let le = bucket_upper_bound(i).to_string();
+            let mut series: Vec<(&str, &str)> = labels.to_vec();
+            series.push(("le", le.as_str()));
+            self.sample(&bucket_name, &series, cumulative);
+        }
+        let mut inf: Vec<(&str, &str)> = labels.to_vec();
+        inf.push(("le", "+Inf"));
+        self.sample(&bucket_name, &inf, snap.count);
+        self.sample(&format!("{name}_sum"), labels, snap.sum);
+        self.sample(&format!("{name}_count"), labels, snap.count);
+    }
+
+    /// A complete unlabeled histogram family in one call.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.histogram_family(name, help);
+        self.histogram_series(name, &[], snap);
+    }
+
+    /// Terminates the exposition with `# EOF` and returns the text.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("# EOF\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_framing_render() {
+        let mut w = PromWriter::new();
+        w.counter("ips_queries_total", "Total queries.", 7);
+        w.gauge_family("ips_shard_live", "Live vectors per shard.");
+        w.gauge_sample("ips_shard_live", &[("shard", "0")], 3);
+        let text = w.finish();
+        assert!(text.contains("# HELP ips_queries_total Total queries.\n"));
+        assert!(text.contains("# TYPE ips_queries_total counter\n"));
+        assert!(text.contains("\nips_queries_total 7\n"));
+        assert!(text.contains("ips_shard_live{shard=\"0\"} 3\n"));
+        assert!(text.ends_with("# EOF\n"), "framed for the line protocol");
+    }
+
+    #[test]
+    fn histogram_series_is_cumulative_with_inf_sum_count() {
+        let snap = HistogramSnapshot::from_values(&[1, 1, 5, 300]);
+        let mut w = PromWriter::new();
+        w.histogram_family("ips_stage_ns", "Per-stage latency.");
+        w.histogram_series("ips_stage_ns", &[("stage", "engine")], &snap);
+        let text = w.finish();
+        // 1,1 -> bucket 0 (le 1); 5 -> bucket 2 (le 7); 300 -> bucket 8 (le 511).
+        assert!(text.contains("ips_stage_ns_bucket{stage=\"engine\",le=\"1\"} 2\n"));
+        assert!(text.contains("ips_stage_ns_bucket{stage=\"engine\",le=\"7\"} 3\n"));
+        assert!(text.contains("ips_stage_ns_bucket{stage=\"engine\",le=\"511\"} 4\n"));
+        assert!(text.contains("ips_stage_ns_bucket{stage=\"engine\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("ips_stage_ns_sum{stage=\"engine\"} 307\n"));
+        assert!(text.contains("ips_stage_ns_count{stage=\"engine\"} 4\n"));
+        let empty = HistogramSnapshot::empty();
+        let mut w = PromWriter::new();
+        w.histogram("ips_empty", "Nothing yet.", &empty);
+        let text = w.finish();
+        assert!(text.contains("ips_empty_bucket{le=\"1\"} 0\n"));
+        assert!(text.contains("ips_empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("ips_empty_count 0\n"));
+    }
+
+    #[test]
+    fn identical_state_renders_byte_identically() {
+        let snap = HistogramSnapshot::from_values(&[4, 9, 1 << 30]);
+        let render = || {
+            let mut w = PromWriter::new();
+            w.counter("ips_a_total", "A.", 3);
+            w.histogram("ips_b_ns", "B.", &snap);
+            w.finish()
+        };
+        assert_eq!(render(), render());
+    }
+}

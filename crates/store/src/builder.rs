@@ -111,6 +111,7 @@ pub struct IndexBuilder {
     rebuild_threshold: f64,
     seed: u64,
     scoring: ips_core::ScoringOptions,
+    slow_log_micros: u64,
     shards: Option<usize>,
     coalesce: CoalesceConfig,
 }
@@ -131,6 +132,7 @@ impl IndexBuilder {
             rebuild_threshold: serving.rebuild_threshold,
             seed: serving.seed,
             scoring: serving.scoring,
+            slow_log_micros: serving.slow_log_micros,
             shards: None,
             coalesce: CoalesceConfig::default(),
         }
@@ -247,6 +249,14 @@ impl IndexBuilder {
         self
     }
 
+    /// Slow-query threshold in microseconds (default 0 = disabled): a query
+    /// batch whose total wall time meets the threshold emits one structured
+    /// line on stderr. See [`ServingConfig::slow_log_micros`].
+    pub fn slow_log_micros(mut self, micros: u64) -> Self {
+        self.slow_log_micros = micros;
+        self
+    }
+
     /// How long the query coalescer of [`IndexBuilder::serve_coalescing`] waits
     /// for concurrent requests to merge, in microseconds (default 200; `0`
     /// disables coalescing). See [`CoalesceConfig::window_micros`].
@@ -269,6 +279,7 @@ impl IndexBuilder {
             rebuild_threshold: self.rebuild_threshold,
             seed: self.seed,
             scoring: self.scoring,
+            slow_log_micros: self.slow_log_micros,
         }
     }
 
@@ -678,9 +689,11 @@ mod tests {
             .strategy(Strategy::Brute)
             .engine(EngineConfig::serial())
             .rebuild_threshold(0.5)
+            .slow_log_micros(1_500)
             .serve()
             .unwrap();
         assert_eq!(serving.spec(), spec());
+        assert_eq!(serving.serving_config().slow_log_micros, 1_500);
         // A non-positive rebuild threshold is rejected by the serving layer.
         assert!(Index::build(inst.data().to_vec())
             .spec(spec())

@@ -41,6 +41,7 @@ use crate::error::{Result, StoreError};
 use crate::sharded::ShardedServingIndex;
 use ips_core::problem::MatchPair;
 use ips_linalg::DenseVector;
+use ips_obs::{Stage, TraceSink};
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -209,6 +210,7 @@ impl Coalescer {
         // No leader: become one. `pending` is empty here (the previous leader
         // drained it in the critical section that cleared the flag).
         debug_assert!(state.pending.is_empty());
+        let collect_start = Instant::now();
         state.leader = true;
         state.pending.push(Pending {
             queries,
@@ -238,6 +240,12 @@ impl Coalescer {
         let batch = std::mem::take(&mut state.pending);
         state.leader = false;
         drop(state);
+        // One sample per batch, leader-recorded: how long the collection
+        // window actually stayed open (followers wait at most this long too).
+        self.index.telemetry().stage_ns(
+            Stage::CoalesceWait,
+            collect_start.elapsed().as_nanos() as u64,
+        );
 
         let merged: Vec<DenseVector> = batch
             .iter()
@@ -248,6 +256,7 @@ impl Coalescer {
         }
         match self.run_pass(key, &merged) {
             Ok(pairs) => {
+                let demux_start = Instant::now();
                 let mut slices = demux(&batch, pairs);
                 // `batch[0]` is the leader; deliver the followers, keep ours.
                 let own = slices.remove(0);
@@ -256,6 +265,9 @@ impl Coalescer {
                     // A follower that gave up (disconnected) just drops its slice.
                     let _ = reply.send(Ok(slice));
                 }
+                self.index
+                    .telemetry()
+                    .stage_ns(Stage::Demux, demux_start.elapsed().as_nanos() as u64);
                 Ok(own)
             }
             Err(e) => {

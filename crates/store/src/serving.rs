@@ -101,6 +101,10 @@ pub struct ServingConfig {
     /// answers stay identical while the scan gets cheaper. Sketch-family
     /// primaries ignore it (they already rescore their one candidate exactly).
     pub scoring: ips_core::ScoringOptions,
+    /// Slow-query log threshold in microseconds; `0` (the default) disables
+    /// the log. A query batch whose wall time meets the threshold emits one
+    /// structured line on stderr from the sharded serving layer.
+    pub slow_log_micros: u64,
 }
 
 impl Default for ServingConfig {
@@ -110,11 +114,25 @@ impl Default for ServingConfig {
             rebuild_threshold: 0.25,
             seed: 0x1B5_5E4E,
             scoring: ips_core::ScoringOptions::default(),
+            slow_log_micros: 0,
         }
     }
 }
 
 /// A point-in-time copy of a serving index's counters.
+///
+/// # Tearing model
+///
+/// Counters are recorded lock-free from concurrent sessions, so a snapshot
+/// taken mid-query can lag the true totals. The tear is **consistent in one
+/// direction**: the recording order is `queries → hits → query_ns` with
+/// release stores, and a snapshot reads them back in the *reverse* order with
+/// acquire loads — so any batch whose `hits` (or `query_ns`) contribution is
+/// visible has its `queries` contribution visible too. Concretely: a snapshot
+/// never shows an effect without its cause (`hits > queries` on a threshold
+/// workload is impossible, and `avg_query_ns` never divides latency by a
+/// query count that excludes the batch that produced it). Snapshots are exact
+/// at quiescent points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServingStats {
     /// Query vectors answered.
@@ -173,11 +191,21 @@ impl Counters {
     }
 
     /// A point-in-time copy.
+    ///
+    /// The three query-path counters are read in the *reverse* of the order
+    /// [`Counters::note_queries`] writes them (acquire loads against its
+    /// release increments), which pins the tear direction: a batch whose
+    /// `query_ns` or `hits` is visible always has its `queries` visible —
+    /// see the [`ServingStats`] tearing-model docs. The remaining counters
+    /// are independent facts and stay relaxed.
     pub(crate) fn snapshot(&self) -> ServingStats {
+        let query_ns = self.query_ns.load(Ordering::Acquire);
+        let hits = self.hits.load(Ordering::Acquire);
+        let queries = self.queries.load(Ordering::Acquire);
         ServingStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            query_ns: self.query_ns.load(Ordering::Relaxed),
+            queries,
+            hits,
+            query_ns,
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
@@ -187,11 +215,16 @@ impl Counters {
     }
 
     /// Ticks the query/hit/latency counters for one answered batch.
+    ///
+    /// Write order `queries → hits → query_ns` with release increments: a
+    /// [`Counters::snapshot`] that observes a batch's later counter is
+    /// guaranteed (by its reversed acquire reads) to observe the earlier
+    /// ones, so snapshots never show hits or latency from an uncounted batch.
     pub(crate) fn note_queries(&self, queries: usize, hits: usize, start: Instant) {
-        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
-        self.hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.queries.fetch_add(queries as u64, Ordering::Release);
+        self.hits.fetch_add(hits as u64, Ordering::Release);
         self.query_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Release);
     }
 
     /// Ticks the accepted-connection counter (one accepted TCP session).
@@ -458,6 +491,21 @@ impl ServingIndex {
     /// A point-in-time copy of the per-index counters.
     pub fn stats(&self) -> ServingStats {
         self.counters.snapshot()
+    }
+
+    /// The primary structure's reduced-precision kernel activity tallies —
+    /// zero on the default exact path, which records nothing. The sharded
+    /// telemetry layer reads per-batch deltas of this to observe candidate /
+    /// pruned / rescored counts.
+    pub fn kernel_activity(&self) -> ips_core::KernelActivity {
+        match &self.primary {
+            AnyIndex::Brute(i) => i.kernel_activity(),
+            AnyIndex::Alsh(i) => i.kernel_activity(),
+            AnyIndex::Symmetric(i) => i.kernel_activity(),
+            // The sketch adapter rescores its single candidate exactly and
+            // has no reduced-precision kernel to count.
+            AnyIndex::Sketch(_) => ips_core::KernelActivity::default(),
+        }
     }
 
     /// Inserts a vector, returning its stable external id.

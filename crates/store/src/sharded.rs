@@ -69,7 +69,10 @@ use ips_core::mips::{MipsIndex, SearchResult};
 use ips_core::problem::{JoinSpec, MatchPair};
 use ips_core::shard::{merge_best, merge_top_k, merge_two_step};
 use ips_core::topk::TopKMipsIndex;
+use ips_core::KernelActivity;
 use ips_linalg::DenseVector;
+use ips_obs::prom::PromWriter;
+use ips_obs::{Fanout, Observable, Stage, Telemetry, TraceSink, NOOP_SINK};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -125,6 +128,10 @@ pub struct ShardedServingIndex {
     index_config: IndexConfig,
     config: ShardedConfig,
     counters: Counters,
+    /// Always-on aggregate telemetry: stage-latency and workload histograms
+    /// every query batch records into (a few relaxed atomic adds per batch),
+    /// rendered by [`ShardedServingIndex::prometheus_metrics`].
+    telemetry: Telemetry,
 }
 
 impl ShardedServingIndex {
@@ -198,6 +205,7 @@ impl ShardedServingIndex {
             index_config,
             config,
             counters: Counters::default(),
+            telemetry: Telemetry::new(),
         })
     }
 
@@ -318,6 +326,7 @@ impl ShardedServingIndex {
                 serving,
             },
             counters: Counters::default(),
+            telemetry: Telemetry::new(),
         })
     }
 
@@ -503,25 +512,207 @@ impl ShardedServingIndex {
     /// answers merged exactly (see the [module docs](self) for the per-family
     /// bit-identity guarantees). Results carry external ids in `data_index`.
     pub fn query(&self, queries: &[DenseVector]) -> Result<Vec<MatchPair>> {
+        self.query_with_sink(queries, &NOOP_SINK)
+    }
+
+    /// [`ShardedServingIndex::query`] with a caller-supplied [`TraceSink`]
+    /// receiving the per-stage breakdown of this batch (lock wait, engine,
+    /// rescore, merge) and its workload observables — the `trace on`
+    /// implementation. The sink only observes: answers are bit-identical to
+    /// [`ShardedServingIndex::query`], and the always-on aggregate
+    /// [`Telemetry`] records either way.
+    pub fn query_with_sink(
+        &self,
+        queries: &[DenseVector],
+        sink: &dyn TraceSink,
+    ) -> Result<Vec<MatchPair>> {
+        let fan = Fanout {
+            a: &self.telemetry,
+            b: sink,
+        };
         let start = Instant::now();
         let guards = self.read_all();
-        let engine = JoinEngine::with_config(self.view(&guards), self.config.serving.engine);
-        let pairs = engine.run(queries)?;
+        fan.stage_ns(Stage::LockWait, start.elapsed().as_nanos() as u64);
+        let before = Self::guarded_kernel_activity(&guards);
+        let engine =
+            JoinEngine::with_config(self.sink_view(&guards, &fan), self.config.serving.engine);
+        let pairs = engine.run_with_sink(queries, &fan)?;
+        let delta = Self::guarded_kernel_activity(&guards).delta_since(before);
+        self.observe_workload(&fan, queries, delta);
+        let total = start.elapsed();
+        self.telemetry.record_query_latency(total.as_nanos() as u64);
         self.counters
             .note_queries(queries.len(), pairs.len(), start);
+        self.slow_log("query", queries.len(), pairs.len(), total);
         Ok(pairs)
     }
 
     /// Answers a batch of top-`k` queries (up to `k` partners per query, best first):
     /// per-shard top-`k` heaps merged exactly through [`ips_core::shard::merge_top_k`].
     pub fn query_top_k(&self, queries: &[DenseVector], k: usize) -> Result<Vec<MatchPair>> {
+        self.query_top_k_with_sink(queries, k, &NOOP_SINK)
+    }
+
+    /// [`ShardedServingIndex::query_top_k`] with a caller-supplied
+    /// [`TraceSink`]; see [`ShardedServingIndex::query_with_sink`].
+    pub fn query_top_k_with_sink(
+        &self,
+        queries: &[DenseVector],
+        k: usize,
+        sink: &dyn TraceSink,
+    ) -> Result<Vec<MatchPair>> {
+        let fan = Fanout {
+            a: &self.telemetry,
+            b: sink,
+        };
         let start = Instant::now();
         let guards = self.read_all();
-        let engine = JoinEngine::with_config(self.view(&guards), self.config.serving.engine);
-        let pairs = engine.run_top_k(queries, k)?;
+        fan.stage_ns(Stage::LockWait, start.elapsed().as_nanos() as u64);
+        let before = Self::guarded_kernel_activity(&guards);
+        let engine =
+            JoinEngine::with_config(self.sink_view(&guards, &fan), self.config.serving.engine);
+        let pairs = engine.run_top_k_with_sink(queries, k, &fan)?;
+        let delta = Self::guarded_kernel_activity(&guards).delta_since(before);
+        self.observe_workload(&fan, queries, delta);
+        let total = start.elapsed();
+        self.telemetry.record_query_latency(total.as_nanos() as u64);
         self.counters
             .note_queries(queries.len(), pairs.len(), start);
+        self.slow_log("query_top_k", queries.len(), pairs.len(), total);
         Ok(pairs)
+    }
+
+    /// The always-on aggregate telemetry block (stage-latency and workload
+    /// histograms) — what `stats` percentiles and the slow-query log read.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Lifetime tallies of the quantized candidate kernels, summed across
+    /// shards (all zero on the exact `f64` scoring path, which tallies
+    /// nothing).
+    pub fn kernel_activity(&self) -> KernelActivity {
+        Self::guarded_kernel_activity(&self.read_all())
+    }
+
+    /// Sums kernel tallies through already-held guards — re-acquiring a read
+    /// lock while holding one could deadlock behind a queued writer.
+    fn guarded_kernel_activity(
+        guards: &[RwLockReadGuard<'_, Option<ServingIndex>>],
+    ) -> KernelActivity {
+        guards
+            .iter()
+            .filter_map(|g| g.as_ref())
+            .fold(KernelActivity::default(), |acc, shard| {
+                acc.merged(shard.kernel_activity())
+            })
+    }
+
+    /// Records the batch's workload observables: one norm sample per query,
+    /// plus what the quantized kernels did while this batch held the read
+    /// locks (approximate under concurrent batches — deltas of shared
+    /// counters — exact when batches run one at a time).
+    fn observe_workload(
+        &self,
+        sink: &dyn TraceSink,
+        queries: &[DenseVector],
+        delta: KernelActivity,
+    ) {
+        for q in queries {
+            sink.observe(Observable::QueryNormMilli, (q.norm() * 1000.0) as u64);
+        }
+        sink.observe(Observable::Candidates, delta.scored);
+        sink.observe(Observable::Pruned, delta.pruned);
+        sink.observe(Observable::Rescored, delta.rescored);
+        sink.stage_ns(Stage::Rescore, delta.rescore_ns);
+    }
+
+    /// Emits one structured stderr line when the batch's wall time meets
+    /// [`ServingConfig::slow_log_micros`] (0 disables).
+    fn slow_log(&self, op: &str, queries: usize, hits: usize, total: std::time::Duration) {
+        let threshold = self.config.serving.slow_log_micros;
+        if threshold > 0 && total.as_micros() as u64 >= threshold {
+            eprintln!(
+                "slow-query op={op} queries={queries} hits={hits} total_micros={}",
+                total.as_micros()
+            );
+        }
+    }
+
+    /// Renders the full metric registry as Prometheus text exposition,
+    /// terminated by `# EOF` — the `metrics` protocol command. Reading the
+    /// metrics records nothing, so two back-to-back scrapes of a quiescent
+    /// index are byte-identical.
+    pub fn prometheus_metrics(&self) -> String {
+        let stats = self.stats();
+        let shard_lens = self.shard_lens();
+        let mut w = PromWriter::new();
+        w.counter(
+            "ips_queries_total",
+            "Query vectors answered.",
+            stats.queries,
+        );
+        w.counter(
+            "ips_hits_total",
+            "Matches returned across all queries.",
+            stats.hits,
+        );
+        w.counter("ips_inserts_total", "Vectors inserted.", stats.inserts);
+        w.counter("ips_deletes_total", "Vectors deleted.", stats.deletes);
+        w.counter(
+            "ips_rebuilds_total",
+            "Shard structure rebuilds.",
+            stats.rebuilds,
+        );
+        w.counter(
+            "ips_connections_total",
+            "TCP sessions accepted.",
+            stats.connections,
+        );
+        w.counter(
+            "ips_coalesced_batches_total",
+            "Engine passes that merged two or more concurrent requests.",
+            stats.coalesced_batches,
+        );
+        w.gauge(
+            "ips_live_vectors",
+            "Live vectors across all shards.",
+            shard_lens.iter().sum::<usize>() as u64,
+        );
+        w.gauge_family("ips_shard_live_vectors", "Live vectors per shard.");
+        for (j, len) in shard_lens.iter().enumerate() {
+            let shard = j.to_string();
+            w.gauge_sample(
+                "ips_shard_live_vectors",
+                &[("shard", shard.as_str())],
+                *len as u64,
+            );
+        }
+        w.histogram(
+            "ips_query_latency_ns",
+            "End-to-end wall time per query batch.",
+            &self.telemetry.query_latency().snapshot(),
+        );
+        w.histogram_family("ips_stage_ns", "Wall time per pipeline stage.");
+        for stage in Stage::ALL {
+            w.histogram_series(
+                "ips_stage_ns",
+                &[("stage", stage.name())],
+                &self.telemetry.stage(stage).snapshot(),
+            );
+        }
+        w.histogram_family(
+            "ips_observed",
+            "Workload observables: query norms, batch sizes, kernel candidate counts.",
+        );
+        for obs in Observable::ALL {
+            w.histogram_series(
+                "ips_observed",
+                &[("observable", obs.name())],
+                &self.telemetry.observable(obs).snapshot(),
+            );
+        }
+        w.finish()
     }
 
     /// Forces every shard's pending state into a fresh primary structure now. After
@@ -574,11 +765,16 @@ impl ShardedServingIndex {
         self.shards.iter().map(|s| self.write_shard(s)).collect()
     }
 
-    fn view<'a>(&self, guards: &'a [RwLockReadGuard<'_, Option<ServingIndex>>]) -> ShardedView<'a> {
+    fn sink_view<'a>(
+        &self,
+        guards: &'a [RwLockReadGuard<'_, Option<ServingIndex>>],
+        sink: &'a dyn TraceSink,
+    ) -> ShardedView<'a> {
         ShardedView {
             shards: guards.iter().filter_map(|g| g.as_ref()).collect(),
             spec: self.spec,
             family: self.family(),
+            sink,
         }
     }
 }
@@ -600,6 +796,7 @@ impl From<ServingIndex> for ShardedServingIndex {
             // Query/hit/latency history carries over (queries tick at this layer
             // from now on); mutation counters keep living in the wrapped shard.
             counters: Counters::with_query_history(&index.stats()),
+            telemetry: Telemetry::new(),
             shards: vec![RwLock::new(Some(index))],
         }
     }
@@ -613,6 +810,9 @@ pub struct ShardedView<'a> {
     shards: Vec<&'a ServingIndex>,
     spec: JoinSpec,
     family: IndexFamily,
+    /// Receives per-query merge timings; engine workers record concurrently,
+    /// so an accumulating sink sums across threads.
+    sink: &'a dyn TraceSink,
 }
 
 impl MipsIndex for ShardedView<'_> {
@@ -633,13 +833,21 @@ impl MipsIndex for ShardedView<'_> {
             for shard in &self.shards {
                 parts.push(shard.search_parts_symmetric(query).map_err(to_core)?);
             }
-            return Ok(merge_two_step(&self.spec, &parts));
+            let start = Instant::now();
+            let merged = merge_two_step(&self.spec, &parts);
+            self.sink
+                .stage_ns(Stage::Merge, start.elapsed().as_nanos() as u64);
+            return Ok(merged);
         }
         let mut hits = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             hits.extend(ServingView(shard).search(query)?);
         }
-        Ok(merge_best(&self.spec, hits))
+        let start = Instant::now();
+        let merged = merge_best(&self.spec, hits);
+        self.sink
+            .stage_ns(Stage::Merge, start.elapsed().as_nanos() as u64);
+        Ok(merged)
     }
 }
 
@@ -649,7 +857,11 @@ impl TopKMipsIndex for ShardedView<'_> {
         for shard in &self.shards {
             lists.push(ServingView(shard).search_top_k(query, k)?);
         }
-        Ok(merge_top_k(&self.spec, lists, k))
+        let start = Instant::now();
+        let merged = merge_top_k(&self.spec, lists, k);
+        self.sink
+            .stage_ns(Stage::Merge, start.elapsed().as_nanos() as u64);
+        Ok(merged)
     }
 }
 

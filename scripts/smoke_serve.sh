@@ -15,7 +15,11 @@
 #      multi-shard file reloads with the insert intact,
 #   8. start `ips serve listen=127.0.0.1:0` as a real TCP server, replay the
 #      same session over a bash /dev/tcp client, assert the reply bytes are
-#      identical to the stdin transport, and stop the server with the
+#      identical to the stdin transport,
+#   9. scrape the `metrics` Prometheus exposition twice over fresh TCP
+#      connections with a query in between: every registered metric family is
+#      present, the exposition is `# EOF`-framed, and the query counter is
+#      monotonic across the scrapes; finally stop the server with the
 #      `shutdown` protocol command.
 # Used by CI after the release build; runnable locally as scripts/smoke_serve.sh.
 set -euo pipefail
@@ -191,6 +195,36 @@ cat <&3 > "$workdir/tcp_replies.txt"
 exec 3<&- 3>&-
 cmp "$workdir/stdin_replies.txt" "$workdir/tcp_replies.txt" \
     || cd_failed "TCP replies differ from the stdin transport"
+
+echo "== metrics scrape over TCP: present, framed, monotonic =="
+scrape() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'query %s\nmetrics\nquit\n' "$first_query" >&3
+    cat <&3 > "$1"
+    exec 3<&- 3>&-
+}
+scrape "$workdir/metrics1.txt"
+for name in ips_queries_total ips_hits_total ips_inserts_total ips_deletes_total \
+    ips_rebuilds_total ips_connections_total ips_coalesced_batches_total \
+    ips_live_vectors ips_shard_live_vectors ips_query_latency_ns \
+    ips_stage_ns ips_observed; do
+    grep -q "# TYPE $name " "$workdir/metrics1.txt" \
+        || cd_failed "metrics exposition missing family \`$name\`"
+done
+grep -q "^# EOF$" "$workdir/metrics1.txt" \
+    || cd_failed "metrics exposition must be framed with # EOF"
+grep -q '^ips_shard_live_vectors{shard="3"} ' "$workdir/metrics1.txt" \
+    || cd_failed "metrics must expose per-shard live gauges for all 4 shards"
+scrape "$workdir/metrics2.txt"
+q1="$(sed -n 's/^ips_queries_total \([0-9]*\)$/\1/p' "$workdir/metrics1.txt")"
+q2="$(sed -n 's/^ips_queries_total \([0-9]*\)$/\1/p' "$workdir/metrics2.txt")"
+[ -n "$q1" ] && [ -n "$q2" ] || cd_failed "scrapes must carry ips_queries_total"
+[ "$q2" -gt "$q1" ] \
+    || cd_failed "query counter must be monotonic across scrapes ($q1 -> $q2)"
+c1="$(sed -n 's/^ips_connections_total \([0-9]*\)$/\1/p' "$workdir/metrics1.txt")"
+c2="$(sed -n 's/^ips_connections_total \([0-9]*\)$/\1/p' "$workdir/metrics2.txt")"
+[ "$c2" -gt "$c1" ] \
+    || cd_failed "each scrape opens a connection, so the counter must move"
 
 # `shutdown` from a second connection stops the whole server.
 exec 3<>"/dev/tcp/127.0.0.1/$port"

@@ -145,9 +145,103 @@ fn every_protocol_command_answers_with_its_documented_reply_shape() {
                     "shard_live=",
                     "connections=",
                     "coalesced_batches=",
+                    "p50_query_ns=",
+                    "p90_query_ns=",
+                    "p99_query_ns=",
                 ] {
                     assert!(stats.contains(key), "stats must report {key}: {stats}");
                 }
+            }
+            "metrics" => {
+                let (lines, _) = run("query 1.0,0.0\nmetrics\n");
+                let text = lines[1..].join("\n");
+                assert_eq!(lines.last().unwrap(), "# EOF", "framed for the protocol");
+                for name in [
+                    "ips_queries_total",
+                    "ips_hits_total",
+                    "ips_inserts_total",
+                    "ips_deletes_total",
+                    "ips_rebuilds_total",
+                    "ips_connections_total",
+                    "ips_coalesced_batches_total",
+                    "ips_live_vectors",
+                    "ips_shard_live_vectors",
+                    "ips_query_latency_ns",
+                    "ips_stage_ns",
+                    "ips_observed",
+                ] {
+                    assert!(
+                        text.contains(&format!("# TYPE {name} ")),
+                        "metrics must expose {name}: {text}"
+                    );
+                }
+                assert!(text.contains("\nips_queries_total 1\n"), "{text}");
+                // Every sample line is `name[{labels}] <integer>`; HELP/TYPE
+                // lines and the EOF marker are the only comments.
+                for line in text.lines() {
+                    if line.starts_with('#') {
+                        assert!(
+                            line.starts_with("# HELP ")
+                                || line.starts_with("# TYPE ")
+                                || line == "# EOF",
+                            "unexpected comment line: {line}"
+                        );
+                        continue;
+                    }
+                    let (_, value) = line.rsplit_once(' ').expect("sample shape");
+                    assert!(value.parse::<u64>().is_ok(), "integer sample: {line}");
+                }
+                // Per-stage histogram series and per-shard live gauges exist.
+                assert!(
+                    text.contains("ips_stage_ns_bucket{stage=\"engine\","),
+                    "{text}"
+                );
+                assert!(
+                    text.contains("ips_shard_live_vectors{shard=\"0\"}"),
+                    "{text}"
+                );
+                assert!(
+                    text.contains("ips_shard_live_vectors{shard=\"1\"}"),
+                    "{text}"
+                );
+            }
+            "trace" => {
+                let (lines, _) = run("trace on\nquery 1.0,0.0\ntrace off\nquery 1.0,0.0\n");
+                assert_eq!(lines[0], "trace on");
+                let trace = &lines[1];
+                for key in [
+                    "trace parse=",
+                    " coalesce_wait=0",
+                    " lock_wait=",
+                    " engine=",
+                    " rescore=",
+                    " merge=",
+                    " demux=",
+                    " queries=1",
+                    " batch=1",
+                ] {
+                    assert!(trace.contains(key), "trace line must report {key}: {trace}");
+                }
+                let engine_ns: u64 = trace
+                    .split("engine=")
+                    .nth(1)
+                    .unwrap()
+                    .split(' ')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                assert!(engine_ns > 0, "the engine stage takes measurable time");
+                assert_eq!(lines[2], "hit 0 +0.900000", "traced answers are identical");
+                assert_eq!(lines[3], "trace off");
+                assert_eq!(lines[4], "hit 0 +0.900000", "no trace line once off");
+                assert_eq!(lines.len(), 5);
+                // A malformed toggle is a usage error.
+                let (lines, _) = run("trace maybe\n");
+                assert!(
+                    lines[0].starts_with("error: usage error: trace needs"),
+                    "{lines:?}"
+                );
             }
             "save" => {
                 let dir = std::env::temp_dir().join("ips-serve-protocol-test");
