@@ -417,7 +417,9 @@ pub fn cmd_serve(raw: &ParsedArgs) -> Result<ServeSetup> {
         .engine(engine_config(&args))
         .rebuild_threshold(args.f64("rebuild-threshold"))
         .seed(args.u64("seed"))
-        .slow_log_micros(args.usize("slow-log-micros") as u64);
+        .slow_log_micros(args.usize("slow-log-micros") as u64)
+        .adaptive(args.bool("adaptive"))
+        .drift_check_secs(args.usize("drift-check-secs") as u64);
     if args.given("shards") {
         builder = builder.shards(args.usize("shards"));
     }

@@ -4,6 +4,7 @@
 //! [`ips_cli::schema`] — the same structs that parse and validate each command's
 //! arguments — so `ips help` can never drift from what the commands accept.
 
+use ips_adapt::{AdaptiveConfig, AdaptiveController};
 use ips_cli::args::ParsedArgs;
 use ips_cli::commands::{
     cmd_build, cmd_generate, cmd_info, cmd_join, cmd_query, cmd_search, cmd_serve,
@@ -129,10 +130,27 @@ fn run() -> Result<(), CliError> {
         }
         "serve" => {
             let setup = cmd_serve(&args)?;
+            let serving = std::sync::Arc::new(setup.serving);
+            // adaptive=true puts the drift-detecting controller on its own
+            // thread next to the sessions; the handle stops and joins it when
+            // the server winds down.
+            let serving_config = serving.serving_config();
+            let _controller = serving_config.adaptive.then(|| {
+                let config = AdaptiveConfig {
+                    drift_check_secs: serving_config.drift_check_secs,
+                    seed: serving_config.seed,
+                    ..AdaptiveConfig::default()
+                };
+                println!(
+                    "adaptive controller on (drift checks every {}s)",
+                    config.drift_check_secs
+                );
+                AdaptiveController::new(std::sync::Arc::clone(&serving), config).spawn()
+            });
             match setup.listen {
                 Some(addr) => {
                     let coalescer = std::sync::Arc::new(Coalescer::new(
-                        std::sync::Arc::new(setup.serving),
+                        std::sync::Arc::clone(&serving),
                         setup.coalesce,
                     ));
                     let config = NetConfig {
@@ -155,7 +173,7 @@ fn run() -> Result<(), CliError> {
                 None => {
                     let stdin = std::io::stdin();
                     let stdout = std::io::stdout();
-                    serve_session(&setup.serving, stdin.lock(), stdout.lock())?;
+                    serve_session(&serving, stdin.lock(), stdout.lock())?;
                 }
             }
         }

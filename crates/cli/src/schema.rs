@@ -98,8 +98,8 @@ impl ArgKind {
                 _ => fail("a positive integer (at least 1)"),
             },
             ArgKind::Bool => match value {
-                "true" | "false" | "1" | "0" => Ok(()),
-                _ => fail("true/false/1/0"),
+                "true" | "false" | "1" | "0" | "on" | "off" => Ok(()),
+                _ => fail("true/false/1/0/on/off"),
             },
             ArgKind::Threads => match value {
                 "auto" => Ok(()),
@@ -481,6 +481,20 @@ pub const SERVE: CommandSpec = CommandSpec {
             "log a structured stderr line for any query batch at least this many \
              microseconds of wall time (0 disables)",
         ),
+        ArgSpec::defaulted(
+            "adaptive",
+            ArgKind::Bool,
+            "false",
+            "run the closed-loop adaptive controller: watch the served workload for \
+             drift, re-plan on fresh statistics, and migrate the index strategy in \
+             place (see the `plan` protocol command)",
+        ),
+        ArgSpec::defaulted(
+            "drift-check-secs",
+            ArgKind::PositiveUsize,
+            "5",
+            "seconds between the adaptive controller's drift checks (adaptive=true only)",
+        ),
     ],
     notes: &[
         "The (cs, s) join thresholds live in the snapshot, set at build time.",
@@ -570,7 +584,13 @@ pub const SERVE_PROTOCOL: &[ProtocolCommand] = &[
     ProtocolCommand {
         name: "stats",
         usage: "stats",
-        reply: "per-index counters and query-latency percentiles",
+        reply:
+            "per-index counters, windowed query-latency percentiles, and the adaptive drift state",
+    },
+    ProtocolCommand {
+        name: "plan",
+        usage: "plan",
+        reply: "the serving strategy, its drift score, and the migration count",
     },
     ProtocolCommand {
         name: "metrics",
@@ -830,7 +850,7 @@ impl<'a> CommandArgs<'a> {
 
     /// A boolean value (validated at bind time).
     pub fn bool(&self, key: &str) -> bool {
-        matches!(self.value(key), "true" | "1")
+        matches!(self.value(key), "true" | "1" | "on")
     }
 
     /// A [`ArgKind::Threads`] value resolved to the engine convention
@@ -975,8 +995,9 @@ mod tests {
             bindable(&JOIN, &["data=a", "queries=b", "s=0.5", "explain=maybe"])
                 .unwrap_err()
                 .to_string()
-                .contains("true/false/1/0")
+                .contains("true/false/1/0/on/off")
         );
+        assert!(bindable(&JOIN, &["data=a", "queries=b", "s=0.5", "explain=on"]).is_ok());
         assert!(bindable(&JOIN, &["data=a", "queries=b", "s=zero"])
             .unwrap_err()
             .to_string()

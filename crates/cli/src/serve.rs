@@ -16,6 +16,12 @@
 //!                                         shards=… shard_live=…,…  (per-shard counts)
 //!                                         connections=… coalesced_batches=…
 //!                                         p50_query_ns=… p90_query_ns=… p99_query_ns=…
+//!                                         (percentiles cover traffic since the
+//!                                         previous `stats`)
+//!                                         strategy=… drift_score=… migrations=…
+//! plan                                  plan strategy=… drift_score=… migrations=… live=…
+//!                                         (the adaptive controller's view: what is
+//!                                         serving, how far the workload has drifted)
 //! metrics                               Prometheus text exposition, terminated
 //!                                         by a `# EOF` line (the multi-line
 //!                                         reply's framing marker)
@@ -309,9 +315,13 @@ fn execute(
                 .iter()
                 .map(|live| live.to_string())
                 .collect();
-            let latency = serving.telemetry().query_latency().snapshot();
+            // Percentiles come from the windowed snapshot — traffic since the
+            // previous `stats` — so they describe current behaviour, not the
+            // session's lifetime average (the first `stats` covers everything
+            // so far).
+            let latency = serving.query_latency_window();
             out.push(format!(
-                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={} connections={} coalesced_batches={} p50_query_ns={} p90_query_ns={} p99_query_ns={}",
+                "stats family={} live={} queries={} hits={} inserts={} deletes={} rebuilds={} avg_query_ns={} shards={} shard_live={} connections={} coalesced_batches={} p50_query_ns={} p90_query_ns={} p99_query_ns={} strategy={} drift_score={:.3} migrations={}",
                 serving.family(),
                 serving.len(),
                 stats.queries,
@@ -327,6 +337,18 @@ fn execute(
                 latency.percentile(50),
                 latency.percentile(90),
                 latency.percentile(99),
+                serving.family(),
+                serving.drift_score(),
+                serving.migrations(),
+            ));
+        }
+        "plan" => {
+            out.push(format!(
+                "plan strategy={} drift_score={:.3} migrations={} live={}",
+                serving.family(),
+                serving.drift_score(),
+                serving.migrations(),
+                serving.len(),
             ));
         }
         "metrics" => {
@@ -519,9 +541,19 @@ mod tests {
             .split("p99_query_ns=")
             .nth(1)
             .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
             .parse::<u64>()
             .unwrap();
         assert!(p99 > 0);
+        // The adaptive-state keys close the line: the strategy mirrors the
+        // family, and an uncontrolled session reports zero drift/migrations.
+        assert!(
+            lines[9].ends_with("strategy=brute drift_score=0.000 migrations=0"),
+            "{}",
+            lines[9]
+        );
         // quit ends the session: the trailing query is never answered.
         assert_eq!(*lines.last().unwrap(), "bye");
     }

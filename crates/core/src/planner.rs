@@ -190,6 +190,38 @@ impl WorkloadStats {
             sampled_inner_products: sampled,
         })
     }
+
+    /// Normalized drift of these statistics relative to a `baseline`: the
+    /// largest relative change across the dimensions the cost model is
+    /// sensitive to (`n`, the norm means, and the promise/output densities).
+    ///
+    /// The score is in `[0, 1]` — 0 when every dimension is unchanged, 1 when
+    /// some dimension moved by its own magnitude (e.g. a density collapsing to
+    /// zero or the data set doubling). Taking the max rather than a weighted
+    /// sum keeps the score interpretable: "the most-drifted statistic moved by
+    /// this fraction", which is what a hysteresis threshold should gate on —
+    /// a single flipped dimension is enough to flip the plan, so averaging it
+    /// away against stable dimensions would blind the detector.
+    pub fn drift_from(&self, baseline: &Self) -> f64 {
+        fn rel(now: f64, then: f64) -> f64 {
+            let scale = now.abs().max(then.abs());
+            if scale < 1e-12 {
+                0.0
+            } else {
+                ((now - then).abs() / scale).min(1.0)
+            }
+        }
+        [
+            rel(self.data_count as f64, baseline.data_count as f64),
+            rel(self.mean_data_norm, baseline.mean_data_norm),
+            rel(self.mean_query_norm, baseline.mean_query_norm),
+            rel(self.max_query_norm, baseline.max_query_norm),
+            rel(self.promise_density, baseline.promise_density),
+            rel(self.output_density, baseline.output_density),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
 }
 
 fn norm_stats(vectors: &[DenseVector]) -> (f64, f64) {
@@ -821,6 +853,38 @@ mod tests {
             output_density: sampled.iter().filter(|&&ip| sp.acceptable(ip)).count() as f64 / total,
             sampled_inner_products: sampled,
         }
+    }
+
+    #[test]
+    fn drift_score_is_zero_on_identical_stats_and_tracks_the_worst_dimension() {
+        let base = stats(1000, 100, 32, vec![0.1; 64]);
+        assert_eq!(base.drift_from(&base), 0.0);
+
+        // Doubling the data set is a relative change of 0.5 against the
+        // larger magnitude; every other dimension is unchanged.
+        let mut grown = base.clone();
+        grown.data_count = 2000;
+        assert!((grown.drift_from(&base) - 0.5).abs() < 1e-12);
+
+        // A query-norm shift registers even when the data is untouched, and
+        // the max of the per-dimension changes wins.
+        let mut shifted = base.clone();
+        shifted.mean_query_norm = base.mean_query_norm * 1.1;
+        let small = shifted.drift_from(&base);
+        assert!(
+            small > 0.0 && small < 0.1,
+            "10% shift scores < 0.1: {small}"
+        );
+        shifted.output_density = 0.3;
+        assert_eq!(
+            shifted.drift_from(&base),
+            1.0,
+            "a density appearing from zero saturates the score"
+        );
+
+        // Symmetric up to which side is the baseline (both normalize by the
+        // larger magnitude).
+        assert_eq!(grown.drift_from(&base), base.drift_from(&grown));
     }
 
     #[test]

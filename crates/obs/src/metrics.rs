@@ -177,6 +177,52 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Bucket-wise difference `self − earlier`: the samples recorded between
+    /// the `earlier` snapshot and this one.
+    ///
+    /// This is the windowed-delta primitive: the cumulative histograms in
+    /// [`crate::Telemetry`] never reset, so an observer that wants "the last
+    /// N seconds" keeps the previous snapshot and diffs the current one
+    /// against it. At quiescent points `later.diff(&earlier)` is exactly the
+    /// histogram of the samples recorded in between (`merge` and `diff` are
+    /// inverses: `a.merge(&b).diff(&a) == b`). Under concurrent recording a
+    /// snapshot can tear, so the subtraction saturates at zero per coordinate
+    /// instead of wrapping — a torn window is slightly lossy, never garbage.
+    pub fn diff(&self, earlier: &Self) -> Self {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *out = now.saturating_sub(*then);
+        }
+        Self {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Mean sample value (`sum / count`), 0.0 when empty. The bucket layout
+    /// quantizes percentiles but `sum` is exact, so the mean is too.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the highest non-empty bucket — a deterministic
+    /// over-estimate of the largest recorded sample. 0 when empty.
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(bucket_upper_bound)
+            .unwrap_or(0)
+    }
+
     /// Deterministic percentile estimate: the upper bound of the bucket
     /// containing the sample of rank `ceil(p/100 * count)` (1-based).
     /// Returns 0 for an empty snapshot; `p` is clamped to `0..=100`.
@@ -277,6 +323,54 @@ mod tests {
         assert_eq!(a.merge(&b), all);
         assert_eq!(b.merge(&a), all, "merge is commutative");
         assert_eq!(a.merge(&HistogramSnapshot::empty()), a, "empty is identity");
+    }
+
+    #[test]
+    fn diff_inverts_merge_and_recovers_the_window() {
+        let before = HistogramSnapshot::from_values(&[1, 2, 3]);
+        let window = HistogramSnapshot::from_values(&[100, 200]);
+        let after = before.merge(&window);
+        assert_eq!(after.diff(&before), window, "diff recovers the window");
+        assert_eq!(
+            before.diff(&before),
+            HistogramSnapshot::empty(),
+            "a snapshot diffed against itself is empty"
+        );
+        assert!(before.diff(&before).is_empty());
+        assert_eq!(after.diff(&HistogramSnapshot::empty()), after);
+        // A torn (earlier-ahead) coordinate saturates to zero, never wraps.
+        let torn = before.diff(&after);
+        assert_eq!(torn.count, 0);
+        assert_eq!(torn.sum, 0);
+        assert!(torn.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn windowed_percentiles_see_only_recent_samples() {
+        // Lifetime: 90 fast samples then 10 slow ones. A window opened after
+        // the fast phase reports the slow distribution, not the cumulative
+        // p50 the lifetime snapshot would give.
+        let hist = Histogram::new();
+        for _ in 0..90 {
+            hist.record(100);
+        }
+        let baseline = hist.snapshot();
+        for _ in 0..10 {
+            hist.record(10_000);
+        }
+        let window = hist.snapshot().diff(&baseline);
+        assert_eq!(window.count, 10);
+        assert_eq!(window.percentile(50), 16_383, "window sees only slow ones");
+        assert_eq!(hist.snapshot().percentile(50), 127, "lifetime still fast");
+    }
+
+    #[test]
+    fn mean_and_max_bound_summarise_a_snapshot() {
+        let snap = HistogramSnapshot::from_values(&[10, 20, 30]);
+        assert!((snap.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(snap.max_bound(), 31, "bucket 4 upper bound covers 30");
+        assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+        assert_eq!(HistogramSnapshot::empty().max_bound(), 0);
     }
 
     #[test]

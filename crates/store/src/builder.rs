@@ -112,6 +112,8 @@ pub struct IndexBuilder {
     seed: u64,
     scoring: ips_core::ScoringOptions,
     slow_log_micros: u64,
+    adaptive: bool,
+    drift_check_secs: u64,
     shards: Option<usize>,
     coalesce: CoalesceConfig,
 }
@@ -133,6 +135,8 @@ impl IndexBuilder {
             seed: serving.seed,
             scoring: serving.scoring,
             slow_log_micros: serving.slow_log_micros,
+            adaptive: serving.adaptive,
+            drift_check_secs: serving.drift_check_secs,
             shards: None,
             coalesce: CoalesceConfig::default(),
         }
@@ -257,6 +261,24 @@ impl IndexBuilder {
         self
     }
 
+    /// Marks the served index for closed-loop adaptive control (default off):
+    /// front ends spawn an `ips-adapt` drift controller next to it, which
+    /// re-plans and migrates strategies when the observed workload drifts
+    /// from the one the live plan was costed on. See
+    /// [`ServingConfig::adaptive`]; the serving layers themselves only carry
+    /// the flag.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Seconds between the adaptive controller's drift checks (default 5).
+    /// See [`ServingConfig::drift_check_secs`].
+    pub fn drift_check_secs(mut self, secs: u64) -> Self {
+        self.drift_check_secs = secs;
+        self
+    }
+
     /// How long the query coalescer of [`IndexBuilder::serve_coalescing`] waits
     /// for concurrent requests to merge, in microseconds (default 200; `0`
     /// disables coalescing). See [`CoalesceConfig::window_micros`].
@@ -280,6 +302,8 @@ impl IndexBuilder {
             seed: self.seed,
             scoring: self.scoring,
             slow_log_micros: self.slow_log_micros,
+            adaptive: self.adaptive,
+            drift_check_secs: self.drift_check_secs,
         }
     }
 

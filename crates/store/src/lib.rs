@@ -83,5 +83,5 @@ pub use error::{Result, StoreError};
 pub use persist::Persist;
 pub use registry::ServingRegistry;
 pub use serving::{IndexConfig, ServingConfig, ServingIndex, ServingStats, ServingView};
-pub use sharded::{shard_of, ShardedConfig, ShardedServingIndex, ShardedView};
+pub use sharded::{shard_of, MigrationReport, ShardedConfig, ShardedServingIndex, ShardedView};
 pub use snapshot::{AnyIndex, IndexFamily, Snapshot};

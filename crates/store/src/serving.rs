@@ -105,6 +105,15 @@ pub struct ServingConfig {
     /// the log. A query batch whose wall time meets the threshold emits one
     /// structured line on stderr from the sharded serving layer.
     pub slow_log_micros: u64,
+    /// Run the closed-loop adaptive controller (`ips-adapt`) over this index:
+    /// periodically compare the observed workload against the statistics the
+    /// live plan was costed on, re-plan on drift, and migrate strategies
+    /// in place. The serving layers themselves ignore the flag — it rides
+    /// here so front ends (the CLI `serve` command) know to spawn the
+    /// controller next to the index they built.
+    pub adaptive: bool,
+    /// Seconds between the adaptive controller's drift checks.
+    pub drift_check_secs: u64,
 }
 
 impl Default for ServingConfig {
@@ -115,6 +124,8 @@ impl Default for ServingConfig {
             seed: 0x1B5_5E4E,
             scoring: ips_core::ScoringOptions::default(),
             slow_log_micros: 0,
+            adaptive: false,
+            drift_check_secs: 5,
         }
     }
 }
@@ -225,6 +236,16 @@ impl Counters {
         self.hits.fetch_add(hits as u64, Ordering::Release);
         self.query_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Folds another counter block's mutation history (inserts, deletes,
+    /// rebuilds) into this one — how the sharded layer keeps `stats()` totals
+    /// intact when a strategy migration retires a shard whose replacement is
+    /// empty (`None`) and so has no counter block to adopt them.
+    pub(crate) fn absorb_mutations(&self, stats: &ServingStats) {
+        self.inserts.fetch_add(stats.inserts, Ordering::Relaxed);
+        self.deletes.fetch_add(stats.deletes, Ordering::Relaxed);
+        self.rebuilds.fetch_add(stats.rebuilds, Ordering::Relaxed);
     }
 
     /// Ticks the accepted-connection counter (one accepted TCP session).
@@ -459,6 +480,33 @@ impl ServingIndex {
     /// The next external id the internal allocator would hand out.
     pub(crate) fn next_id(&self) -> u64 {
         self.next_id
+    }
+
+    /// Advances the internal allocator to at least `next` — used when a
+    /// strategy migration swaps in a freshly built shard, whose allocator
+    /// must match the sharded layer's global one (a fresh sharded build
+    /// seeds every shard with the global value, so this keeps a migrated
+    /// index bit-identical to that oracle and stops a later single-shard
+    /// save/reload from regressing the allocator).
+    pub(crate) fn raise_next_id(&mut self, next: u64) {
+        self.next_id = self.next_id.max(next);
+    }
+
+    /// Overwrites this index's mutation counters (inserts, deletes, rebuilds)
+    /// with another stats block's values. A migration replays the mutations
+    /// that landed during its background build onto the replacement shard —
+    /// mutations the retired shard already counted — so the replacement's
+    /// counters are *set* to the retired shard's totals rather than summed.
+    pub(crate) fn set_mutation_history(&mut self, stats: &ServingStats) {
+        self.counters
+            .inserts
+            .store(stats.inserts, Ordering::Relaxed);
+        self.counters
+            .deletes
+            .store(stats.deletes, Ordering::Relaxed);
+        self.counters
+            .rebuilds
+            .store(stats.rebuilds, Ordering::Relaxed);
     }
 
     /// The two halves of the symmetric-LSH two-step search, translated to external

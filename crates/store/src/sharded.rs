@@ -72,10 +72,13 @@ use ips_core::topk::TopKMipsIndex;
 use ips_core::KernelActivity;
 use ips_linalg::DenseVector;
 use ips_obs::prom::PromWriter;
-use ips_obs::{Fanout, Observable, Stage, Telemetry, TraceSink, NOOP_SINK};
+use ips_obs::{
+    Counter, Fanout, Gauge, HistogramSnapshot, Observable, Stage, Telemetry, TraceSink, NOOP_SINK,
+};
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// Tuning of a [`ShardedServingIndex`]: the shard count plus the per-shard
@@ -108,6 +111,25 @@ impl ShardedConfig {
     }
 }
 
+/// What one atomic strategy migration did — returned by
+/// [`ShardedServingIndex::migrate_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The family served before the swap.
+    pub from: IndexFamily,
+    /// The family served after it.
+    pub to: IndexFamily,
+    /// Live vectors in the background build's snapshot.
+    pub entries: usize,
+    /// Mutations that landed during the build and were replayed inside the
+    /// swap critical section (0 on a quiescent index).
+    pub reconciled: usize,
+    /// Wall time of the background build — the old index served throughout.
+    pub build_ns: u64,
+    /// Wall time write locks were held: the serving pause the swap caused.
+    pub swap_ns: u64,
+}
+
 /// The shard an external id lives in: a deterministic FNV-1a hash of the id's
 /// little-endian bytes, reduced modulo the shard count. Pure function of
 /// `(id, shards)`, so routing agrees across processes and across save/load.
@@ -125,13 +147,29 @@ pub struct ShardedServingIndex {
     next_id: AtomicU64,
     spec: JoinSpec,
     dim: usize,
-    index_config: IndexConfig,
+    /// The strategy currently served. Behind its own lock (not a plain field)
+    /// because [`ShardedServingIndex::migrate_to`] replaces it at runtime
+    /// from `&self`. Lock order: shard locks first, then this — readers that
+    /// hold shard guards (the query path's family dispatch) and the migration
+    /// writer (which holds every shard write lock at the swap point) both
+    /// follow it, so acquisition cannot cycle.
+    index_config: RwLock<IndexConfig>,
     config: ShardedConfig,
     counters: Counters,
     /// Always-on aggregate telemetry: stage-latency and workload histograms
     /// every query batch records into (a few relaxed atomic adds per batch),
     /// rendered by [`ShardedServingIndex::prometheus_metrics`].
     telemetry: Telemetry,
+    /// Completed strategy migrations ([`ShardedServingIndex::migrate_to`]).
+    migrations: Counter,
+    /// Last drift score published by an adaptive controller, in thousandths
+    /// (gauges hold integers; milli resolution matches the hysteresis
+    /// thresholds' granularity). 0 until a controller reports.
+    drift_milli: Gauge,
+    /// Baseline for the windowed `stats` percentiles: the query-latency
+    /// snapshot taken at the previous [`ShardedServingIndex::query_latency_window`]
+    /// call, diffed against and replaced on each call.
+    stats_window: Mutex<HistogramSnapshot>,
 }
 
 impl ShardedServingIndex {
@@ -202,10 +240,13 @@ impl ShardedServingIndex {
             next_id: AtomicU64::new(next_id),
             spec,
             dim,
-            index_config,
+            index_config: RwLock::new(index_config),
             config,
             counters: Counters::default(),
             telemetry: Telemetry::new(),
+            migrations: Counter::new(),
+            drift_milli: Gauge::new(),
+            stats_window: Mutex::new(HistogramSnapshot::empty()),
         })
     }
 
@@ -266,7 +307,7 @@ impl ShardedServingIndex {
         let loaded = Self::open(path, config.serving)?;
         let entries = loaded.live_entries();
         let next_id = loaded.next_id.load(Ordering::Relaxed);
-        Self::from_entries(entries, next_id, loaded.spec, loaded.index_config, config)
+        Self::from_entries(entries, next_id, loaded.spec, loaded.index_config(), config)
     }
 
     fn from_shard_snapshots(
@@ -320,13 +361,16 @@ impl ShardedServingIndex {
             next_id: AtomicU64::new(max_next),
             spec,
             dim,
-            index_config,
+            index_config: RwLock::new(index_config),
             config: ShardedConfig {
                 shards: shard_count,
                 serving,
             },
             counters: Counters::default(),
             telemetry: Telemetry::new(),
+            migrations: Counter::new(),
+            drift_milli: Gauge::new(),
+            stats_window: Mutex::new(HistogramSnapshot::empty()),
         })
     }
 
@@ -367,9 +411,50 @@ impl ShardedServingIndex {
         Ok(bytes.len() as u64)
     }
 
-    /// The index family being served.
+    /// The index family being served. Under an adaptive controller this can
+    /// change over the index's lifetime — see [`ShardedServingIndex::migrate_to`].
     pub fn family(&self) -> IndexFamily {
-        self.index_config.family()
+        self.index_config().family()
+    }
+
+    /// The strategy configuration currently served (what a rebuild — or an
+    /// empty shard's first insert — builds).
+    pub fn index_config(&self) -> IndexConfig {
+        *self
+            .index_config
+            .read()
+            .expect("index_config lock poisoned")
+    }
+
+    /// The per-shard serving configuration (engine schedule, rebuild
+    /// threshold, structure seed, adaptive knobs).
+    pub fn serving_config(&self) -> ServingConfig {
+        self.config.serving
+    }
+
+    /// The next external id the global allocator will hand out — together
+    /// with [`ShardedServingIndex::live_entries`] this is the full input of
+    /// the fresh-build oracle ([`ShardedServingIndex::from_entries`]).
+    pub fn next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Completed strategy migrations ([`ShardedServingIndex::migrate_to`]).
+    pub fn migrations(&self) -> u64 {
+        self.migrations.get()
+    }
+
+    /// Publishes the drift score an adaptive controller measured (clamped to
+    /// `[0, 1]`), surfaced by the `plan` / `stats` protocol commands and the
+    /// Prometheus exposition.
+    pub fn set_drift_score(&self, score: f64) {
+        self.drift_milli
+            .set((score.clamp(0.0, 1.0) * 1000.0).round() as u64);
+    }
+
+    /// The last published drift score (0.0 until a controller reports).
+    pub fn drift_score(&self) -> f64 {
+        self.drift_milli.get() as f64 / 1000.0
     }
 
     /// The `(cs, s)` spec queries are answered under.
@@ -489,7 +574,7 @@ impl ShardedServingIndex {
                     vec![(id, v)],
                     id + 1,
                     self.spec,
-                    self.index_config,
+                    self.index_config(),
                     self.config.serving,
                 )?;
             }
@@ -674,6 +759,16 @@ impl ShardedServingIndex {
             "Engine passes that merged two or more concurrent requests.",
             stats.coalesced_batches,
         );
+        w.counter(
+            "ips_migrations_total",
+            "Completed strategy migrations.",
+            self.migrations.get(),
+        );
+        w.gauge(
+            "ips_drift_score_milli",
+            "Last adaptive drift score, in thousandths.",
+            self.drift_milli.get(),
+        );
         w.gauge(
             "ips_live_vectors",
             "Live vectors across all shards.",
@@ -727,8 +822,197 @@ impl ShardedServingIndex {
         Ok(())
     }
 
-    /// Live `(external id, vector)` pairs across all shards, ascending by id.
-    fn live_entries(&self) -> Vec<(u64, DenseVector)> {
+    /// The query-latency histogram of the window since the previous call
+    /// (the whole lifetime on the first call) — what the `stats` protocol
+    /// command's percentiles report, so `p50_query_ns=` describes recent
+    /// traffic rather than averaging a long-lived server's history away.
+    /// Callers share one window: each call advances the baseline.
+    pub fn query_latency_window(&self) -> HistogramSnapshot {
+        let current = self.telemetry.query_latency().snapshot();
+        let mut baseline = self.stats_window.lock().expect("stats window poisoned");
+        let window = current.diff(&baseline);
+        *baseline = current;
+        window
+    }
+
+    /// Atomically migrates the whole index to a new strategy configuration,
+    /// preserving external ids, counters, and the global id allocator — the
+    /// swap step of the `ips-adapt` closed control loop.
+    ///
+    /// Two phases:
+    ///
+    /// 1. **Background build** (old index keeps serving): the live
+    ///    `(id, vector)` set is snapshotted under briefly-held read locks and
+    ///    replacement shard structures are built from it with *no* locks held,
+    ///    through exactly the deterministic machinery of
+    ///    [`ShardedServingIndex::from_entries`] (same routing, same shared
+    ///    structure seed). Queries and mutations proceed concurrently.
+    /// 2. **Atomic swap** (bounded pause): write locks are taken on every
+    ///    shard in index order and the replacements are swapped in. Mutations
+    ///    that landed between the snapshot and the swap are reconciled inside
+    ///    the critical section — replayed onto the replacement shard and
+    ///    compacted — so no mutation is ever lost, and the swapped-in index is
+    ///    bit-identical to a fresh build from the *final* live set under the
+    ///    new configuration (the determinism oracle the migration proptests
+    ///    pin). The pause is the swap, not the build:
+    ///    [`MigrationReport::swap_ns`] bounds it.
+    ///
+    /// Queries in flight when the swap begins finish on the old structures
+    /// (they hold read locks the swap waits for); queries arriving during the
+    /// swap block briefly and are answered by the new ones. The migration
+    /// counter ticks once on success.
+    pub fn migrate_to(&self, target: IndexConfig) -> Result<MigrationReport> {
+        let from = self.family();
+        let build_start = Instant::now();
+        // Phase 1: snapshot and build — no locks held while building.
+        let entries = self.live_entries();
+        if entries.is_empty() {
+            return Err(StoreError::InvalidParameter {
+                name: "migrate",
+                reason: "cannot migrate an index with no live vectors".into(),
+            });
+        }
+        // Loaded after the snapshot, so it covers every id the snapshot saw.
+        let next_at_snapshot = self.next_id.load(Ordering::Relaxed);
+        let shard_count = self.shards.len();
+        let mut per_shard: Vec<Vec<(u64, DenseVector)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        for (id, v) in entries {
+            per_shard[shard_of(id, shard_count)].push((id, v));
+        }
+        let built_count = per_shard.iter().map(Vec::len).sum();
+        let mut built = Vec::with_capacity(shard_count);
+        for entries in per_shard {
+            built.push(Self::build_shard(
+                entries,
+                next_at_snapshot,
+                self.spec,
+                target,
+                self.config.serving,
+            )?);
+        }
+        let build_ns = build_start.elapsed().as_nanos() as u64;
+
+        // Phase 2: stop-the-world swap with mutation reconciliation.
+        let swap_start = Instant::now();
+        let mut guards = self.write_all();
+        let global_next = self.next_id.load(Ordering::Relaxed);
+        let mut reconciled = 0usize;
+        for (guard, replacement) in guards.iter_mut().zip(built) {
+            reconciled += Self::swap_shard(
+                guard,
+                replacement,
+                global_next,
+                self.spec,
+                target,
+                self.config.serving,
+                &self.counters,
+            )?;
+        }
+        *self
+            .index_config
+            .write()
+            .expect("index_config lock poisoned") = target;
+        drop(guards);
+        self.migrations.inc();
+        Ok(MigrationReport {
+            from,
+            to: target.family(),
+            entries: built_count,
+            reconciled,
+            build_ns,
+            swap_ns: swap_start.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Swaps one shard's replacement in, reconciling mutations that landed
+    /// after the build snapshot. Runs inside the migration's write-lock
+    /// critical section; returns how many mutations were replayed.
+    fn swap_shard(
+        guard: &mut RwLockWriteGuard<'_, Option<ServingIndex>>,
+        replacement: Option<ServingIndex>,
+        global_next: u64,
+        spec: JoinSpec,
+        target: IndexConfig,
+        serving: ServingConfig,
+        layer_counters: &Counters,
+    ) -> Result<usize> {
+        // The live set the swapped-in shard must end up holding.
+        let current: Vec<(u64, DenseVector)> = match guard.as_ref() {
+            Some(shard) => {
+                let mut entries: Vec<(u64, DenseVector)> = shard
+                    .ids()
+                    .into_iter()
+                    .map(|id| (id, shard.vector(id).expect("listed id is live").clone()))
+                    .collect();
+                entries.sort_unstable_by_key(|(id, _)| *id);
+                entries
+            }
+            None => Vec::new(),
+        };
+        let old_stats = guard.as_ref().map(|s| s.stats()).unwrap_or_default();
+        if current.is_empty() {
+            // The canonical form of an empty shard is `None` (what a fresh
+            // build produces). Its mutation history moves to the layer
+            // counters so `stats()` totals survive the retirement.
+            if guard.is_some() {
+                layer_counters.absorb_mutations(&old_stats);
+            }
+            **guard = None;
+            return Ok(0);
+        }
+        let current_ids: BTreeSet<u64> = current.iter().map(|(id, _)| *id).collect();
+        let built_ids: BTreeSet<u64> = replacement
+            .as_ref()
+            .map(|r| r.ids().into_iter().collect())
+            .unwrap_or_default();
+        let mut replacement = match replacement {
+            Some(r) => r,
+            // Built empty (the shard had no vectors at the snapshot) but
+            // mutations have since populated it: build it fresh — already
+            // canonical, nothing to replay.
+            None => {
+                let replayed = current.len();
+                let mut shard = Self::build_shard(current, global_next, spec, target, serving)?
+                    .expect("non-empty entries build a shard");
+                shard.set_mutation_history(&old_stats);
+                **guard = Some(shard);
+                return Ok(replayed);
+            }
+        };
+        let mut replayed = 0usize;
+        if current_ids != built_ids {
+            // Replay the delta: deletes of snapshotted ids that died during
+            // the build, inserts of ids born during it. Vectors behind a
+            // stable id never change, so the symmetric difference is the
+            // entire divergence. Compaction then restores the canonical
+            // fresh-build form (the serving determinism invariant).
+            for id in built_ids.difference(&current_ids) {
+                replacement.delete(*id)?;
+                replayed += 1;
+            }
+            for (id, v) in &current {
+                if !built_ids.contains(id) {
+                    replacement.insert_with_id(*id, v.clone())?;
+                    replayed += 1;
+                }
+            }
+            replacement.compact()?;
+        }
+        // Replayed mutations were already counted by the retired shard: set,
+        // not add, so totals stay exact.
+        replacement.set_mutation_history(&old_stats);
+        replacement.raise_next_id(global_next);
+        **guard = Some(replacement);
+        Ok(replayed)
+    }
+
+    /// Live `(external id, vector)` pairs across all shards, ascending by id —
+    /// with [`ShardedServingIndex::next_id`], the input a fresh-build oracle
+    /// ([`ShardedServingIndex::from_entries`]) or an adaptive controller's
+    /// re-sampled [`ips_core::planner::WorkloadStats`] needs. Shard read locks
+    /// are taken one at a time, so this does not block concurrent queries.
+    pub fn live_entries(&self) -> Vec<(u64, DenseVector)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             if let Some(shard) = self.read_shard(shard).as_ref() {
@@ -788,7 +1072,7 @@ impl From<ServingIndex> for ShardedServingIndex {
             next_id: AtomicU64::new(index.next_id()),
             spec: index.spec(),
             dim: index.dim(),
-            index_config: index.index_config(),
+            index_config: RwLock::new(index.index_config()),
             config: ShardedConfig {
                 shards: 1,
                 serving: index.serving_config(),
@@ -797,6 +1081,9 @@ impl From<ServingIndex> for ShardedServingIndex {
             // from now on); mutation counters keep living in the wrapped shard.
             counters: Counters::with_query_history(&index.stats()),
             telemetry: Telemetry::new(),
+            migrations: Counter::new(),
+            drift_milli: Gauge::new(),
+            stats_window: Mutex::new(HistogramSnapshot::empty()),
             shards: vec![RwLock::new(Some(index))],
         }
     }
@@ -1182,6 +1469,111 @@ mod tests {
             },
         };
         assert!(ShardedServingIndex::build(data, spec(), IndexConfig::Brute, bad).is_err());
+    }
+
+    #[test]
+    fn migrate_to_swaps_the_family_and_matches_the_fresh_build_oracle() {
+        let dim = 10;
+        let data = vectors(0xDA, 48, dim, 0.9);
+        let queries = vectors(0xDB, 12, dim, 1.0);
+        let sharded = ShardedServingIndex::build(
+            data,
+            spec(),
+            IndexConfig::Brute,
+            ShardedConfig::with_shards(3),
+        )
+        .unwrap();
+        // Warm history the migration must preserve.
+        let extra = vectors(0xDC, 2, dim, 0.9);
+        for v in extra {
+            sharded.insert(v).unwrap();
+        }
+        sharded.delete(5).unwrap();
+        sharded.query(&queries).unwrap();
+        let before = sharded.stats();
+        for target in families() {
+            let report = sharded.migrate_to(target).unwrap();
+            assert_eq!(report.to, target.family());
+            assert_eq!(report.entries, 49);
+            assert_eq!(report.reconciled, 0, "quiescent index replays nothing");
+            assert_eq!(sharded.family(), target.family());
+            // Bit-identical to a fresh sharded build from the live set under
+            // the target configuration.
+            let oracle = ShardedServingIndex::from_entries(
+                sharded.live_entries(),
+                sharded.next_id(),
+                sharded.spec(),
+                target,
+                ShardedConfig::with_shards(3),
+            )
+            .unwrap();
+            assert_eq!(
+                sharded.query(&queries).unwrap(),
+                oracle.query(&queries).unwrap(),
+                "{target:?}"
+            );
+            assert_eq!(
+                sharded.query_top_k(&queries, 3).unwrap(),
+                oracle.query_top_k(&queries, 3).unwrap(),
+                "{target:?}"
+            );
+            // Mutation history survives every swap.
+            let now = sharded.stats();
+            assert_eq!(now.inserts, before.inserts, "{target:?}");
+            assert_eq!(now.deletes, before.deletes, "{target:?}");
+        }
+        assert_eq!(sharded.migrations(), families().len() as u64);
+        // The report's pause is the swap, not the build.
+        let report = sharded.migrate_to(IndexConfig::Brute).unwrap();
+        assert!(report.build_ns > 0);
+        assert_eq!(report.from, IndexFamily::Sketch);
+        // Ids keep flowing from the preserved global allocator.
+        let q = vectors(0xDD, 1, dim, 0.9).pop().unwrap();
+        assert_eq!(sharded.insert(q).unwrap(), 50);
+    }
+
+    #[test]
+    fn migrating_an_empty_index_is_rejected_and_drift_gauge_round_trips() {
+        let dim = 6;
+        let data = vectors(0xEA, 2, dim, 0.9);
+        let sharded = ShardedServingIndex::build(
+            data,
+            spec(),
+            IndexConfig::Brute,
+            ShardedConfig::with_shards(2),
+        )
+        .unwrap();
+        for id in sharded.ids() {
+            sharded.delete(id).unwrap();
+        }
+        assert!(sharded.migrate_to(IndexConfig::Brute).is_err());
+        assert_eq!(sharded.migrations(), 0);
+        assert_eq!(sharded.drift_score(), 0.0);
+        sharded.set_drift_score(0.375);
+        assert_eq!(sharded.drift_score(), 0.375);
+        sharded.set_drift_score(7.0);
+        assert_eq!(sharded.drift_score(), 1.0, "scores clamp to [0, 1]");
+    }
+
+    #[test]
+    fn query_latency_window_reports_only_traffic_since_the_last_call() {
+        let dim = 8;
+        let data = vectors(0xFA, 10, dim, 0.9);
+        let queries = vectors(0xFB, 4, dim, 1.0);
+        let sharded =
+            ShardedServingIndex::build(data, spec(), IndexConfig::Brute, ShardedConfig::default())
+                .unwrap();
+        sharded.query(&queries).unwrap();
+        let first = sharded.query_latency_window();
+        assert_eq!(first.count, 1, "first window covers the whole lifetime");
+        assert!(first.percentile(99) > 0);
+        let quiet = sharded.query_latency_window();
+        assert!(quiet.is_empty(), "no traffic since the last call");
+        sharded.query(&queries).unwrap();
+        sharded.query(&queries).unwrap();
+        assert_eq!(sharded.query_latency_window().count, 2);
+        // The lifetime histogram is untouched by windowing.
+        assert_eq!(sharded.telemetry().query_latency().snapshot().count, 3);
     }
 
     #[test]

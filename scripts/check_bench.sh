@@ -72,6 +72,7 @@ gated() {
         serve_throughput*) return 0 ;;
         kernel_throughput*) return 0 ;;
         telemetry_overhead*) return 0 ;;
+        adaptive_serving*) return 0 ;;
         join_scaling*)
             local n
             n=$(sed -n 's/.*"n": "\([0-9]*\)".*/\1/p' <<<"$key")
@@ -179,7 +180,8 @@ self_test() {
   {"name": "join_scaling", "params": {"algo": "alsh", "n": "1000"}, "wall_ns": 50000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "join_scaling", "params": {"algo": "alsh", "n": "8000"}, "wall_ns": 900000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "kernel_throughput", "params": {"kernel": "f32", "dim": "32", "n": "2000", "m": "200", "reps": "2", "speedup": "1.53"}, "wall_ns": 3000000, "flops": 5.12e7, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
-  {"name": "telemetry_overhead", "params": {"path": "traced", "n": "10000", "dim": "32", "shards": "4", "reps": "8", "speedup": "0.40"}, "wall_ns": 140000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"}
+  {"name": "telemetry_overhead", "params": {"path": "traced", "n": "10000", "dim": "32", "shards": "4", "reps": "8", "speedup": "0.40"}, "wall_ns": 140000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
+  {"name": "adaptive_serving", "params": {"scenario": "streaming", "path": "adaptive", "n": "1024", "dim": "3", "reps": "4", "speedup": "1.75"}, "wall_ns": 5000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"}
 ]
 EOF
     # An identical run passes (speedup param differences must not matter).
@@ -204,6 +206,11 @@ EOF
     sed 's/"wall_ns": 140000000/"wall_ns": 280000000/' "$base" > "$cur"
     if compare "$base" "$cur" > /dev/null 2>&1; then
         die "self-test: a telemetry_overhead slowdown must fail the gate"
+    fi
+    # A 2x slowdown on the adaptive-serving migration record fails too.
+    sed 's/"wall_ns": 5000000/"wall_ns": 10000000/' "$base" > "$cur"
+    if compare "$base" "$cur" > /dev/null 2>&1; then
+        die "self-test: an adaptive_serving slowdown must fail the gate"
     fi
     # A 2x slowdown on an UN-gated record (n=8000) does not fail.
     sed 's/"wall_ns": 900000000/"wall_ns": 1800000000/' "$base" > "$cur"

@@ -234,4 +234,97 @@ exec 3<&- 3>&-
 grep -q "^bye$" <<<"$shutdown_replies" || cd_failed "shutdown not acknowledged"
 wait "$server_pid" || cd_failed "server exited non-zero after shutdown"
 
+echo "== adaptive serve: drift-triggered live migration, identical answers =="
+# A wide-table ALSH snapshot (bits=6 raises the per-table collision rate so the
+# planted pairs — the only pairs above cs, the background tops out at ip 0.1 —
+# are found with near-certain probability: answers are effectively exact, which
+# is what makes the before/after byte-comparison below deterministic).
+"$IPS" build "data=$workdir/data.csv" "snapshot=$workdir/adaptive.snap" \
+    s=0.8 c=0.6 algorithm=alsh seed=3 bits=6 tables=32 > /dev/null
+"$IPS" serve "snapshot=$workdir/adaptive.snap" listen=127.0.0.1:0 workers=4 \
+    adaptive=on drift-check-secs=1 \
+    > "$workdir/adaptive_server.log" 2>&1 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' \
+        "$workdir/adaptive_server.log")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || cd_failed "adaptive server never reported its listening port"
+grep -q "adaptive controller on (drift checks every 1s)" \
+    "$workdir/adaptive_server.log" || cd_failed "adaptive=on must announce itself"
+
+# One deterministic probe script: every query of the workload. Replies are
+# captured before and after the migration; the banner (which names the live
+# family and so legitimately changes) is stripped before comparing.
+sed 's/^/query /' "$workdir/queries.csv" > "$workdir/probe_script.txt"
+echo "quit" >> "$workdir/probe_script.txt"
+probe() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    cat "$workdir/probe_script.txt" >&3
+    cat <&3 | tail -n +2 > "$1"
+    exec 3<&- 3>&-
+}
+
+# Anchor the controller's baseline on the build-time workload shape: enough
+# unit-norm queries for a full window, then a beat for the 1s check to land.
+probe "$workdir/adaptive_before.txt"
+grep -q "^hit " "$workdir/adaptive_before.txt" \
+    || cd_failed "the pre-migration probe must hit its planted pairs"
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+{ cat "$workdir/queries.csv" "$workdir/queries.csv" | sed 's/^/query /'
+  echo "plan"; echo "quit"; } >&3
+baseline_out="$(cat <&3)"
+exec 3<&- 3>&-
+grep -q "plan strategy=alsh drift_score=" <<<"$baseline_out" \
+    || cd_failed "the adaptive snapshot must open on alsh: $baseline_out"
+sleep 1.5
+
+# Drift the workload — queries only, the live set never changes: the same
+# queries scaled far below the norms the plan was costed on. Once the drift
+# score clears the threshold for consecutive checks, the controller re-plans;
+# at n=300 the planner prefers brute force, so it migrates. Poll `plan`.
+awk -F, '{ for (i = 1; i <= NF; i++) printf "%s%s", $i * 0.15, (i < NF ? "," : "\n") }' \
+    "$workdir/queries.csv" > "$workdir/drifted.csv"
+migrated=""
+for _ in $(seq 1 60); do
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    { cat "$workdir/drifted.csv" "$workdir/drifted.csv" | sed 's/^/query /'
+      echo "plan"; echo "quit"; } >&3
+    plan_out="$(cat <&3)"
+    exec 3<&- 3>&-
+    if grep -q "migrations=1" <<<"$plan_out"; then
+        migrated="$plan_out"
+        break
+    fi
+    sleep 0.3
+done
+[ -n "$migrated" ] || cd_failed "drift never triggered a migration: $plan_out"
+grep -q "plan strategy=brute drift_score=" <<<"$migrated" \
+    || cd_failed "the migration must land on the planner's choice: $migrated"
+
+# The migrated index answers the original probe byte-identically: migration
+# rebuilt the same live set under a strategy that can only *improve* recall,
+# and the wide-table ALSH answers were already the exact ones.
+probe "$workdir/adaptive_after.txt"
+cmp "$workdir/adaptive_before.txt" "$workdir/adaptive_after.txt" \
+    || cd_failed "answers changed across the live migration"
+stats_line="$(exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'stats\nquit\n' >&3; cat <&3; exec 3<&- 3>&-)"
+grep -q "strategy=brute" <<<"$stats_line" \
+    || cd_failed "stats must report the migrated strategy: $stats_line"
+grep -q "migrations=1" <<<"$stats_line" \
+    || cd_failed "stats must count the migration: $stats_line"
+
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'shutdown\n' >&3
+shutdown_replies="$(cat <&3)"
+exec 3<&- 3>&-
+grep -q "^bye$" <<<"$shutdown_replies" \
+    || cd_failed "adaptive shutdown not acknowledged"
+wait "$server_pid" || cd_failed "adaptive server exited non-zero after shutdown"
+
 echo "SMOKE PASS"

@@ -159,6 +159,8 @@ fn builder_setters_are_pinned() {
         .rebuild_threshold(0.5)
         .coalesce_window_micros(200)
         .coalesce_max(8)
+        .adaptive(false)
+        .drift_check_secs(5)
         .seed(1)
         .serve()
         .unwrap();

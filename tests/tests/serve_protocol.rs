@@ -148,9 +148,31 @@ fn every_protocol_command_answers_with_its_documented_reply_shape() {
                     "p50_query_ns=",
                     "p90_query_ns=",
                     "p99_query_ns=",
+                    "strategy=",
+                    "drift_score=",
+                    "migrations=",
                 ] {
                     assert!(stats.contains(key), "stats must report {key}: {stats}");
                 }
+                // The latency percentiles are *windowed*: a second `stats`
+                // after an idle interval reports an empty window, not the
+                // lifetime distribution.
+                let (lines, _) = run("query 1.0,0.0\nstats\nstats\n");
+                assert!(
+                    lines[1].contains("p50_query_ns=") && !lines[1].contains("p50_query_ns=0 ")
+                );
+                assert!(
+                    lines[2].contains("p50_query_ns=0 "),
+                    "an idle window reports zero percentiles: {}",
+                    lines[2]
+                );
+            }
+            "plan" => {
+                let (lines, _) = run("query 1.0,0.0\nplan\n");
+                assert_eq!(
+                    lines[1], "plan strategy=brute drift_score=0.000 migrations=0 live=3",
+                    "the adaptive state reply has a fixed shape"
+                );
             }
             "metrics" => {
                 let (lines, _) = run("query 1.0,0.0\nmetrics\n");
@@ -169,6 +191,8 @@ fn every_protocol_command_answers_with_its_documented_reply_shape() {
                     "ips_query_latency_ns",
                     "ips_stage_ns",
                     "ips_observed",
+                    "ips_migrations_total",
+                    "ips_drift_score_milli",
                 ] {
                     assert!(
                         text.contains(&format!("# TYPE {name} ")),
