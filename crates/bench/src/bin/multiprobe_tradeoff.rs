@@ -1,0 +1,226 @@
+//! Probes-vs-tables tradeoff on the adversarial suite's ALSH home turf.
+//!
+//! Multi-probe lookups (`ips_lsh::probe`) visit extra query-directed buckets
+//! per table, so an index can keep its match set with *fewer tables* — less
+//! build time and memory for a little extra lookup work. This binary measures
+//! that trade on the `sparse_needles` workload of
+//! `ips_datagen::adversarial` (near-orthogonal background with planted
+//! needles — the regime the Section 4.1 ALSH reduction is built for):
+//!
+//! 1. runs the classical configuration — `L` tables, `probes=0` — as the
+//!    baseline;
+//! 2. runs the probed configuration — `L/2` tables, `probes=p` — and checks
+//!    it is still *valid* per `evaluate_join` and recovers at least the
+//!    baseline's planted recall;
+//! 3. requires the probed configuration's end-to-end wall time (build plus
+//!    all queries, best of interleaved trials) to stay within 1.10× of the
+//!    baseline — the acceptance bar: **2× fewer tables at equal-or-better
+//!    wall time without giving up the match set**. Exits non-zero otherwise.
+//!
+//! With `--json <path>` each configuration becomes one `multiprobe_tradeoff`
+//! record gated by `scripts/check_bench.sh` against `BENCH_BASELINE.json`.
+//! Arguments (all optional, `key=value`): `n=`, `m=`, `dim=` scale the
+//! workload, `seed=` reseeds it.
+
+use ips_bench::{fmt, render_table, JsonReporter, Timer};
+use ips_core::asymmetric::AlshParams;
+use ips_core::problem::{evaluate_join, JoinSpec, JoinVariant};
+use ips_core::{Join, Strategy};
+use ips_datagen::adversarial::{sparse_needles, AdversarialScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tables of the classical baseline (the probed run gets half).
+const BASELINE_TABLES: usize = 32;
+/// Extra probe buckets per table in the probed run.
+const PROBES: usize = 8;
+/// Interleaved timing trials per configuration; the best is reported, which
+/// filters scheduler noise on a shared box.
+const TRIALS: usize = 3;
+/// The probed run may be at most this much slower than the baseline.
+const MAX_SLOWDOWN: f64 = 1.10;
+
+struct Run {
+    label: &'static str,
+    tables: usize,
+    probes: usize,
+    wall_ns: u128,
+    matches: usize,
+    recall: f64,
+    valid: bool,
+}
+
+fn measure(
+    label: &'static str,
+    data: &[ips_linalg::DenseVector],
+    queries: &[ips_linalg::DenseVector],
+    spec: JoinSpec,
+    tables: usize,
+    probes: usize,
+    seed: u64,
+) -> Run {
+    let go = || {
+        let timer = Timer::start();
+        let report = Join::data(data)
+            .queries(queries)
+            .spec(spec)
+            .strategy(Strategy::Alsh)
+            .alsh_params(AlshParams {
+                tables,
+                probes,
+                ..AlshParams::default()
+            })
+            .seed(seed)
+            .run()
+            .expect("suite workload joins");
+        (timer.elapsed_ns(), report.matches)
+    };
+    // Warm-up pass, then keep the best timed trial.
+    let (_, matches) = go();
+    let mut wall_ns = u128::MAX;
+    let mut best_matches = matches;
+    for _ in 0..TRIALS {
+        let (ns, matches) = go();
+        if ns < wall_ns {
+            wall_ns = ns;
+            best_matches = matches;
+        }
+    }
+    let (recall, valid) =
+        evaluate_join(data, queries, &spec, &best_matches).expect("evaluation runs");
+    Run {
+        label,
+        tables,
+        probes,
+        wall_ns,
+        matches: best_matches.len(),
+        recall,
+        valid,
+    }
+}
+
+fn main() {
+    let mut reporter = JsonReporter::from_env_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str, default: u64| -> u64 {
+        args.iter()
+            .find_map(|a| a.strip_prefix(&format!("{key}=")))
+            .map(|v| v.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let scale = AdversarialScale {
+        n: get("n", 2000) as usize,
+        m: get("m", 400) as usize,
+        dim: get("dim", 32) as usize,
+    };
+    let seed = get("seed", 0x9806);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = sparse_needles(&mut rng, scale).expect("workload generates");
+    let variant = if w.unsigned {
+        JoinVariant::Unsigned
+    } else {
+        JoinVariant::Signed
+    };
+    let spec = JoinSpec::new(w.threshold, w.approximation, variant).expect("suite specs are valid");
+
+    println!(
+        "multiprobe_tradeoff: sparse-needles ALSH join, n={} m={} dim={}",
+        scale.n, scale.m, scale.dim
+    );
+
+    // Interleave the trials so drift (thermal, cache, a noisy neighbour)
+    // hits both configurations alike: each `measure` call already runs its
+    // own warm-up plus TRIALS timed passes back to back, and the two calls
+    // are adjacent in time.
+    let baseline = measure(
+        "classical",
+        &w.data,
+        &w.queries,
+        spec,
+        BASELINE_TABLES,
+        0,
+        seed ^ 0x517,
+    );
+    let probed = measure(
+        "probed",
+        &w.data,
+        &w.queries,
+        spec,
+        BASELINE_TABLES / 2,
+        PROBES,
+        seed ^ 0x517,
+    );
+
+    let rows: Vec<Vec<String>> = [&baseline, &probed]
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.tables.to_string(),
+                r.probes.to_string(),
+                fmt(r.wall_ns as f64 / 1e6, 2),
+                r.matches.to_string(),
+                fmt(r.recall, 3),
+                r.valid.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["config", "tables", "probes", "wall ms", "matches", "recall", "valid"],
+            &rows,
+        )
+    );
+
+    for r in [&baseline, &probed] {
+        reporter.record(
+            "multiprobe_tradeoff",
+            &[
+                ("config", r.label.to_string()),
+                ("tables", r.tables.to_string()),
+                ("probes", r.probes.to_string()),
+                ("n", scale.n.to_string()),
+                ("m", scale.m.to_string()),
+                ("dim", scale.dim.to_string()),
+            ],
+            r.wall_ns,
+            0.0,
+        );
+    }
+
+    let slowdown = probed.wall_ns as f64 / baseline.wall_ns as f64;
+    println!(
+        "probed ({} tables, {} probes) vs classical ({} tables): {:.2}x wall time",
+        probed.tables, probed.probes, baseline.tables, slowdown
+    );
+
+    let mut failures = Vec::new();
+    if !baseline.valid || !probed.valid {
+        failures.push("a configuration reported an invalid pair".to_string());
+    }
+    if probed.recall + 1e-9 < baseline.recall {
+        failures.push(format!(
+            "probed recall {:.3} fell below the classical baseline's {:.3}",
+            probed.recall, baseline.recall
+        ));
+    }
+    if slowdown > MAX_SLOWDOWN {
+        failures.push(format!(
+            "probed run is {slowdown:.2}x the baseline wall time (bar: {MAX_SLOWDOWN:.2}x)"
+        ));
+    }
+
+    reporter.finish().expect("write --json output");
+    if failures.is_empty() {
+        println!(
+            "2x fewer tables at <= {MAX_SLOWDOWN:.2}x wall time with the match set intact \u{2713}"
+        );
+    } else {
+        for f in &failures {
+            println!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

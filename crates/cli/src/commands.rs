@@ -100,6 +100,7 @@ fn alsh_params(args: &CommandArgs<'_>) -> AlshParams {
     AlshParams {
         bits_per_table: args.usize("bits"),
         tables: args.usize("tables"),
+        probes: args.usize("probes"),
         ..AlshParams::default()
     }
 }
@@ -238,6 +239,7 @@ pub fn cmd_join(raw: &ParsedArgs) -> Result<JoinReport> {
                 .spec(spec)
                 .strategy(strategy)
                 .alsh_params(alsh_params(&args))
+                .probes(args.usize("probes"))
                 .engine(engine_config(&args))
                 .scoring(scoring_options(&args)?)
                 .seed(args.u64("seed"))
@@ -324,6 +326,7 @@ pub fn cmd_build(raw: &ParsedArgs) -> Result<BuildReport> {
         .spec(spec)
         .strategy(strategy)
         .alsh_params(alsh_params(&args))
+        .probes(args.usize("probes"))
         .sketch_config(MaxIpConfig {
             kappa: args.f64("kappa"),
             copies: args.usize("copies"),
@@ -422,6 +425,10 @@ pub fn cmd_serve(raw: &ParsedArgs) -> Result<ServeSetup> {
         .drift_check_secs(args.usize("drift-check-secs") as u64);
     if args.given("shards") {
         builder = builder.shards(args.usize("shards"));
+    }
+    // Only an explicit probes= overrides the snapshot's stored probe count.
+    if args.given("probes") {
+        builder = builder.probes(args.usize("probes"));
     }
     let serving = builder.serve_sharded()?;
     Ok(ServeSetup {
@@ -957,6 +964,75 @@ mod tests {
             .pairs
         };
         assert_eq!(q(&snap_plain), q(&snap_quant));
+    }
+
+    #[test]
+    fn probes_flow_from_the_command_line() {
+        let dir = temp_dir("probes");
+        let data = dir.join("data.csv");
+        let queries = dir.join("queries.csv");
+        cmd_generate(&args(&[
+            "kind=planted",
+            "n=180",
+            "queries=12",
+            "dim=16",
+            "planted-ip=0.85",
+            "planted=6",
+            "seed=17",
+            &format!("data={}", data.display()),
+            &format!("query-file={}", queries.display()),
+        ]))
+        .unwrap();
+        // join: probes widen lookups without losing validity or plain hits.
+        let join = |probes: &str| {
+            cmd_join(&args(&[
+                &format!("data={}", data.display()),
+                &format!("queries={}", queries.display()),
+                "s=0.8",
+                "c=0.6",
+                "algorithm=alsh",
+                "seed=3",
+                &format!("probes={probes}"),
+            ]))
+            .unwrap()
+        };
+        let plain = join("0");
+        let probed = join("6");
+        assert!(probed.valid);
+        assert!(probed.recall >= plain.recall, "probing reduced recall");
+        for pair in &plain.pairs {
+            assert!(probed.pairs.contains(pair), "probing dropped {pair:?}");
+        }
+        // build stores the probed parameters; an explicit probes=0 on serve
+        // overrides them back to classical single-bucket lookups.
+        let snapshot = dir.join("probed.snap");
+        cmd_build(&args(&[
+            &format!("data={}", data.display()),
+            &format!("snapshot={}", snapshot.display()),
+            "s=0.8",
+            "c=0.6",
+            "seed=5",
+            "probes=4",
+        ]))
+        .unwrap();
+        let kept = cmd_serve(&args(&[&format!("snapshot={}", snapshot.display())])).unwrap();
+        let overridden = cmd_serve(&args(&[
+            &format!("snapshot={}", snapshot.display()),
+            "probes=0",
+        ]))
+        .unwrap();
+        let qs = read_vectors(Path::new(&queries)).unwrap();
+        let with = kept.serving.query(&qs).unwrap();
+        let without = overridden.serving.query(&qs).unwrap();
+        assert!(with.len() >= without.len(), "stored probes lost hits");
+        // probes= validates like every other schema arg.
+        assert!(cmd_join(&args(&[
+            &format!("data={}", data.display()),
+            &format!("queries={}", queries.display()),
+            "s=0.8",
+            "probes=-1",
+        ]))
+        .is_err());
     }
 
     #[test]

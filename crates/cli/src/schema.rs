@@ -225,6 +225,20 @@ const BITS: ArgSpec = ArgSpec::defaulted(
     "ALSH hyperplane bits per table",
 );
 const TABLES: ArgSpec = ArgSpec::defaulted("tables", ArgKind::Usize, "32", "ALSH hash tables");
+const PROBES: ArgSpec = ArgSpec::defaulted(
+    "probes",
+    ArgKind::Usize,
+    "0",
+    "extra query-directed probe buckets visited per LSH table (0 = classical \
+     single-bucket lookups; probing trades lookups for fewer tables)",
+);
+const PROBES_OPEN: ArgSpec = ArgSpec::optional(
+    "probes",
+    ArgKind::Usize,
+    "override the snapshot's probe count: extra query-directed buckets visited \
+     per LSH table (default: keep the value stored at build time; the override \
+     sticks across rebuilds and migrations)",
+);
 const LIMIT: ArgSpec = ArgSpec::defaulted(
     "limit",
     ArgKind::Usize,
@@ -340,6 +354,7 @@ pub const JOIN: CommandSpec = CommandSpec {
         LIMIT,
         BITS,
         TABLES,
+        PROBES,
         THREADS,
         CHUNK,
         DTYPE,
@@ -371,6 +386,7 @@ pub const SEARCH: CommandSpec = CommandSpec {
         SEED,
         BITS,
         TABLES,
+        PROBES,
     ],
     notes: &[],
 };
@@ -404,6 +420,7 @@ pub const BUILD: CommandSpec = CommandSpec {
         SEED,
         BITS,
         TABLES,
+        PROBES,
         ArgSpec::defaulted("kappa", ArgKind::F64, "2.0", "sketch norm exponent κ ≥ 2"),
         ArgSpec::defaulted(
             "copies",
@@ -444,6 +461,7 @@ pub const SERVE: CommandSpec = CommandSpec {
         ),
         SEED,
         SHARDS_OPEN,
+        PROBES_OPEN,
         ArgSpec::optional(
             "listen",
             ArgKind::Str,
@@ -885,18 +903,42 @@ mod tests {
                 usage.starts_with(&format!("usage: ips {}", c.name)),
                 "{usage}"
             );
-            // Every declared key appears in the generated help with its type.
+            // Every declared key gets its own help row carrying the type, the
+            // doc line AND the right status. The status check is per-row on
+            // purpose: a whole-text `contains("default 0")` would pass as long
+            // as *any* argument rendered that default, silently letting a new
+            // argument's default go missing from its own row.
             for arg in c.args {
+                let label = format!("{}={}", arg.key, arg.kind.placeholder());
+                let row = usage
+                    .lines()
+                    .find(|l| l.trim_start().starts_with(&label))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "`{}` has no row in `ips help {}`:\n{usage}",
+                            arg.key, c.name
+                        )
+                    });
+                let status = if arg.required {
+                    "[required]".to_string()
+                } else {
+                    match arg.default {
+                        Some(d) => format!("[default {d}]"),
+                        None => "[optional]".to_string(),
+                    }
+                };
                 assert!(
-                    usage.contains(&format!("{}={}", arg.key, arg.kind.placeholder())),
-                    "`{}` missing from `ips help {}`:\n{usage}",
+                    row.contains(&status),
+                    "row of `{}` in `ips help {}` lacks `{status}`: {row}",
                     arg.key,
                     c.name
                 );
-                assert!(usage.contains(arg.doc), "doc of `{}` missing", arg.key);
-                if let Some(d) = arg.default {
-                    assert!(usage.contains(&format!("default {d}")), "{usage}");
-                }
+                assert!(
+                    row.contains(arg.doc),
+                    "row of `{}` in `ips help {}` lacks its doc line: {row}",
+                    arg.key,
+                    c.name
+                );
             }
         }
         assert!(command("bogus").is_none());
@@ -1017,6 +1059,7 @@ mod tests {
         assert_eq!(args.u64("seed"), 42);
         assert!(!args.bool("explain"));
         assert_eq!(args.usize("chunk"), 32);
+        assert_eq!(args.usize("probes"), 0, "probing defaults to off");
         assert!(!args.given("algo"));
         assert_eq!(args.opt_str("algo"), None);
         let gen = bindable(&GENERATE, &["n=100", "data=x"]).unwrap();

@@ -39,6 +39,10 @@ pub struct AlshParams {
     /// Cap on the number of candidates that are exactly re-scored per query; `None`
     /// re-scores every candidate.
     pub rescore_limit: Option<usize>,
+    /// Extra query-directed probe buckets visited per table (see `ips_lsh::probe`).
+    /// `0` (the default) is the classical single-bucket lookup, bit-identical to the
+    /// pre-probing behaviour; larger values trade lookups for fewer tables.
+    pub probes: usize,
 }
 
 impl Default for AlshParams {
@@ -48,6 +52,7 @@ impl Default for AlshParams {
             bits_per_table: 12,
             tables: 32,
             rescore_limit: None,
+            probes: 0,
         }
     }
 }
@@ -278,6 +283,14 @@ impl AlshMipsIndex {
         self.params
     }
 
+    /// Overrides the number of extra probe buckets visited per table at query time
+    /// (see [`AlshParams::probes`]). Probing is a pure query-time policy — the tables
+    /// are untouched, so the override applies to the next search immediately and
+    /// `set_probes(0)` restores the classical bit-identical lookup.
+    pub fn set_probes(&mut self, probes: usize) {
+        self.params.probes = probes;
+    }
+
     /// The ρ exponent the *ideal* (data-dependent, equation 3) instantiation of this
     /// reduction would achieve for this index's spec.
     pub fn rho_data_dependent(&self) -> Result<f64> {
@@ -301,13 +314,13 @@ impl AlshMipsIndex {
     /// Number of candidates the underlying LSH tables produce for a query, before
     /// re-scoring — the quantity whose growth with `n` the ρ exponent predicts.
     pub fn candidate_count(&self, query: &DenseVector) -> Result<usize> {
-        Ok(self.index.query_candidates(query)?.len())
+        Ok(self.index.probe_lookup(query, self.params.probes)?.len())
     }
 
     /// The candidate data indices the underlying LSH tables produce for a query
     /// (deduplicated, ascending) — what the top-`k` search re-scores.
     pub fn candidate_indices(&self, query: &DenseVector) -> Result<Vec<usize>> {
-        Ok(self.index.query_candidates(query)?)
+        Ok(self.index.probe_lookup(query, self.params.probes)?)
     }
 
     /// The vectors held by the index, one per slot — tombstoned slots keep their
@@ -343,7 +356,7 @@ impl MipsIndex for AlshMipsIndex {
     }
 
     fn search(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
-        let candidates = self.index.query_candidates(query)?;
+        let candidates = self.index.probe_lookup(query, self.params.probes)?;
         let limit = self.params.rescore_limit.unwrap_or(usize::MAX);
         let limited = &candidates[..candidates.len().min(limit)];
         let best = if let Some(quant) = &self.quant {
@@ -553,6 +566,43 @@ mod tests {
             index.params(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn probes_enlarge_candidates_without_changing_validity() {
+        let mut r = rng();
+        let dim = 16;
+        let data: Vec<DenseVector> = (0..150)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let spec = spec(0.5, 0.5);
+        let mut index =
+            AlshMipsIndex::build(&mut r, data.clone(), spec, AlshParams::default()).unwrap();
+        let queries: Vec<DenseVector> = (0..10)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let baseline: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| index.candidate_indices(q).unwrap())
+            .collect();
+        index.set_probes(4);
+        assert_eq!(index.params().probes, 4);
+        let mut grew = false;
+        for (q, base) in queries.iter().zip(&baseline) {
+            let probed = index.candidate_indices(q).unwrap();
+            assert!(base.iter().all(|i| probed.contains(i)));
+            grew |= probed.len() > base.len();
+            // Any reported answer still clears the relaxed threshold.
+            if let Some(hit) = index.search(q).unwrap() {
+                assert!(spec.acceptable(hit.inner_product));
+            }
+        }
+        assert!(grew, "probing never enlarged a candidate set");
+        // Returning to zero probes restores the classical candidates exactly.
+        index.set_probes(0);
+        for (q, base) in queries.iter().zip(&baseline) {
+            assert_eq!(&index.candidate_indices(q).unwrap(), base);
+        }
     }
 
     #[test]

@@ -269,6 +269,19 @@ impl<'a> JoinBuilder<'a> {
         self
     }
 
+    /// Extra query-directed probe buckets per table (see [`ips_lsh::probe`]),
+    /// applied to both LSH families in one call (default 0 — classical
+    /// single-bucket lookups, bit-identical to the pre-probing behaviour).
+    ///
+    /// Call **after** [`JoinBuilder::alsh_params`] / \
+    /// [`JoinBuilder::symmetric_params`] if you set both — those setters
+    /// replace the whole parameter structs, probes field included.
+    pub fn probes(mut self, probes: usize) -> Self {
+        self.alsh.probes = probes;
+        self.symmetric.probes = probes;
+        self
+    }
+
     /// Sketch configuration used by [`Strategy::Sketch`].
     pub fn sketch_config(mut self, config: MaxIpConfig) -> Self {
         self.sketch = config;
@@ -590,6 +603,46 @@ mod tests {
             evaluate_join(inst.data(), inst.queries(), &spec, &report.matches).unwrap();
         assert!(valid);
         assert!(!report.matches.is_empty());
+    }
+
+    #[test]
+    fn probed_runs_stay_valid_and_zero_probes_is_bit_identical() {
+        let inst = instance(0xBE5);
+        let spec = JoinSpec::new(0.8, 0.6, JoinVariant::Signed).unwrap();
+        for strategy in [Strategy::Alsh, Strategy::Symmetric] {
+            let go = |probes: usize| {
+                Join::data(inst.data())
+                    .queries(inst.queries())
+                    .threshold(0.8)
+                    .approximation(0.6)
+                    .strategy(strategy)
+                    .probes(probes)
+                    .seed(11)
+                    .run()
+                    .unwrap()
+                    .matches
+            };
+            let baseline = go(0);
+            let unprobed = Join::data(inst.data())
+                .queries(inst.queries())
+                .threshold(0.8)
+                .approximation(0.6)
+                .strategy(strategy)
+                .seed(11)
+                .run()
+                .unwrap()
+                .matches;
+            assert_eq!(baseline, unprobed, "{strategy}: probes(0) must be a no-op");
+            let probed = go(6);
+            let (_, valid) = evaluate_join(inst.data(), inst.queries(), &spec, &probed).unwrap();
+            assert!(valid, "{strategy}: probed matches must stay valid");
+            for pair in &baseline {
+                assert!(
+                    probed.contains(pair),
+                    "{strategy}: probing dropped a baseline match {pair:?}"
+                );
+            }
+        }
     }
 
     #[test]

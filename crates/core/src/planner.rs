@@ -282,19 +282,20 @@ impl Default for CostModel {
         // CPU): the brute kernel's data-major loop is far cheaper per flop
         // than the LSH strategies' bucket bookkeeping, which is exactly why a
         // planner is needed — flop counts alone would flip to an index far
-        // too early.
+        // too early. Last refit after the probes-aware candidate model
+        // landed (the ALSH flop prediction now includes probed lookups).
         Self {
-            brute_ns_per_flop: 0.397,
+            brute_ns_per_flop: 0.415,
             // Reduced-precision brute kernels: the calibrated f64 constant
             // scaled by the dim=32 kernel ratios the kernel_throughput bench
             // measures (f32 0.1221 / f64 0.1865 ns/flop, quantized 0.1638 /
             // f64 0.1865 — see BENCH_BASELINE.json), so the planner's relative
             // costs track the measured kernel speedups.
-            brute_f32_ns_per_flop: 0.260,
-            brute_quantized_ns_per_flop: 0.349,
-            alsh_ns_per_flop: 3.657,
-            symmetric_ns_per_flop: 0.835,
-            sketch_ns_per_flop: 0.279,
+            brute_f32_ns_per_flop: 0.272,
+            brute_quantized_ns_per_flop: 0.364,
+            alsh_ns_per_flop: 3.535,
+            symmetric_ns_per_flop: 0.848,
+            sketch_ns_per_flop: 0.290,
         }
     }
 }
@@ -504,11 +505,16 @@ impl JoinPlanner {
             .iter()
             .map(|&ip| ip / u)
             .collect();
-        let candidates_per_query = ips_lsh::cost::expected_candidates(
+        // Probing widens the per-table hit probability (more candidates to
+        // re-score) without touching the hashing term — which is exactly the
+        // trade the planner can exploit: fewer tables, a few probes, and the
+        // hashing term shrinks faster than the candidate term grows.
+        let candidates_per_query = ips_lsh::cost::expected_candidates_probed(
             n,
             &mapped_cosines,
             alsh_params.bits_per_table,
             alsh_params.tables,
+            alsh_params.probes,
         );
         let alsh_hash =
             ips_lsh::cost::hash_flops(d + 2, alsh_params.bits_per_table, alsh_params.tables);
@@ -522,7 +528,12 @@ impl JoinPlanner {
             alsh_flops,
             alsh_eligible,
             if alsh_eligible {
-                format!("≈{candidates_per_query:.1} candidates/query, U={u:.2}")
+                let probe_tag = if alsh_params.probes > 0 {
+                    format!(", +{} probes/table", alsh_params.probes)
+                } else {
+                    String::new()
+                };
+                format!("≈{candidates_per_query:.1} candidates/query, U={u:.2}{probe_tag}")
             } else {
                 format!(
                     "ineligible: data norm {:.3} outside the unit ball",
@@ -543,11 +554,12 @@ impl JoinPlanner {
         match map_probe {
             Ok(map) => {
                 let mapped_dim = map.output_dim();
-                let sym_candidates = ips_lsh::cost::expected_candidates(
+                let sym_candidates = ips_lsh::cost::expected_candidates_probed(
                     n,
                     &stats.sampled_inner_products,
                     self.config.symmetric.bits_per_table,
                     self.config.symmetric.tables,
+                    self.config.symmetric.probes,
                 );
                 let sym_hash = mapped_dim as f64
                     + ips_lsh::cost::hash_flops(
@@ -965,6 +977,38 @@ mod tests {
             plan.choice,
             Strategy::BruteForce | Strategy::Sketch
         ));
+    }
+
+    #[test]
+    fn probes_trade_against_tables_in_the_alsh_estimate() {
+        // Sparse sample, big workload: ALSH's cost is hashing-dominated, so
+        // halving the tables and adding probes must come out cheaper while
+        // still predicting at least as many candidates per query.
+        let st = stats(100_000, 10_000, 32, vec![0.02; 256]);
+        let full = JoinPlanner::default().plan_from_stats(st.clone(), spec(0.8, 0.6));
+        let mut config = PlannerConfig::default();
+        config.alsh.tables /= 2;
+        config.alsh.probes = 4;
+        let probed =
+            JoinPlanner::new(config, CostModel::default()).plan_from_stats(st, spec(0.8, 0.6));
+        let alsh_cost = |p: &JoinPlan| {
+            p.estimates
+                .iter()
+                .find(|e| e.strategy == Strategy::Alsh)
+                .unwrap()
+                .cost_ns
+        };
+        assert!(
+            alsh_cost(&probed) < alsh_cost(&full),
+            "half the tables with probes must be estimated cheaper: {} vs {}",
+            alsh_cost(&probed),
+            alsh_cost(&full)
+        );
+        assert_eq!(probed.alsh_params.probes, 4, "plan carries the probe count");
+        assert!(probed
+            .estimates
+            .iter()
+            .any(|e| e.note.contains("+4 probes/table")));
     }
 
     #[test]

@@ -130,6 +130,10 @@ pub struct SymmetricParams {
     pub bits_per_table: usize,
     /// Number of hash tables.
     pub tables: usize,
+    /// Extra query-directed probe buckets visited per table (see `ips_lsh::probe`).
+    /// `0` (the default) is the classical single-bucket lookup, bit-identical to the
+    /// pre-probing behaviour; larger values trade lookups for fewer tables.
+    pub probes: usize,
 }
 
 impl Default for SymmetricParams {
@@ -139,6 +143,7 @@ impl Default for SymmetricParams {
             precision_bits: 16,
             bits_per_table: 10,
             tables: 32,
+            probes: 0,
         }
     }
 }
@@ -323,6 +328,14 @@ impl SymmetricLshMips {
         self.params
     }
 
+    /// Overrides the number of extra probe buckets visited per table at query time
+    /// (see [`SymmetricParams::probes`]). Probing is a pure query-time policy — the
+    /// tables are untouched, so the override applies to the next search immediately
+    /// and `set_probes(0)` restores the classical bit-identical lookup.
+    pub fn set_probes(&mut self, probes: usize) {
+        self.params.probes = probes;
+    }
+
     /// The underlying multi-table LSH index (persistence accessor). Its points are the
     /// *sphere images* of the data vectors, which the sphere map recomputes
     /// deterministically on load.
@@ -401,14 +414,19 @@ impl SymmetricLshMips {
 
     /// Number of LSH candidates produced for a query (before exact re-scoring).
     pub fn candidate_count(&self, query: &DenseVector) -> Result<usize> {
-        Ok(self.index.query_candidates(&self.map.map(query)?)?.len())
+        Ok(self
+            .index
+            .probe_lookup(&self.map.map(query)?, self.params.probes)?
+            .len())
     }
 
     /// The candidate data indices produced for a query (deduplicated, ascending),
     /// including the exact-lookup hit for an identical query when present — what the
     /// top-`k` search re-scores.
     pub fn candidate_indices(&self, query: &DenseVector) -> Result<Vec<usize>> {
-        let mut out = self.index.query_candidates(&self.map.map(query)?)?;
+        let mut out = self
+            .index
+            .probe_lookup(&self.map.map(query)?, self.params.probes)?;
         if let Some(&i) = self
             .exact_lookup
             .get(&self.map.encode(query)?)
@@ -454,7 +472,7 @@ impl SymmetricLshMips {
     /// [`SymmetricLshMips::exact_probe`].
     pub fn candidate_best(&self, query: &DenseVector) -> Result<Option<SearchResult>> {
         let mapped = self.map.map(query)?;
-        let candidates = self.index.query_candidates(&mapped)?;
+        let candidates = self.index.probe_lookup(&mapped, self.params.probes)?;
         if let Some(quant) = &self.quant {
             // Cheap integer scoring + conservative pruning + exact rescoring:
             // identical result to the exact loop below (see `crate::kernel`).
@@ -700,6 +718,38 @@ mod tests {
         // Deleting the duplicate falls back to the original copy, not to a miss.
         index.delete(dup).unwrap();
         assert_eq!(index.search(&v).unwrap().unwrap().data_index, 20);
+    }
+
+    #[test]
+    fn probes_enlarge_candidates_and_zero_restores_baseline() {
+        let mut r = rng();
+        let dim = 14;
+        let data: Vec<DenseVector> = (0..150)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let mut index =
+            SymmetricLshMips::build(&mut r, data, spec(0.5, 0.5), SymmetricParams::default())
+                .unwrap();
+        let queries: Vec<DenseVector> = (0..10)
+            .map(|_| random_ball_vector(&mut r, dim, 1.0).unwrap())
+            .collect();
+        let baseline: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| index.candidate_indices(q).unwrap())
+            .collect();
+        index.set_probes(4);
+        assert_eq!(index.params().probes, 4);
+        let mut grew = false;
+        for (q, base) in queries.iter().zip(&baseline) {
+            let probed = index.candidate_indices(q).unwrap();
+            assert!(base.iter().all(|i| probed.contains(i)));
+            grew |= probed.len() > base.len();
+        }
+        assert!(grew, "probing never enlarged a candidate set");
+        index.set_probes(0);
+        for (q, base) in queries.iter().zip(&baseline) {
+            assert_eq!(&index.candidate_indices(q).unwrap(), base);
+        }
     }
 
     #[test]

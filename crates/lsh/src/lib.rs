@@ -18,6 +18,7 @@
 //! | Sign-ALSH | [`sign_alsh`] | improved ALSH via sign random projections (follow-up to \[45\]) |
 //! | SIMPLE-ALSH | [`simple_alsh`] | Neyshabur–Srebro reduction \[39\]; basis of Section 4.1 |
 //! | Multi-probe SimHash | [`multiprobe`] | table-count vs probe-count ablation for the Section 4.1 index |
+//! | Query-directed probing | [`probe`] | compositional multi-probe for the production indexes (PR 10) |
 //!
 //! The closed-form ρ exponents compared in **Figure 2** (DATA-DEP, SIMP, MH-ALSH) are
 //! provided by the [`rho`] module; empirical collision probabilities for validation of
@@ -38,6 +39,7 @@ pub mod hyperplane;
 pub mod mhalsh;
 pub mod minhash;
 pub mod multiprobe;
+pub mod probe;
 pub mod rho;
 pub mod sign_alsh;
 pub mod simple_alsh;
@@ -45,6 +47,7 @@ pub mod table;
 pub mod traits;
 
 pub use error::{LshError, Result};
+pub use probe::{ProbeFlip, ProbeSequence};
 pub use traits::{
     AsymmetricHashFunction, AsymmetricLshFamily, HashFunction, LshFamily, SymmetricAsAsymmetric,
     SymmetricFunctionPair,

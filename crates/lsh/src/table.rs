@@ -16,6 +16,7 @@
 
 use crate::amplify::AndConstruction;
 use crate::error::{LshError, Result};
+use crate::probe::ProbeSequence;
 use crate::traits::{AsymmetricHashFunction, AsymmetricLshFamily};
 use ips_linalg::DenseVector;
 use rand::Rng;
@@ -121,6 +122,57 @@ impl<F: AsymmetricLshFamily + Clone> LshIndex<F> {
             let bucket = f.hash_query(q)?;
             if let Some(ids) = table.get(&bucket) {
                 seen.extend(ids.iter().copied());
+            }
+        }
+        let mut out: Vec<usize> = seen.into_iter().map(|i| i as usize).collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Like [`LshIndex::query_candidates`], but additionally visits up to `probes`
+    /// extra buckets per table, chosen by the query-directed probe sequence of each
+    /// table's composite function (see [`crate::probe`]): the buckets the query came
+    /// closest to hashing into, in decreasing estimated collision probability.
+    ///
+    /// `probes = 0` takes the exact [`LshIndex::query_candidates`] code path, so the
+    /// default is bit-identical to the classical lookup. The candidate set is always a
+    /// superset of the classical one, deduplicated and in ascending order — the union
+    /// over tables of the union over probed buckets, so the result is deterministic
+    /// for a given index structure regardless of probe count.
+    ///
+    /// ```
+    /// use ips_lsh::simple_alsh::SimpleAlshFamily;
+    /// use ips_lsh::table::{IndexParams, LshIndex};
+    /// use ips_linalg::random::random_ball_vector;
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(5);
+    /// let family = SimpleAlshFamily::new(8, 1.0, 1)?;
+    /// let data: Vec<_> = (0..50)
+    ///     .map(|_| random_ball_vector(&mut rng, 8, 1.0).unwrap())
+    ///     .collect();
+    /// let index = LshIndex::build(&family, IndexParams { k: 4, l: 4 }, &data, &mut rng)?;
+    /// let q = random_ball_vector(&mut rng, 8, 1.0)?;
+    /// let classical = index.query_candidates(&q)?;
+    /// assert_eq!(index.probe_lookup(&q, 0)?, classical);
+    /// let probed = index.probe_lookup(&q, 4)?;
+    /// assert!(classical.iter().all(|id| probed.contains(id)));
+    /// # Ok::<(), ips_lsh::LshError>(())
+    /// ```
+    pub fn probe_lookup(&self, q: &DenseVector, probes: usize) -> Result<Vec<usize>>
+    where
+        <AndConstruction<F> as AsymmetricLshFamily>::Function: ProbeSequence,
+    {
+        if probes == 0 {
+            return self.query_candidates(q);
+        }
+        let mut seen: HashSet<u32> = HashSet::new();
+        for (f, table) in self.functions.iter().zip(self.tables.iter()) {
+            for bucket in f.probe_query(q, probes)? {
+                if let Some(ids) = table.get(&bucket) {
+                    seen.extend(ids.iter().copied());
+                }
             }
         }
         let mut out: Vec<usize> = seen.into_iter().map(|i| i as usize).collect();
@@ -383,6 +435,30 @@ mod tests {
             index.len() + 1,
         )
         .is_err());
+    }
+
+    #[test]
+    fn probe_lookup_is_a_superset_and_identical_at_zero() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let dim = 12;
+        let fam = SimpleAlshFamily::new(dim, 1.0, 1).unwrap();
+        let data: Vec<DenseVector> = (0..120)
+            .map(|_| random_ball_vector(&mut rng, dim, 1.0).unwrap())
+            .collect();
+        let index = LshIndex::build(&fam, IndexParams { k: 6, l: 8 }, &data, &mut rng).unwrap();
+        let mut grew = false;
+        for q in &data[..10] {
+            let classical = index.query_candidates(q).unwrap();
+            assert_eq!(index.probe_lookup(q, 0).unwrap(), classical);
+            let mut previous = classical;
+            for probes in [1usize, 2, 4, 8] {
+                let probed = index.probe_lookup(q, probes).unwrap();
+                assert!(previous.iter().all(|id| probed.contains(id)));
+                grew |= probed.len() > previous.len();
+                previous = probed;
+            }
+        }
+        assert!(grew, "probing never found an extra candidate");
     }
 
     #[test]

@@ -112,6 +112,7 @@ pub struct IndexBuilder {
     seed: u64,
     scoring: ips_core::ScoringOptions,
     slow_log_micros: u64,
+    probes: Option<usize>,
     adaptive: bool,
     drift_check_secs: u64,
     shards: Option<usize>,
@@ -135,6 +136,7 @@ impl IndexBuilder {
             seed: serving.seed,
             scoring: serving.scoring,
             slow_log_micros: serving.slow_log_micros,
+            probes: serving.probes,
             adaptive: serving.adaptive,
             drift_check_secs: serving.drift_check_secs,
             shards: None,
@@ -253,6 +255,21 @@ impl IndexBuilder {
         self
     }
 
+    /// Extra query-directed probe buckets per LSH table (see
+    /// [`ips_lsh::probe`]; default: keep the parameters' or the snapshot's own
+    /// value, 0 for the defaults). Applies to [`Strategy::Alsh`] and
+    /// [`Strategy::Symmetric`] builds, to the planner's LSH candidates under
+    /// [`Strategy::Auto`], and — via [`ServingConfig::probes`] — to snapshots
+    /// loaded with [`Index::open`], where it overrides the stored value and
+    /// sticks across rebuilds. Brute and sketch indexes have no buckets to
+    /// probe and ignore it.
+    pub fn probes(mut self, probes: usize) -> Self {
+        self.alsh.probes = probes;
+        self.symmetric.probes = probes;
+        self.probes = Some(probes);
+        self
+    }
+
     /// Slow-query threshold in microseconds (default 0 = disabled): a query
     /// batch whose total wall time meets the threshold emits one structured
     /// line on stderr. See [`ServingConfig::slow_log_micros`].
@@ -302,6 +319,7 @@ impl IndexBuilder {
             seed: self.seed,
             scoring: self.scoring,
             slow_log_micros: self.slow_log_micros,
+            probes: self.probes,
             adaptive: self.adaptive,
             drift_check_secs: self.drift_check_secs,
         }
@@ -703,6 +721,44 @@ mod tests {
             assert_eq!(exact.to_bits(), p.inner_product.to_bits());
             assert!(spec().satisfies_promise(exact));
         }
+    }
+
+    #[test]
+    fn probes_flow_through_build_and_override_a_reopened_snapshot() {
+        let inst = workload();
+        // Built with probes: the serving answers stay a superset of unprobed.
+        let plain = Index::build(inst.data().to_vec())
+            .spec(spec())
+            .strategy(Strategy::Alsh)
+            .seed(7)
+            .serve()
+            .unwrap();
+        let mut probed = Index::build(inst.data().to_vec())
+            .spec(spec())
+            .strategy(Strategy::Alsh)
+            .seed(7)
+            .probes(4)
+            .serve()
+            .unwrap();
+        let a = plain.query(inst.queries()).unwrap();
+        let b = probed.query(inst.queries()).unwrap();
+        assert!(b.len() >= a.len(), "probing lost hits");
+
+        // Snapshots store the probed parameters; reopening without .probes()
+        // keeps them, reopening with .probes(0) overrides back to classical.
+        let dir = std::env::temp_dir().join("ips-store-builder-probes-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probed.snap");
+        probed.save(&path).unwrap();
+        let kept = Index::open(&path).serve().unwrap();
+        assert_eq!(kept.query(inst.queries()).unwrap(), b);
+        let overridden = Index::open(&path).probes(0).serve().unwrap();
+        assert_eq!(
+            overridden.query(inst.queries()).unwrap(),
+            a,
+            "probes(0) on open must restore the classical lookups"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -174,6 +174,8 @@ impl Persist for AlshParams {
         w.put_usize(self.bits_per_table);
         w.put_usize(self.tables);
         w.put_opt_u64(self.rescore_limit.map(|v| v as u64));
+        // PR 10: probes appended to the payload (see MIGRATION.md, "Multi-probe").
+        w.put_usize(self.probes);
     }
 
     fn read(r: &mut ByteReader<'_>) -> Result<Self> {
@@ -182,6 +184,7 @@ impl Persist for AlshParams {
             bits_per_table: r.take_usize()?,
             tables: r.take_usize()?,
             rescore_limit: r.take_opt_u64()?.map(|v| v as usize),
+            probes: r.take_usize()?,
         })
     }
 }
@@ -192,6 +195,8 @@ impl Persist for SymmetricParams {
         w.put_u32(self.precision_bits);
         w.put_usize(self.bits_per_table);
         w.put_usize(self.tables);
+        // PR 10: probes appended to the payload (see MIGRATION.md, "Multi-probe").
+        w.put_usize(self.probes);
     }
 
     fn read(r: &mut ByteReader<'_>) -> Result<Self> {
@@ -200,6 +205,7 @@ impl Persist for SymmetricParams {
             precision_bits: r.take_u32()?,
             bits_per_table: r.take_usize()?,
             tables: r.take_usize()?,
+            probes: r.take_usize()?,
         })
     }
 }

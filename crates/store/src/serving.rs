@@ -105,6 +105,14 @@ pub struct ServingConfig {
     /// the log. A query batch whose wall time meets the threshold emits one
     /// structured line on stderr from the sharded serving layer.
     pub slow_log_micros: u64,
+    /// Extra query-directed probe buckets per LSH table (see [`ips_lsh::probe`]),
+    /// applied to ALSH / symmetric primaries. `None` (the default) keeps
+    /// whatever the loaded snapshot or the [`IndexConfig`] parameters carry;
+    /// `Some(p)` overrides it at load time — and, because the override lands
+    /// *before* the family configuration is extracted, every later rebuild,
+    /// compaction and migration rebuild keeps probing at `p`. Brute and sketch
+    /// primaries have no buckets to probe and ignore the override.
+    pub probes: Option<usize>,
     /// Run the closed-loop adaptive controller (`ips-adapt`) over this index:
     /// periodically compare the observed workload against the statistics the
     /// live plan was costed on, re-plan on drift, and migrate strategies
@@ -124,6 +132,7 @@ impl Default for ServingConfig {
             seed: 0x1B5_5E4E,
             scoring: ips_core::ScoringOptions::default(),
             slow_log_micros: 0,
+            probes: None,
             adaptive: false,
             drift_check_secs: 5,
         }
@@ -340,10 +349,20 @@ impl ServingIndex {
             });
         }
         let Snapshot {
-            index: primary,
+            index: mut primary,
             ids: primary_ids,
             next_id,
         } = snapshot;
+        // Apply the probes override *before* extracting the family config: the
+        // extracted params seed every rebuild, so the override sticks across
+        // compactions instead of silently reverting to the snapshot's value.
+        if let Some(probes) = config.probes {
+            match &mut primary {
+                AnyIndex::Alsh(index) => index.set_probes(probes),
+                AnyIndex::Symmetric(index) => index.set_probes(probes),
+                AnyIndex::Brute(_) | AnyIndex::Sketch(_) => {}
+            }
+        }
         let dim = match primary.vector(0) {
             Some(v) => v.dim(),
             None => {
@@ -1090,6 +1109,46 @@ mod tests {
                 serving.query(std::slice::from_ref(&query)).unwrap().len(),
                 1
             );
+        }
+    }
+
+    #[test]
+    fn probes_override_lands_in_the_family_config_and_survives_compaction() {
+        let dim = 12;
+        let data = vectors(0x61, 90, dim, 0.9);
+        let probed_config = ServingConfig {
+            probes: Some(4),
+            ..ServingConfig::default()
+        };
+        let family_probes = |serving: &ServingIndex| match serving.index_config() {
+            IndexConfig::Alsh(p) => p.probes,
+            IndexConfig::Symmetric(p) => p.probes,
+            other => panic!("unexpected family {other:?}"),
+        };
+        for index_config in [
+            IndexConfig::Alsh(AlshParams::default()),
+            IndexConfig::Symmetric(SymmetricParams::default()),
+        ] {
+            // `probes: None` keeps the params' own value (0 for the defaults).
+            let plain =
+                ServingIndex::build(data.clone(), spec(), index_config, ServingConfig::default())
+                    .unwrap();
+            assert_eq!(family_probes(&plain), 0);
+            let mut probed =
+                ServingIndex::build(data.clone(), spec(), index_config, probed_config).unwrap();
+            assert_eq!(family_probes(&probed), 4);
+            // Probing widens lookups, never loses an existing answer.
+            let queries = vectors(0x62, 10, dim, 1.0);
+            let a = plain.query(&queries).unwrap();
+            let b = probed.query(&queries).unwrap();
+            assert!(b.len() >= a.len(), "probing lost hits: {b:?} vs {a:?}");
+            // The override was folded into the extracted family config, so a
+            // compaction (which rebuilds from that config) keeps it.
+            for id in 0..30u64 {
+                probed.delete(id).unwrap();
+            }
+            probed.compact().unwrap();
+            assert_eq!(family_probes(&probed), 4, "compaction dropped the override");
         }
     }
 

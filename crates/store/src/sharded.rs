@@ -206,6 +206,7 @@ impl ShardedServingIndex {
         config: ShardedConfig,
     ) -> Result<Self> {
         Self::validate_config(&config)?;
+        let index_config = Self::overridden(index_config, &config.serving);
         if entries.is_empty() {
             return Err(StoreError::InvalidParameter {
                 name: "entries",
@@ -252,6 +253,23 @@ impl ShardedServingIndex {
 
     /// Builds one shard's [`ServingIndex`] over its routed entries (`None` when the
     /// shard receives no vectors). Entries arrive in ascending id order.
+    /// Applies the [`ServingConfig::probes`] override to a family
+    /// configuration. `build_shard` applies the same override per shard
+    /// (inside [`ServingIndex::from_snapshot`]); normalising the incoming
+    /// configuration too keeps the publicly reported
+    /// [`ShardedServingIndex::index_config`] — which also seeds the adaptive
+    /// controller's planner — consistent with what the shards actually run.
+    fn overridden(mut index_config: IndexConfig, serving: &ServingConfig) -> IndexConfig {
+        if let Some(probes) = serving.probes {
+            match &mut index_config {
+                IndexConfig::Alsh(params) => params.probes = probes,
+                IndexConfig::Symmetric(params) => params.probes = probes,
+                IndexConfig::Brute | IndexConfig::Sketch { .. } => {}
+            }
+        }
+        index_config
+    }
+
     fn build_shard(
         entries: Vec<(u64, DenseVector)>,
         next_id: u64,
@@ -862,6 +880,11 @@ impl ShardedServingIndex {
     /// swap block briefly and are answered by the new ones. The migration
     /// counter ticks once on success.
     pub fn migrate_to(&self, target: IndexConfig) -> Result<MigrationReport> {
+        // The serving-config probes override outlives any one family: a
+        // migration target is normalised just like the build-time
+        // configuration, so an operator's load-time override is not silently
+        // dropped by the adaptive controller's next migration.
+        let target = Self::overridden(target, &self.config.serving);
         let from = self.family();
         let build_start = Instant::now();
         // Phase 1: snapshot and build — no locks held while building.

@@ -18,9 +18,10 @@
 #       identical run must pass.
 #
 # Gating policy (the "pinned small workloads" of the CI job):
-#   * only `serve_throughput` records and `join_scaling` records with n <= 2000
-#     are compared — larger workloads are recorded for the trajectory artifact
-#     but not gated;
+#   * only `serve_throughput`, `kernel_throughput`, `telemetry_overhead`,
+#     `adaptive_serving`, `multiprobe_tradeoff` records and `join_scaling`
+#     records with n <= 2000 are compared — larger workloads are recorded for
+#     the trajectory artifact but not gated;
 #   * records whose baseline wall_ns < MIN_GATE_NS (default 1e6 = 1 ms) are
 #     skipped — sub-millisecond timings are scheduler noise, not signal;
 #   * the volatile `speedup` param is stripped from record keys, and timestamps
@@ -73,6 +74,7 @@ gated() {
         kernel_throughput*) return 0 ;;
         telemetry_overhead*) return 0 ;;
         adaptive_serving*) return 0 ;;
+        multiprobe_tradeoff*) return 0 ;;
         join_scaling*)
             local n
             n=$(sed -n 's/.*"n": "\([0-9]*\)".*/\1/p' <<<"$key")
@@ -145,6 +147,11 @@ compare() {
 
 merge() {
     local out="$1"; shift
+    # Write through a temp file so the output may also appear as an input
+    # (appending to an existing baseline in place) without truncating it
+    # before it is read.
+    local tmp
+    tmp="$(mktemp)"
     {
         echo "["
         # Keep each input's record lines, re-delimiting so the output is one array.
@@ -163,7 +170,8 @@ merge() {
         done
         echo ""
         echo "]"
-    } > "$out"
+    } > "$tmp"
+    mv "$tmp" "$out"
     echo "merged $# file(s) into $out"
 }
 
@@ -181,7 +189,8 @@ self_test() {
   {"name": "join_scaling", "params": {"algo": "alsh", "n": "8000"}, "wall_ns": 900000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "kernel_throughput", "params": {"kernel": "f32", "dim": "32", "n": "2000", "m": "200", "reps": "2", "speedup": "1.53"}, "wall_ns": 3000000, "flops": 5.12e7, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
   {"name": "telemetry_overhead", "params": {"path": "traced", "n": "10000", "dim": "32", "shards": "4", "reps": "8", "speedup": "0.40"}, "wall_ns": 140000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
-  {"name": "adaptive_serving", "params": {"scenario": "streaming", "path": "adaptive", "n": "1024", "dim": "3", "reps": "4", "speedup": "1.75"}, "wall_ns": 5000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"}
+  {"name": "adaptive_serving", "params": {"scenario": "streaming", "path": "adaptive", "n": "1024", "dim": "3", "reps": "4", "speedup": "1.75"}, "wall_ns": 5000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"},
+  {"name": "multiprobe_tradeoff", "params": {"config": "probed", "tables": "16", "probes": "8", "n": "2000", "m": "400", "dim": "32"}, "wall_ns": 90000000, "flops": 0, "schema_version": 2, "timestamp": "2026-01-01T00:00:00Z"}
 ]
 EOF
     # An identical run passes (speedup param differences must not matter).
@@ -212,6 +221,11 @@ EOF
     if compare "$base" "$cur" > /dev/null 2>&1; then
         die "self-test: an adaptive_serving slowdown must fail the gate"
     fi
+    # A 2x slowdown on the probed multiprobe-tradeoff record fails too.
+    sed 's/"wall_ns": 90000000/"wall_ns": 180000000/' "$base" > "$cur"
+    if compare "$base" "$cur" > /dev/null 2>&1; then
+        die "self-test: a multiprobe_tradeoff slowdown must fail the gate"
+    fi
     # A 2x slowdown on an UN-gated record (n=8000) does not fail.
     sed 's/"wall_ns": 900000000/"wall_ns": 1800000000/' "$base" > "$cur"
     compare "$base" "$cur" > /dev/null || die "self-test: ungated records must not gate"
@@ -225,6 +239,13 @@ EOF
     if compare "$base" "$cur" > /dev/null 2>&1; then
         die "self-test: a missing gated record must fail the gate"
     fi
+    # Merging a file into itself appends rather than truncating it.
+    cp "$base" "$cur"
+    merge "$cur" "$cur" "$base" > /dev/null
+    local want got
+    want=$((2 * $(grep -c '"name":' "$base")))
+    got=$(grep -c '"name":' "$cur")
+    [ "$got" -eq "$want" ] || die "self-test: in-place merge kept $got of $want records"
     echo "check_bench: SELF-TEST PASS"
 }
 

@@ -326,3 +326,39 @@ fn errors_are_reported_inline_and_do_not_end_the_session() {
     assert_eq!(lines[1], "hit 0 +0.900000", "the session keeps answering");
     assert_eq!(end, SessionEnd::Closed);
 }
+
+/// The standalone protocol document (`docs/PROTOCOL.md`) is normative: every
+/// command of the declarative table must have a row in its command table, and
+/// the usage column must match the table's usage string (modulo the markdown
+/// escaping of `|`). Adding a protocol command without documenting it fails
+/// here; the reply-shape checks above keep the documented shapes honest.
+#[test]
+fn protocol_doc_lists_every_command() {
+    let doc = include_str!("../../docs/PROTOCOL.md");
+    for c in SERVE_PROTOCOL {
+        let row = doc
+            .lines()
+            .find(|l| l.starts_with(&format!("| `{}` |", c.name)))
+            .unwrap_or_else(|| {
+                panic!(
+                    "docs/PROTOCOL.md has no command-table row for `{}` — document it",
+                    c.name
+                )
+            });
+        let escaped_usage = c.usage.replace('|', "\\|");
+        assert!(
+            row.contains(&format!("`{escaped_usage}`")),
+            "the `{}` row must carry its usage `{}`: {row}",
+            c.name,
+            c.usage
+        );
+    }
+    // The framing rules documented up top stay tied to the implementation's
+    // actual markers.
+    for marker in ["error: ", "# EOF", "bye"] {
+        assert!(
+            doc.contains(marker),
+            "docs/PROTOCOL.md must describe the `{marker}` marker"
+        );
+    }
+}
